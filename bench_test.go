@@ -1,0 +1,293 @@
+// Package jrpm's root benchmark harness regenerates every table and figure
+// of the paper's evaluation section as testing.B benchmarks, reporting the
+// headline quantity of each artifact through b.ReportMetric:
+//
+//	Table 1   -> BenchmarkTable1Overheads        (old/new handler cost ratio)
+//	Table 3   -> BenchmarkTable3Suite/<name>     (actual TLS speedup)
+//	Table 4   -> BenchmarkTable4Transforms/<name>(transformed speedup)
+//	Figure 8  -> BenchmarkFig8Suite/<name>       (profiling, predicted, actual)
+//	Figure 9  -> BenchmarkFig9Suite/<name>       (total program speedup)
+//	Figure 10 -> BenchmarkFig10Suite/<name>      (violated-time share)
+//
+// The ablation benchmarks cover the design choices DESIGN.md flags:
+// inductors, sync locks, VM modifications, handler generations, buffer
+// capacity, CPU count and comparator banks.
+//
+// Run with: go test -bench=. -benchmem
+package jrpm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jrpm/internal/analyzer"
+	"jrpm/internal/bytecode"
+	"jrpm/internal/core"
+	fe "jrpm/internal/frontend"
+	"jrpm/internal/tls"
+	"jrpm/internal/tracer"
+	"jrpm/internal/workloads"
+)
+
+func pipeline(b *testing.B, w *workloads.Workload, transformed bool, opts core.Options) *core.Result {
+	b.Helper()
+	build := w.Build
+	if transformed {
+		build = w.BuildTransformed
+	}
+	var res *core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = core.Run(build(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OutputsMatch {
+			b.Fatalf("%s: speculative output mismatch", w.Name)
+		}
+	}
+	return res
+}
+
+func BenchmarkTable1Overheads(b *testing.B) {
+	w := workloads.ByName("FourierTest")
+	oldOpts := core.DefaultOptions()
+	oldOpts.Handlers = tls.OldHandlers
+	var newC, oldC int64
+	for i := 0; i < b.N; i++ {
+		rn, err := core.Run(w.Build(), core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ro, err := core.Run(w.Build(), oldOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		newC, oldC = rn.TLS.Cycles, ro.TLS.Cycles
+	}
+	b.ReportMetric(float64(newC), "new-handler-cycles")
+	b.ReportMetric(float64(oldC), "old-handler-cycles")
+	b.ReportMetric(float64(oldC)/float64(newC), "old/new-ratio")
+}
+
+func BenchmarkTable3Suite(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			res := pipeline(b, w, false, core.DefaultOptions())
+			b.ReportMetric(res.SpeedupActual(), "speedup")
+			b.ReportMetric(float64(res.TLS.Violations), "violations")
+			b.ReportMetric(res.SerialFraction()*100, "serial%")
+			b.ReportMetric(res.TLS.AvgStoreBuf, "stbuf-lines")
+			b.ReportMetric(res.TLS.AvgLoadBuf, "ldbuf-lines")
+		})
+	}
+}
+
+func BenchmarkTable4Transforms(b *testing.B) {
+	for _, w := range workloads.All() {
+		if w.BuildTransformed == nil {
+			continue
+		}
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			base := pipeline(b, w, false, core.DefaultOptions())
+			tr := pipeline(b, w, true, core.DefaultOptions())
+			b.ReportMetric(base.SpeedupActual(), "base-speedup")
+			b.ReportMetric(tr.SpeedupActual(), "transformed-speedup")
+		})
+	}
+}
+
+func BenchmarkFig8Suite(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			res := pipeline(b, w, false, core.DefaultOptions())
+			seq := float64(res.Seq.Cycles)
+			b.ReportMetric(float64(res.Profile.Cycles)/seq, "profiling-norm")
+			b.ReportMetric(float64(res.PredictedCycles)/seq, "predicted-norm")
+			b.ReportMetric(float64(res.TLS.Cycles)/seq, "actual-norm")
+		})
+	}
+}
+
+func BenchmarkFig9Suite(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			res := pipeline(b, w, false, core.DefaultOptions())
+			b.ReportMetric(res.TotalSpeedup(), "total-speedup")
+			b.ReportMetric(float64(res.CompileCycles), "compile-cycles")
+			b.ReportMetric(float64(res.RecompileCycles), "recompile-cycles")
+			b.ReportMetric(float64(res.ProfilingOverheadCycles()), "profiling-cycles")
+			b.ReportMetric(float64(res.TLS.GCCycles), "gc-cycles")
+		})
+	}
+}
+
+func BenchmarkFig10Suite(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			res := pipeline(b, w, false, core.DefaultOptions())
+			st := res.TLS.Stats
+			total := st.Serial*4 + st.RunUsed + st.WaitUsed + st.Overhead +
+				st.RunViolated + st.WaitViolated
+			if total == 0 {
+				total = 1
+			}
+			pc := func(v int64) float64 { return 100 * float64(v) / float64(total) }
+			b.ReportMetric(pc(st.Serial*4), "serial%")
+			b.ReportMetric(pc(st.RunUsed), "run-used%")
+			b.ReportMetric(pc(st.WaitUsed), "wait-used%")
+			b.ReportMetric(pc(st.Overhead), "overhead%")
+			b.ReportMetric(pc(st.RunViolated), "run-violated%")
+			b.ReportMetric(pc(st.WaitViolated), "wait-violated%")
+		})
+	}
+}
+
+// --- Ablations ---
+
+func analyzerOpts(mod func(*analyzer.Config)) core.Options {
+	o := core.DefaultOptions()
+	a := analyzer.DefaultConfig()
+	a.NCPU = o.NCPU
+	a.Handlers = o.Handlers
+	a.ParallelAlloc = o.VM.ParallelAlloc
+	a.ElideLocks = o.VM.ElideLocks
+	mod(&a)
+	o.Analyzer = &a
+	return o
+}
+
+func BenchmarkAblationInductors(b *testing.B) {
+	off := analyzerOpts(func(a *analyzer.Config) { a.NoInductors = true; a.NoResetable = true })
+	for _, name := range []string{"BitOps", "FourierTest", "shallow"} {
+		w := workloads.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			on := pipeline(b, w, false, core.DefaultOptions())
+			no := pipeline(b, w, false, off)
+			b.ReportMetric(on.SpeedupActual(), "with-inductors")
+			b.ReportMetric(no.SpeedupActual(), "without-inductors")
+		})
+	}
+}
+
+func BenchmarkAblationSyncLock(b *testing.B) {
+	off := analyzerOpts(func(a *analyzer.Config) { a.NoSyncLocks = true })
+	for _, name := range []string{"monteCarlo", "db"} {
+		w := workloads.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			on := pipeline(b, w, false, core.DefaultOptions())
+			no := pipeline(b, w, false, off)
+			b.ReportMetric(on.SpeedupActual(), "with-sync")
+			b.ReportMetric(no.SpeedupActual(), "without-sync")
+			b.ReportMetric(float64(no.TLS.Violations-on.TLS.Violations), "violations-added")
+		})
+	}
+}
+
+func BenchmarkAblationParallelAlloc(b *testing.B) {
+	// A loop allocating an object per iteration — the §5.2 access pattern:
+	// with a shared free list, speculative threads serialize on its head.
+	build := func() *bytecode.Program {
+		p := fe.NewProgram("allocChurn")
+		box := p.Class("Box", "v", "w", "x", "y")
+		p.Func("main", nil, false).Body(
+			fe.Set("sum", fe.I(0)),
+			fe.ForUp("i", fe.I(0), fe.I(256),
+				fe.Set("bx", fe.NewE(box)),
+				fe.SetField(fe.L("bx"), box, "v", fe.Mul(fe.L("i"), fe.I(3))),
+				fe.Set("sum", fe.Add(fe.L("sum"), fe.FieldE(fe.L("bx"), box, "v"))),
+			),
+			fe.Print(fe.L("sum")),
+		)
+		return p.MustBuild()
+	}
+	off := core.DefaultOptions()
+	off.VM.ParallelAlloc = false
+	var on, no *core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if on, err = core.Run(build(), core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+		if no, err = core.Run(build(), off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(on.SpeedupActual(), "per-cpu-lists")
+	b.ReportMetric(no.SpeedupActual(), "shared-list")
+	b.ReportMetric(float64(no.TLS.Violations-on.TLS.Violations), "violations-added")
+}
+
+func BenchmarkAblationLockElision(b *testing.B) {
+	off := core.DefaultOptions()
+	off.VM.ElideLocks = false
+	for _, name := range []string{"jess"} {
+		w := workloads.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			on := pipeline(b, w, false, core.DefaultOptions())
+			no := pipeline(b, w, false, off)
+			b.ReportMetric(on.SpeedupActual(), "elided-locks")
+			b.ReportMetric(no.SpeedupActual(), "original-locks")
+		})
+	}
+}
+
+func BenchmarkAblationHandlers(b *testing.B) {
+	old := core.DefaultOptions()
+	old.Handlers = tls.OldHandlers
+	for _, name := range []string{"BitOps", "LuFactor", "decJpeg"} {
+		w := workloads.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			rn := pipeline(b, w, false, core.DefaultOptions())
+			ro := pipeline(b, w, false, old)
+			b.ReportMetric(rn.SpeedupActual(), "new-handlers")
+			b.ReportMetric(ro.SpeedupActual(), "old-handlers")
+		})
+	}
+}
+
+func BenchmarkAblationStoreBuffer(b *testing.B) {
+	for _, lines := range []int{16, 32, 64, 128} {
+		lines := lines
+		b.Run(fmt.Sprintf("lines-%d", lines), func(b *testing.B) {
+			o := core.DefaultOptions()
+			t := tls.DefaultConfig(o.NCPU)
+			t.StoreBufferLines = lines
+			o.TLS = &t
+			res := pipeline(b, workloads.ByName("fft"), false, o)
+			b.ReportMetric(res.SpeedupActual(), "fft-speedup")
+			b.ReportMetric(float64(res.TLS.Overflows), "overflow-stalls")
+		})
+	}
+}
+
+func BenchmarkAblationCPUs(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("cpus-%d", n), func(b *testing.B) {
+			o := core.DefaultOptions()
+			o.NCPU = n
+			res := pipeline(b, workloads.ByName("FourierTest"), false, o)
+			b.ReportMetric(res.SpeedupActual(), "speedup")
+		})
+	}
+}
+
+func BenchmarkAblationComparatorBanks(b *testing.B) {
+	for _, n := range []int{1, 2, 8} {
+		n := n
+		b.Run(fmt.Sprintf("banks-%d", n), func(b *testing.B) {
+			o := core.DefaultOptions()
+			t := tracer.DefaultConfig()
+			t.NumBanks = n
+			o.Tracer = &t
+			res := pipeline(b, workloads.ByName("LuFactor"), false, o)
+			b.ReportMetric(res.SpeedupActual(), "speedup")
+		})
+	}
+}

@@ -1,0 +1,236 @@
+// Command jrpm-bench regenerates the paper's evaluation artifacts from the
+// reproduced system: every table and figure of the evaluation section, plus
+// the ablation studies DESIGN.md calls out.
+//
+// Usage:
+//
+//	jrpm-bench                  # everything
+//	jrpm-bench -table 1|3|4     # one table
+//	jrpm-bench -fig 8|9|10      # one figure
+//	jrpm-bench -ablate NAME     # inductor|sync|alloc|locks|handlers|buffers|cpus|banks
+//	jrpm-bench -attribution     # Table 3's per-benchmark optimization columns (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jrpm/internal/analyzer"
+	"jrpm/internal/bytecode"
+	"jrpm/internal/core"
+	fe "jrpm/internal/frontend"
+	"jrpm/internal/report"
+	"jrpm/internal/tls"
+	"jrpm/internal/tracer"
+	"jrpm/internal/workloads"
+)
+
+func main() {
+	table := flag.Int("table", 0, "render one table (1, 3 or 4)")
+	attrib := flag.Bool("attribution", false, "render Table 3's optimization attribution columns (slow)")
+	fig := flag.Int("fig", 0, "render one figure (8, 9 or 10)")
+	ablate := flag.String("ablate", "", "run one ablation study")
+	flag.Parse()
+
+	if *ablate != "" {
+		runAblation(*ablate)
+		return
+	}
+	if *attrib {
+		names := []string{"BitOps", "monteCarlo", "db", "mp3", "NeuralNet",
+			"FourierTest", "jess", "deltaBlue", "Assignment", "moldyn"}
+		text, err := report.Table3Opt(core.DefaultOptions(), names)
+		check(err)
+		fmt.Println(text)
+		return
+	}
+
+	all := *table == 0 && *fig == 0
+	needSuite := all || *table == 3 || *table == 4 || *fig != 0
+
+	var results []*report.SuiteResult
+	if needSuite {
+		var err error
+		results, err = report.RunSuite(core.DefaultOptions(), nil)
+		check(err)
+	}
+	if all || *table == 1 {
+		newC, oldC := table1Measurement()
+		fmt.Println(report.Table1(newC, oldC))
+	}
+	if all || *table == 3 {
+		fmt.Println(report.Table3(results))
+	}
+	if all || *table == 4 {
+		fmt.Println(report.Table4(results))
+	}
+	if all || *fig == 8 {
+		fmt.Println(report.Figure8(results))
+	}
+	if all || *fig == 9 {
+		fmt.Println(report.Figure9(results))
+	}
+	if all || *fig == 10 {
+		fmt.Println(report.Figure10(results))
+	}
+	if all {
+		fmt.Println(report.CategorySummary(results))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// table1Measurement measures the end-to-end handler-cost difference on the
+// FourierTest kernel (chosen for its clean STL behaviour).
+func table1Measurement() (newCycles, oldCycles int64) {
+	w := workloads.ByName("FourierTest")
+	optsNew := core.DefaultOptions()
+	rNew, err := core.Run(w.Build(), optsNew)
+	check(err)
+	optsOld := core.DefaultOptions()
+	optsOld.Handlers = tls.OldHandlers
+	rOld, err := core.Run(w.Build(), optsOld)
+	check(err)
+	return rNew.TLS.Cycles, rOld.TLS.Cycles
+}
+
+// ablations compare the full system against one disabled feature over the
+// benchmarks that exercise it.
+func runAblation(name string) {
+	type variant struct {
+		label string
+		opts  core.Options
+	}
+	base := core.DefaultOptions()
+	mkAnalyzer := func(mod func(*analyzer.Config)) core.Options {
+		o := core.DefaultOptions()
+		a := analyzer.DefaultConfig()
+		a.NCPU = o.NCPU
+		a.Handlers = o.Handlers
+		a.ParallelAlloc = o.VM.ParallelAlloc
+		a.ElideLocks = o.VM.ElideLocks
+		mod(&a)
+		o.Analyzer = &a
+		return o
+	}
+
+	var variants []variant
+	var benches []string
+	transformed := map[string]bool{}
+	switch name {
+	case "inductor":
+		benches = []string{"BitOps", "FourierTest", "IDEA", "shallow"}
+		variants = []variant{
+			{"full system", base},
+			{"no non-communicating inductors", mkAnalyzer(func(a *analyzer.Config) { a.NoInductors = true; a.NoResetable = true })},
+		}
+	case "sync":
+		benches = []string{"monteCarlo", "db"}
+		variants = []variant{
+			{"full system", base},
+			{"no thread synchronizing locks", mkAnalyzer(func(a *analyzer.Config) { a.NoSyncLocks = true })},
+		}
+	case "alloc":
+		off := base
+		off.VM.ParallelAlloc = false
+		fmt.Println("Ablation: alloc (per-iteration allocation microbenchmark, §5.2)")
+		for _, v := range []variant{{"per-CPU free lists", base}, {"shared free list", off}} {
+			res, err := core.Run(allocChurnProgram(), v.opts)
+			check(err)
+			fmt.Printf("%-28s %6.2fx speedup, %d violations\n",
+				v.label, res.SpeedupActual(), res.TLS.Violations)
+		}
+		return
+	case "locks":
+		benches = []string{"jess", "db"}
+		off := base
+		off.VM.ElideLocks = false
+		variants = []variant{{"speculation-aware locks", base}, {"original object locks", off}}
+	case "handlers":
+		benches = []string{"BitOps", "FourierTest", "LuFactor", "decJpeg"}
+		old := base
+		old.Handlers = tls.OldHandlers
+		variants = []variant{{"new handlers (Table 1)", base}, {"old handlers", old}}
+	case "buffers":
+		benches = []string{"raytrace", "fft"}
+		for _, lines := range []int{16, 32, 64, 128} {
+			o := core.DefaultOptions()
+			t := tls.DefaultConfig(o.NCPU)
+			t.StoreBufferLines = lines
+			o.TLS = &t
+			variants = append(variants, variant{fmt.Sprintf("store buffer %d lines", lines), o})
+		}
+	case "cpus":
+		benches = []string{"FourierTest", "shallow", "IDEA", "mp3"}
+		for _, n := range []int{2, 4, 8} {
+			o := core.DefaultOptions()
+			o.NCPU = n
+			variants = append(variants, variant{fmt.Sprintf("%d CPUs", n), o})
+		}
+	case "banks":
+		// With a single comparator bank, inner loops of a nest go
+		// unprofiled while an outer loop holds the bank; the loops the
+		// analyzer would have chosen (LuFactor's row updates, euler's
+		// sweeps) are never seen.
+		benches = []string{"LuFactor", "euler", "mp3"}
+		for _, n := range []int{1, 2, 8} {
+			o := core.DefaultOptions()
+			t := tracer.DefaultConfig()
+			t.NumBanks = n
+			o.Tracer = &t
+			variants = append(variants, variant{fmt.Sprintf("%d comparator banks", n), o})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "jrpm-bench: unknown ablation %q\n", name)
+		os.Exit(2)
+	}
+
+	fmt.Printf("Ablation: %s\n", name)
+	fmt.Printf("%-14s", "benchmark")
+	for _, v := range variants {
+		fmt.Printf(" %28s", v.label)
+	}
+	fmt.Println()
+	for _, bn := range benches {
+		w := workloads.ByName(bn)
+		build := w.Build
+		if transformed[bn] {
+			build = w.BuildTransformed
+		}
+		fmt.Printf("%-14s", bn)
+		for _, v := range variants {
+			res, err := core.Run(build(), v.opts)
+			check(err)
+			if !res.OutputsMatch {
+				check(fmt.Errorf("%s: output mismatch under %q", bn, v.label))
+			}
+			fmt.Printf(" %27.2fx", res.SpeedupActual())
+		}
+		fmt.Println()
+	}
+}
+
+// allocChurnProgram allocates an object on every iteration of a parallel
+// loop — the access pattern that made the paper parallelize the memory
+// allocator (§5.2): with a shared free list every speculative thread
+// serializes on the list head.
+func allocChurnProgram() *bytecode.Program {
+	p := fe.NewProgram("allocChurn")
+	box := p.Class("Box", "v", "w", "x", "y")
+	p.Func("main", nil, false).Body(
+		fe.Set("sum", fe.I(0)),
+		fe.ForUp("i", fe.I(0), fe.I(256),
+			fe.Set("b", fe.NewE(box)),
+			fe.SetField(fe.L("b"), box, "v", fe.Mul(fe.L("i"), fe.I(3))),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.FieldE(fe.L("b"), box, "v"))),
+		),
+		fe.Print(fe.L("sum")),
+	)
+	return p.MustBuild()
+}

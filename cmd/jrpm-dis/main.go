@@ -1,0 +1,107 @@
+// Command jrpm-dis disassembles a workload: the bytecode the frontend
+// produced and the native code microJIT emits in each compilation mode.
+//
+// Usage:
+//
+//	jrpm-dis [-mode plain|annotated|tls] [-method NAME] WORKLOAD
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jrpm/internal/analyzer"
+	"jrpm/internal/bytecode"
+	"jrpm/internal/cfg"
+	"jrpm/internal/hydra"
+	"jrpm/internal/isa"
+	"jrpm/internal/jit"
+	"jrpm/internal/vm"
+	"jrpm/internal/workloads"
+)
+
+func main() {
+	mode := flag.String("mode", "plain", "compilation mode: plain, annotated or tls")
+	method := flag.String("method", "", "only this method")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jrpm-dis [-mode plain|annotated|tls] [-method NAME] WORKLOAD")
+		os.Exit(2)
+	}
+	w := workloads.ByName(flag.Arg(0))
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "jrpm-dis: unknown workload %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	bp := jit.Inline(w.Build()) // match the pipeline's pre-pass
+	info := cfg.AnalyzeProgram(bp)
+
+	jm := jit.ModePlain
+	var sel *jit.Selection
+	switch *mode {
+	case "plain":
+	case "annotated":
+		jm = jit.ModeAnnotated
+	case "tls":
+		jm = jit.ModeTLS
+		sel = selectFor(bp, info)
+	default:
+		fmt.Fprintf(os.Stderr, "jrpm-dis: bad mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	fmt.Printf("== %s: bytecode ==\n", bp.Name)
+	for _, m := range bp.Methods {
+		if *method != "" && m.Name != *method {
+			continue
+		}
+		fmt.Println(bytecode.Disassemble(m))
+	}
+
+	img, rep, err := jit.Compile(bp, info, jm, sel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-dis:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("== %s: native code (%s mode, %d instructions, modelled compile %d cycles) ==\n",
+		bp.Name, *mode, rep.CodeSize, rep.Cycles)
+	for _, m := range img.Methods {
+		if *method != "" && m.Name != *method {
+			continue
+		}
+		fmt.Printf("method %q (frame %d words, saved %v)\n", m.Name, m.FrameWords, m.SavedRegs)
+		fmt.Print(isa.Disassemble(m.Code))
+		for _, h := range m.Handlers {
+			fmt.Printf("  catch kind=%d [%d,%d) -> %d\n", h.Kind, h.Start, h.End, h.Target)
+		}
+	}
+	if jm == jit.ModeTLS {
+		for id, d := range img.STLs {
+			fmt.Printf("STL %d: loop %d, method %d, init pc %d, body [%d,%d), inner=%v hoisted=%v\n",
+				id, d.LoopID, d.Method, d.InitPC, d.BodyStart, d.BodyEnd, d.Inner, d.Hoisted)
+		}
+	}
+}
+
+// selectFor runs the profile+analysis half of the pipeline to obtain the
+// selection the TLS recompilation would use.
+func selectFor(bp *bytecode.Program, info *cfg.ProgramInfo) *jit.Selection {
+	img, _, err := jit.Compile(bp, info, jit.ModeAnnotated, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-dis:", err)
+		os.Exit(1)
+	}
+	rt := vm.New(bp, vm.DefaultConfig())
+	opts := hydra.DefaultOptions()
+	opts.Profile = true
+	m := hydra.NewMachine(img, rt, opts)
+	m.Boot()
+	rt.Install(m)
+	if err := m.Run(2_000_000_000); err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-dis: profiling run:", err)
+		os.Exit(1)
+	}
+	res := analyzer.Select(info, m.Tracer.Loops(), m.Clock, analyzer.DefaultConfig())
+	return res.Selection
+}

@@ -1,0 +1,59 @@
+// Command jrpm-run executes a program written in the textual bytecode
+// assembly (see internal/bytecode.Parse for the format) through the full
+// Jrpm pipeline — the way a user would run their own code on the system.
+//
+// Usage:
+//
+//	jrpm-run [-cpus N] [-seq] program.jasm
+//
+// With -seq only the sequential baseline runs (no speculation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jrpm/internal/bytecode"
+	"jrpm/internal/core"
+)
+
+func main() {
+	cpus := flag.Int("cpus", 4, "number of CPUs")
+	seq := flag.Bool("seq", false, "sequential run only")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] program.jasm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-run:", err)
+		os.Exit(1)
+	}
+	prog, err := bytecode.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-run:", err)
+		os.Exit(1)
+	}
+	opts := core.DefaultOptions()
+	opts.NCPU = *cpus
+	res, err := core.Run(prog, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-run:", err)
+		os.Exit(1)
+	}
+	if !res.OutputsMatch {
+		fmt.Fprintln(os.Stderr, "jrpm-run: internal error: speculative output mismatch")
+		os.Exit(1)
+	}
+	for _, v := range res.TLS.Output {
+		fmt.Println(v)
+	}
+	if *seq {
+		fmt.Fprintf(os.Stderr, "sequential: %d cycles\n", res.Seq.Cycles)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "sequential: %d cycles; speculative: %d cycles (%.2fx on %d CPUs)\n",
+		res.Seq.Cycles, res.TLS.Cycles, res.SpeedupActual(), *cpus)
+}

@@ -1,0 +1,115 @@
+// Command jrpm runs benchmark programs through the full Java runtime
+// parallelizing machine pipeline (Figure 1): annotated compilation, TEST
+// profiling, decomposition selection, TLS recompilation and speculative
+// execution — reporting speedups, overheads and per-loop decisions.
+//
+// Usage:
+//
+//	jrpm [flags] [workload ...]
+//
+// With no arguments the whole Table 3 suite runs. Flags:
+//
+//	-cpus N        number of CPUs (default 4)
+//	-old           use the previous-generation TLS handlers (Table 1 "Old")
+//	-transformed   run the Table 4 manually transformed variant
+//	-loops         print the analyzer's per-loop decisions
+//	-noalloc       disable per-CPU speculative free lists (§5.2)
+//	-nolocks       disable speculation-aware object locks (§5.3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jrpm/internal/core"
+	"jrpm/internal/tls"
+	"jrpm/internal/workloads"
+)
+
+func main() {
+	cpus := flag.Int("cpus", 4, "number of CPUs")
+	old := flag.Bool("old", false, "use old-generation TLS handlers")
+	transformed := flag.Bool("transformed", false, "run the Table 4 transformed variant")
+	loops := flag.Bool("loops", false, "print per-loop analyzer decisions")
+	noalloc := flag.Bool("noalloc", false, "disable per-CPU speculative free lists")
+	nolocks := flag.Bool("nolocks", false, "disable speculation-aware object locks")
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.NCPU = *cpus
+	if *old {
+		opts.Handlers = tls.OldHandlers
+	}
+	opts.VM.ParallelAlloc = !*noalloc
+	opts.VM.ElideLocks = !*nolocks
+
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, w := range workloads.All() {
+			names = append(names, w.Name)
+		}
+	}
+	fmt.Printf("%-14s %9s %9s %9s %9s %9s %6s\n",
+		"benchmark", "seq(cyc)", "speedup", "predict", "total", "profile%", "viol")
+	for _, name := range names {
+		w := workloads.ByName(name)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "jrpm: unknown workload %q\n", name)
+			os.Exit(2)
+		}
+		build := w.Build
+		if *transformed {
+			if w.BuildTransformed == nil {
+				fmt.Fprintf(os.Stderr, "jrpm: %s has no transformed variant\n", name)
+				os.Exit(2)
+			}
+			build = w.BuildTransformed
+		}
+		res, err := core.Run(build(), opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jrpm: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		status := ""
+		if !res.OutputsMatch {
+			status = "  OUTPUT MISMATCH"
+		}
+		fmt.Printf("%-14s %9d %8.2fx %8.2fx %8.2fx %8.1f%% %6d%s\n",
+			w.Name, res.Seq.Cycles, res.SpeedupActual(), res.SpeedupPredicted(),
+			res.TotalSpeedup(), res.ProfileSlowdown()*100, res.TLS.Violations, status)
+		if *loops {
+			printDecisions(res)
+		}
+	}
+}
+
+func printDecisions(res *core.Result) {
+	for _, d := range res.Analysis.Decisions {
+		mark := " "
+		if d.Selected {
+			mark = "*"
+		}
+		extra := ""
+		if d.Stats != nil {
+			extra = fmt.Sprintf(" iters=%d entries=%d T=%.0f ovf=%.2f",
+				d.Stats.Iterations, d.Stats.Entries, d.Stats.AvgThreadSize(),
+				d.Stats.OverflowFreq())
+		}
+		tags := ""
+		if d.Inner {
+			tags += " multilevel-inner"
+		}
+		if d.Multilevel {
+			tags += " multilevel-outer"
+		}
+		if d.Hoisted {
+			tags += " hoisted"
+		}
+		fmt.Printf("  %s loop %4d (m%d.%d depth %d) pred=%.2f cov=%4.1f%% ind=%d res=%d red=%d sync=%d comm=%d%s — %s%s\n",
+			mark, d.LoopID, d.MethodID, d.LoopIndex, d.Depth,
+			d.Prediction.Speedup, 100*d.Coverage,
+			d.Inductors, d.Resetable, d.Reductions, d.SyncLocks, d.Comm,
+			tags, d.Reason, extra)
+	}
+}

@@ -1,0 +1,86 @@
+// Profiler: use the TEST hardware profiler standalone — compile a program
+// with annotation instructions, run it sequentially, and read the per-loop
+// dependency timing, thread size and buffer statistics that drive STL
+// selection (paper §3). No speculation is involved; this is exactly the
+// Figure 1 step 2 data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"jrpm/internal/cfg"
+	fe "jrpm/internal/frontend"
+	"jrpm/internal/hydra"
+	"jrpm/internal/jit"
+	"jrpm/internal/tracer"
+	"jrpm/internal/vm"
+)
+
+func main() {
+	// A loop nest with three different dependency characters:
+	// - the outer loop carries an accumulator (a reduction);
+	// - the first inner loop is independent;
+	// - the second inner loop carries `state` (a true serial chain).
+	p := fe.NewProgram("profiled")
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(64))),
+		fe.Set("acc", fe.I(0)),
+		fe.Set("state", fe.I(1)),
+		fe.ForUp("t", fe.I(0), fe.I(20),
+			fe.ForUp("i", fe.I(0), fe.I(64),
+				fe.SetIdx(fe.L("a"), fe.L("i"), fe.Mul(fe.L("i"), fe.L("t"))),
+			),
+			fe.ForUp("j", fe.I(0), fe.I(64),
+				fe.Set("state", fe.Rem(fe.Add(fe.Mul(fe.L("state"), fe.I(31)),
+					fe.Idx(fe.L("a"), fe.L("j"))), fe.I(99991))),
+			),
+			fe.Set("acc", fe.Add(fe.L("acc"), fe.L("state"))),
+		),
+		fe.Print(fe.L("acc")),
+	)
+	bp := p.MustBuild()
+	info := cfg.AnalyzeProgram(bp)
+
+	// Compile with TEST annotations and run on one CPU with the profiler on.
+	img, _, err := jit.Compile(bp, info, jit.ModeAnnotated, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := vm.New(bp, vm.DefaultConfig())
+	opts := hydra.DefaultOptions()
+	opts.Profile = true
+	m := hydra.NewMachine(img, rt, opts)
+	m.Boot()
+	rt.Install(m)
+	if err := m.Run(100_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sequential run: %d cycles, %d annotation events\n\n",
+		m.Clock, m.Tracer.AnnotationCount)
+
+	var ids []int64
+	for id := range m.Tracer.Loops() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ls := m.Tracer.Loop(id)
+		fmt.Printf("loop %d: %d entries, %d iterations, avg thread %.0f cycles\n",
+			id, ls.Entries, ls.Iterations, ls.AvgThreadSize())
+		fmt.Printf("  dependency frequency %.0f%%, overflow frequency %.0f%%\n",
+			100*ls.DepFreq(), 100*ls.OverflowFreq())
+		for key, ds := range ls.Deps {
+			kind := fmt.Sprintf("local slot %d", key&0xff)
+			if key == tracer.HeapDepKey {
+				kind = "heap"
+			}
+			fmt.Printf("  arc (%s): %d iterations, distance %.1f, store@%.0f -> load@%.0f\n",
+				kind, ds.Iters, ds.AvgDist(), ds.AvgStoreOff(), ds.AvgLoadOff())
+		}
+		pred := ls.Predict(tracer.DefaultPredictParams(4, 23, 16, 5, 0))
+		fmt.Printf("  predicted STL speedup on 4 CPUs: %.2fx\n\n", pred.Speedup)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: write a small Java-like program with the frontend, push it
+// through the complete Jrpm pipeline (Figure 1 of the paper), and inspect
+// what the system did — all in about forty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jrpm/internal/core"
+	fe "jrpm/internal/frontend"
+)
+
+func main() {
+	// A sequential program: sum of i*i over a vector, via an array.
+	p := fe.NewProgram("quickstart")
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(512))),
+		fe.ForUp("i", fe.I(0), fe.I(512),
+			fe.SetIdx(fe.L("a"), fe.L("i"), fe.Mul(fe.L("i"), fe.L("i"))),
+		),
+		fe.Set("sum", fe.I(0)),
+		fe.ForUp("j", fe.I(0), fe.I(512),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.Idx(fe.L("a"), fe.L("j")))),
+		),
+		fe.Print(fe.L("sum")),
+	)
+
+	// Run the five-step pipeline on the 4-CPU Hydra with TLS support.
+	res, err := core.Run(p.MustBuild(), core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("program output:        ", res.TLS.Output)
+	fmt.Println("outputs sequential==TLS:", res.OutputsMatch)
+	fmt.Printf("sequential time:        %d cycles\n", res.Seq.Cycles)
+	fmt.Printf("speculative time:       %d cycles (%.2fx speedup)\n",
+		res.TLS.Cycles, res.SpeedupActual())
+	fmt.Printf("TEST predicted:         %.2fx\n", res.SpeedupPredicted())
+	fmt.Printf("profiling overhead:     %.1f%%\n", res.ProfileSlowdown()*100)
+	for _, d := range res.Analysis.Decisions {
+		if d.Selected {
+			fmt.Printf("selected loop %d: predicted %.2fx, %d inductor(s), %d reduction(s)\n",
+				d.LoopID, d.Prediction.Speedup, d.Inductors, d.Reductions)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Retargeting: the same binary, three machines. One of Jrpm's claims is
+// that because parallelization happens at run time, decompositions retarget
+// to the hardware automatically — a future CMP with more CPUs or bigger
+// speculative buffers just reruns profiling and picks different loops. This
+// example runs one workload on 2-, 4- and 8-CPU Hydras and on a
+// small-buffer variant, showing the selections and speedups adapt.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jrpm/internal/core"
+	"jrpm/internal/tls"
+	"jrpm/internal/workloads"
+)
+
+func main() {
+	w := workloads.ByName("LuFactor")
+	fmt.Printf("workload: %s (%s)\n\n", w.Name, w.Description)
+
+	for _, ncpu := range []int{2, 4, 8} {
+		opts := core.DefaultOptions()
+		opts.NCPU = ncpu
+		res, err := core.Run(w.Build(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		selected := 0
+		for _, d := range res.Analysis.Decisions {
+			if d.Selected {
+				selected++
+			}
+		}
+		fmt.Printf("%d CPUs: %d STLs selected, %.2fx speedup (predicted %.2fx)\n",
+			ncpu, selected, res.SpeedupActual(), res.SpeedupPredicted())
+	}
+
+	// Shrink the speculative store buffer: per-iteration state that fits
+	// comfortably at 64 lines hits the 8-line limit at run time, forcing
+	// overflow stalls (threads wait to become the head before continuing)
+	// and eroding the speedup — the operating point where reprofiling for
+	// the smaller machine would pick a lower loop level.
+	fmt.Println()
+	for _, lines := range []int{64, 8} {
+		opts := core.DefaultOptions()
+		cfg := tls.DefaultConfig(opts.NCPU)
+		cfg.StoreBufferLines = lines
+		opts.TLS = &cfg
+		res, err := core.Run(w.Build(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("store buffer %3d lines: %.2fx speedup, %d overflow stalls\n",
+			lines, res.SpeedupActual(), res.TLS.Overflows)
+		for _, d := range res.Analysis.Decisions {
+			if d.Selected {
+				fmt.Printf("  selected loop %d (depth %d, predicted %.2fx)\n",
+					d.LoopID, d.Depth, d.Prediction.Speedup)
+			}
+		}
+	}
+}

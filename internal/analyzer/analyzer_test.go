@@ -1,0 +1,316 @@
+package analyzer
+
+import (
+	"testing"
+
+	"jrpm/internal/bytecode"
+	"jrpm/internal/cfg"
+	fe "jrpm/internal/frontend"
+	"jrpm/internal/hydra"
+	"jrpm/internal/jit"
+	"jrpm/internal/tracer"
+	"jrpm/internal/vm"
+)
+
+// profile compiles a program in annotated mode, runs it, and returns the
+// analysis inputs.
+func profile(t *testing.T, bp *bytecode.Program) (*cfg.ProgramInfo, map[int64]*tracer.LoopStats, int64) {
+	t.Helper()
+	info := cfg.AnalyzeProgram(bp)
+	img, _, err := jit.Compile(bp, info, jit.ModeAnnotated, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := vm.New(bp, vm.DefaultConfig())
+	opts := hydra.DefaultOptions()
+	opts.Profile = true
+	m := hydra.NewMachine(img, rt, opts)
+	m.Boot()
+	rt.Install(m)
+	if err := m.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return info, m.Tracer.Loops(), m.Clock
+}
+
+func analyze(t *testing.T, bp *bytecode.Program, mod func(*Config)) *Result {
+	t.Helper()
+	info, loops, cycles := profile(t, bp)
+	cfgc := DefaultConfig()
+	if mod != nil {
+		mod(&cfgc)
+	}
+	return Select(info, loops, cycles, cfgc)
+}
+
+func decisionFor(res *Result, loopID int64) *LoopDecision {
+	for _, d := range res.Decisions {
+		if d.LoopID == loopID {
+			return d
+		}
+	}
+	return nil
+}
+
+// parallelLoop is a simple selectable kernel.
+func parallelLoop(n int64) *bytecode.Program {
+	p := fe.NewProgram("par")
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(n))),
+		fe.ForUp("i", fe.I(0), fe.I(n),
+			fe.SetIdx(fe.L("a"), fe.L("i"), fe.Mul(fe.L("i"), fe.L("i"))),
+		),
+		fe.Print(fe.Idx(fe.L("a"), fe.I(0))),
+	)
+	return p.MustBuild()
+}
+
+func TestSelectsParallelLoop(t *testing.T) {
+	res := analyze(t, parallelLoop(300), nil)
+	found := false
+	for _, d := range res.Decisions {
+		if d.Selected {
+			found = true
+			if d.Prediction.Speedup < 1.2 {
+				t.Errorf("selected loop with speedup %.2f", d.Prediction.Speedup)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("parallel loop not selected")
+	}
+	if len(res.Selection.Plans) == 0 {
+		t.Fatal("no plans emitted")
+	}
+	if res.PredictedCycles >= res.ProfiledCycles {
+		t.Errorf("prediction %d should beat serial %d", res.PredictedCycles, res.ProfiledCycles)
+	}
+}
+
+func TestRejectsIOLoop(t *testing.T) {
+	p := fe.NewProgram("io")
+	p.Func("main", nil, false).Body(
+		fe.ForUp("i", fe.I(0), fe.I(50),
+			fe.Print(fe.L("i")),
+		),
+	)
+	res := analyze(t, p.MustBuild(), nil)
+	for _, d := range res.Decisions {
+		if d.Selected {
+			t.Fatalf("loop with system calls selected: %+v", d)
+		}
+		if d.Reason != "system calls in loop body" {
+			t.Errorf("reason = %q", d.Reason)
+		}
+	}
+}
+
+func TestRejectsFewIterations(t *testing.T) {
+	res := analyze(t, parallelLoop(2), nil)
+	for _, d := range res.Decisions {
+		if d.Selected {
+			t.Fatalf("2-iteration loop selected")
+		}
+	}
+}
+
+func TestRejectsOverflowingLoop(t *testing.T) {
+	// Each iteration writes 600 distinct words (~150 lines > 64).
+	p := fe.NewProgram("ovf")
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(16*600))),
+		fe.ForUp("i", fe.I(0), fe.I(16),
+			fe.ForUp("j", fe.I(0), fe.I(600),
+				fe.SetIdx(fe.L("a"), fe.Add(fe.Mul(fe.L("i"), fe.I(600)), fe.L("j")), fe.L("j")),
+			),
+		),
+		fe.Print(fe.Idx(fe.L("a"), fe.I(0))),
+	)
+	res := analyze(t, p.MustBuild(), nil)
+	// The outer loop must be rejected for overflow; the inner may be chosen.
+	for _, d := range res.Decisions {
+		if d.Depth == 1 && d.Selected {
+			t.Fatalf("overflowing outer loop selected (ovf=%.2f)", d.Stats.OverflowFreq())
+		}
+	}
+}
+
+func TestInductorAblationFallsBackToComm(t *testing.T) {
+	bp := parallelLoop(300)
+	on := analyze(t, bp, nil)
+	off := analyze(t, parallelLoop(300), func(c *Config) { c.NoInductors = true })
+	var planOn, planOff *jit.Plan
+	for _, pl := range on.Selection.Plans {
+		planOn = pl
+	}
+	for _, pl := range off.Selection.Plans {
+		planOff = pl
+	}
+	if planOn == nil || len(planOn.Inductors) == 0 {
+		t.Fatal("baseline should use the inductor optimization")
+	}
+	if planOff == nil {
+		// Without the inductor the loop may be rejected outright — also a
+		// valid outcome of the ablation (the dependency now serializes).
+		return
+	}
+	if len(planOff.Inductors) != 0 {
+		t.Fatal("ablation left inductors enabled")
+	}
+	if len(planOff.Comm) == 0 {
+		t.Fatal("disabled inductor should fall back to communication")
+	}
+}
+
+func TestSyncLockSelection(t *testing.T) {
+	p := fe.NewProgram("sync")
+	p.Func("main", nil, false).Body(
+		fe.Set("x", fe.I(1)),
+		fe.Set("acc", fe.I(0)),
+		fe.ForUp("i", fe.I(0), fe.I(200),
+			// Short carried update at the top.
+			fe.Set("x", fe.Rem(fe.Add(fe.Mul(fe.L("x"), fe.I(13)), fe.I(7)), fe.I(1009))),
+			// Heavy independent tail.
+			fe.ForUp("k", fe.I(0), fe.I(12),
+				fe.Set("acc", fe.Add(fe.L("acc"), fe.Mul(fe.L("k"), fe.L("k")))),
+			),
+		),
+		fe.Print(fe.Add(fe.L("x"), fe.L("acc"))),
+	)
+	res := analyze(t, p.MustBuild(), nil)
+	foundSync := false
+	for _, pl := range res.Selection.Plans {
+		if len(pl.SyncSlots) > 0 {
+			foundSync = true
+		}
+	}
+	if !foundSync {
+		for _, d := range res.Decisions {
+			t.Logf("loop %d: sel=%v %s sync=%d", d.LoopID, d.Selected, d.Reason, d.SyncLocks)
+		}
+		t.Fatal("frequent short dependency should get a synchronizing lock")
+	}
+	// Ablated: no sync slots anywhere.
+	res2 := analyze(t, p.MustBuild(), func(c *Config) { c.NoSyncLocks = true })
+	for _, pl := range res2.Selection.Plans {
+		if len(pl.SyncSlots) > 0 {
+			t.Fatal("NoSyncLocks ablation ignored")
+		}
+	}
+}
+
+func TestNestLevelChoiceIsExclusive(t *testing.T) {
+	p := fe.NewProgram("nest")
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(32*32))),
+		fe.ForUp("i", fe.I(0), fe.I(32),
+			fe.ForUp("j", fe.I(0), fe.I(32),
+				fe.SetIdx(fe.L("a"), fe.Add(fe.Mul(fe.L("i"), fe.I(32)), fe.L("j")),
+					fe.Mul(fe.L("i"), fe.L("j"))),
+			),
+		),
+		fe.Print(fe.Idx(fe.L("a"), fe.I(5))),
+	)
+	res := analyze(t, p.MustBuild(), nil)
+	selByDepth := map[int]int{}
+	for _, d := range res.Decisions {
+		if d.Selected && !d.Inner {
+			selByDepth[d.Depth]++
+		}
+	}
+	if selByDepth[1] > 0 && selByDepth[2] > 0 {
+		t.Fatal("both levels of a nest selected — only one STL may be active")
+	}
+}
+
+func TestCallConflictResolution(t *testing.T) {
+	// main's loop calls worker, which has its own selectable loop: only one
+	// of the two may be selected.
+	p := fe.NewProgram("conflict")
+	worker := p.Func("worker", []string{"a", "base"}, false)
+	worker.Body(
+		fe.ForUp("j", fe.I(0), fe.I(16),
+			fe.SetIdx(fe.L("a"), fe.Add(fe.L("base"), fe.L("j")), fe.Mul(fe.L("j"), fe.I(3))),
+		),
+		fe.RetVoid(),
+	)
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(16*16))),
+		fe.ForUp("i", fe.I(0), fe.I(16),
+			fe.Do(fe.CallE(worker, fe.L("a"), fe.Mul(fe.L("i"), fe.I(16)))),
+		),
+		fe.Print(fe.Idx(fe.L("a"), fe.I(7))),
+	)
+	res := analyze(t, p.MustBuild(), nil)
+	var selected []*LoopDecision
+	for _, d := range res.Decisions {
+		if d.Selected {
+			selected = append(selected, d)
+		}
+	}
+	if len(selected) != 1 {
+		for _, d := range res.Decisions {
+			t.Logf("loop %d m%d: sel=%v %s", d.LoopID, d.MethodID, d.Selected, d.Reason)
+		}
+		t.Fatalf("selected %d loops; dynamic nesting allows only one", len(selected))
+	}
+}
+
+func TestMultilevelAblation(t *testing.T) {
+	// Outer loop with a rare heavy inner loop (the mp3 shape).
+	build := func() *bytecode.Program {
+		p := fe.NewProgram("ml")
+		p.Func("main", nil, false).Body(
+			fe.Set("a", fe.NewArr(fe.I(64))),
+			fe.Set("b", fe.NewArr(fe.I(64*32))),
+			fe.ForUp("i", fe.I(0), fe.I(64),
+				fe.SetIdx(fe.L("a"), fe.L("i"), fe.Mul(fe.L("i"), fe.I(3))),
+				fe.If(fe.Eq(fe.Rem(fe.L("i"), fe.I(16)), fe.I(0)),
+					fe.Block(fe.ForUp("w", fe.I(0), fe.I(32),
+						fe.SetIdx(fe.L("b"), fe.Add(fe.Mul(fe.L("i"), fe.I(32)), fe.L("w")),
+							fe.Mul(fe.L("w"), fe.L("w"))),
+					)), nil),
+			),
+			fe.Print(fe.Idx(fe.L("b"), fe.I(33))),
+		)
+		return p.MustBuild()
+	}
+	on := analyze(t, build(), nil)
+	multilevel := 0
+	for _, d := range on.Decisions {
+		if d.Inner {
+			multilevel++
+		}
+	}
+	if multilevel == 0 {
+		for _, d := range on.Decisions {
+			t.Logf("loop %d depth=%d: sel=%v inner=%v %s", d.LoopID, d.Depth, d.Selected, d.Inner, d.Reason)
+		}
+		t.Fatal("conditional heavy inner loop should pair as multilevel")
+	}
+	off := analyze(t, build(), func(c *Config) { c.NoMultilevel = true })
+	for _, d := range off.Decisions {
+		if d.Inner {
+			t.Fatal("NoMultilevel ablation ignored")
+		}
+	}
+}
+
+func TestReconcileDropsConflictingSync(t *testing.T) {
+	// Construct a selection where one plan sync-locks a slot another plan
+	// register-forces; reconcile must drop the lock.
+	sel := &jit.Selection{Plans: map[int64]*jit.Plan{
+		1: {LoopID: 1, MethodID: 0, Inductors: map[int]int64{3: 1},
+			Resetable: map[int]int64{}, Reductions: map[int]bytecode.Op{}},
+		2: {LoopID: 2, MethodID: 0, SyncSlots: []int{3},
+			Inductors: map[int]int64{}, Resetable: map[int]int64{}, Reductions: map[int]bytecode.Op{}},
+	}}
+	s := &selector{cfg: DefaultConfig(), decisions: map[int64]*LoopDecision{}}
+	s.reconcilePlans(sel)
+	if len(sel.Plans[2].SyncSlots) != 0 {
+		t.Fatal("conflicting sync slot not dropped")
+	}
+	if len(sel.Plans[2].Comm) != 1 || sel.Plans[2].Comm[0] != 3 {
+		t.Fatal("dropped sync slot should become communicated")
+	}
+}

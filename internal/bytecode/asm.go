@@ -1,0 +1,347 @@
+package bytecode
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Format serializes a program to the textual assembly form that Parse
+// accepts. The format is line-oriented:
+//
+//	program <name>
+//	statics <n>
+//	class <name> <numFields>
+//	method <name> args=<n> locals=<n> returns=<true|false>
+//	  .L12:
+//	    if_icmpge .L12
+//	    invoke <methodName>
+//	    new <className>
+//	  catch <kind> .Lstart .Lend .Ltarget
+//	end
+//
+// Labels are emitted only where something refers to them (branch targets
+// and handler boundaries).
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", ident(p.Name))
+	if p.Statics > 0 {
+		fmt.Fprintf(&b, "statics %d\n", p.Statics)
+	}
+	for _, c := range p.Classes {
+		fmt.Fprintf(&b, "class %s %d\n", ident(c.Name), c.NumFields)
+	}
+	for _, m := range p.Methods {
+		formatMethod(&b, p, m)
+	}
+	return b.String()
+}
+
+func ident(s string) string {
+	if s == "" {
+		return "_"
+	}
+	return strings.ReplaceAll(s, " ", "_")
+}
+
+func formatMethod(b *strings.Builder, p *Program, m *Method) {
+	fmt.Fprintf(b, "method %s args=%d locals=%d returns=%v\n",
+		ident(m.Name), m.NArgs, m.NLocals, m.HasResult)
+	labeled := map[int]bool{}
+	for _, in := range m.Code {
+		if in.IsBranch() {
+			labeled[int(in.A)] = true
+		}
+	}
+	for _, h := range m.Handlers {
+		labeled[h.Start] = true
+		labeled[h.End] = true
+		labeled[h.Target] = true
+	}
+	for pc, in := range m.Code {
+		if labeled[pc] {
+			fmt.Fprintf(b, "  .L%d:\n", pc)
+		}
+		fmt.Fprintf(b, "    %s\n", formatIns(p, in))
+	}
+	if labeled[len(m.Code)] {
+		fmt.Fprintf(b, "  .L%d:\n", len(m.Code))
+	}
+	for _, h := range m.Handlers {
+		fmt.Fprintf(b, "  catch %d .L%d .L%d .L%d\n", h.Kind, h.Start, h.End, h.Target)
+	}
+	fmt.Fprintln(b, "end")
+}
+
+func formatIns(p *Program, in Ins) string {
+	switch in.Op {
+	case INVOKE:
+		return fmt.Sprintf("invoke %s", ident(p.Methods[in.A].Name))
+	case NEW:
+		return fmt.Sprintf("new %s", ident(p.Classes[in.A].Name))
+	case FCONST:
+		return fmt.Sprintf("fconst %s",
+			strconv.FormatFloat(math.Float64frombits(uint64(in.A)), 'g', -1, 64))
+	case IINC:
+		return fmt.Sprintf("iinc %d %d", in.A, in.B)
+	case CONST, LOAD, STORE, GETFIELD, PUTFIELD, GETSTATIC, PUTSTATIC:
+		return fmt.Sprintf("%s %d", in.Op.Name(), in.A)
+	default:
+		if in.IsBranch() {
+			return fmt.Sprintf("%s .L%d", in.Op.Name(), in.A)
+		}
+		return in.Op.Name()
+	}
+}
+
+// nameToOp inverts the mnemonic table once.
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// Parse reads the textual assembly form back into a verified Program.
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	methodIdx := map[string]int{}
+	classIdx := map[string]int{}
+
+	type pendingIns struct {
+		op    Op
+		a, b  int64
+		label string // branch target / invoke name / class name
+		line  int
+	}
+	type pendingMethod struct {
+		m        *Method
+		code     []pendingIns
+		labels   map[string]int
+		handlers []struct {
+			kind               int64
+			start, end, target string
+			line               int
+		}
+	}
+	var methods []*pendingMethod
+	var cur *pendingMethod
+
+	sc := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "program":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: program wants a name", lineNo)
+			}
+			p.Name = fields[1]
+		case fields[0] == "statics":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			p.Statics = n
+		case fields[0] == "class":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: class wants name and field count", lineNo)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			classIdx[fields[1]] = len(p.Classes)
+			p.Classes = append(p.Classes, &Class{ID: len(p.Classes), Name: fields[1], NumFields: n})
+		case fields[0] == "method":
+			m := &Method{ID: len(methods)}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: method wants a name", lineNo)
+			}
+			m.Name = fields[1]
+			for _, f := range fields[2:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fmt.Errorf("line %d: bad attribute %q", lineNo, f)
+				}
+				switch k {
+				case "args":
+					m.NArgs, _ = strconv.Atoi(v)
+				case "locals":
+					m.NLocals, _ = strconv.Atoi(v)
+				case "returns":
+					m.HasResult = v == "true"
+				default:
+					return nil, fmt.Errorf("line %d: unknown attribute %q", lineNo, k)
+				}
+			}
+			methodIdx[m.Name] = len(methods)
+			cur = &pendingMethod{m: m, labels: map[string]int{}}
+			methods = append(methods, cur)
+		case fields[0] == "end":
+			cur = nil
+		case strings.HasPrefix(fields[0], ".") && strings.HasSuffix(fields[0], ":"):
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: label outside method", lineNo)
+			}
+			cur.labels[strings.TrimSuffix(fields[0], ":")] = len(cur.code)
+		case fields[0] == "catch":
+			if cur == nil || len(fields) != 5 {
+				return nil, fmt.Errorf("line %d: catch <kind> <start> <end> <target>", lineNo)
+			}
+			kind, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			cur.handlers = append(cur.handlers, struct {
+				kind               int64
+				start, end, target string
+				line               int
+			}{kind, fields[2], fields[3], fields[4], lineNo})
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: instruction outside method", lineNo)
+			}
+			ins, err := parseIns(fields, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			cur.code = append(cur.code, ins)
+		}
+	}
+
+	// Resolve.
+	for _, pm := range methods {
+		m := pm.m
+		resolve := func(label string, line int) (int, error) {
+			pc, ok := pm.labels[label]
+			if !ok {
+				return 0, fmt.Errorf("line %d: undefined label %s in %s", line, label, m.Name)
+			}
+			return pc, nil
+		}
+		for _, pi := range pm.code {
+			in := Ins{Op: pi.op, A: pi.a, B: pi.b}
+			switch {
+			case pi.op == INVOKE:
+				idx, ok := methodIdx[pi.label]
+				if !ok {
+					return nil, fmt.Errorf("line %d: unknown method %q", pi.line, pi.label)
+				}
+				in.A = int64(idx)
+			case pi.op == NEW:
+				idx, ok := classIdx[pi.label]
+				if !ok {
+					return nil, fmt.Errorf("line %d: unknown class %q", pi.line, pi.label)
+				}
+				in.A = int64(idx)
+			case in.IsBranch():
+				pc, err := resolve(pi.label, pi.line)
+				if err != nil {
+					return nil, err
+				}
+				in.A = int64(pc)
+			}
+			m.Code = append(m.Code, in)
+		}
+		for _, h := range pm.handlers {
+			start, err := resolve(h.start, h.line)
+			if err != nil {
+				return nil, err
+			}
+			end, err := resolve(h.end, h.line)
+			if err != nil {
+				return nil, err
+			}
+			target, err := resolve(h.target, h.line)
+			if err != nil {
+				return nil, err
+			}
+			m.Handlers = append(m.Handlers, Handler{Start: start, End: end, Target: target, Kind: h.kind})
+		}
+		p.Methods = append(p.Methods, m)
+	}
+	// Entry point: a method named main, else method 0.
+	if idx, ok := methodIdx["main"]; ok {
+		p.Main = idx
+	}
+	// Deterministic field order aids tests.
+	sort.SliceStable(p.Classes, func(i, j int) bool { return p.Classes[i].ID < p.Classes[j].ID })
+	if err := Verify(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseIns(fields []string, line int) (struct {
+	op    Op
+	a, b  int64
+	label string
+	line  int
+}, error) {
+	out := struct {
+		op    Op
+		a, b  int64
+		label string
+		line  int
+	}{line: line}
+	op, ok := nameToOp[fields[0]]
+	if !ok {
+		return out, fmt.Errorf("line %d: unknown mnemonic %q", line, fields[0])
+	}
+	out.op = op
+	switch op {
+	case INVOKE, NEW:
+		if len(fields) != 2 {
+			return out, fmt.Errorf("line %d: %s wants a name", line, fields[0])
+		}
+		out.label = fields[1]
+	case FCONST:
+		if len(fields) != 2 {
+			return out, fmt.Errorf("line %d: fconst wants a value", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return out, fmt.Errorf("line %d: %v", line, err)
+		}
+		out.a = int64(math.Float64bits(v))
+	case IINC:
+		if len(fields) != 3 {
+			return out, fmt.Errorf("line %d: iinc wants slot and delta", line)
+		}
+		a, err1 := strconv.ParseInt(fields[1], 10, 64)
+		b, err2 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return out, fmt.Errorf("line %d: bad iinc operands", line)
+		}
+		out.a, out.b = a, b
+	case CONST, LOAD, STORE, GETFIELD, PUTFIELD, GETSTATIC, PUTSTATIC:
+		if len(fields) != 2 {
+			return out, fmt.Errorf("line %d: %s wants an operand", line, fields[0])
+		}
+		a, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return out, fmt.Errorf("line %d: %v", line, err)
+		}
+		out.a = a
+	default:
+		if (Ins{Op: op}).IsBranch() {
+			if len(fields) != 2 {
+				return out, fmt.Errorf("line %d: branch wants a label", line)
+			}
+			out.label = fields[1]
+		} else if len(fields) != 1 {
+			return out, fmt.Errorf("line %d: %s takes no operands", line, fields[0])
+		}
+	}
+	return out, nil
+}

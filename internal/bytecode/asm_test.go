@@ -1,0 +1,173 @@
+package bytecode
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleAsm = `
+# sum of squares
+program sample
+statics 1
+class Box 2
+method helper args=1 locals=1 returns=true
+    load 0
+    load 0
+    imul
+    ireturn
+end
+method main args=0 locals=3 returns=false
+    const 0
+    store 1
+    const 0
+    store 0
+  .L4:
+    load 0
+    const 10
+    if_icmpge .L14
+    load 1
+    load 0
+    invoke helper
+    iadd
+    store 1
+    iinc 0 1
+    goto .L4
+  .L14:
+    load 1
+    print
+    return
+end
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(sampleAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sample" || p.Statics != 1 || len(p.Classes) != 1 || len(p.Methods) != 2 {
+		t.Fatalf("parsed shape wrong: %+v", p)
+	}
+	if p.Main != 1 {
+		t.Fatalf("main = %d, want 1 (the method named main)", p.Main)
+	}
+	m := p.Methods[1]
+	// The invoke resolved to the helper's index.
+	found := false
+	for _, in := range m.Code {
+		if in.Op == INVOKE && in.A == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("invoke did not resolve by name")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	p1, err := Parse(sampleAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p1)
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if Format(p2) != text {
+		t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, Format(p2))
+	}
+	// Structural equality of the code streams.
+	for mi := range p1.Methods {
+		a, b := p1.Methods[mi], p2.Methods[mi]
+		if len(a.Code) != len(b.Code) {
+			t.Fatalf("method %d code length differs", mi)
+		}
+		for pc := range a.Code {
+			if a.Code[pc] != b.Code[pc] {
+				t.Fatalf("method %d pc %d: %v != %v", mi, pc, a.Code[pc], b.Code[pc])
+			}
+		}
+	}
+}
+
+func TestParseHandlers(t *testing.T) {
+	src := `
+program h
+method main args=0 locals=2 returns=false
+  .L0:
+    const 1
+    const 0
+    idiv
+    store 0
+  .L4:
+    return
+  .L5:
+    store 1
+    return
+  catch 3 .L0 .L4 .L5
+end
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Methods[0].Handlers[0]
+	if h.Start != 0 || h.End != 4 || h.Target != 5 || h.Kind != 3 {
+		t.Fatalf("handler = %+v", h)
+	}
+	// Round trip keeps the handler.
+	p2, err := Parse(Format(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Methods[0].Handlers) != 1 || p2.Methods[0].Handlers[0] != h {
+		t.Fatalf("handler lost in round trip: %+v", p2.Methods[0].Handlers)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "program x\nmethod main args=0 locals=1 returns=false\n    frobnicate\nend\n",
+		"undefined label":  "program x\nmethod main args=0 locals=1 returns=false\n    goto .L9\nend\n",
+		"unknown method":   "program x\nmethod main args=0 locals=1 returns=false\n    invoke ghost\nend\n",
+		"outside method":   "program x\n    nop\n",
+		"verification":     "program x\nmethod main args=0 locals=1 returns=false\n    iadd\n    return\nend\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestFormatFloatPrecision(t *testing.T) {
+	p := &Program{Name: "f", Methods: []*Method{{
+		Name: "main", NLocals: 1, Code: []Ins{
+			{Op: FCONST, A: int64(f64bits(3.141592653589793))},
+			{Op: PRINT},
+			{Op: RETURN},
+		},
+	}}}
+	p2, err := Parse(Format(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Methods[0].Code[0].A != p.Methods[0].Code[0].A {
+		t.Fatal("float constant lost precision in round trip")
+	}
+}
+
+func TestFormatWorkloadScale(t *testing.T) {
+	// A program with nested control flow survives the round trip.
+	p, err := Parse(sampleAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p)
+	if !strings.Contains(text, "if_icmpge .L") || !strings.Contains(text, "invoke helper") {
+		t.Fatalf("formatted text unexpected:\n%s", text)
+	}
+}
+
+func f64bits(v float64) uint64 { return math.Float64bits(v) }

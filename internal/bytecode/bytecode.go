@@ -1,0 +1,230 @@
+// Package bytecode defines the portable, platform-independent program
+// representation that Jrpm consumes — the stand-in for Java class files.
+//
+// It is a typed stack bytecode over 64-bit values (floats travel as IEEE-754
+// bits), with local variable slots, objects with word-sized fields, arrays,
+// static fields, monitors, exceptions, and static method invocation. Virtual
+// dispatch is omitted: the paper's microJIT inlines and devirtualizes
+// aggressively, and none of the reproduced experiments depend on dynamic
+// dispatch itself (its cost shows up as call overhead, which INVOKE models).
+//
+// The microJIT (package jit) compiles this bytecode to the native ISA; the
+// CFG analyses (package cfg) identify natural loops — the prospective
+// speculative thread loops — directly from it, as the paper's Figure 1 step
+// 1 does from Java bytecodes.
+package bytecode
+
+import "fmt"
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. A is the primary immediate (constant, slot, target, id); B is the
+// secondary immediate where noted.
+const (
+	NOP Op = iota
+
+	// Constants and stack manipulation.
+	CONST  // push A (int64)
+	FCONST // push A interpreted as float64 bits
+	POP
+	DUP
+
+	// Local variables.
+	LOAD  // push local[A]
+	STORE // local[A] = pop
+	IINC  // local[A] += B
+
+	// Integer arithmetic (operate on the top of stack).
+	IADD
+	ISUB
+	IMUL
+	IDIV // ArithmeticException on zero divisor
+	IREM
+	INEG
+	IAND
+	IOR
+	IXOR
+	ISHL
+	ISHR
+	IUSHR
+	IMIN
+	IMAX
+
+	// Floating point.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FABS
+	FMIN
+	FMAX
+	F2I
+	I2F
+	FSQRT
+	FSIN
+	FCOS
+	FEXP
+	FLOG
+
+	// Control flow. Branch targets are instruction indices (A).
+	GOTO
+	IFEQ // pop; branch if == 0
+	IFNE
+	IFLT
+	IFGE
+	IFGT
+	IFLE
+	IFICMPEQ // pop b, a; branch if a == b
+	IFICMPNE
+	IFICMPLT
+	IFICMPGE
+	IFICMPGT
+	IFICMPLE
+	IFFCMPLT // float compares
+	IFFCMPGE
+
+	// Objects. Field offsets (A) are word offsets within the object body.
+	NEW       // push new instance of class A
+	GETFIELD  // pop ref; push ref.field[A]; NullPointerException on null
+	PUTFIELD  // pop val, ref; ref.field[A] = val
+	GETSTATIC // push statics[A]
+	PUTSTATIC // statics[A] = pop
+
+	// Arrays. Element kind is untyped words.
+	NEWARRAY // pop length; push new array
+	ALOAD    // pop idx, ref; push ref[idx]; bounds-checked
+	ASTORE   // pop val, idx, ref; ref[idx] = val
+	ARRLEN   // pop ref; push length
+
+	// Calls. INVOKE pops the callee's NArgs values (last argument on top)
+	// and pushes a result if the callee HasResult.
+	INVOKE  // call method A
+	RETURN  // return void
+	IRETURN // return pop
+
+	// Monitors (the synchronized keyword) and exceptions.
+	MONITORENTER // pop ref
+	MONITOREXIT  // pop ref
+	ATHROW       // pop ref; throw
+
+	// Output (a system call; cannot execute speculatively).
+	PRINT // pop; append to program output
+)
+
+// Ins is one bytecode instruction.
+type Ins struct {
+	Op Op
+	A  int64
+	B  int64
+}
+
+// Handler is one exception-table entry: if an exception of kind Kind (or any
+// kind, when Kind == 0) is raised at pc in [Start, End), control transfers
+// to Target with the exception object pushed.
+type Handler struct {
+	Start  int
+	End    int
+	Target int
+	Kind   int64 // matches isa exception kinds; 0 = catch all
+}
+
+// Method is one compiled unit.
+type Method struct {
+	ID        int
+	Name      string
+	NArgs     int
+	NLocals   int // locals include the arguments in slots [0, NArgs)
+	HasResult bool
+	Code      []Ins
+	Handlers  []Handler
+}
+
+// Class describes an object layout.
+type Class struct {
+	ID        int
+	Name      string
+	NumFields int
+}
+
+// Program is a complete loadable unit.
+type Program struct {
+	Name    string
+	Methods []*Method
+	Classes []*Class
+	Statics int // number of static field words
+	Main    int // method id of the entry point
+}
+
+// Method returns the method with the given id.
+func (p *Program) Method(id int) *Method { return p.Methods[id] }
+
+// StackEffect returns (pops, pushes) for in, given the program (needed for
+// INVOKE arity).
+func StackEffect(p *Program, in Ins) (int, int) {
+	switch in.Op {
+	case CONST, FCONST, LOAD, GETSTATIC, NEW:
+		return 0, 1
+	case POP, STORE, PUTSTATIC, IFEQ, IFNE, IFLT, IFGE, IFGT, IFLE, PRINT,
+		MONITORENTER, MONITOREXIT, ATHROW, IRETURN:
+		return 1, 0
+	case DUP:
+		return 1, 2
+	case IINC, NOP, GOTO, RETURN:
+		return 0, 0
+	case IADD, ISUB, IMUL, IDIV, IREM, IAND, IOR, IXOR, ISHL, ISHR, IUSHR,
+		IMIN, IMAX, FADD, FSUB, FMUL, FDIV, FMIN, FMAX:
+		return 2, 1
+	case INEG, FNEG, FABS, F2I, I2F, FSQRT, FSIN, FCOS, FEXP, FLOG, ARRLEN,
+		GETFIELD, NEWARRAY:
+		return 1, 1
+	case IFICMPEQ, IFICMPNE, IFICMPLT, IFICMPGE, IFICMPGT, IFICMPLE,
+		IFFCMPLT, IFFCMPGE:
+		return 2, 0
+	case PUTFIELD:
+		return 2, 0
+	case ALOAD:
+		return 2, 1
+	case ASTORE:
+		return 3, 0
+	case INVOKE:
+		m := p.Method(int(in.A))
+		push := 0
+		if m.HasResult {
+			push = 1
+		}
+		return m.NArgs, push
+	}
+	panic(fmt.Sprintf("bytecode: unknown op %d", in.Op))
+}
+
+// IsBranch reports whether in can transfer control to in.A.
+func (in Ins) IsBranch() bool {
+	switch in.Op {
+	case GOTO, IFEQ, IFNE, IFLT, IFGE, IFGT, IFLE,
+		IFICMPEQ, IFICMPNE, IFICMPLT, IFICMPGE, IFICMPGT, IFICMPLE,
+		IFFCMPLT, IFFCMPGE:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether in is a conditional branch (falls through).
+func (in Ins) IsConditional() bool { return in.IsBranch() && in.Op != GOTO }
+
+// Terminates reports whether control never falls through in.
+func (in Ins) Terminates() bool {
+	switch in.Op {
+	case GOTO, RETURN, IRETURN, ATHROW:
+		return true
+	}
+	return false
+}
+
+// ObjectHeaderWords is the number of header words preceding object fields:
+// word 0 holds the class id and GC mark, word 1 is the monitor lock word.
+const ObjectHeaderWords = 2
+
+// ArrayHeaderWords is the header size of arrays: class/mark, lock, length.
+const ArrayHeaderWords = 3

@@ -1,0 +1,159 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+func onearg(name string, code []Ins, nlocals int, result bool) *Program {
+	m := &Method{ID: 0, Name: name, NArgs: 1, NLocals: nlocals, HasResult: result, Code: code}
+	return &Program{Name: "t", Methods: []*Method{m}, Main: 0}
+}
+
+func TestVerifyAcceptsSimpleLoop(t *testing.T) {
+	// sum = 0; for i = arg; i > 0; i-- { sum += i }; return sum
+	code := []Ins{
+		{Op: CONST, A: 0}, // 0
+		{Op: STORE, A: 1}, // 1  sum
+		{Op: LOAD, A: 0},  // 2  top: i = arg
+		{Op: IFLE, A: 10}, // 3
+		{Op: LOAD, A: 1},  // 4
+		{Op: LOAD, A: 0},  // 5
+		{Op: IADD},        // 6
+		{Op: STORE, A: 1}, // 7
+		{Op: IINC, A: 0, B: -1},
+		{Op: GOTO, A: 2}, // 9
+		{Op: LOAD, A: 1}, // 10
+		{Op: IRETURN},
+	}
+	p := onearg("sum", code, 2, true)
+	if err := Verify(p); err != nil {
+		t.Fatalf("verify failed: %v", err)
+	}
+}
+
+func TestVerifyCatchesStackUnderflow(t *testing.T) {
+	p := onearg("bad", []Ins{{Op: IADD}, {Op: IRETURN}}, 1, true)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Fatalf("want underflow error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesInconsistentDepth(t *testing.T) {
+	// Two paths reach pc 4 with different stack depths.
+	code := []Ins{
+		{Op: LOAD, A: 0},  // 0
+		{Op: IFEQ, A: 3},  // 1 -> target depth 0
+		{Op: CONST, A: 1}, // 2 push (depth 1 falls into 3)
+		{Op: RETURN},      // 3
+	}
+	p := onearg("bad", code, 1, false)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("want inconsistency error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesBadSlot(t *testing.T) {
+	p := onearg("bad", []Ins{{Op: LOAD, A: 5}, {Op: IRETURN}}, 2, true)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "slot") {
+		t.Fatalf("want slot error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesBranchOutOfRange(t *testing.T) {
+	p := onearg("bad", []Ins{{Op: GOTO, A: 99}}, 1, false)
+	if err := Verify(p); err == nil {
+		t.Fatal("want branch range error")
+	}
+}
+
+func TestVerifyCatchesWrongReturnKind(t *testing.T) {
+	p := onearg("bad", []Ins{{Op: RETURN}}, 1, true)
+	if err := Verify(p); err == nil || !strings.Contains(err.Error(), "void return") {
+		t.Fatalf("want return-kind error, got %v", err)
+	}
+}
+
+func TestVerifyHandlerEntryDepth(t *testing.T) {
+	code := []Ins{
+		{Op: CONST, A: 7}, // 0 protected region
+		{Op: POP},         // 1
+		{Op: RETURN},      // 2
+		{Op: POP},         // 3 handler: pops the exception object
+		{Op: RETURN},      // 4
+	}
+	m := &Method{Name: "h", NLocals: 1, Code: code,
+		Handlers: []Handler{{Start: 0, End: 2, Target: 3, Kind: 0}}}
+	p := &Program{Methods: []*Method{m}, Main: 0}
+	if err := Verify(p); err != nil {
+		t.Fatalf("handler verification failed: %v", err)
+	}
+}
+
+func TestVerifyInvokeArity(t *testing.T) {
+	callee := &Method{ID: 1, Name: "f", NArgs: 2, NLocals: 2, HasResult: true,
+		Code: []Ins{{Op: CONST, A: 0}, {Op: IRETURN}}}
+	caller := &Method{ID: 0, Name: "main", NLocals: 1, Code: []Ins{
+		{Op: CONST, A: 1},
+		{Op: CONST, A: 2},
+		{Op: INVOKE, A: 1},
+		{Op: POP},
+		{Op: RETURN},
+	}}
+	p := &Program{Methods: []*Method{caller, callee}, Main: 0}
+	if err := Verify(p); err != nil {
+		t.Fatalf("invoke arity: %v", err)
+	}
+	// Calling with too few stacked arguments underflows.
+	caller.Code = []Ins{{Op: CONST, A: 1}, {Op: INVOKE, A: 1}, {Op: POP}, {Op: RETURN}}
+	if err := Verify(p); err == nil {
+		t.Fatal("want underflow on short invoke")
+	}
+}
+
+func TestStackEffectTotals(t *testing.T) {
+	p := &Program{Methods: []*Method{{ID: 0, NArgs: 3, HasResult: false,
+		Code: []Ins{{Op: RETURN}}}}}
+	pops, pushes := StackEffect(p, Ins{Op: INVOKE, A: 0})
+	if pops != 3 || pushes != 0 {
+		t.Errorf("invoke effect = %d/%d", pops, pushes)
+	}
+	pops, pushes = StackEffect(p, Ins{Op: ASTORE})
+	if pops != 3 || pushes != 0 {
+		t.Errorf("astore effect = %d/%d", pops, pushes)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !(Ins{Op: GOTO}).IsBranch() || (Ins{Op: GOTO}).IsConditional() {
+		t.Error("goto classification")
+	}
+	if !(Ins{Op: IFICMPLT}).IsConditional() {
+		t.Error("if_icmplt should be conditional")
+	}
+	for _, op := range []Op{GOTO, RETURN, IRETURN, ATHROW} {
+		if !(Ins{Op: op}).Terminates() {
+			t.Errorf("%s should terminate", op.Name())
+		}
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	m := &Method{Name: "d", NLocals: 1, Code: []Ins{
+		{Op: CONST, A: 3}, {Op: STORE, A: 0}, {Op: GOTO, A: 3}, {Op: RETURN},
+	}, Handlers: []Handler{{Start: 0, End: 3, Target: 3, Kind: 1}}}
+	text := Disassemble(m)
+	for _, want := range []string{"const", "store", "goto", "@3", "catch kind=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	for op := NOP; op <= PRINT; op++ {
+		if strings.HasPrefix(op.Name(), "op(") {
+			t.Errorf("opcode %d unnamed", op)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package bytecode
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+var opNames = map[Op]string{
+	NOP: "nop", CONST: "const", FCONST: "fconst", POP: "pop", DUP: "dup",
+	LOAD: "load", STORE: "store", IINC: "iinc",
+	IADD: "iadd", ISUB: "isub", IMUL: "imul", IDIV: "idiv", IREM: "irem",
+	INEG: "ineg", IAND: "iand", IOR: "ior", IXOR: "ixor",
+	ISHL: "ishl", ISHR: "ishr", IUSHR: "iushr", IMIN: "imin", IMAX: "imax",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv",
+	FNEG: "fneg", FABS: "fabs", FMIN: "fmin", FMAX: "fmax",
+	F2I: "f2i", I2F: "i2f",
+	FSQRT: "fsqrt", FSIN: "fsin", FCOS: "fcos", FEXP: "fexp", FLOG: "flog",
+	GOTO: "goto", IFEQ: "ifeq", IFNE: "ifne", IFLT: "iflt", IFGE: "ifge",
+	IFGT: "ifgt", IFLE: "ifle",
+	IFICMPEQ: "if_icmpeq", IFICMPNE: "if_icmpne", IFICMPLT: "if_icmplt",
+	IFICMPGE: "if_icmpge", IFICMPGT: "if_icmpgt", IFICMPLE: "if_icmple",
+	IFFCMPLT: "if_fcmplt", IFFCMPGE: "if_fcmpge",
+	NEW: "new", GETFIELD: "getfield", PUTFIELD: "putfield",
+	GETSTATIC: "getstatic", PUTSTATIC: "putstatic",
+	NEWARRAY: "newarray", ALOAD: "aload", ASTORE: "astore", ARRLEN: "arrlen",
+	INVOKE: "invoke", RETURN: "return", IRETURN: "ireturn",
+	MONITORENTER: "monitorenter", MONITOREXIT: "monitorexit", ATHROW: "athrow",
+	PRINT: "print",
+}
+
+// Name returns the mnemonic for op.
+func (op Op) Name() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// String renders one instruction.
+func (in Ins) String() string {
+	switch in.Op {
+	case CONST, LOAD, STORE, NEW, GETFIELD, PUTFIELD, GETSTATIC, PUTSTATIC,
+		INVOKE:
+		return fmt.Sprintf("%-12s %d", in.Op.Name(), in.A)
+	case FCONST:
+		return fmt.Sprintf("%-12s %g", in.Op.Name(), math.Float64frombits(uint64(in.A)))
+	case IINC:
+		return fmt.Sprintf("%-12s %d, %d", in.Op.Name(), in.A, in.B)
+	default:
+		if in.IsBranch() {
+			return fmt.Sprintf("%-12s @%d", in.Op.Name(), in.A)
+		}
+		return in.Op.Name()
+	}
+}
+
+// Disassemble renders a method's code with pc labels and handler table.
+func Disassemble(m *Method) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "method %q (id %d, args %d, locals %d, result %v)\n",
+		m.Name, m.ID, m.NArgs, m.NLocals, m.HasResult)
+	for pc, in := range m.Code {
+		fmt.Fprintf(&sb, "%5d: %s\n", pc, in.String())
+	}
+	for _, h := range m.Handlers {
+		fmt.Fprintf(&sb, "  catch kind=%d [%d,%d) -> %d\n", h.Kind, h.Start, h.End, h.Target)
+	}
+	return sb.String()
+}

@@ -1,0 +1,118 @@
+package bytecode
+
+import "fmt"
+
+// Verify checks a program for structural well-formedness: branch targets in
+// range, local slots within NLocals, consistent operand stack depths at
+// every merge point, valid method and class references, and exception tables
+// with in-range pcs. It returns the first problem found.
+//
+// This is the moral equivalent of the JVM's bytecode verifier, scoped to
+// what the JIT relies on.
+func Verify(p *Program) error {
+	if p.Main < 0 || p.Main >= len(p.Methods) {
+		return fmt.Errorf("program %q: main method id %d out of range", p.Name, p.Main)
+	}
+	for _, m := range p.Methods {
+		if err := verifyMethod(p, m); err != nil {
+			return fmt.Errorf("method %q: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyMethod(p *Program, m *Method) error {
+	n := len(m.Code)
+	if n == 0 {
+		return fmt.Errorf("empty code")
+	}
+	if m.NArgs > m.NLocals {
+		return fmt.Errorf("NArgs %d exceeds NLocals %d", m.NArgs, m.NLocals)
+	}
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	type workItem struct{ pc, d int }
+	work := []workItem{{0, 0}}
+	for _, h := range m.Handlers {
+		if h.Start < 0 || h.End > n || h.Start >= h.End {
+			return fmt.Errorf("handler range [%d,%d) invalid", h.Start, h.End)
+		}
+		if h.Target < 0 || h.Target >= n {
+			return fmt.Errorf("handler target %d out of range", h.Target)
+		}
+		// The handler entry sees exactly the exception object.
+		work = append(work, workItem{h.Target, 1})
+	}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, d := it.pc, it.d
+		for {
+			if pc < 0 || pc >= n {
+				return fmt.Errorf("pc %d out of range", pc)
+			}
+			if depth[pc] >= 0 {
+				if depth[pc] != d {
+					return fmt.Errorf("pc %d: inconsistent stack depth %d vs %d", pc, depth[pc], d)
+				}
+				break
+			}
+			depth[pc] = d
+			in := m.Code[pc]
+			if err := checkOperands(p, m, in); err != nil {
+				return fmt.Errorf("pc %d: %w", pc, err)
+			}
+			pops, pushes := StackEffect(p, in)
+			if d < pops {
+				return fmt.Errorf("pc %d (%s): stack underflow (depth %d, pops %d)", pc, in.Op.Name(), d, pops)
+			}
+			d = d - pops + pushes
+			if in.IsBranch() {
+				t := int(in.A)
+				if t < 0 || t >= n {
+					return fmt.Errorf("pc %d: branch target %d out of range", pc, t)
+				}
+				work = append(work, workItem{t, d})
+			}
+			if in.Terminates() {
+				if in.Op == IRETURN && !m.HasResult {
+					return fmt.Errorf("pc %d: ireturn in void method", pc)
+				}
+				if in.Op == RETURN && m.HasResult {
+					return fmt.Errorf("pc %d: void return in value method", pc)
+				}
+				break
+			}
+			pc++
+		}
+	}
+	return nil
+}
+
+func checkOperands(p *Program, m *Method, in Ins) error {
+	switch in.Op {
+	case LOAD, STORE, IINC:
+		if in.A < 0 || int(in.A) >= m.NLocals {
+			return fmt.Errorf("local slot %d out of range (NLocals %d)", in.A, m.NLocals)
+		}
+	case INVOKE:
+		if in.A < 0 || int(in.A) >= len(p.Methods) {
+			return fmt.Errorf("invoke of unknown method %d", in.A)
+		}
+	case NEW:
+		if in.A < 0 || int(in.A) >= len(p.Classes) {
+			return fmt.Errorf("new of unknown class %d", in.A)
+		}
+	case GETSTATIC, PUTSTATIC:
+		if in.A < 0 || int(in.A) >= p.Statics {
+			return fmt.Errorf("static index %d out of range (%d)", in.A, p.Statics)
+		}
+	case GETFIELD, PUTFIELD:
+		if in.A < 0 {
+			return fmt.Errorf("negative field offset")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+package cfg
+
+import (
+	"testing"
+
+	bc "jrpm/internal/bytecode"
+)
+
+// loopMethod builds: for (i = 0; i < arg; i++) { body... } with the counter
+// in slot 1 and a sum in slot 2 when withSum.
+//
+//	0: const 0        ; i = 0
+//	1: store 1
+//	2: load 1         ; header
+//	3: load 0
+//	4: if_icmpge exit
+//	   <body>
+//	   iinc 1, 1
+//	   goto 2
+//	exit: ...
+func buildCountedLoop(body []bc.Ins, tail []bc.Ins, nlocals int, result bool) (*bc.Program, *bc.Method) {
+	code := []bc.Ins{
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 1},
+		{Op: bc.LOAD, A: 1},
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 0}, // patched below
+	}
+	code = append(code, body...)
+	code = append(code, bc.Ins{Op: bc.IINC, A: 1, B: 1}, bc.Ins{Op: bc.GOTO, A: 2})
+	exit := len(code)
+	code[4].A = int64(exit)
+	code = append(code, tail...)
+	m := &bc.Method{ID: 0, Name: "loop", NArgs: 1, NLocals: nlocals, HasResult: result, Code: code}
+	p := &bc.Program{Methods: []*bc.Method{m}, Main: 0}
+	if err := bc.Verify(p); err != nil {
+		panic(err)
+	}
+	return p, m
+}
+
+func TestSimpleLoopDiscovery(t *testing.T) {
+	p, m := buildCountedLoop(nil, []bc.Ins{{Op: bc.RETURN}}, 2, false)
+	g := Build(p, m)
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(g.Loops))
+	}
+	l := g.Loops[0]
+	if g.Blocks[l.Header].Start != 2 {
+		t.Errorf("loop header starts at pc %d, want 2", g.Blocks[l.Header].Start)
+	}
+	if l.Depth != 1 || l.Parent != -1 {
+		t.Errorf("depth/parent = %d/%d", l.Depth, l.Parent)
+	}
+	if len(l.Exits) != 1 {
+		t.Errorf("exits = %v", l.Exits)
+	}
+}
+
+func TestInductorDetection(t *testing.T) {
+	p, m := buildCountedLoop(nil, []bc.Ins{{Op: bc.RETURN}}, 2, false)
+	g := Build(p, m)
+	l := g.Loops[0]
+	if step, ok := l.Inductors[1]; !ok || step != 1 {
+		t.Fatalf("slot 1 inductor step = %d (ok=%v), want 1", step, ok)
+	}
+	if len(l.Carried) != 1 || l.Carried[0] != 1 {
+		t.Errorf("carried = %v, want [1]", l.Carried)
+	}
+	// Slot 0 (the bound) is invariant.
+	if len(l.Invariant) != 1 || l.Invariant[0] != 0 {
+		t.Errorf("invariant = %v, want [0]", l.Invariant)
+	}
+}
+
+func TestLoadConstAddStoreInductor(t *testing.T) {
+	// i += 2 spelled as load/const/iadd/store.
+	code := []bc.Ins{
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 1},
+		{Op: bc.LOAD, A: 1}, // 2: header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 9},
+		{Op: bc.LOAD, A: 1}, // 5
+		{Op: bc.CONST, A: 2},
+		{Op: bc.IADD},
+		{Op: bc.STORE, A: 1},
+		{Op: bc.GOTO, A: 2}, // oops: store is pc 8, goto at 9 targets 2... fix below
+	}
+	// Rebuild with correct targets: exit at 10.
+	code[4].A = 10
+	code[9] = bc.Ins{Op: bc.GOTO, A: 2}
+	code = append(code, bc.Ins{Op: bc.RETURN})
+	m := &bc.Method{Name: "l", NArgs: 1, NLocals: 2, Code: code}
+	p := &bc.Program{Methods: []*bc.Method{m}, Main: 0}
+	if err := bc.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p, m)
+	if step, ok := g.Loops[0].Inductors[1]; !ok || step != 2 {
+		t.Fatalf("inductor step = %d ok=%v, want 2", step, ok)
+	}
+}
+
+func TestReductionDetection(t *testing.T) {
+	// sum (slot 2) += i (slot 1) each iteration.
+	body := []bc.Ins{
+		{Op: bc.LOAD, A: 2},
+		{Op: bc.LOAD, A: 1},
+		{Op: bc.IADD},
+		{Op: bc.STORE, A: 2},
+	}
+	tail := []bc.Ins{{Op: bc.LOAD, A: 2}, {Op: bc.IRETURN}}
+	p, m := buildCountedLoop(body, tail, 3, true)
+	g := Build(p, m)
+	l := g.Loops[0]
+	if op, ok := l.Reductions[2]; !ok || op != bc.IADD {
+		t.Fatalf("reduction = %v (ok=%v), want iadd", op, ok)
+	}
+	// The sum is live out of the loop.
+	found := false
+	for _, s := range l.LiveOut {
+		if s == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("live-out = %v, want to include 2", l.LiveOut)
+	}
+}
+
+func TestNonReductionWhenValueEscapes(t *testing.T) {
+	// sum += i, but sum is also printed inside the loop: not a reduction.
+	body := []bc.Ins{
+		{Op: bc.LOAD, A: 2},
+		{Op: bc.LOAD, A: 1},
+		{Op: bc.IADD},
+		{Op: bc.STORE, A: 2},
+		{Op: bc.LOAD, A: 2},
+		{Op: bc.PRINT},
+	}
+	p, _ := buildCountedLoop(body, []bc.Ins{{Op: bc.RETURN}}, 3, false)
+	info := AnalyzeProgram(p)
+	l := info.Graphs[0].Loops[0]
+	if _, ok := l.Reductions[2]; ok {
+		t.Fatal("escaping accumulator misclassified as reduction")
+	}
+	if !l.HasIO {
+		t.Error("loop with print should be flagged HasIO")
+	}
+}
+
+func TestResetableInductor(t *testing.T) {
+	// ptr (slot 2) increments every iteration but is conditionally reset:
+	//   ptr++ ; if (i == 5) ptr = 0
+	body := []bc.Ins{
+		{Op: bc.IINC, A: 2, B: 1},
+		{Op: bc.LOAD, A: 1},
+		{Op: bc.CONST, A: 5},
+		{Op: bc.IFICMPNE, A: 0}, // patched to skip the reset
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 2},
+	}
+	// Branch target = pc after the reset: body starts at 5, so the reset
+	// store is at pc 10, branch target is 11 (the iinc of the for-loop).
+	body[3].A = 11
+	tail := []bc.Ins{{Op: bc.LOAD, A: 2}, {Op: bc.IRETURN}}
+	p, m := buildCountedLoop(body, tail, 3, true)
+	g := Build(p, m)
+	l := g.Loops[0]
+	if step, ok := l.Resetable[2]; !ok || step != 1 {
+		t.Fatalf("resetable inductor step = %d ok=%v; inductors=%v resetable=%v",
+			step, ok, l.Inductors, l.Resetable)
+	}
+	if _, plain := l.Inductors[2]; plain {
+		t.Error("reset inductor must not classify as a plain inductor")
+	}
+}
+
+func TestNestedLoopsAndDepth(t *testing.T) {
+	// for i { for j { } }
+	code := []bc.Ins{
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 1},
+		{Op: bc.LOAD, A: 1}, // 2: outer header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 16},
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 2},
+		{Op: bc.LOAD, A: 2}, // 7: inner header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 13},
+		{Op: bc.IINC, A: 2, B: 1},
+		{Op: bc.NOP},
+		{Op: bc.GOTO, A: 7},
+		{Op: bc.IINC, A: 1, B: 1}, // 13
+		{Op: bc.NOP},
+		{Op: bc.GOTO, A: 2},
+		{Op: bc.RETURN}, // 16
+	}
+	m := &bc.Method{Name: "nest", NArgs: 1, NLocals: 3, Code: code}
+	p := &bc.Program{Methods: []*bc.Method{m}, Main: 0}
+	if err := bc.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p, m)
+	if len(g.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(g.Loops))
+	}
+	outer, inner := g.Loops[0], g.Loops[1]
+	if g.Blocks[outer.Header].Start != 2 {
+		outer, inner = inner, outer
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths = %d/%d, want 1/2", outer.Depth, inner.Depth)
+	}
+	if inner.Parent != outer.Index {
+		t.Errorf("inner parent = %d, want %d", inner.Parent, outer.Index)
+	}
+	if !outer.HasInner || outer.CondInner {
+		t.Errorf("outer flags: HasInner=%v CondInner=%v, want true/false", outer.HasInner, outer.CondInner)
+	}
+	if g.MaxDepth() != 2 {
+		t.Errorf("max depth = %d", g.MaxDepth())
+	}
+}
+
+func TestConditionalInnerLoopFlagged(t *testing.T) {
+	// for i { if (i&1) { for j {} } }  — multilevel candidate shape.
+	code := []bc.Ins{
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 1},
+		{Op: bc.LOAD, A: 1}, // 2: outer header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 19},
+		{Op: bc.LOAD, A: 1}, // 5: condition
+		{Op: bc.CONST, A: 1},
+		{Op: bc.IAND},
+		{Op: bc.IFEQ, A: 16}, // skip inner loop
+		{Op: bc.CONST, A: 0}, // 9
+		{Op: bc.STORE, A: 2},
+		{Op: bc.LOAD, A: 2}, // 11: inner header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 16},
+		{Op: bc.IINC, A: 2, B: 1},
+		{Op: bc.GOTO, A: 11},
+		{Op: bc.IINC, A: 1, B: 1}, // 16
+		{Op: bc.NOP},
+		{Op: bc.GOTO, A: 2},
+		{Op: bc.RETURN}, // 19
+	}
+	m := &bc.Method{Name: "cond", NArgs: 1, NLocals: 3, Code: code}
+	p := &bc.Program{Methods: []*bc.Method{m}, Main: 0}
+	if err := bc.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p, m)
+	var outer *Loop
+	for _, l := range g.Loops {
+		if l.Depth == 1 {
+			outer = l
+		}
+	}
+	if outer == nil || !outer.CondInner {
+		t.Fatal("conditionally-executed inner loop not flagged as multilevel candidate")
+	}
+}
+
+func TestTransitiveIOFlag(t *testing.T) {
+	// main loops calling helper, helper prints.
+	helper := &bc.Method{ID: 1, Name: "helper", NArgs: 1, NLocals: 1, Code: []bc.Ins{
+		{Op: bc.LOAD, A: 0}, {Op: bc.PRINT}, {Op: bc.RETURN},
+	}}
+	code := []bc.Ins{
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 1},
+		{Op: bc.LOAD, A: 1}, // 2
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 9},
+		{Op: bc.LOAD, A: 1},
+		{Op: bc.INVOKE, A: 1},
+		{Op: bc.IINC, A: 1, B: 1},
+		{Op: bc.GOTO, A: 2},
+		{Op: bc.RETURN}, // 9
+	}
+	main := &bc.Method{ID: 0, Name: "main", NArgs: 1, NLocals: 2, Code: code}
+	p := &bc.Program{Methods: []*bc.Method{main, helper}, Main: 0}
+	if err := bc.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	info := AnalyzeProgram(p)
+	if !info.DoesIO[0] {
+		t.Error("main should transitively do IO")
+	}
+	if !info.Graphs[0].Loops[0].HasIO {
+		t.Error("loop calling an IO method must be flagged HasIO")
+	}
+	if !info.Graphs[0].Loops[0].HasCall {
+		t.Error("loop should be flagged HasCall")
+	}
+	if info.TotalLoops() != 1 {
+		t.Errorf("total loops = %d", info.TotalLoops())
+	}
+}
+
+func TestGlobalLoopIDRoundTrip(t *testing.T) {
+	id := GlobalLoopID(7, 13)
+	m, l := SplitLoopID(id)
+	if m != 7 || l != 13 {
+		t.Fatalf("round trip = %d/%d", m, l)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	p, m := buildCountedLoop(nil, []bc.Ins{{Op: bc.RETURN}}, 2, false)
+	g := Build(p, m)
+	// Entry block dominates everything.
+	for _, b := range g.Blocks {
+		if !g.Dominates(0, b.ID) {
+			t.Errorf("entry should dominate block %d", b.ID)
+		}
+	}
+	l := g.Loops[0]
+	for _, e := range l.Ends {
+		if !g.Dominates(l.Header, e) {
+			t.Error("loop header must dominate back-edge sources")
+		}
+	}
+}

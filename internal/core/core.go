@@ -1,0 +1,325 @@
+// Package core is the Jrpm controller: it drives the five-step pipeline of
+// the paper's Figure 1 over a bytecode program.
+//
+//  1. Identify prospective thread decompositions (cfg) and compile natively
+//     with annotation instructions (jit, ModeAnnotated).
+//  2. Run the annotated program sequentially, collecting TEST profile
+//     statistics (hydra with the tracer attached).
+//  3. Post-process the statistics and choose the decompositions with the
+//     best predicted speedups (analyzer).
+//  4. Recompile the selected loops into speculative threads
+//     (jit, ModeTLS).
+//  5. Run the native TLS code (hydra, all CPUs).
+//
+// A plain sequential run provides the normalization baseline, and every
+// run's program output is compared for equality — thread speculation must
+// preserve sequential semantics exactly.
+package core
+
+import (
+	"fmt"
+
+	"jrpm/internal/analyzer"
+	"jrpm/internal/bytecode"
+	"jrpm/internal/cfg"
+	"jrpm/internal/hydra"
+	"jrpm/internal/jit"
+	"jrpm/internal/mem"
+	"jrpm/internal/tls"
+	"jrpm/internal/tracer"
+	"jrpm/internal/vm"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	NCPU      int
+	Handlers  tls.HandlerCosts
+	VM        vm.Config
+	Analyzer  *analyzer.Config // nil = defaults matched to NCPU/Handlers
+	TLS       *tls.Config      // buffer-capacity ablations
+	Cache     *mem.CacheConfig
+	Tracer    *tracer.Config // comparator-bank ablations
+	MaxCycles int64
+
+	// AdaptiveReprofile implements the reselection the paper sketches in
+	// §6.2: when a selected STL consistently experiences unexpected buffer
+	// overflows during speculative execution, the decomposition is redone
+	// with that loop excluded and the program recompiled; the faster of the
+	// two runs wins.
+	AdaptiveReprofile bool
+
+	// NoInline disables microJIT method inlining (a §4.1 optimization,
+	// applied before loop analysis so helper loops join their caller's
+	// nest). Inlining is on by default.
+	NoInline bool
+}
+
+// DefaultOptions is the paper's configuration: 4 CPUs, new handlers, both
+// VM modifications enabled.
+func DefaultOptions() Options {
+	return Options{
+		NCPU:      4,
+		Handlers:  tls.NewHandlers,
+		VM:        vm.DefaultConfig(),
+		MaxCycles: 2_000_000_000,
+	}
+}
+
+// Phase captures one execution of the program.
+type Phase struct {
+	Cycles        int64
+	GCCycles      int64
+	GCRuns        int64
+	Instructions  int64
+	Output        []int64
+	Stats         tls.StateStats
+	Commits       int64
+	Violations    int64
+	Overflows     int64
+	AvgStoreBuf   float64
+	AvgLoadBuf    float64
+	OverflowBySTL map[int64]int64
+}
+
+// Result is the full pipeline outcome for one program.
+type Result struct {
+	Name string
+
+	Seq     Phase // plain sequential baseline
+	Profile Phase // annotated run with TEST
+	TLS     Phase // speculative run
+
+	CompileCycles   int64 // initial (annotated) compilation
+	RecompileCycles int64 // TLS recompilation of selected loops
+
+	Analysis        *analyzer.Result
+	PredictedCycles int64 // predicted TLS time, normalized to baseline cycles
+
+	OutputsMatch bool
+	Loops        map[int64]*tracer.LoopStats
+
+	// Adapted reports that the §6.2 overflow-feedback path fired: the
+	// decompositions were reselected and the program recompiled once more.
+	Adapted       bool
+	ExcludedLoops []int64
+}
+
+// SpeedupActual is baseline time over speculative time (Figure 8 "Actual").
+func (r *Result) SpeedupActual() float64 {
+	if r.TLS.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Seq.Cycles) / float64(r.TLS.Cycles)
+}
+
+// SpeedupPredicted is baseline over TEST-predicted time (Figure 8
+// "Predicted").
+func (r *Result) SpeedupPredicted() float64 {
+	if r.PredictedCycles == 0 {
+		return 0
+	}
+	return float64(r.Seq.Cycles) / float64(r.PredictedCycles)
+}
+
+// ProfileSlowdown is the relative profiling overhead (Figure 8
+// "Profiling"): annotated time over baseline time, minus one.
+func (r *Result) ProfileSlowdown() float64 {
+	if r.Seq.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Profile.Cycles)/float64(r.Seq.Cycles) - 1
+}
+
+// TotalSpeedup is the Figure 9 metric: baseline time over the sum of
+// speculative execution plus compilation, profiling and recompilation
+// overheads (garbage collection is inside the phase cycle counts).
+func (r *Result) TotalSpeedup() float64 {
+	total := r.TLS.Cycles + r.CompileCycles + r.RecompileCycles + r.ProfilingOverheadCycles()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Seq.Cycles) / float64(total)
+}
+
+// ProfilingOverheadCycles is the extra time the annotated run cost over the
+// baseline (the profile run performs the program's real work once).
+func (r *Result) ProfilingOverheadCycles() int64 {
+	d := r.Profile.Cycles - r.Seq.Cycles
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// SerialFraction is the share of speculative-run machine time spent outside
+// STLs (Table 3 column i).
+func (r *Result) SerialFraction() float64 {
+	if r.TLS.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TLS.Stats.Serial) / float64(r.TLS.Cycles)
+}
+
+// Run drives the full pipeline.
+func Run(bp *bytecode.Program, opts Options) (*Result, error) {
+	if opts.NCPU == 0 {
+		opts = DefaultOptions()
+	}
+	res := &Result{Name: bp.Name}
+	if !opts.NoInline {
+		bp = jit.Inline(bp)
+	}
+	info := cfg.AnalyzeProgram(bp)
+
+	// Baseline sequential run (plain code, no annotations).
+	plainImg, _, err := jit.Compile(bp, info, jit.ModePlain, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: plain compile: %w", err)
+	}
+	seq, _, err := execute(bp, plainImg, opts, false)
+	if err != nil {
+		return nil, fmt.Errorf("core: sequential run: %w", err)
+	}
+	res.Seq = seq
+
+	// Step 1-2: annotated compile, profiled sequential run.
+	annImg, annRep, err := jit.Compile(bp, info, jit.ModeAnnotated, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: annotated compile: %w", err)
+	}
+	res.CompileCycles = annRep.Cycles
+	prof, tr, err := execute(bp, annImg, opts, true)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling run: %w", err)
+	}
+	res.Profile = prof
+	res.Loops = tr.Loops()
+
+	// Step 3: choose decompositions.
+	acfg := analyzer.DefaultConfig()
+	if opts.Analyzer != nil {
+		acfg = *opts.Analyzer
+	} else {
+		acfg.NCPU = opts.NCPU
+		acfg.Handlers = opts.Handlers
+		acfg.ParallelAlloc = opts.VM.ParallelAlloc
+		acfg.ElideLocks = opts.VM.ElideLocks
+	}
+	res.Analysis = analyzer.Select(info, tr.Loops(), prof.Cycles, acfg)
+	// The prediction is in profiled-run cycles; normalize to baseline.
+	if prof.Cycles > 0 {
+		res.PredictedCycles = res.Analysis.PredictedCycles * seq.Cycles / prof.Cycles
+	}
+
+	// Step 4-5: recompile selected loops, run speculative code.
+	tlsImg, tlsRep, err := jit.Compile(bp, info, jit.ModeTLS, res.Analysis.Selection)
+	if err != nil {
+		return nil, fmt.Errorf("core: TLS recompile: %w", err)
+	}
+	res.RecompileCycles = tlsRep.Cycles
+	spec, _, err := execute(bp, tlsImg, opts, false)
+	if err != nil {
+		return nil, fmt.Errorf("core: TLS run: %w", err)
+	}
+	res.TLS = spec
+
+	// §6.2 feedback: a selected STL whose threads keep overflowing the
+	// speculative buffers at run time (something the averaged profile can
+	// underestimate) triggers reselection without it.
+	if opts.AdaptiveReprofile {
+		if err := adapt(bp, info, res, acfg, opts); err != nil {
+			return nil, err
+		}
+	}
+
+	res.OutputsMatch = equalOutputs(res.Seq.Output, res.Profile.Output) &&
+		equalOutputs(res.Seq.Output, res.TLS.Output)
+	return res, nil
+}
+
+// adapt reselects decompositions excluding loops with heavy runtime
+// overflow, recompiles and reruns; the faster correct run is kept.
+func adapt(bp *bytecode.Program, info *cfg.ProgramInfo, res *Result,
+	acfg analyzer.Config, opts Options) error {
+	var excluded []int64
+	threshold := res.TLS.Commits / 8
+	if threshold < 16 {
+		threshold = 16
+	}
+	for loopID, n := range res.TLS.OverflowBySTL {
+		if n >= threshold {
+			excluded = append(excluded, loopID)
+		}
+	}
+	if len(excluded) == 0 {
+		return nil
+	}
+	acfg.ExcludeLoops = map[int64]bool{}
+	for _, id := range excluded {
+		acfg.ExcludeLoops[id] = true
+	}
+	analysis := analyzer.Select(info, res.Loops, res.Profile.Cycles, acfg)
+	img, rep, err := jit.Compile(bp, info, jit.ModeTLS, analysis.Selection)
+	if err != nil {
+		return fmt.Errorf("core: adaptive recompile: %w", err)
+	}
+	spec, _, err := execute(bp, img, opts, false)
+	if err != nil {
+		return fmt.Errorf("core: adaptive TLS run: %w", err)
+	}
+	res.RecompileCycles += rep.Cycles // the second recompilation is real cost
+	if equalOutputs(res.Seq.Output, spec.Output) && spec.Cycles < res.TLS.Cycles {
+		res.TLS = spec
+		res.Analysis = analysis
+		res.Adapted = true
+		res.ExcludedLoops = excluded
+	}
+	return nil
+}
+
+func equalOutputs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// execute runs one image on a fresh machine.
+func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile bool) (Phase, *tracer.Tracer, error) {
+	rt := vm.New(bp, opts.VM)
+	mopts := hydra.Options{
+		NCPU:     opts.NCPU,
+		Handlers: opts.Handlers,
+		TLS:      opts.TLS,
+		Cache:    opts.Cache,
+		Tracer:   opts.Tracer,
+		Profile:  profile,
+	}
+	m := hydra.NewMachine(img, rt, mopts)
+	m.Boot()
+	rt.Install(m)
+	maxC := opts.MaxCycles
+	if maxC == 0 {
+		maxC = 2_000_000_000
+	}
+	err := m.Run(maxC)
+	ph := Phase{
+		Cycles:        m.Clock,
+		GCCycles:      m.GCCycles,
+		GCRuns:        m.GCRuns,
+		Instructions:  m.Instructions,
+		Output:        m.Output,
+		Stats:         m.TLS.Stats,
+		Commits:       m.TLS.Commits,
+		Violations:    m.TLS.Violations,
+		Overflows:     m.TLS.Overflows,
+		OverflowBySTL: m.OverflowBySTL,
+	}
+	ph.AvgStoreBuf, ph.AvgLoadBuf = m.TLS.AvgBufferLines()
+	return ph, m.Tracer, err
+}

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"jrpm/internal/bytecode"
+	fe "jrpm/internal/frontend"
+	"jrpm/internal/tls"
+	"jrpm/internal/vm"
+)
+
+// vectorKernel: a[i] = i*i + i over n elements, checksummed — embarrassingly
+// parallel, the pipeline should select and speed it up.
+func vectorKernel(n int64) *bytecode.Program {
+	p := fe.NewProgram("vector")
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(n))),
+		fe.ForUp("i", fe.I(0), fe.I(n),
+			fe.SetIdx(fe.L("a"), fe.L("i"), fe.Add(fe.Mul(fe.L("i"), fe.L("i")), fe.L("i"))),
+		),
+		fe.Set("sum", fe.I(0)),
+		fe.ForUp("j", fe.I(0), fe.I(n),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.Idx(fe.L("a"), fe.L("j")))),
+		),
+		fe.Print(fe.L("sum")),
+	)
+	return p.MustBuild()
+}
+
+// serialKernel: pointer-chasing accumulator with an early-read/late-write
+// carried dependency that no optimization removes; the analyzer should
+// refuse to select it (or at most gain nothing).
+func serialKernel(n int64) *bytecode.Program {
+	p := fe.NewProgram("serial")
+	p.Func("main", nil, false).Body(
+		fe.Set("x", fe.I(7)),
+		fe.ForUp("i", fe.I(0), fe.I(n),
+			fe.Set("t", fe.Rem(fe.Mul(fe.L("x"), fe.L("x")), fe.I(1000003))),
+			fe.Set("u", fe.Add(fe.L("t"), fe.Mul(fe.L("t"), fe.I(3)))),
+			fe.Set("x", fe.Add(fe.Rem(fe.L("u"), fe.I(999983)), fe.I(1))),
+		),
+		fe.Print(fe.L("x")),
+	)
+	return p.MustBuild()
+}
+
+func TestPipelineSelectsAndSpeedsUpParallelLoop(t *testing.T) {
+	res, err := Run(vectorKernel(400), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputsMatch {
+		t.Fatalf("outputs differ: seq %v, tls %v", res.Seq.Output, res.TLS.Output)
+	}
+	selected := 0
+	for _, d := range res.Analysis.Decisions {
+		if d.Selected {
+			selected++
+		}
+	}
+	if selected == 0 {
+		for _, d := range res.Analysis.Decisions {
+			t.Logf("loop %d: %s (pred %.2f)", d.LoopID, d.Reason, d.Prediction.Speedup)
+		}
+		t.Fatal("no loops selected for a parallel kernel")
+	}
+	if sp := res.SpeedupActual(); sp < 1.5 {
+		t.Errorf("actual speedup = %.2f, want > 1.5", sp)
+	}
+	if sp := res.SpeedupPredicted(); sp < 1.2 {
+		t.Errorf("predicted speedup = %.2f", sp)
+	}
+	if res.ProfileSlowdown() < 0 || res.ProfileSlowdown() > 0.6 {
+		t.Errorf("profiling slowdown = %.2f", res.ProfileSlowdown())
+	}
+}
+
+func TestTotalSpeedupPositiveOnLongRun(t *testing.T) {
+	// Figure 9's point: compile/profile/recompile overheads amortize over
+	// realistic run lengths. A longer kernel must show net total speedup.
+	res, err := Run(vectorKernel(4000), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSpeedup() <= 1.0 {
+		t.Errorf("total speedup = %.2f (overheads swamped the gain)", res.TotalSpeedup())
+	}
+}
+
+func TestPipelineRespectsSerialLoop(t *testing.T) {
+	res, err := Run(serialKernel(300), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputsMatch {
+		t.Fatal("outputs differ")
+	}
+	// Whatever the analyzer decided, the run must not be much slower than
+	// sequential, and the prediction must not promise a big win.
+	if sp := res.SpeedupPredicted(); sp > 2.0 {
+		t.Errorf("predicted speedup %.2f for a serial chain is wrong", sp)
+	}
+	if res.TLS.Cycles > res.Seq.Cycles*3 {
+		t.Errorf("TLS run %.1fx slower than sequential", float64(res.TLS.Cycles)/float64(res.Seq.Cycles))
+	}
+}
+
+func TestPipelineNestedLoopSelectsOneLevel(t *testing.T) {
+	// Classic 2D sweep: outer over rows, inner over columns.
+	p := fe.NewProgram("nest")
+	p.Func("main", nil, false).Body(
+		fe.Set("n", fe.I(24)),
+		fe.Set("a", fe.NewArr(fe.Mul(fe.L("n"), fe.L("n")))),
+		fe.ForUp("i", fe.I(0), fe.L("n"),
+			fe.ForUp("j", fe.I(0), fe.L("n"),
+				fe.SetIdx(fe.L("a"), fe.Add(fe.Mul(fe.L("i"), fe.L("n")), fe.L("j")),
+					fe.Mul(fe.L("i"), fe.L("j"))),
+			),
+		),
+		fe.Set("sum", fe.I(0)),
+		fe.ForUp("k", fe.I(0), fe.Mul(fe.L("n"), fe.L("n")),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.Idx(fe.L("a"), fe.L("k")))),
+		),
+		fe.Print(fe.L("sum")),
+	)
+	res, err := Run(p.MustBuild(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputsMatch {
+		t.Fatal("outputs differ")
+	}
+	// In the i/j nest at most one level may be selected.
+	byMethod := map[int][]int{}
+	for _, d := range res.Analysis.Decisions {
+		if d.Selected && !d.Inner {
+			byMethod[d.MethodID] = append(byMethod[d.MethodID], d.LoopIndex)
+		}
+	}
+	// The two nested loops are indices of the same method; ensure no
+	// ancestor/descendant pair is selected together by checking depths.
+	depthCount := map[int]int{}
+	for _, d := range res.Analysis.Decisions {
+		if d.Selected && !d.Inner {
+			depthCount[d.Depth]++
+		}
+	}
+	if res.SpeedupActual() < 1.2 {
+		t.Errorf("speedup = %.2f", res.SpeedupActual())
+	}
+}
+
+func TestPipelineWithAllocationAndVMModifications(t *testing.T) {
+	// Per-iteration allocation: with per-CPU free lists the loop
+	// parallelizes; with the shared list it serializes on the allocator.
+	build := func() *bytecode.Program {
+		p := fe.NewProgram("alloc")
+		box := p.Class("Box", "v", "w", "x", "y")
+		p.Func("main", nil, false).Body(
+			fe.Set("sum", fe.I(0)),
+			fe.ForUp("i", fe.I(0), fe.I(200),
+				fe.Set("b", fe.NewE(box)),
+				fe.SetField(fe.L("b"), box, "v", fe.Mul(fe.L("i"), fe.I(3))),
+				fe.Set("sum", fe.Add(fe.L("sum"), fe.FieldE(fe.L("b"), box, "v"))),
+			),
+			fe.Print(fe.L("sum")),
+		)
+		return p.MustBuild()
+	}
+	optsOn := DefaultOptions()
+	resOn, err := Run(build(), optsOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsOff := DefaultOptions()
+	optsOff.VM = vm.Config{ParallelAlloc: false, ElideLocks: true}
+	resOff, err := Run(build(), optsOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resOn.OutputsMatch || !resOff.OutputsMatch {
+		t.Fatal("outputs differ")
+	}
+	if resOn.SpeedupActual() <= resOff.SpeedupActual() {
+		t.Errorf("parallel allocator should help: with %.2f, without %.2f",
+			resOn.SpeedupActual(), resOff.SpeedupActual())
+	}
+}
+
+func TestPipelineSynchronizedLoop(t *testing.T) {
+	// A synchronized block per iteration: lock elision keeps it parallel.
+	build := func() *bytecode.Program {
+		p := fe.NewProgram("synced")
+		obj := p.Class("Shared", "slot")
+		p.Func("main", nil, false).Body(
+			fe.Set("o", fe.NewE(obj)),
+			fe.Set("a", fe.NewArr(fe.I(160))),
+			fe.ForUp("i", fe.I(0), fe.I(160),
+				fe.Synchronized(fe.L("o"),
+					fe.SetIdx(fe.L("a"), fe.L("i"), fe.Mul(fe.L("i"), fe.L("i"))),
+				),
+			),
+			fe.Set("s", fe.I(0)),
+			fe.ForUp("j", fe.I(0), fe.I(160),
+				fe.Set("s", fe.Add(fe.L("s"), fe.Idx(fe.L("a"), fe.L("j")))),
+			),
+			fe.Print(fe.L("s")),
+		)
+		return p.MustBuild()
+	}
+	on := DefaultOptions()
+	resOn, err := Run(build(), on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := DefaultOptions()
+	off.VM = vm.Config{ParallelAlloc: true, ElideLocks: false}
+	resOff, err := Run(build(), off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resOn.OutputsMatch || !resOff.OutputsMatch {
+		t.Fatal("outputs differ")
+	}
+	if resOn.TLS.Violations > resOff.TLS.Violations {
+		t.Errorf("lock elision should not increase violations (%d vs %d)",
+			resOn.TLS.Violations, resOff.TLS.Violations)
+	}
+	if resOn.SpeedupActual() < resOff.SpeedupActual() {
+		t.Errorf("elision should help: on %.2f off %.2f", resOn.SpeedupActual(), resOff.SpeedupActual())
+	}
+}
+
+func TestOldHandlersSlower(t *testing.T) {
+	newOpts := DefaultOptions()
+	resNew, err := Run(vectorKernel(300), newOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldOpts := DefaultOptions()
+	oldOpts.Handlers = tls.OldHandlers
+	resOld, err := Run(vectorKernel(300), oldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOld.TLS.Cycles <= resNew.TLS.Cycles {
+		t.Errorf("old handlers should be slower: old %d, new %d",
+			resOld.TLS.Cycles, resNew.TLS.Cycles)
+	}
+}
+
+func TestResultAccessorsOnEmpty(t *testing.T) {
+	r := &Result{}
+	if r.SpeedupActual() != 0 || r.SpeedupPredicted() != 0 || r.TotalSpeedup() != 0 {
+		t.Error("zero-value result accessors should be 0")
+	}
+	if r.ProfileSlowdown() != 0 || r.SerialFraction() != 0 {
+		t.Error("zero-value fractions should be 0")
+	}
+}
+
+func TestExceptionCaughtInsideSelectedLoop(t *testing.T) {
+	// A conditional throw caught within the same iteration: speculative
+	// threads defer the exception until they become the head (§5.1), then
+	// take the in-STL handler without ending speculation.
+	p := fe.NewProgram("excloop")
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(200))),
+		fe.Set("errs", fe.I(0)),
+		fe.ForUp("i", fe.I(0), fe.I(200),
+			fe.Try(
+				fe.S(
+					// Every 7th iteration divides by zero.
+					fe.Set("d", fe.Sel(fe.Eq(fe.Rem(fe.L("i"), fe.I(7)), fe.I(0)), fe.I(0), fe.I(2))),
+					fe.SetIdx(fe.L("a"), fe.L("i"), fe.Div(fe.Mul(fe.L("i"), fe.I(6)), fe.L("d"))),
+				),
+				0, "e",
+				fe.S(fe.Inc("errs", 1)),
+			),
+		),
+		fe.Set("sum", fe.I(0)),
+		fe.ForUp("j", fe.I(0), fe.I(200),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.Idx(fe.L("a"), fe.L("j")))),
+		),
+		fe.Print(fe.L("sum")),
+		fe.Print(fe.L("errs")),
+	)
+	res, err := Run(p.MustBuild(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputsMatch {
+		t.Fatalf("outputs differ: seq=%v tls=%v", res.Seq.Output, res.TLS.Output)
+	}
+	if res.TLS.Output[1] != 29 { // ceil(200/7)
+		t.Fatalf("errs = %d, want 29", res.TLS.Output[1])
+	}
+}
+
+func TestPrintInsideLoopExcludedButCorrect(t *testing.T) {
+	p := fe.NewProgram("io")
+	p.Func("main", nil, false).Body(
+		fe.ForUp("i", fe.I(0), fe.I(10),
+			fe.Print(fe.Mul(fe.L("i"), fe.L("i"))),
+		),
+	)
+	res, err := Run(p.MustBuild(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputsMatch {
+		t.Fatal("outputs differ")
+	}
+	if len(res.TLS.Output) != 10 || res.TLS.Output[9] != 81 {
+		t.Fatalf("output = %v", res.TLS.Output)
+	}
+	for _, d := range res.Analysis.Decisions {
+		if d.Selected {
+			t.Fatal("IO loop must not be selected")
+		}
+	}
+}
+
+func TestRuntimeOverflowStallsStayCorrect(t *testing.T) {
+	// Tiny store buffer: threads overflow and stall until they are the
+	// head; results must still be exact.
+	opts := DefaultOptions()
+	cfg := tls.DefaultConfig(opts.NCPU)
+	cfg.StoreBufferLines = 4
+	opts.TLS = &cfg
+	res, err := Run(vectorKernel(300), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputsMatch {
+		t.Fatal("outputs differ under overflow stalls")
+	}
+}
+
+func TestGCDuringSpeculation(t *testing.T) {
+	// A selected loop allocating every iteration on a tiny heap: the
+	// collection request arrives from a speculative thread, which must
+	// quiesce the machine (violating younger threads) before collecting.
+	p := fe.NewProgram("gcspec")
+	box := p.Class("Box", "v", "w")
+	p.Func("main", nil, false).Body(
+		fe.Set("sum", fe.I(0)),
+		fe.ForUp("i", fe.I(0), fe.I(400),
+			fe.Set("b", fe.NewE(box)),
+			fe.SetField(fe.L("b"), box, "v", fe.L("i")),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.FieldE(fe.L("b"), box, "v"))),
+		),
+		fe.Print(fe.L("sum")),
+	)
+	opts := DefaultOptions()
+	opts.VM.HeapWords = 800 // forces multiple collections mid-loop
+	res, err := Run(p.MustBuild(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutputsMatch {
+		t.Fatalf("outputs differ: seq=%v tls=%v", res.Seq.Output, res.TLS.Output)
+	}
+	if res.TLS.GCRuns == 0 {
+		t.Fatal("expected collections during the speculative run")
+	}
+}
+
+func TestAdaptiveReprofileOnOverflow(t *testing.T) {
+	// The profiled footprint is two heap lines per iteration — exactly at a
+	// 2-line buffer's capacity, so TEST predicts no overflow. The TLS code
+	// additionally banks the reduction partial in the runtime stack every
+	// iteration (profile-invisible state), so every committed thread
+	// overflows at run time — the §6.2 gap the adaptive path watches for.
+	//
+	// The contract under test: the overflow feedback signal is collected
+	// per loop, the adaptive pipeline re-evaluates the selection, and it
+	// never produces a slower (or incorrect) run than the plain pipeline —
+	// it only swaps in the reselected code when that is actually faster.
+	// (Overflow stalls are pure waiting in this machine, so the stalled
+	// run often remains the best available choice.)
+	build := func() *bytecode.Program {
+		p := fe.NewProgram("adaptive")
+		p.Func("main", nil, false).Body(
+			fe.Set("b", fe.NewArr(fe.I(256))),
+			fe.Set("c", fe.NewArr(fe.I(256))),
+			fe.Set("sum", fe.I(0)),
+			fe.ForUp("i", fe.I(0), fe.I(256),
+				fe.SetIdx(fe.L("b"), fe.L("i"), fe.Mul(fe.L("i"), fe.I(3))),
+				fe.SetIdx(fe.L("c"), fe.L("i"), fe.Add(fe.L("i"), fe.I(7))),
+				fe.Set("sum", fe.Add(fe.L("sum"), fe.Idx(fe.L("b"), fe.L("i")))),
+			),
+			fe.Print(fe.L("sum")),
+		)
+		return p.MustBuild()
+	}
+	opts := DefaultOptions()
+	cfg := tls.DefaultConfig(opts.NCPU)
+	cfg.StoreBufferLines = 2
+	opts.TLS = &cfg
+	plain, err := Run(build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TLS.Overflows < 16 {
+		t.Fatalf("scenario produced only %d overflow stalls", plain.TLS.Overflows)
+	}
+	if len(plain.TLS.OverflowBySTL) == 0 {
+		t.Fatal("per-STL overflow attribution missing")
+	}
+	opts.AdaptiveReprofile = true
+	adapted, err := Run(build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adapted.OutputsMatch {
+		t.Fatal("outputs differ after adaptation")
+	}
+	if adapted.TLS.Cycles > plain.TLS.Cycles {
+		t.Errorf("adaptation made the run slower: %d vs %d", adapted.TLS.Cycles, plain.TLS.Cycles)
+	}
+	if adapted.Adapted && len(adapted.ExcludedLoops) == 0 {
+		t.Error("Adapted set without excluded loops")
+	}
+}
+
+func TestOutOfMemoryDetected(t *testing.T) {
+	// Every allocation stays reachable through a live array, so collection
+	// can never free anything: the machine must fail with an out-of-memory
+	// error instead of collecting forever.
+	p := fe.NewProgram("oom")
+	box := p.Class("Box", "a", "b", "c", "d", "e", "f")
+	p.Func("main", nil, false).Body(
+		fe.Set("keep", fe.NewArr(fe.I(512))),
+		fe.ForUp("i", fe.I(0), fe.I(512),
+			fe.SetIdx(fe.L("keep"), fe.L("i"), fe.NewE(box)),
+		),
+		fe.Print(fe.Len(fe.L("keep"))),
+	)
+	opts := DefaultOptions()
+	opts.VM.HeapWords = 900 // 512 live 8-word objects cannot fit
+	_, err := Run(p.MustBuild(), opts)
+	if err == nil {
+		t.Fatal("expected an out-of-memory error")
+	}
+	if !strings.Contains(err.Error(), "out of memory") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

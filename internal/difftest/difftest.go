@@ -1,0 +1,278 @@
+// Package difftest generates random programs and checks the whole Jrpm
+// stack — frontend → bytecode → microJIT → Hydra, in plain, annotated and
+// speculative modes — against an independent AST interpreter
+// (frontend.Interpret). Any divergence between the oracle and any execution
+// mode is a bug somewhere in the stack; the speculative comparison in
+// particular exercises TLS correctness (forwarding, violations, commits,
+// inductors, reductions, sync locks) on shapes no hand-written test covers.
+//
+// Generated programs always terminate: loops have constant bounds, array
+// indices are range-reduced, divisors are forced nonzero, and recursion is
+// not generated. Programs end by printing checksums of every local and
+// array so that silent state corruption surfaces.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jrpm/internal/bytecode"
+	fe "jrpm/internal/frontend"
+)
+
+// Config bounds the generator.
+type Config struct {
+	MaxLoops     int // top-level loop statements in main
+	MaxBodyStmts int // statements per loop body
+	MaxExprDepth int
+	MaxLocals    int
+	ArrayLen     int64
+	LoopIters    int64
+}
+
+// DefaultConfig returns generation bounds that produce programs with a few
+// hundred thousand simulated cycles.
+func DefaultConfig() Config {
+	return Config{
+		MaxLoops:     3,
+		MaxBodyStmts: 6,
+		MaxExprDepth: 3,
+		MaxLocals:    5,
+		ArrayLen:     48,
+		LoopIters:    40,
+	}
+}
+
+// Case is one generated program.
+type Case struct {
+	Seed    int64
+	Program *fe.Program
+}
+
+// Generate builds a random program from a seed. The same seed always
+// produces the same program.
+func Generate(seed int64, cfg Config) *Case {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	return &Case{Seed: seed, Program: g.program(seed)}
+}
+
+type gen struct {
+	rng     *rand.Rand
+	cfg     Config
+	locals  []string // int locals available for reads
+	arrays  []string
+	helper  *fe.FuncRef
+	monitor string // a shared object for synchronized blocks
+}
+
+func (g *gen) program(seed int64) *fe.Program {
+	p := fe.NewProgram(fmt.Sprintf("fuzz-%d", seed))
+	// A small helper function: call sites exercise argument passing, the
+	// callee frame discipline under speculation, and (since it is a leaf)
+	// the microJIT inliner.
+	g.helper = p.Func("mix", []string{"x", "y"}, true)
+	k1, k2 := g.rng.Int63n(97)+3, g.rng.Int63n(31)+1
+	g.helper.Body(
+		fe.If(fe.Lt(fe.L("x"), fe.L("y")),
+			fe.S(fe.Ret(fe.Add(fe.Mul(fe.L("x"), fe.I(k1)), fe.L("y")))), nil),
+		fe.Ret(fe.BXor(fe.L("x"), fe.Add(fe.L("y"), fe.I(k2)))),
+	)
+	mon := p.Class("Mon", "x")
+	main := p.Func("main", nil, false)
+
+	var body []fe.Stmt
+	g.monitor = "mon"
+	body = append(body, fe.Set("mon", fe.NewE(mon)))
+	// Declare locals with seed-derived values.
+	n := 2 + g.rng.Intn(g.cfg.MaxLocals-1)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("v%d", i)
+		body = append(body, fe.Set(name, fe.I(g.rng.Int63n(1000)-500)))
+		g.locals = append(g.locals, name)
+	}
+	// One or two arrays, pre-filled deterministically.
+	na := 1 + g.rng.Intn(2)
+	for i := 0; i < na; i++ {
+		name := fmt.Sprintf("a%d", i)
+		body = append(body, fe.Set(name, fe.NewArr(fe.I(g.cfg.ArrayLen))))
+		g.arrays = append(g.arrays, name)
+		idx := fmt.Sprintf("fi%d", i)
+		body = append(body, fe.ForUp(idx, fe.I(0), fe.I(g.cfg.ArrayLen),
+			fe.SetIdx(fe.L(name), fe.L(idx),
+				fe.Rem(fe.Mul(fe.L(idx), fe.I(g.rng.Int63n(97)+3)), fe.I(1009))),
+		)...)
+		g.locals = append(g.locals, idx)
+	}
+
+	// Random loops.
+	loops := 1 + g.rng.Intn(g.cfg.MaxLoops)
+	for i := 0; i < loops; i++ {
+		body = append(body, g.loop(i)...)
+	}
+
+	// Checksums: every local and every array.
+	for _, l := range g.locals {
+		body = append(body, fe.Print(fe.L(l)))
+	}
+	for ai, a := range g.arrays {
+		ck := fmt.Sprintf("ck%d", ai)
+		body = append(body, fe.Set(ck, fe.I(0)))
+		body = append(body, fe.ForUp("q"+ck, fe.I(0), fe.I(g.cfg.ArrayLen),
+			fe.Set(ck, fe.Add(fe.Mul(fe.L(ck), fe.I(31)),
+				fe.Idx(fe.L(a), fe.L("q"+ck)))),
+		)...)
+		body = append(body, fe.Print(fe.L(ck)))
+	}
+	main.Body(fe.Block(body))
+	return p
+}
+
+// loop emits one counted loop with a random body. Depending on the draw it
+// becomes an independent loop, a reduction, a carried chain, or a nest.
+func (g *gen) loop(id int) []fe.Stmt {
+	iv := fmt.Sprintf("i%d", id)
+	iters := g.cfg.LoopIters/2 + g.rng.Int63n(g.cfg.LoopIters)
+	var body []fe.Stmt
+	stmts := 1 + g.rng.Intn(g.cfg.MaxBodyStmts)
+	for s := 0; s < stmts; s++ {
+		body = append(body, g.stmt(iv, id, s))
+	}
+	// Occasionally nest a small inner loop.
+	if g.rng.Intn(3) == 0 {
+		jv := fmt.Sprintf("j%d", id)
+		inner := []fe.Stmt{g.stmt(jv, id, 99)}
+		body = append(body, fe.ForUp(jv, fe.I(0), fe.I(4+g.rng.Int63n(8)), toAny(inner)...)...)
+		g.locals = append(g.locals, jv)
+	}
+	g.locals = append(g.locals, iv)
+	return fe.ForUp(iv, fe.I(0), fe.I(iters), toAny(body)...)
+}
+
+func toAny(in []fe.Stmt) []any {
+	out := make([]any, len(in))
+	for i, s := range in {
+		out[i] = s
+	}
+	return out
+}
+
+// stmt emits one random statement inside a loop with counter iv.
+func (g *gen) stmt(iv string, loopID, sid int) fe.Stmt {
+	switch g.rng.Intn(9) {
+	case 6: // try/catch around a possibly out-of-range access
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		l := g.pickLocal()
+		return fe.Try(
+			fe.S(fe.Set(l, fe.Idx(fe.L(a),
+				fe.Sub(g.index(iv), fe.I(g.rng.Int63n(3)))))), // may go to -1/-2
+			0, fmt.Sprintf("exc%d_%d", loopID, sid),
+			fe.S(fe.Set(l, fe.I(-1))),
+		)
+	case 7: // synchronized update (elided during speculation)
+		if g.monitor == "" {
+			return fe.Set(g.pickLocal(), g.expr(iv, 1))
+		}
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		return fe.Synchronized(fe.L(g.monitor),
+			fe.SetIdx(fe.L(a), g.index(iv), g.expr(iv, 2)),
+		)
+	case 8: // float round trip (bit-exact in both implementations)
+		l := g.pickLocal()
+		return fe.Set(l, fe.ToInt(fe.FMul(fe.ToFloat(fe.BAnd(g.expr(iv, 1), fe.I(0xfff))),
+			fe.F(float64(g.rng.Intn(7)+1)))))
+	}
+	switch g.rng.Intn(6) {
+	case 0: // array store at a range-reduced index
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		return fe.SetIdx(fe.L(a), g.index(iv), g.expr(iv, g.cfg.MaxExprDepth))
+	case 1: // accumulate into a fresh or existing local (reduction shape)
+		l := g.pickLocal()
+		return fe.Set(l, fe.Add(fe.L(l), g.expr(iv, 2)))
+	case 2: // carried chain (unoptimizable dependency)
+		l := g.pickLocal()
+		return fe.Set(l, fe.Rem(fe.Add(fe.Mul(fe.L(l), fe.I(g.rng.Int63n(29)+3)),
+			g.expr(iv, 1)), fe.I(9973)))
+	case 3: // conditional update
+		return fe.If(g.cond(iv),
+			fe.S(fe.Set(g.pickLocal(), g.expr(iv, 2))),
+			fe.S(fe.Set(g.pickLocal(), g.expr(iv, 1))))
+	case 4: // local from array read, or through the helper function
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		if g.rng.Intn(2) == 0 {
+			return fe.Set(g.pickLocal(),
+				fe.CallE(g.helper, fe.Idx(fe.L(a), g.index(iv)), g.expr(iv, 1)))
+		}
+		return fe.Set(g.pickLocal(), fe.Idx(fe.L(a), g.index(iv)))
+	default: // plain recompute
+		return fe.Set(g.pickLocal(), g.expr(iv, g.cfg.MaxExprDepth))
+	}
+}
+
+func (g *gen) pickLocal() string {
+	return g.locals[g.rng.Intn(len(g.locals))]
+}
+
+// index yields an always-in-range array index expression.
+func (g *gen) index(iv string) fe.Expr {
+	base := g.expr(iv, 1)
+	return fe.Rem(fe.BAnd(base, fe.I(0x7fffffff)), fe.I(g.cfg.ArrayLen))
+}
+
+func (g *gen) cond(iv string) fe.Cond {
+	a, b := g.expr(iv, 1), g.expr(iv, 1)
+	switch g.rng.Intn(4) {
+	case 0:
+		return fe.Lt(a, b)
+	case 1:
+		return fe.Ge(a, b)
+	case 2:
+		return fe.Eq(fe.Rem(fe.BAnd(a, fe.I(0xffff)), fe.I(3)), fe.I(0))
+	default:
+		return fe.AndC(fe.Le(a, b), fe.Ne(a, fe.I(7)))
+	}
+}
+
+// expr yields a random integer expression over locals, the loop counter and
+// constants; division is guarded nonzero.
+func (g *gen) expr(iv string, depth int) fe.Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fe.I(g.rng.Int63n(200) - 100)
+		case 1:
+			return fe.L(iv)
+		default:
+			return fe.L(g.pickLocal())
+		}
+	}
+	a := g.expr(iv, depth-1)
+	b := g.expr(iv, depth-1)
+	switch g.rng.Intn(8) {
+	case 0:
+		return fe.Add(a, b)
+	case 1:
+		return fe.Sub(a, b)
+	case 2:
+		return fe.Mul(fe.BAnd(a, fe.I(0xffff)), fe.BAnd(b, fe.I(0xff)))
+	case 3:
+		return fe.Div(a, fe.Add(fe.BAnd(b, fe.I(15)), fe.I(1)))
+	case 4:
+		return fe.BXor(a, b)
+	case 5:
+		return fe.BAnd(a, b)
+	case 6:
+		return fe.MaxI(a, b)
+	default:
+		return fe.Shr(a, fe.BAnd(b, fe.I(7)))
+	}
+}
+
+// Build compiles the case to verified bytecode.
+func (c *Case) Build() (*bytecode.Program, error) {
+	return c.Program.Build()
+}
+
+// Oracle interprets the case's AST and returns the expected output.
+func (c *Case) Oracle() ([]int64, error) {
+	return c.Program.Interpret(50_000_000)
+}

@@ -1,0 +1,128 @@
+package difftest
+
+import (
+	"testing"
+
+	"jrpm/internal/core"
+	"jrpm/internal/tls"
+)
+
+// TestDifferentialSuite is the headline differential test: for a spread of
+// seeds, the full pipeline's sequential, profiled and speculative runs must
+// all match the independent AST interpreter.
+func TestDifferentialSuite(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		c := Generate(seed, DefaultConfig())
+		bp, err := c.Build()
+		if err != nil {
+			t.Fatalf("seed %d: generated program fails verification: %v", seed, err)
+		}
+		want, err := c.Oracle()
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		res, err := core.Run(bp, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: pipeline: %v", seed, err)
+		}
+		for phase, got := range map[string][]int64{
+			"sequential":  res.Seq.Output,
+			"profiled":    res.Profile.Output,
+			"speculative": res.TLS.Output,
+		} {
+			if !equal(got, want) {
+				t.Errorf("seed %d: %s output %v, oracle %v", seed, phase, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialSmallBuffers repeats a subset of seeds with tiny
+// speculative buffers and old handlers: the overflow-stall and restart
+// machinery must never change results.
+func TestDifferentialSmallBuffers(t *testing.T) {
+	opts := core.DefaultOptions()
+	cfg := tls.DefaultConfig(opts.NCPU)
+	cfg.StoreBufferLines = 3
+	cfg.LoadBufferLines = 16
+	opts.TLS = &cfg
+	opts.Handlers = tls.OldHandlers
+	for seed := int64(100); seed < 120; seed++ {
+		c := Generate(seed, DefaultConfig())
+		bp, err := c.Build()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := c.Oracle()
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		res, err := core.Run(bp, opts)
+		if err != nil {
+			t.Fatalf("seed %d: pipeline: %v", seed, err)
+		}
+		if !equal(res.TLS.Output, want) {
+			t.Errorf("seed %d: speculative output %v, oracle %v", seed, res.TLS.Output, want)
+		}
+	}
+}
+
+// TestDifferentialCPUCounts verifies sequential semantics hold on 2- and
+// 8-CPU machines too.
+func TestDifferentialCPUCounts(t *testing.T) {
+	for _, ncpu := range []int{2, 8} {
+		opts := core.DefaultOptions()
+		opts.NCPU = ncpu
+		for seed := int64(200); seed < 212; seed++ {
+			c := Generate(seed, DefaultConfig())
+			bp, err := c.Build()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			want, err := c.Oracle()
+			if err != nil {
+				t.Fatalf("seed %d: oracle: %v", seed, err)
+			}
+			res, err := core.Run(bp, opts)
+			if err != nil {
+				t.Fatalf("ncpu %d seed %d: pipeline: %v", ncpu, seed, err)
+			}
+			if !equal(res.TLS.Output, want) {
+				t.Errorf("ncpu %d seed %d: output %v, oracle %v", ncpu, seed, res.TLS.Output, want)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := Generate(42, DefaultConfig())
+	b := Generate(42, DefaultConfig())
+	wa, err := a.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := b.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(wa, wb) {
+		t.Fatal("same seed produced different programs")
+	}
+}
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,331 @@
+package frontend
+
+import (
+	"fmt"
+
+	"jrpm/internal/bytecode"
+)
+
+// emitter lowers one function's AST to bytecode.
+type emitter struct {
+	f        *FuncRef
+	code     []bytecode.Ins
+	locals   map[string]int
+	handlers []bytecode.Handler
+
+	labels []int // label id → pc (-1 unbound)
+	fixups []struct {
+		pc, label int
+	}
+	loops  []loopLabels
+	tmpSeq int
+}
+
+type loopLabels struct{ cont, brk int }
+
+func (f *FuncRef) emit() (m *bytecode.Method, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	e := &emitter{f: f, locals: map[string]int{}}
+	for _, p := range f.params {
+		e.slot(p)
+	}
+	for _, s := range f.body {
+		e.stmt(s)
+	}
+	if f.returns {
+		if len(e.code) == 0 || !e.code[len(e.code)-1].Terminates() {
+			panic("value function falls off the end without a return")
+		}
+	} else {
+		// Always terminate void functions: a trailing loop's exit label may
+		// point one past the last emitted instruction.
+		e.emit(bytecode.RETURN, 0, 0)
+	}
+	for _, fx := range e.fixups {
+		pc := e.labels[fx.label]
+		if pc < 0 {
+			panic(fmt.Sprintf("unbound label %d", fx.label))
+		}
+		e.code[fx.pc].A = int64(pc)
+	}
+	return &bytecode.Method{
+		ID:        f.id,
+		Name:      f.name,
+		NArgs:     len(f.params),
+		NLocals:   len(e.locals),
+		HasResult: f.returns,
+		Code:      e.code,
+		Handlers:  e.handlers,
+	}, nil
+}
+
+func (e *emitter) emit(op bytecode.Op, a, b int64) int {
+	e.code = append(e.code, bytecode.Ins{Op: op, A: a, B: b})
+	return len(e.code) - 1
+}
+
+func (e *emitter) newLabel() int {
+	e.labels = append(e.labels, -1)
+	return len(e.labels) - 1
+}
+
+func (e *emitter) bind(l int) { e.labels[l] = len(e.code) }
+
+func (e *emitter) branch(op bytecode.Op, label int) {
+	pc := e.emit(op, -1, 0)
+	e.fixups = append(e.fixups, struct{ pc, label int }{pc, label})
+}
+
+func (e *emitter) slot(name string) int {
+	if s, ok := e.locals[name]; ok {
+		return s
+	}
+	s := len(e.locals)
+	e.locals[name] = s
+	return s
+}
+
+func (e *emitter) knownSlot(name string) int {
+	s, ok := e.locals[name]
+	if !ok {
+		panic(fmt.Sprintf("use of undeclared local %q", name))
+	}
+	return s
+}
+
+// expr emits code leaving the expression's value on the stack.
+func (e *emitter) expr(x Expr) {
+	switch v := x.(type) {
+	case intLit:
+		e.emit(bytecode.CONST, v.v, 0)
+	case floatLit:
+		e.emit(bytecode.FCONST, floatBits(v.v), 0)
+	case localRef:
+		e.emit(bytecode.LOAD, int64(e.knownSlot(v.name)), 0)
+	case binExpr:
+		e.expr(v.a)
+		e.expr(v.b)
+		e.emit(v.op, 0, 0)
+	case unExpr:
+		e.expr(v.a)
+		e.emit(v.op, 0, 0)
+	case callExpr:
+		if !v.fn.returns {
+			panic(fmt.Sprintf("void function %q used as expression", v.fn.name))
+		}
+		e.call(v)
+	case newExpr:
+		e.emit(bytecode.NEW, int64(v.c.id), 0)
+	case newArrays:
+		e.expr(v.n)
+		e.emit(bytecode.NEWARRAY, 0, 0)
+	case idxExpr:
+		e.expr(v.arr)
+		e.expr(v.i)
+		e.emit(bytecode.ALOAD, 0, 0)
+	case fieldExpr:
+		e.expr(v.obj)
+		e.emit(bytecode.GETFIELD, int64(v.off), 0)
+	case staticExpr:
+		e.emit(bytecode.GETSTATIC, int64(v.idx), 0)
+	case lenExpr:
+		e.expr(v.arr)
+		e.emit(bytecode.ARRLEN, 0, 0)
+	case condExpr:
+		els, end := e.newLabel(), e.newLabel()
+		e.condFalse(v.c, els)
+		e.expr(v.t)
+		e.branch(bytecode.GOTO, end)
+		e.bind(els)
+		e.expr(v.f)
+		e.bind(end)
+	default:
+		panic(fmt.Sprintf("unknown expression %T", x))
+	}
+}
+
+func (e *emitter) call(v callExpr) {
+	if len(v.args) != len(v.fn.params) {
+		panic(fmt.Sprintf("call to %q with %d args, want %d", v.fn.name, len(v.args), len(v.fn.params)))
+	}
+	for _, a := range v.args {
+		e.expr(a)
+	}
+	e.emit(bytecode.INVOKE, int64(v.fn.id), 0)
+}
+
+var negate = map[bytecode.Op]bytecode.Op{
+	bytecode.IFICMPEQ: bytecode.IFICMPNE, bytecode.IFICMPNE: bytecode.IFICMPEQ,
+	bytecode.IFICMPLT: bytecode.IFICMPGE, bytecode.IFICMPGE: bytecode.IFICMPLT,
+	bytecode.IFICMPGT: bytecode.IFICMPLE, bytecode.IFICMPLE: bytecode.IFICMPGT,
+	bytecode.IFFCMPLT: bytecode.IFFCMPGE, bytecode.IFFCMPGE: bytecode.IFFCMPLT,
+}
+
+// condTrue branches to lbl when c holds.
+func (e *emitter) condTrue(c Cond, lbl int) {
+	switch v := c.(type) {
+	case cmpCond:
+		e.expr(v.a)
+		e.expr(v.b)
+		e.branch(v.op, lbl)
+	case andCond:
+		skip := e.newLabel()
+		e.condFalse(v.a, skip)
+		e.condTrue(v.b, lbl)
+		e.bind(skip)
+	case orCond:
+		e.condTrue(v.a, lbl)
+		e.condTrue(v.b, lbl)
+	case notCond:
+		e.condFalse(v.c, lbl)
+	default:
+		panic(fmt.Sprintf("unknown condition %T", c))
+	}
+}
+
+// condFalse branches to lbl when c does not hold.
+func (e *emitter) condFalse(c Cond, lbl int) {
+	switch v := c.(type) {
+	case cmpCond:
+		e.expr(v.a)
+		e.expr(v.b)
+		e.branch(negate[v.op], lbl)
+	case andCond:
+		e.condFalse(v.a, lbl)
+		e.condFalse(v.b, lbl)
+	case orCond:
+		ok := e.newLabel()
+		e.condTrue(v.a, ok)
+		e.condFalse(v.b, lbl)
+		e.bind(ok)
+	case notCond:
+		e.condTrue(v.c, lbl)
+	default:
+		panic(fmt.Sprintf("unknown condition %T", c))
+	}
+}
+
+func (e *emitter) stmts(list []Stmt) {
+	for _, s := range list {
+		e.stmt(s)
+	}
+}
+
+func (e *emitter) stmt(s Stmt) {
+	switch v := s.(type) {
+	case setStmt:
+		e.expr(v.e)
+		e.emit(bytecode.STORE, int64(e.slot(v.name)), 0)
+	case setIdxStmt:
+		e.expr(v.arr)
+		e.expr(v.i)
+		e.expr(v.v)
+		e.emit(bytecode.ASTORE, 0, 0)
+	case setFieldStmt:
+		e.expr(v.obj)
+		e.expr(v.v)
+		e.emit(bytecode.PUTFIELD, int64(v.off), 0)
+	case setStaticStmt:
+		e.expr(v.v)
+		e.emit(bytecode.PUTSTATIC, int64(v.idx), 0)
+	case incStmt:
+		e.emit(bytecode.IINC, int64(e.knownSlot(v.name)), v.d)
+	case ifStmt:
+		els := e.newLabel()
+		e.condFalse(v.c, els)
+		e.stmts(v.then)
+		if len(v.els) == 0 {
+			e.bind(els)
+			return
+		}
+		end := e.newLabel()
+		if len(e.code) == 0 || !e.code[len(e.code)-1].Terminates() {
+			e.branch(bytecode.GOTO, end)
+		}
+		e.bind(els)
+		e.stmts(v.els)
+		e.bind(end)
+	case whileStmt:
+		head, exit := e.newLabel(), e.newLabel()
+		e.bind(head)
+		e.condFalse(v.c, exit)
+		e.loops = append(e.loops, loopLabels{cont: head, brk: exit})
+		e.stmts(v.body)
+		e.loops = e.loops[:len(e.loops)-1]
+		e.branch(bytecode.GOTO, head)
+		e.bind(exit)
+	case retStmt:
+		if v.e == nil {
+			if e.f.returns {
+				panic("void return in value function")
+			}
+			e.emit(bytecode.RETURN, 0, 0)
+			return
+		}
+		if !e.f.returns {
+			panic("value return in void function")
+		}
+		e.expr(v.e)
+		e.emit(bytecode.IRETURN, 0, 0)
+	case printStmt:
+		e.expr(v.e)
+		e.emit(bytecode.PRINT, 0, 0)
+	case exprStmt:
+		if c, ok := v.e.(callExpr); ok {
+			e.call(c)
+			if c.fn.returns {
+				e.emit(bytecode.POP, 0, 0)
+			}
+			return
+		}
+		e.expr(v.e)
+		e.emit(bytecode.POP, 0, 0)
+	case throwStmt:
+		e.expr(v.e)
+		e.emit(bytecode.ATHROW, 0, 0)
+	case tryStmt:
+		start := len(e.code)
+		end := e.newLabel()
+		e.stmts(v.body)
+		bodyEnd := len(e.code)
+		if bodyEnd == start {
+			panic("empty try body")
+		}
+		if !e.code[len(e.code)-1].Terminates() {
+			e.branch(bytecode.GOTO, end)
+		}
+		handler := len(e.code)
+		e.emit(bytecode.STORE, int64(e.slot(v.catchVar)), 0)
+		e.stmts(v.catch)
+		e.bind(end)
+		e.handlers = append(e.handlers, bytecode.Handler{
+			Start: start, End: bodyEnd, Target: handler, Kind: v.kind,
+		})
+	case syncStmt:
+		e.tmpSeq++
+		tmp := e.slot(fmt.Sprintf("_sync%d", e.tmpSeq))
+		e.expr(v.obj)
+		e.emit(bytecode.STORE, int64(tmp), 0)
+		e.emit(bytecode.LOAD, int64(tmp), 0)
+		e.emit(bytecode.MONITORENTER, 0, 0)
+		e.stmts(v.body)
+		e.emit(bytecode.LOAD, int64(tmp), 0)
+		e.emit(bytecode.MONITOREXIT, 0, 0)
+	case breakStmt:
+		if len(e.loops) == 0 {
+			panic("break outside loop")
+		}
+		e.branch(bytecode.GOTO, e.loops[len(e.loops)-1].brk)
+	case continueStmt:
+		if len(e.loops) == 0 {
+			panic("continue outside loop")
+		}
+		e.branch(bytecode.GOTO, e.loops[len(e.loops)-1].cont)
+	default:
+		panic(fmt.Sprintf("unknown statement %T", s))
+	}
+}

@@ -1,0 +1,447 @@
+// Package frontend provides a small AST and builder for writing programs
+// that compile to Jrpm bytecode — the stand-in for javac in this system.
+// The benchmark kernels (package workloads) are written against it.
+//
+// The language is deliberately Java-shaped: int64/float64 values, local
+// variables, static fields, objects with word fields, arrays, static
+// methods, while/for loops, if/else with short-circuit conditions,
+// try/catch, synchronized blocks, and print. Loops emit the while shape
+// (condition at the header, unconditional back edge) that the microJIT's
+// loop machinery expects from javac output.
+package frontend
+
+import (
+	"fmt"
+	"math"
+
+	"jrpm/internal/bytecode"
+)
+
+// Program accumulates classes, statics and functions.
+type Program struct {
+	name    string
+	classes []*ClassRef
+	statics map[string]int
+	funcs   []*FuncRef
+	byName  map[string]*FuncRef
+}
+
+// NewProgram starts an empty program.
+func NewProgram(name string) *Program {
+	return &Program{name: name, statics: map[string]int{}, byName: map[string]*FuncRef{}}
+}
+
+// ClassRef names a declared class and its field layout.
+type ClassRef struct {
+	id     int
+	name   string
+	fields map[string]int
+}
+
+// Class declares a class with named word fields.
+func (p *Program) Class(name string, fields ...string) *ClassRef {
+	c := &ClassRef{id: len(p.classes), name: name, fields: map[string]int{}}
+	for i, f := range fields {
+		c.fields[f] = i
+	}
+	p.classes = append(p.classes, c)
+	return c
+}
+
+// FieldOffset returns the word offset of a named field within the object
+// body. It panics on unknown fields — a programming error in the kernel.
+func (c *ClassRef) FieldOffset(name string) int {
+	off, ok := c.fields[name]
+	if !ok {
+		panic(fmt.Sprintf("frontend: class %s has no field %q", c.name, name))
+	}
+	return off
+}
+
+// StaticVar declares (or returns) a named static field slot.
+func (p *Program) StaticVar(name string) int {
+	if i, ok := p.statics[name]; ok {
+		return i
+	}
+	i := len(p.statics)
+	p.statics[name] = i
+	return i
+}
+
+// FuncRef is a declared function; fill its Body before Build.
+type FuncRef struct {
+	prog    *Program
+	id      int
+	name    string
+	params  []string
+	returns bool
+	body    []Stmt
+}
+
+// Func declares a function. Declare all functions before referencing them in
+// CallE so mutual recursion works.
+func (p *Program) Func(name string, params []string, returns bool) *FuncRef {
+	if p.byName[name] != nil {
+		panic(fmt.Sprintf("frontend: duplicate function %q", name))
+	}
+	f := &FuncRef{prog: p, id: len(p.funcs), name: name, params: params, returns: returns}
+	p.funcs = append(p.funcs, f)
+	p.byName[name] = f
+	return f
+}
+
+// Body sets the function's statements and returns f for chaining. It
+// accepts Stmt and []Stmt items (loop builders like ForUp return slices)
+// and flattens them; any other type panics at program-construction time.
+func (f *FuncRef) Body(items ...any) *FuncRef {
+	f.body = Flatten(items...)
+	return f
+}
+
+// Flatten turns a mixed list of Stmt and []Stmt into a flat statement list.
+func Flatten(items ...any) []Stmt {
+	var out []Stmt
+	for _, it := range items {
+		switch v := it.(type) {
+		case Stmt:
+			out = append(out, v)
+		case []Stmt:
+			out = append(out, v...)
+		case nil:
+		default:
+			panic(fmt.Sprintf("frontend: Body item has type %T, want Stmt or []Stmt", it))
+		}
+	}
+	return out
+}
+
+// Build compiles the program to verified bytecode. The function named
+// "main" is the entry point.
+func (p *Program) Build() (*bytecode.Program, error) {
+	bp := &bytecode.Program{Name: p.name, Statics: len(p.statics)}
+	for _, c := range p.classes {
+		bp.Classes = append(bp.Classes, &bytecode.Class{ID: c.id, Name: c.name, NumFields: len(c.fields)})
+	}
+	main := p.byName["main"]
+	if main == nil {
+		return nil, fmt.Errorf("frontend: no main function")
+	}
+	bp.Main = main.id
+	for _, f := range p.funcs {
+		m, err := f.emit()
+		if err != nil {
+			return nil, fmt.Errorf("frontend: func %q: %w", f.name, err)
+		}
+		bp.Methods = append(bp.Methods, m)
+	}
+	if err := bytecode.Verify(bp); err != nil {
+		return nil, fmt.Errorf("frontend: verification: %w", err)
+	}
+	return bp, nil
+}
+
+// MustBuild is Build that panics on error (kernels are static programs).
+func (p *Program) MustBuild() *bytecode.Program {
+	bp, err := p.Build()
+	if err != nil {
+		panic(err)
+	}
+	return bp
+}
+
+// ---------- Expressions ----------
+
+// Expr is an expression node.
+type Expr interface{ isExpr() }
+
+type (
+	intLit   struct{ v int64 }
+	floatLit struct{ v float64 }
+	localRef struct{ name string }
+	binExpr  struct {
+		op   bytecode.Op
+		a, b Expr
+	}
+	unExpr struct {
+		op bytecode.Op
+		a  Expr
+	}
+	callExpr struct {
+		fn   *FuncRef
+		args []Expr
+	}
+	newExpr   struct{ c *ClassRef }
+	newArrays struct{ n Expr }
+	idxExpr   struct{ arr, i Expr }
+	fieldExpr struct {
+		obj Expr
+		off int
+	}
+	staticExpr struct{ idx int }
+	lenExpr    struct{ arr Expr }
+	condExpr   struct {
+		c    Cond
+		t, f Expr
+	}
+)
+
+func (intLit) isExpr()     {}
+func (floatLit) isExpr()   {}
+func (localRef) isExpr()   {}
+func (binExpr) isExpr()    {}
+func (unExpr) isExpr()     {}
+func (callExpr) isExpr()   {}
+func (newExpr) isExpr()    {}
+func (newArrays) isExpr()  {}
+func (idxExpr) isExpr()    {}
+func (fieldExpr) isExpr()  {}
+func (staticExpr) isExpr() {}
+func (lenExpr) isExpr()    {}
+func (condExpr) isExpr()   {}
+
+// I is an integer literal.
+func I(v int64) Expr { return intLit{v} }
+
+// F is a float literal.
+func F(v float64) Expr { return floatLit{v} }
+
+// L references a local variable by name.
+func L(name string) Expr { return localRef{name} }
+
+func bin(op bytecode.Op, a, b Expr) Expr { return binExpr{op, a, b} }
+
+// Integer arithmetic.
+func Add(a, b Expr) Expr  { return bin(bytecode.IADD, a, b) }
+func Sub(a, b Expr) Expr  { return bin(bytecode.ISUB, a, b) }
+func Mul(a, b Expr) Expr  { return bin(bytecode.IMUL, a, b) }
+func Div(a, b Expr) Expr  { return bin(bytecode.IDIV, a, b) }
+func Rem(a, b Expr) Expr  { return bin(bytecode.IREM, a, b) }
+func BAnd(a, b Expr) Expr { return bin(bytecode.IAND, a, b) }
+func BOr(a, b Expr) Expr  { return bin(bytecode.IOR, a, b) }
+func BXor(a, b Expr) Expr { return bin(bytecode.IXOR, a, b) }
+func Shl(a, b Expr) Expr  { return bin(bytecode.ISHL, a, b) }
+func Shr(a, b Expr) Expr  { return bin(bytecode.ISHR, a, b) }
+func Ushr(a, b Expr) Expr { return bin(bytecode.IUSHR, a, b) }
+func MinI(a, b Expr) Expr { return bin(bytecode.IMIN, a, b) }
+func MaxI(a, b Expr) Expr { return bin(bytecode.IMAX, a, b) }
+func Neg(a Expr) Expr     { return unExpr{bytecode.INEG, a} }
+
+// Floating point arithmetic.
+func FAdd(a, b Expr) Expr { return bin(bytecode.FADD, a, b) }
+func FSub(a, b Expr) Expr { return bin(bytecode.FSUB, a, b) }
+func FMul(a, b Expr) Expr { return bin(bytecode.FMUL, a, b) }
+func FDiv(a, b Expr) Expr { return bin(bytecode.FDIV, a, b) }
+func FMin(a, b Expr) Expr { return bin(bytecode.FMIN, a, b) }
+func FMax(a, b Expr) Expr { return bin(bytecode.FMAX, a, b) }
+func FNeg(a Expr) Expr    { return unExpr{bytecode.FNEG, a} }
+func FAbs(a Expr) Expr    { return unExpr{bytecode.FABS, a} }
+func Sqrt(a Expr) Expr    { return unExpr{bytecode.FSQRT, a} }
+func Sin(a Expr) Expr     { return unExpr{bytecode.FSIN, a} }
+func Cos(a Expr) Expr     { return unExpr{bytecode.FCOS, a} }
+func ExpE(a Expr) Expr    { return unExpr{bytecode.FEXP, a} }
+func LogE(a Expr) Expr    { return unExpr{bytecode.FLOG, a} }
+func ToInt(a Expr) Expr   { return unExpr{bytecode.F2I, a} }
+func ToFloat(a Expr) Expr { return unExpr{bytecode.I2F, a} }
+
+// CallE invokes a declared function.
+func CallE(fn *FuncRef, args ...Expr) Expr { return callExpr{fn, args} }
+
+// NewE allocates an instance of c.
+func NewE(c *ClassRef) Expr { return newExpr{c} }
+
+// NewArr allocates an array of n words.
+func NewArr(n Expr) Expr { return newArrays{n} }
+
+// Idx loads arr[i].
+func Idx(arr, i Expr) Expr { return idxExpr{arr, i} }
+
+// FieldE loads obj.field.
+func FieldE(obj Expr, c *ClassRef, field string) Expr {
+	return fieldExpr{obj, c.FieldOffset(field)}
+}
+
+// StaticE loads a static field by index (from Program.StaticVar).
+func StaticE(idx int) Expr { return staticExpr{idx} }
+
+// Len loads an array's length.
+func Len(arr Expr) Expr { return lenExpr{arr} }
+
+// Sel is a conditional expression: c ? t : f.
+func Sel(c Cond, t, f Expr) Expr { return condExpr{c, t, f} }
+
+// ---------- Conditions ----------
+
+// Cond is a boolean condition used by If/While.
+type Cond interface{ isCond() }
+
+type cmpCond struct {
+	op   bytecode.Op // the branch taken when the condition is TRUE
+	a, b Expr
+}
+type andCond struct{ a, b Cond }
+type orCond struct{ a, b Cond }
+type notCond struct{ c Cond }
+
+func (cmpCond) isCond() {}
+func (andCond) isCond() {}
+func (orCond) isCond()  {}
+func (notCond) isCond() {}
+
+// Integer comparisons.
+func Eq(a, b Expr) Cond { return cmpCond{bytecode.IFICMPEQ, a, b} }
+func Ne(a, b Expr) Cond { return cmpCond{bytecode.IFICMPNE, a, b} }
+func Lt(a, b Expr) Cond { return cmpCond{bytecode.IFICMPLT, a, b} }
+func Le(a, b Expr) Cond { return cmpCond{bytecode.IFICMPLE, a, b} }
+func Gt(a, b Expr) Cond { return cmpCond{bytecode.IFICMPGT, a, b} }
+func Ge(a, b Expr) Cond { return cmpCond{bytecode.IFICMPGE, a, b} }
+
+// Float comparisons (the bytecode provides < and >= natively; the rest are
+// derived by operand swap).
+func FLt(a, b Expr) Cond { return cmpCond{bytecode.IFFCMPLT, a, b} }
+func FGe(a, b Expr) Cond { return cmpCond{bytecode.IFFCMPGE, a, b} }
+func FGt(a, b Expr) Cond { return cmpCond{bytecode.IFFCMPLT, b, a} }
+func FLe(a, b Expr) Cond { return cmpCond{bytecode.IFFCMPGE, b, a} }
+
+// Boolean combinators (short-circuit).
+func AndC(a, b Cond) Cond { return andCond{a, b} }
+func OrC(a, b Cond) Cond  { return orCond{a, b} }
+func NotC(c Cond) Cond    { return notCond{c} }
+
+// ---------- Statements ----------
+
+// Stmt is a statement node.
+type Stmt interface{ isStmt() }
+
+type (
+	setStmt struct {
+		name string
+		e    Expr
+	}
+	setIdxStmt   struct{ arr, i, v Expr }
+	setFieldStmt struct {
+		obj Expr
+		off int
+		v   Expr
+	}
+	setStaticStmt struct {
+		idx int
+		v   Expr
+	}
+	incStmt struct {
+		name string
+		d    int64
+	}
+	ifStmt struct {
+		c         Cond
+		then, els []Stmt
+	}
+	whileStmt struct {
+		c    Cond
+		body []Stmt
+	}
+	retStmt   struct{ e Expr } // nil e = void return
+	printStmt struct{ e Expr }
+	exprStmt  struct{ e Expr }
+	throwStmt struct{ e Expr }
+	tryStmt   struct {
+		body     []Stmt
+		kind     int64
+		catchVar string
+		catch    []Stmt
+	}
+	syncStmt struct {
+		obj  Expr
+		body []Stmt
+	}
+	breakStmt    struct{}
+	continueStmt struct{}
+)
+
+func (setStmt) isStmt()       {}
+func (setIdxStmt) isStmt()    {}
+func (setFieldStmt) isStmt()  {}
+func (setStaticStmt) isStmt() {}
+func (incStmt) isStmt()       {}
+func (ifStmt) isStmt()        {}
+func (whileStmt) isStmt()     {}
+func (retStmt) isStmt()       {}
+func (printStmt) isStmt()     {}
+func (exprStmt) isStmt()      {}
+func (throwStmt) isStmt()     {}
+func (tryStmt) isStmt()       {}
+func (syncStmt) isStmt()      {}
+func (breakStmt) isStmt()     {}
+func (continueStmt) isStmt()  {}
+
+// Set assigns a local variable (declaring it on first use).
+func Set(name string, e Expr) Stmt { return setStmt{name, e} }
+
+// SetIdx stores arr[i] = v.
+func SetIdx(arr, i, v Expr) Stmt { return setIdxStmt{arr, i, v} }
+
+// SetField stores obj.field = v.
+func SetField(obj Expr, c *ClassRef, field string, v Expr) Stmt {
+	return setFieldStmt{obj, c.FieldOffset(field), v}
+}
+
+// SetStatic stores a static field.
+func SetStatic(idx int, v Expr) Stmt { return setStaticStmt{idx, v} }
+
+// Inc adds a constant to a local (emits iinc — the inductor shape).
+func Inc(name string, d int64) Stmt { return incStmt{name, d} }
+
+// If branches on c.
+func If(c Cond, then []Stmt, els []Stmt) Stmt { return ifStmt{c, then, els} }
+
+// While loops while c holds. Body items may be Stmt or []Stmt.
+func While(c Cond, body ...any) Stmt { return whileStmt{c, Flatten(body...)} }
+
+// ForUp is for name = from; name < to; name++ { body }. Note that Continue
+// inside the body skips the increment (the loop desugars to a while).
+func ForUp(name string, from, to Expr, body ...any) []Stmt {
+	return ForStep(name, from, to, 1, body...)
+}
+
+// ForStep is ForUp with an arbitrary positive constant step.
+func ForStep(name string, from, to Expr, step int64, body ...any) []Stmt {
+	b := append(Flatten(body...), Inc(name, step))
+	return []Stmt{Set(name, from), While(Lt(L(name), to), b)}
+}
+
+// Ret returns a value.
+func Ret(e Expr) Stmt { return retStmt{e} }
+
+// RetVoid returns without a value.
+func RetVoid() Stmt { return retStmt{nil} }
+
+// Print writes a value to the program output (a system call).
+func Print(e Expr) Stmt { return printStmt{e} }
+
+// Do evaluates an expression for effect, discarding any result.
+func Do(e Expr) Stmt { return exprStmt{e} }
+
+// Throw raises a user exception carrying e.
+func Throw(e Expr) Stmt { return throwStmt{e} }
+
+// Try runs body; an exception of the given isa kind (0 = any) transfers to
+// catch with the exception value bound to catchVar.
+func Try(body []Stmt, kind int64, catchVar string, catch []Stmt) Stmt {
+	return tryStmt{body, kind, catchVar, catch}
+}
+
+// Synchronized wraps body in monitorenter/monitorexit on obj.
+func Synchronized(obj Expr, body ...any) Stmt { return syncStmt{obj, Flatten(body...)} }
+
+// Break exits the innermost loop.
+func Break() Stmt { return breakStmt{} }
+
+// Continue ends the current iteration of the innermost loop.
+func Continue() Stmt { return continueStmt{} }
+
+// Block composes mixed Stmt / []Stmt items into one statement list.
+func Block(items ...any) []Stmt { return Flatten(items...) }
+
+// S wraps single statements into a slice (readability helper).
+func S(stmts ...Stmt) []Stmt { return stmts }
+
+func floatBits(v float64) int64 { return int64(math.Float64bits(v)) }

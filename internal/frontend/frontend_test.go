@@ -1,0 +1,192 @@
+package frontend
+
+import (
+	"testing"
+
+	"jrpm/internal/bytecode"
+	"jrpm/internal/cfg"
+)
+
+func TestSimpleSumProgram(t *testing.T) {
+	p := NewProgram("sum")
+	p.Func("main", nil, false).Body(
+		Set("sum", I(0)),
+		Block(ForUp("i", I(0), I(10),
+			Set("sum", Add(L("sum"), L("i"))),
+		)),
+		Print(L("sum")),
+	)
+	bp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bp.Methods) != 1 || bp.Methods[0].NLocals != 2 {
+		t.Fatalf("methods/locals = %d/%d", len(bp.Methods), bp.Methods[0].NLocals)
+	}
+	// Structural check: exactly one natural loop with an inductor.
+	g := cfg.Build(bp, bp.Methods[0])
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d", len(g.Loops))
+	}
+	found := false
+	for range g.Loops[0].Inductors {
+		found = true
+	}
+	if !found {
+		t.Error("for-loop counter not classified as inductor")
+	}
+	if _, ok := g.Loops[0].Reductions[0]; !ok {
+		t.Errorf("sum not classified as reduction: %v", g.Loops[0].Reductions)
+	}
+}
+
+func TestCallsAndReturns(t *testing.T) {
+	p := NewProgram("call")
+	double := p.Func("double", []string{"x"}, true)
+	double.Body(Ret(Mul(L("x"), I(2))))
+	p.Func("main", nil, false).Body(
+		Print(CallE(double, I(21))),
+	)
+	if _, err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortCircuitConditions(t *testing.T) {
+	p := NewProgram("cond")
+	p.Func("main", nil, false).Body(
+		Set("a", I(3)),
+		Set("b", I(4)),
+		If(AndC(Lt(L("a"), L("b")), OrC(Eq(L("a"), I(3)), Gt(L("b"), I(100)))),
+			S(Print(I(1))),
+			S(Print(I(0)))),
+	)
+	if _, err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	p := NewProgram("bc")
+	p.Func("main", nil, false).Body(
+		Set("i", I(0)),
+		While(Lt(L("i"), I(100)),
+			Inc("i", 1),
+			If(Eq(Rem(L("i"), I(2)), I(0)), S(Continue()), nil),
+			If(Gt(L("i"), I(50)), S(Break()), nil),
+		),
+		Print(L("i")),
+	)
+	if _, err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryCatchAndThrow(t *testing.T) {
+	p := NewProgram("tc")
+	p.Func("main", nil, false).Body(
+		Try(
+			S(Throw(I(42))),
+			0, "e",
+			S(Print(L("e"))),
+		),
+	)
+	bp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bp.Methods[0].Handlers) != 1 {
+		t.Fatal("missing handler table entry")
+	}
+}
+
+func TestObjectsArraysStatics(t *testing.T) {
+	p := NewProgram("obj")
+	node := p.Class("Node", "val", "next")
+	tot := p.StaticVar("total")
+	p.Func("main", nil, false).Body(
+		Set("n", NewE(node)),
+		SetField(L("n"), node, "val", I(7)),
+		Set("a", NewArr(I(10))),
+		SetIdx(L("a"), I(3), FieldE(L("n"), node, "val")),
+		SetStatic(tot, Add(Idx(L("a"), I(3)), Len(L("a")))),
+		Print(StaticE(tot)),
+	)
+	if _, err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynchronizedBlock(t *testing.T) {
+	p := NewProgram("sync")
+	c := p.Class("Obj", "x")
+	p.Func("main", nil, false).Body(
+		Set("o", NewE(c)),
+		Synchronized(L("o"),
+			SetField(L("o"), c, "x", I(1)),
+		),
+	)
+	bp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := map[bytecode.Op]bool{}
+	for _, in := range bp.Methods[0].Code {
+		has[in.Op] = true
+	}
+	if !has[bytecode.MONITORENTER] || !has[bytecode.MONITOREXIT] {
+		t.Error("monitor ops missing")
+	}
+}
+
+func TestSelExpression(t *testing.T) {
+	p := NewProgram("sel")
+	p.Func("main", nil, false).Body(
+		Set("x", I(5)),
+		Print(Sel(Gt(L("x"), I(3)), I(1), I(0))),
+	)
+	if _, err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndeclaredLocalRejected(t *testing.T) {
+	p := NewProgram("bad")
+	p.Func("main", nil, false).Body(Print(L("ghost")))
+	if _, err := p.Build(); err == nil {
+		t.Fatal("use of undeclared local should fail")
+	}
+}
+
+func TestVoidFallsOffEndGetsReturn(t *testing.T) {
+	p := NewProgram("v")
+	p.Func("main", nil, false).Body(Set("x", I(1)))
+	bp, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := bp.Methods[0].Code[len(bp.Methods[0].Code)-1]
+	if last.Op != bytecode.RETURN {
+		t.Error("implicit return missing")
+	}
+}
+
+func TestValueFunctionMustReturn(t *testing.T) {
+	p := NewProgram("v2")
+	p.Func("main", nil, true).Body(Set("x", I(1)))
+	if _, err := p.Build(); err == nil {
+		t.Fatal("value function without return should fail")
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	p := NewProgram("f")
+	p.Func("main", nil, false).Body(
+		Set("x", F(2.0)),
+		Set("y", Sqrt(FMul(L("x"), L("x")))),
+		If(FLt(L("y"), F(1.9)), S(Print(I(0))), S(Print(I(1)))),
+	)
+	if _, err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,533 @@
+package frontend
+
+import (
+	"fmt"
+	"math"
+
+	"jrpm/internal/bytecode"
+)
+
+// Interpret executes the program's AST directly as a reference
+// implementation, entirely independent of the bytecode, the JIT and the
+// machine. It returns the values printed, in order. The differential test
+// harness compares it against sequential, profiled and speculative execution
+// of the compiled program; any divergence is a bug in the stack.
+//
+// Semantics mirror the simulated machine exactly: 64-bit integer values
+// (floats as IEEE-754 bits), Java-style truncating division, null/bounds/
+// arithmetic exceptions catchable by kind, and objects/arrays as word
+// records.
+func (p *Program) Interpret(maxSteps int64) ([]int64, error) {
+	in := &interp{prog: p, statics: make([]int64, len(p.statics)), budget: maxSteps}
+	main := p.byName["main"]
+	if main == nil {
+		return nil, fmt.Errorf("frontend: no main")
+	}
+	err := in.call(main, nil)
+	if err != nil {
+		if _, ok := err.(thrown); ok {
+			return nil, fmt.Errorf("frontend: uncaught exception")
+		}
+		return nil, err
+	}
+	return in.output, nil
+}
+
+// Exception kinds, matching the isa constants.
+const (
+	exNull   = 1
+	exBounds = 2
+	exArith  = 3
+	exUser   = 4
+)
+
+// thrown propagates an exception as an error value.
+type thrown struct {
+	kind int64
+	val  int64
+}
+
+func (t thrown) Error() string { return fmt.Sprintf("exception kind %d", t.kind) }
+
+// refValue distinguishes heap references; references are indices+1 into the
+// interpreter's heap so that 0 stays null.
+type object struct {
+	fields []int64
+	isArr  bool
+	lock   int64
+}
+
+type interp struct {
+	prog    *Program
+	statics []int64
+	heap    []*object
+	output  []int64
+	budget  int64
+}
+
+type frame struct {
+	locals map[string]int64
+}
+
+func (in *interp) step() error {
+	in.budget--
+	if in.budget < 0 {
+		return fmt.Errorf("frontend: interpreter budget exhausted")
+	}
+	return nil
+}
+
+func (in *interp) call(f *FuncRef, args []int64) error {
+	fr := &frame{locals: map[string]int64{}}
+	for i, p := range f.params {
+		fr.locals[p] = args[i]
+	}
+	_, err := in.stmts(fr, f.body)
+	return err
+}
+
+func (in *interp) callValue(f *FuncRef, args []int64) (int64, error) {
+	fr := &frame{locals: map[string]int64{}}
+	for i, p := range f.params {
+		fr.locals[p] = args[i]
+	}
+	ret, err := in.stmts(fr, f.body)
+	if err != nil {
+		return 0, err
+	}
+	if ret == nil {
+		return 0, fmt.Errorf("frontend: value function returned nothing")
+	}
+	return *ret, nil
+}
+
+// stmts executes a statement list; a non-nil *int64 signals a return.
+func (in *interp) stmts(fr *frame, list []Stmt) (*int64, error) {
+	for _, s := range list {
+		ret, err := in.stmt(fr, s)
+		if err != nil || ret != nil {
+			return ret, err
+		}
+	}
+	return nil, nil
+}
+
+type loopBreak struct{}
+type loopContinue struct{}
+
+func (loopBreak) Error() string    { return "break" }
+func (loopContinue) Error() string { return "continue" }
+
+func (in *interp) stmt(fr *frame, s Stmt) (*int64, error) {
+	if err := in.step(); err != nil {
+		return nil, err
+	}
+	switch v := s.(type) {
+	case setStmt:
+		x, err := in.expr(fr, v.e)
+		if err != nil {
+			return nil, err
+		}
+		fr.locals[v.name] = x
+		return nil, nil
+	case setIdxStmt:
+		arr, err := in.expr(fr, v.arr)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.expr(fr, v.i)
+		if err != nil {
+			return nil, err
+		}
+		val, err := in.expr(fr, v.v)
+		if err != nil {
+			return nil, err
+		}
+		o, err := in.deref(arr)
+		if err != nil {
+			return nil, err
+		}
+		if idx < 0 || idx >= int64(len(o.fields)) {
+			return nil, thrown{kind: exBounds}
+		}
+		o.fields[idx] = val
+		return nil, nil
+	case setFieldStmt:
+		ref, err := in.expr(fr, v.obj)
+		if err != nil {
+			return nil, err
+		}
+		val, err := in.expr(fr, v.v)
+		if err != nil {
+			return nil, err
+		}
+		o, err := in.deref(ref)
+		if err != nil {
+			return nil, err
+		}
+		o.fields[v.off] = val
+		return nil, nil
+	case setStaticStmt:
+		val, err := in.expr(fr, v.v)
+		if err != nil {
+			return nil, err
+		}
+		in.statics[v.idx] = val
+		return nil, nil
+	case incStmt:
+		fr.locals[v.name] += v.d
+		return nil, nil
+	case ifStmt:
+		c, err := in.cond(fr, v.c)
+		if err != nil {
+			return nil, err
+		}
+		if c {
+			return in.stmts(fr, v.then)
+		}
+		return in.stmts(fr, v.els)
+	case whileStmt:
+		for {
+			c, err := in.cond(fr, v.c)
+			if err != nil {
+				return nil, err
+			}
+			if !c {
+				return nil, nil
+			}
+			ret, err := in.stmts(fr, v.body)
+			if ret != nil {
+				return ret, nil
+			}
+			if err != nil {
+				switch err.(type) {
+				case loopBreak:
+					return nil, nil
+				case loopContinue:
+					continue
+				default:
+					return nil, err
+				}
+			}
+		}
+	case retStmt:
+		if v.e == nil {
+			zero := int64(0)
+			return &zero, nil
+		}
+		x, err := in.expr(fr, v.e)
+		if err != nil {
+			return nil, err
+		}
+		return &x, nil
+	case printStmt:
+		x, err := in.expr(fr, v.e)
+		if err != nil {
+			return nil, err
+		}
+		in.output = append(in.output, x)
+		return nil, nil
+	case exprStmt:
+		_, err := in.expr(fr, v.e)
+		return nil, err
+	case throwStmt:
+		x, err := in.expr(fr, v.e)
+		if err != nil {
+			return nil, err
+		}
+		return nil, thrown{kind: exUser, val: x}
+	case tryStmt:
+		ret, err := in.stmts(fr, v.body)
+		if ret != nil || err == nil {
+			return ret, err
+		}
+		th, ok := err.(thrown)
+		if !ok || (v.kind != 0 && v.kind != th.kind) {
+			return nil, err
+		}
+		val := th.val
+		if th.kind != exUser {
+			val = 0 // hardware exceptions carry no object
+		}
+		fr.locals[v.catchVar] = val
+		return in.stmts(fr, v.catch)
+	case syncStmt:
+		ref, err := in.expr(fr, v.obj)
+		if err != nil {
+			return nil, err
+		}
+		o, err := in.deref(ref)
+		if err != nil {
+			return nil, err
+		}
+		o.lock = 1
+		ret, serr := in.stmts(fr, v.body)
+		o.lock = 0
+		return ret, serr
+	case breakStmt:
+		return nil, loopBreak{}
+	case continueStmt:
+		return nil, loopContinue{}
+	}
+	return nil, fmt.Errorf("frontend: unknown statement %T", s)
+}
+
+func (in *interp) deref(ref int64) (*object, error) {
+	if ref == 0 {
+		return nil, thrown{kind: exNull}
+	}
+	idx := int(ref>>8) - 1
+	if idx < 0 || idx >= len(in.heap) {
+		return nil, fmt.Errorf("frontend: bad reference %d", ref)
+	}
+	return in.heap[idx], nil
+}
+
+// alloc returns a machine-address-shaped reference. The exact numeric value
+// of references must never leak into program output for differential runs
+// to agree; the generator and the kernels only compare and dereference.
+func (in *interp) alloc(o *object) int64 {
+	in.heap = append(in.heap, o)
+	return int64(len(in.heap)) << 8
+}
+
+func (in *interp) cond(fr *frame, c Cond) (bool, error) {
+	switch v := c.(type) {
+	case cmpCond:
+		a, err := in.expr(fr, v.a)
+		if err != nil {
+			return false, err
+		}
+		b, err := in.expr(fr, v.b)
+		if err != nil {
+			return false, err
+		}
+		switch v.op {
+		case bytecode.IFICMPEQ:
+			return a == b, nil
+		case bytecode.IFICMPNE:
+			return a != b, nil
+		case bytecode.IFICMPLT:
+			return a < b, nil
+		case bytecode.IFICMPLE:
+			return a <= b, nil
+		case bytecode.IFICMPGT:
+			return a > b, nil
+		case bytecode.IFICMPGE:
+			return a >= b, nil
+		case bytecode.IFFCMPLT:
+			return f(a) < f(b), nil
+		case bytecode.IFFCMPGE:
+			return f(a) >= f(b), nil
+		}
+		return false, fmt.Errorf("frontend: unknown compare")
+	case andCond:
+		a, err := in.cond(fr, v.a)
+		if err != nil || !a {
+			return false, err
+		}
+		return in.cond(fr, v.b)
+	case orCond:
+		a, err := in.cond(fr, v.a)
+		if err != nil || a {
+			return a, err
+		}
+		return in.cond(fr, v.b)
+	case notCond:
+		a, err := in.cond(fr, v.c)
+		return !a, err
+	}
+	return false, fmt.Errorf("frontend: unknown condition %T", c)
+}
+
+func f(bits int64) float64 { return math.Float64frombits(uint64(bits)) }
+func fb(v float64) int64   { return int64(math.Float64bits(v)) }
+
+// binEval implements the two-operand bytecode operators on reference
+// values, with the same trap semantics as the machine.
+func binEval(op bytecode.Op, a, b int64) (int64, error) {
+	switch op {
+	case bytecode.IADD:
+		return a + b, nil
+	case bytecode.ISUB:
+		return a - b, nil
+	case bytecode.IMUL:
+		return a * b, nil
+	case bytecode.IDIV:
+		if b == 0 {
+			return 0, thrown{kind: exArith}
+		}
+		return a / b, nil
+	case bytecode.IREM:
+		if b == 0 {
+			return 0, thrown{kind: exArith}
+		}
+		return a % b, nil
+	case bytecode.IAND:
+		return a & b, nil
+	case bytecode.IOR:
+		return a | b, nil
+	case bytecode.IXOR:
+		return a ^ b, nil
+	case bytecode.ISHL:
+		return a << uint64(b&63), nil
+	case bytecode.ISHR:
+		return a >> uint64(b&63), nil
+	case bytecode.IUSHR:
+		return int64(uint64(a) >> uint64(b&63)), nil
+	case bytecode.IMIN:
+		if a < b {
+			return a, nil
+		}
+		return b, nil
+	case bytecode.IMAX:
+		if a > b {
+			return a, nil
+		}
+		return b, nil
+	case bytecode.FADD:
+		return fb(f(a) + f(b)), nil
+	case bytecode.FSUB:
+		return fb(f(a) - f(b)), nil
+	case bytecode.FMUL:
+		return fb(f(a) * f(b)), nil
+	case bytecode.FDIV:
+		return fb(f(a) / f(b)), nil
+	case bytecode.FMIN:
+		return fb(math.Min(f(a), f(b))), nil
+	case bytecode.FMAX:
+		return fb(math.Max(f(a), f(b))), nil
+	}
+	return 0, fmt.Errorf("frontend: unknown binary op %s", op.Name())
+}
+
+// unEval implements the one-operand operators.
+func unEval(op bytecode.Op, a int64) int64 {
+	switch op {
+	case bytecode.INEG:
+		return -a
+	case bytecode.FNEG:
+		return fb(-f(a))
+	case bytecode.FABS:
+		return fb(math.Abs(f(a)))
+	case bytecode.F2I:
+		return int64(f(a))
+	case bytecode.I2F:
+		return fb(float64(a))
+	case bytecode.FSQRT:
+		return fb(math.Sqrt(f(a)))
+	case bytecode.FSIN:
+		return fb(math.Sin(f(a)))
+	case bytecode.FCOS:
+		return fb(math.Cos(f(a)))
+	case bytecode.FEXP:
+		return fb(math.Exp(f(a)))
+	case bytecode.FLOG:
+		return fb(math.Log(f(a)))
+	}
+	panic(fmt.Sprintf("frontend: unknown unary op %s", op.Name()))
+}
+
+func (in *interp) expr(fr *frame, e Expr) (int64, error) {
+	if err := in.step(); err != nil {
+		return 0, err
+	}
+	switch v := e.(type) {
+	case intLit:
+		return v.v, nil
+	case floatLit:
+		return fb(v.v), nil
+	case localRef:
+		x, ok := fr.locals[v.name]
+		if !ok {
+			return 0, fmt.Errorf("frontend: undefined local %q", v.name)
+		}
+		return x, nil
+	case binExpr:
+		a, err := in.expr(fr, v.a)
+		if err != nil {
+			return 0, err
+		}
+		b, err := in.expr(fr, v.b)
+		if err != nil {
+			return 0, err
+		}
+		return binEval(v.op, a, b)
+	case unExpr:
+		a, err := in.expr(fr, v.a)
+		if err != nil {
+			return 0, err
+		}
+		return unEval(v.op, a), nil
+	case callExpr:
+		var args []int64
+		for _, ae := range v.args {
+			x, err := in.expr(fr, ae)
+			if err != nil {
+				return 0, err
+			}
+			args = append(args, x)
+		}
+		return in.callValue(v.fn, args)
+	case newExpr:
+		return in.alloc(&object{fields: make([]int64, len(v.c.fields))}), nil
+	case newArrays:
+		n, err := in.expr(fr, v.n)
+		if err != nil {
+			return 0, err
+		}
+		if n < 0 {
+			return 0, thrown{kind: exBounds}
+		}
+		return in.alloc(&object{fields: make([]int64, n), isArr: true}), nil
+	case idxExpr:
+		arr, err := in.expr(fr, v.arr)
+		if err != nil {
+			return 0, err
+		}
+		idx, err := in.expr(fr, v.i)
+		if err != nil {
+			return 0, err
+		}
+		o, err := in.deref(arr)
+		if err != nil {
+			return 0, err
+		}
+		if idx < 0 || idx >= int64(len(o.fields)) {
+			return 0, thrown{kind: exBounds}
+		}
+		return o.fields[idx], nil
+	case fieldExpr:
+		ref, err := in.expr(fr, v.obj)
+		if err != nil {
+			return 0, err
+		}
+		o, err := in.deref(ref)
+		if err != nil {
+			return 0, err
+		}
+		return o.fields[v.off], nil
+	case staticExpr:
+		return in.statics[v.idx], nil
+	case lenExpr:
+		ref, err := in.expr(fr, v.arr)
+		if err != nil {
+			return 0, err
+		}
+		o, err := in.deref(ref)
+		if err != nil {
+			return 0, err
+		}
+		return int64(len(o.fields)), nil
+	case condExpr:
+		c, err := in.cond(fr, v.c)
+		if err != nil {
+			return 0, err
+		}
+		if c {
+			return in.expr(fr, v.t)
+		}
+		return in.expr(fr, v.f)
+	}
+	return 0, fmt.Errorf("frontend: unknown expression %T", e)
+}

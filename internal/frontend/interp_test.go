@@ -1,0 +1,168 @@
+package frontend
+
+import (
+	"testing"
+)
+
+func interpret(t *testing.T, p *Program) []int64 {
+	t.Helper()
+	out, err := p.Interpret(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestInterpArithmetic(t *testing.T) {
+	p := NewProgram("a")
+	p.Func("main", nil, false).Body(
+		Print(Add(I(2), Mul(I(3), I(4)))),
+		Print(Div(I(-7), I(2))), // Java-style truncation: -3
+		Print(Rem(I(-7), I(2))), // -1
+		Print(Shr(I(-8), I(1))), // arithmetic: -4
+		Print(Ushr(I(-1), I(60))),
+	)
+	out := interpret(t, p)
+	want := []int64{14, -3, -1, -4, 15}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestInterpLoopsAndArrays(t *testing.T) {
+	p := NewProgram("l")
+	p.Func("main", nil, false).Body(
+		Set("a", NewArr(I(10))),
+		ForUp("i", I(0), I(10),
+			SetIdx(L("a"), L("i"), Mul(L("i"), L("i"))),
+		),
+		Set("s", I(0)),
+		ForUp("j", I(0), I(10),
+			Set("s", Add(L("s"), Idx(L("a"), L("j")))),
+		),
+		Print(L("s")),
+		Print(Len(L("a"))),
+	)
+	out := interpret(t, p)
+	if out[0] != 285 || out[1] != 10 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInterpCallsAndRecursion(t *testing.T) {
+	p := NewProgram("c")
+	fib := p.Func("fib", []string{"n"}, true)
+	fib.Body(
+		If(Lt(L("n"), I(2)), S(Ret(L("n"))), nil),
+		Ret(Add(CallE(fib, Sub(L("n"), I(1))), CallE(fib, Sub(L("n"), I(2))))),
+	)
+	p.Func("main", nil, false).Body(Print(CallE(fib, I(10))))
+	if out := interpret(t, p); out[0] != 55 {
+		t.Fatalf("fib(10) = %v", out)
+	}
+}
+
+func TestInterpExceptions(t *testing.T) {
+	p := NewProgram("e")
+	p.Func("main", nil, false).Body(
+		Try(S(
+			Set("z", I(0)),
+			Print(Div(I(1), L("z"))),
+		), 0, "e1", S(Print(I(100)))),
+		Try(S(
+			Set("a", NewArr(I(3))),
+			Print(Idx(L("a"), I(5))),
+		), 2, "e2", S(Print(I(200)))),
+		Try(S(Throw(I(42))), 4, "e3", S(Print(L("e3")))),
+	)
+	out := interpret(t, p)
+	if out[0] != 100 || out[1] != 200 || out[2] != 42 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInterpUncaughtException(t *testing.T) {
+	p := NewProgram("u")
+	p.Func("main", nil, false).Body(Throw(I(1)))
+	if _, err := p.Interpret(1000); err == nil {
+		t.Fatal("uncaught exception should error")
+	}
+}
+
+func TestInterpObjectsAndStatics(t *testing.T) {
+	p := NewProgram("o")
+	node := p.Class("Node", "val", "next")
+	tot := p.StaticVar("tot")
+	p.Func("main", nil, false).Body(
+		Set("n1", NewE(node)),
+		SetField(L("n1"), node, "val", I(5)),
+		Set("n2", NewE(node)),
+		SetField(L("n2"), node, "val", I(7)),
+		SetField(L("n2"), node, "next", L("n1")),
+		SetStatic(tot, Add(FieldE(L("n2"), node, "val"),
+			FieldE(FieldE(L("n2"), node, "next"), node, "val"))),
+		Print(StaticE(tot)),
+	)
+	if out := interpret(t, p); out[0] != 12 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInterpFloats(t *testing.T) {
+	p := NewProgram("f")
+	p.Func("main", nil, false).Body(
+		Set("x", F(2.0)),
+		Print(ToInt(FMul(Sqrt(L("x")), Sqrt(L("x"))))), // ~2
+		Print(Sel(FLt(F(1.5), F(2.5)), I(1), I(0))),
+	)
+	out := interpret(t, p)
+	if out[0] < 1 || out[0] > 2 || out[1] != 1 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInterpBreakContinue(t *testing.T) {
+	p := NewProgram("bc")
+	p.Func("main", nil, false).Body(
+		Set("s", I(0)),
+		Set("i", I(0)),
+		While(Lt(L("i"), I(100)),
+			Inc("i", 1),
+			If(Eq(Rem(L("i"), I(2)), I(0)), S(Continue()), nil),
+			If(Gt(L("i"), I(10)), S(Break()), nil),
+			Set("s", Add(L("s"), L("i"))),
+		),
+		Print(L("s")),
+		Print(L("i")),
+	)
+	out := interpret(t, p)
+	// odd i ≤ 9 summed: 1+3+5+7+9 = 25; loop exits at i = 11.
+	if out[0] != 25 || out[1] != 11 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestInterpBudget(t *testing.T) {
+	p := NewProgram("inf")
+	p.Func("main", nil, false).Body(
+		Set("x", I(0)),
+		While(Ge(L("x"), I(0)), Inc("x", 1)),
+	)
+	if _, err := p.Interpret(10_000); err == nil {
+		t.Fatal("infinite loop should exhaust the budget")
+	}
+}
+
+func TestInterpNullDereference(t *testing.T) {
+	p := NewProgram("null")
+	node := p.Class("N", "v")
+	p.Func("main", nil, false).Body(
+		Set("x", I(0)),
+		Try(S(Print(FieldE(L("x"), node, "v"))), 1, "e", S(Print(I(-5)))),
+	)
+	if out := interpret(t, p); out[0] != -5 {
+		t.Fatalf("out = %v", out)
+	}
+}

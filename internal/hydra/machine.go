@@ -1,0 +1,501 @@
+package hydra
+
+import (
+	"fmt"
+	"math"
+
+	"jrpm/internal/isa"
+	"jrpm/internal/mem"
+	"jrpm/internal/tls"
+	"jrpm/internal/tracer"
+)
+
+// cpuState is the scheduling state of one core.
+type cpuState int
+
+const (
+	stateIdle cpuState = iota
+	stateRunning
+	stateWaitEOI       // at STL_EOI, waiting to become head to commit
+	stateWaitShutdown  // at STL_SHUTDOWN, waiting to become head
+	stateWaitOverflow  // speculative buffer overflow, waiting to become head
+	stateWaitException // speculative exception deferred until head (§5.1)
+	stateWaitIO        // system call deferred until head
+	stateWaitGC        // allocation failed; GC must run at head
+	stateWaitSwitchIn  // multilevel switch into inner STL (§4.2.6)
+	stateWaitSwitchOut // multilevel switch back to outer STL
+	stateHalted
+)
+
+// frame is one call-stack entry (return linkage kept machine-side; frame
+// data itself lives in simulated memory addressed off $fp).
+type frame struct {
+	retMethod int
+	retPC     int
+	savedFP   int64
+	savedSP   int64
+}
+
+// snapshot is the context restored when a speculative thread restarts.
+type snapshot struct {
+	depth  int
+	sp, fp int64
+}
+
+// CPU is one single-issue core.
+type CPU struct {
+	ID       int
+	Regs     [isa.NumRegs]int64
+	PC       int
+	MethodID int
+
+	frames  []frame
+	state   cpuState
+	readyAt int64
+	snap    snapshot
+
+	pendingExKind   int64
+	pendingExRef    int64
+	pendingIO       int64
+	overflowPending bool
+	gcAttempts      int // consecutive collections for the same allocation
+
+	extra int64 // memory/runtime cycles accumulated by the current instruction
+}
+
+// Options configures a Machine.
+type Options struct {
+	NCPU     int
+	Handlers tls.HandlerCosts
+	TLS      *tls.Config
+	Cache    *mem.CacheConfig
+	Profile  bool // attach the TEST tracer and honour annotations
+	Tracer   *tracer.Config
+}
+
+// DefaultOptions returns the paper's 4-CPU Hydra with new handlers.
+func DefaultOptions() Options {
+	return Options{NCPU: 4, Handlers: tls.NewHandlers}
+}
+
+// Machine is the simulated Hydra CMP.
+type Machine struct {
+	Image   *Image
+	Mem     *mem.Memory
+	Caches  *mem.CacheSim
+	TLS     *tls.Unit
+	Tracer  *tracer.Tracer
+	Runtime Runtime
+	CPUs    []*CPU
+
+	Clock        int64
+	Master       int
+	Output       []int64
+	GCCycles     int64
+	Instructions int64
+	GCRuns       int64
+	// OverflowBySTL counts speculative buffer overflow stalls per loop
+	// (keyed by cfg global loop id), the feedback signal for the adaptive
+	// reprofiling the paper sketches in §6.2.
+	OverflowBySTL map[int64]int64
+
+	halted bool
+	err    error
+
+	curSTL        *STLDesc
+	outerSTL      *STLDesc
+	outerResume   int64
+	stlFrameDepth int
+	lastHoisted   int64 // last hoisted STL id, for repeat-entry savings
+}
+
+// NewMachine builds a machine for img with the given runtime services.
+func NewMachine(img *Image, rt Runtime, opts Options) *Machine {
+	if opts.NCPU == 0 {
+		opts.NCPU = 4
+	}
+	if opts.Handlers == (tls.HandlerCosts{}) {
+		opts.Handlers = tls.NewHandlers
+	}
+	cacheCfg := mem.DefaultCacheConfig(opts.NCPU)
+	if opts.Cache != nil {
+		cacheCfg = *opts.Cache
+	}
+	tlsCfg := tls.DefaultConfig(opts.NCPU)
+	tlsCfg.Handlers = opts.Handlers
+	if opts.TLS != nil {
+		tlsCfg = *opts.TLS
+		tlsCfg.NCPU = opts.NCPU
+	}
+	m := &Machine{
+		Image:         img,
+		Mem:           mem.NewMemory(MemWords),
+		Caches:        mem.NewCacheSim(cacheCfg),
+		Runtime:       rt,
+		OverflowBySTL: map[int64]int64{},
+	}
+	m.TLS = tls.NewUnit(tlsCfg, m.Mem, m.Caches)
+	if opts.Profile {
+		tcfg := tracer.DefaultConfig()
+		if opts.Tracer != nil {
+			tcfg = *opts.Tracer
+		}
+		tcfg.StoreBufferLines = tlsCfg.StoreBufferLines
+		tcfg.LoadBufferLines = tlsCfg.LoadBufferLines
+		m.Tracer = tracer.New(tcfg)
+	}
+	for i := 0; i < opts.NCPU; i++ {
+		m.CPUs = append(m.CPUs, &CPU{ID: i, state: stateIdle})
+	}
+	return m
+}
+
+// Boot prepares CPU 0 at the program entry point.
+func (m *Machine) Boot() {
+	main := m.Image.Method(m.Image.Main)
+	c := m.CPUs[0]
+	c.MethodID = m.Image.Main
+	c.PC = 0
+	c.Regs[isa.GP] = int64(GlobalBase)
+	c.Regs[isa.SP] = int64(StackTop) - main.FrameWords
+	c.Regs[isa.FP] = c.Regs[isa.SP]
+	c.state = stateRunning
+	m.Master = 0
+}
+
+// Err returns the terminal error, if any (uncaught exception, cycle budget).
+func (m *Machine) Err() error { return m.err }
+
+// Run executes until the program halts or maxCycles elapse.
+func (m *Machine) Run(maxCycles int64) error {
+	if m.CPUs[0].state == stateIdle && !m.halted {
+		m.Boot()
+	}
+	for !m.halted {
+		next := int64(math.MaxInt64)
+		active := false
+		for _, c := range m.CPUs {
+			if c.state == stateIdle || c.state == stateHalted {
+				continue
+			}
+			active = true
+			if c.readyAt < next {
+				next = c.readyAt
+			}
+		}
+		if !active {
+			m.err = fmt.Errorf("hydra: no runnable CPU at cycle %d", m.Clock)
+			return m.err
+		}
+		if next > m.Clock {
+			m.Clock = next
+		}
+		if m.Clock > maxCycles {
+			m.err = fmt.Errorf("hydra: cycle budget %d exceeded", maxCycles)
+			return m.err
+		}
+		for _, c := range m.CPUs {
+			if m.halted {
+				break
+			}
+			if c.readyAt <= m.Clock {
+				m.step(c)
+			}
+		}
+	}
+	return m.err
+}
+
+// step advances one CPU according to its state.
+func (m *Machine) step(c *CPU) {
+	switch c.state {
+	case stateRunning:
+		m.exec(c)
+	case stateWaitEOI:
+		if m.TLS.IsHead(c.ID) {
+			m.TLS.CommitEOI(c.ID)
+			c.PC++
+			c.state = stateRunning
+			c.readyAt = m.Clock + m.TLS.Config().Handlers.EOI
+		} else {
+			m.wait(c)
+		}
+	case stateWaitShutdown:
+		if m.TLS.IsHead(c.ID) {
+			m.doShutdown(c)
+		} else {
+			m.wait(c)
+		}
+	case stateWaitOverflow:
+		if m.TLS.IsHead(c.ID) {
+			m.TLS.DrainOverflow(c.ID)
+			m.noteOverflow()
+			c.overflowPending = false
+			c.state = stateRunning
+			c.readyAt = m.Clock + 1
+		} else {
+			m.wait(c)
+		}
+	case stateWaitException:
+		if m.TLS.IsHead(c.ID) {
+			kind, ref := c.pendingExKind, c.pendingExRef
+			c.pendingExKind, c.pendingExRef = 0, 0
+			c.state = stateRunning
+			m.dispatchException(c, kind, ref)
+		} else {
+			m.wait(c)
+		}
+	case stateWaitIO:
+		if m.TLS.IsHead(c.ID) {
+			m.Output = append(m.Output, c.pendingIO)
+			c.PC++
+			c.state = stateRunning
+			c.readyAt = m.Clock + isa.Cost(isa.IOPUT)
+		} else {
+			m.wait(c)
+		}
+	case stateWaitGC:
+		if m.TLS.IsHead(c.ID) {
+			m.quiesceForGC(c)
+			m.Runtime.CollectGarbage(m, c.ID)
+			m.GCRuns++
+			c.state = stateRunning // PC unchanged: the alloc re-executes
+			c.readyAt = m.Clock + 1 + c.extra
+			c.extra = 0
+		} else {
+			m.wait(c)
+		}
+	case stateWaitSwitchIn:
+		if m.TLS.IsHead(c.ID) {
+			m.doSwitchIn(c)
+		} else {
+			m.wait(c)
+		}
+	case stateWaitSwitchOut:
+		if m.TLS.IsHead(c.ID) {
+			m.doSwitchOut(c)
+		} else {
+			m.wait(c)
+		}
+	}
+}
+
+// noteOverflow attributes an overflow stall to the active STL's loop.
+func (m *Machine) noteOverflow() {
+	if m.curSTL != nil {
+		m.OverflowBySTL[m.curSTL.LoopID]++
+	}
+}
+
+// wait charges one cycle of head-wait time and re-polls next cycle.
+func (m *Machine) wait(c *CPU) {
+	m.TLS.ChargeAttempt(c.ID, tls.ChargeWait, 1)
+	c.readyAt = m.Clock + 1
+}
+
+// loadWord performs a data load, speculative or not, charging latency into
+// the current instruction and informing the profiler.
+func (m *Machine) loadWord(c *CPU, a mem.Addr, noViolate bool, cls AddrClass) int64 {
+	if m.TLS.Active() {
+		v, lat := m.TLS.Load(c.ID, a, noViolate)
+		c.extra += lat
+		if !noViolate && m.TLS.LoadOverflow(c.ID) {
+			c.overflowPending = true
+		}
+		return v
+	}
+	v := m.Mem.Read(a)
+	c.extra += m.Caches.Load(c.ID, a)
+	if m.Tracer != nil {
+		if cls == ClassHeap && a >= StackRegionBase {
+			cls = ClassStack
+		}
+		m.Tracer.OnLoad(a, m.Clock, cls)
+	}
+	return v
+}
+
+// storeWord performs a data store; speculative stores may violate younger
+// threads, which are redirected to the STL restart point.
+func (m *Machine) storeWord(c *CPU, a mem.Addr, v int64, cls AddrClass) {
+	if m.TLS.Active() {
+		lat, violated := m.TLS.Store(c.ID, a, v)
+		c.extra += lat
+		for _, vc := range violated {
+			m.redirectRestart(m.CPUs[vc])
+		}
+		if m.TLS.StoreOverflow(c.ID) {
+			c.overflowPending = true
+		}
+		return
+	}
+	m.Mem.Write(a, v)
+	c.extra += m.Caches.Store(c.ID, a)
+	if m.Tracer != nil {
+		if cls == ClassHeap && a >= StackRegionBase {
+			cls = ClassStack
+		}
+		m.Tracer.OnStore(a, m.Clock, cls)
+	}
+}
+
+// RuntimeLoad lets the VM runtime read memory on behalf of a CPU with an
+// address-class tag; latency is charged to the CPU's current instruction.
+func (m *Machine) RuntimeLoad(cpu int, a mem.Addr, cls AddrClass) int64 {
+	return m.loadWord(m.CPUs[cpu], a, false, cls)
+}
+
+// RuntimeStore is the store counterpart of RuntimeLoad.
+func (m *Machine) RuntimeStore(cpu int, a mem.Addr, v int64, cls AddrClass) {
+	m.storeWord(m.CPUs[cpu], a, v, cls)
+}
+
+// RawRead reads memory without timing or speculation (GC heap walks, debug).
+func (m *Machine) RawRead(a mem.Addr) int64 { return m.Mem.Read(a) }
+
+// RawWrite writes memory without timing or speculation. Only safe outside
+// speculative execution (the VM uses it during stop-the-world collection).
+func (m *Machine) RawWrite(a mem.Addr, v int64) { m.Mem.Write(a, v) }
+
+// ChargeGC charges collector cycles to the invoking CPU and to the GC
+// accounting bucket (Figure 9).
+func (m *Machine) ChargeGC(cpu int, cycles int64) {
+	m.CPUs[cpu].extra += cycles
+	m.GCCycles += cycles
+}
+
+// SpecActive reports whether thread speculation is running.
+func (m *Machine) SpecActive() bool { return m.TLS.Active() }
+
+// quiesceForGC makes memory consistent before a stop-the-world collection
+// that must run while speculation is active: the head's partial buffer
+// commits (its state is non-speculative) and every younger thread is
+// discarded and sent back to the restart point. The collector then sees
+// flat-memory truth with empty store buffers.
+func (m *Machine) quiesceForGC(c *CPU) {
+	if !m.TLS.Active() {
+		return
+	}
+	m.TLS.CommitPartial(c.ID)
+	for _, vc := range m.TLS.ViolateFrom(m.TLS.Iteration(c.ID) + 1) {
+		m.redirectRestart(m.CPUs[vc])
+	}
+}
+
+// redirectRestart sends a violated CPU back to the STL restart point: the
+// call stack unwinds to the loop context and execution resumes at STL_INIT
+// with the restart handler cost charged (the tls unit already flushed the
+// discarded attempt and charged the handler to the new attempt).
+func (m *Machine) redirectRestart(c *CPU) {
+	if m.curSTL == nil {
+		panic("hydra: violation with no active STL")
+	}
+	if len(c.frames) > c.snap.depth {
+		c.frames = c.frames[:c.snap.depth]
+	}
+	c.Regs[isa.SP] = c.snap.sp
+	c.Regs[isa.FP] = c.snap.fp
+	c.MethodID = m.curSTL.Method
+	c.PC = m.curSTL.InitPC
+	c.state = stateRunning
+	c.pendingExKind, c.pendingExRef = 0, 0
+	c.overflowPending = false
+	c.gcAttempts = 0
+	c.extra = 0
+	at := c.readyAt
+	if at < m.Clock {
+		at = m.Clock
+	}
+	c.readyAt = at + m.TLS.Config().Handlers.Restart
+}
+
+// doShutdown finalizes an STL: the exiting head commits, younger threads are
+// killed, and the exiting CPU becomes the master continuing serial
+// execution (its registers hold the architecturally correct loop-exit
+// state, since it executed the final iteration).
+func (m *Machine) doShutdown(c *CPU) {
+	killed := m.TLS.Shutdown(c.ID)
+	for _, k := range killed {
+		m.CPUs[k].state = stateIdle
+		m.CPUs[k].overflowPending = false
+	}
+	m.Master = c.ID
+	shutdown := m.TLS.Config().Handlers.Shutdown
+	if m.curSTL != nil && m.curSTL.Hoisted && shutdown > HoistShutdownSaving {
+		// Hoisted STLs leave the slaves spun up for the next entry.
+		shutdown -= HoistShutdownSaving
+	}
+	m.curSTL = nil
+	m.outerSTL = nil
+	c.overflowPending = false
+	c.PC++
+	c.state = stateRunning
+	c.readyAt = m.Clock + shutdown
+}
+
+// doSwitchIn performs the multilevel decomposition switch (§4.2.6): the
+// head commits its partial outer iteration, younger outer threads are
+// discarded, and all CPUs redeploy onto the inner STL.
+func (m *Machine) doSwitchIn(c *CPU) {
+	inner := m.Image.STLs[m.pendingSwitchID(c)]
+	m.TLS.CommitPartial(c.ID)
+	m.TLS.KillYounger(c.ID)
+	m.outerSTL = m.curSTL
+	m.outerResume = m.TLS.Iteration(c.ID)
+	m.curSTL = inner
+	m.TLS.SwitchSTL(inner.ID, c.ID, 0)
+	m.deploySlaves(c, c.PC+1, SwitchStartupCost)
+	c.PC++
+	c.state = stateRunning
+	c.readyAt = m.Clock + SwitchStartupCost
+	m.snapshotAll()
+}
+
+// doSwitchOut restores the outer STL after the inner loop completes. The
+// switching CPU resumes its partial outer iteration as the head; the other
+// CPUs restart speculation at the outer STL_INIT with the following
+// iteration indices.
+func (m *Machine) doSwitchOut(c *CPU) {
+	m.TLS.CommitPartial(c.ID)
+	m.TLS.KillYounger(c.ID)
+	outer := m.outerSTL
+	m.outerSTL = nil
+	m.curSTL = outer
+	m.TLS.SwitchSTL(outer.ID, c.ID, m.outerResume)
+	m.deploySlaves(c, outer.InitPC, SwitchShutdownCost)
+	c.PC++
+	c.state = stateRunning
+	c.readyAt = m.Clock + SwitchShutdownCost
+	m.snapshotAll()
+}
+
+// pendingSwitchID reads the inner STL id from the STLSWSTART instruction the
+// CPU is parked on.
+func (m *Machine) pendingSwitchID(c *CPU) int64 {
+	return m.Image.Method(c.MethodID).Code[c.PC].Imm
+}
+
+// deploySlaves copies the leader's context to every other CPU and starts
+// them at pc.
+func (m *Machine) deploySlaves(c *CPU, pc int, cost int64) {
+	for _, sc := range m.CPUs {
+		if sc.ID == c.ID {
+			continue
+		}
+		sc.Regs = c.Regs
+		sc.frames = append(sc.frames[:0], c.frames...)
+		sc.MethodID = c.MethodID
+		sc.PC = pc
+		sc.state = stateRunning
+		sc.readyAt = m.Clock + cost
+		sc.pendingExKind, sc.pendingExRef = 0, 0
+		sc.overflowPending = false
+	}
+}
+
+// snapshotAll records every CPU's restart context for the current STL.
+func (m *Machine) snapshotAll() {
+	for _, c := range m.CPUs {
+		c.snap = snapshot{depth: len(c.frames), sp: c.Regs[isa.SP], fp: c.Regs[isa.FP]}
+	}
+}

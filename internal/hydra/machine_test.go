@@ -1,0 +1,497 @@
+package hydra
+
+import (
+	"fmt"
+	"testing"
+
+	"jrpm/internal/isa"
+	"jrpm/internal/mem"
+	"jrpm/internal/tls"
+)
+
+// stubRuntime is a minimal Runtime for machine-level tests: a bump allocator
+// and lock words at ref+1, with no GC.
+type stubRuntime struct {
+	next  int64
+	elide bool // speculation-aware locks
+}
+
+func newStubRuntime() *stubRuntime { return &stubRuntime{next: int64(HeapBase)} }
+
+func (s *stubRuntime) Alloc(m *Machine, cpu int, classID int64) (int64, bool) {
+	ref := s.next
+	s.next += 8
+	m.RuntimeStore(cpu, mem.Addr(ref), classID, ClassAlloc)
+	return ref, false
+}
+
+func (s *stubRuntime) AllocArray(m *Machine, cpu int, length int64) (int64, bool) {
+	ref := s.next
+	s.next += length + 3
+	m.RuntimeStore(cpu, mem.Addr(ref+2), length, ClassAlloc)
+	return ref, false
+}
+
+func (s *stubRuntime) CollectGarbage(m *Machine, cpu int) { m.ChargeGC(cpu, 1000) }
+
+func (s *stubRuntime) MonitorEnter(m *Machine, cpu int, ref int64) {
+	if s.elide && m.SpecActive() {
+		return
+	}
+	m.RuntimeLoad(cpu, mem.Addr(ref+1), ClassLock)
+	m.RuntimeStore(cpu, mem.Addr(ref+1), 1, ClassLock)
+}
+
+func (s *stubRuntime) MonitorExit(m *Machine, cpu int, ref int64) {
+	if s.elide && m.SpecActive() {
+		return
+	}
+	m.RuntimeStore(cpu, mem.Addr(ref+1), 0, ClassLock)
+}
+
+func image(methods ...*Method) *Image {
+	for i, m := range methods {
+		m.ID = i
+	}
+	return &Image{Name: "test", Methods: methods, STLs: map[int64]*STLDesc{}, Main: 0}
+}
+
+func run(t *testing.T, img *Image, opts Options) *Machine {
+	t.Helper()
+	m := NewMachine(img, newStubRuntime(), opts)
+	if err := m.Run(50_000_000); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return m
+}
+
+func TestSequentialArithmeticAndOutput(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(isa.T0, 6)
+	b.Li(isa.T1, 7)
+	b.Op3(isa.MUL, isa.T2, isa.T0, isa.T1)
+	b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.T2})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	img := image(&Method{Name: "main", Code: b.Finish(), FrameWords: 4})
+	m := run(t, img, DefaultOptions())
+	if len(m.Output) != 1 || m.Output[0] != 42 {
+		t.Fatalf("output = %v, want [42]", m.Output)
+	}
+	if m.Clock <= 0 || m.Instructions != 5 {
+		t.Errorf("clock=%d instructions=%d", m.Clock, m.Instructions)
+	}
+}
+
+func TestLoadStoreAndCacheLatency(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(isa.T0, 1000)
+	b.Li(isa.T1, 99)
+	b.Sw(isa.T1, isa.T0, 0)
+	b.Lw(isa.T2, isa.T0, 0)
+	b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.T2})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	img := image(&Method{Name: "main", Code: b.Finish(), FrameWords: 4})
+	m := run(t, img, DefaultOptions())
+	if m.Output[0] != 99 {
+		t.Fatalf("round trip = %v", m.Output)
+	}
+	if m.Mem.Read(1000) != 99 {
+		t.Error("memory not written")
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	// callee: v0 = a0 + a1
+	cb := isa.NewBuilder()
+	cb.Op3(isa.ADD, isa.V0, isa.A0, isa.A1)
+	cb.Emit(isa.Instr{Op: isa.RET})
+	callee := &Method{Name: "add", Code: cb.Finish(), FrameWords: 2}
+
+	b := isa.NewBuilder()
+	b.Li(isa.A0, 30)
+	b.Li(isa.A1, 12)
+	b.Call(1)
+	b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.V0})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	main := &Method{Name: "main", Code: b.Finish(), FrameWords: 4}
+
+	m := run(t, image(main, callee), DefaultOptions())
+	if m.Output[0] != 42 {
+		t.Fatalf("call result = %v", m.Output)
+	}
+}
+
+func TestRecursiveCall(t *testing.T) {
+	// fib(n): if n < 2 return n; return fib(n-1) + fib(n-2)
+	fb := isa.NewBuilder()
+	fb.Li(isa.AT, 2)
+	fb.Br(isa.BLT, isa.A0, isa.AT, "base")
+	// Save n into frame, compute fib(n-1).
+	fb.Sw(isa.A0, isa.FP, 0)
+	fb.OpImm(isa.ADDI, isa.A0, isa.A0, -1)
+	fb.Call(1)
+	fb.Sw(isa.V0, isa.FP, 1)
+	fb.Lw(isa.A0, isa.FP, 0)
+	fb.OpImm(isa.ADDI, isa.A0, isa.A0, -2)
+	fb.Call(1)
+	fb.Lw(isa.T0, isa.FP, 1)
+	fb.Op3(isa.ADD, isa.V0, isa.V0, isa.T0)
+	fb.Emit(isa.Instr{Op: isa.RET})
+	fb.Label("base")
+	fb.Move(isa.V0, isa.A0)
+	fb.Emit(isa.Instr{Op: isa.RET})
+	fib := &Method{Name: "fib", Code: fb.Finish(), FrameWords: 4}
+
+	b := isa.NewBuilder()
+	b.Li(isa.A0, 10)
+	b.Call(1)
+	b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.V0})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	main := &Method{Name: "main", Code: b.Finish(), FrameWords: 4}
+
+	m := run(t, image(main, fib), DefaultOptions())
+	if m.Output[0] != 55 {
+		t.Fatalf("fib(10) = %v, want 55", m.Output)
+	}
+}
+
+func TestExceptionCaughtInMethod(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(isa.T0, 5)
+	b.Li(isa.T1, 0)
+	b.Op3(isa.DIV, isa.T2, isa.T0, isa.T1) // pc 2: traps
+	b.Emit(isa.Instr{Op: isa.HALT})        // skipped
+	b.Label("handler")
+	b.Li(isa.T3, 77)
+	b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.T3})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	code := b.Finish()
+	main := &Method{Name: "main", Code: code, FrameWords: 4,
+		Handlers: []Handler{{Start: 0, End: 4, Target: 4, Kind: isa.ExArithmetic}}}
+	m := run(t, image(main), DefaultOptions())
+	if len(m.Output) != 1 || m.Output[0] != 77 {
+		t.Fatalf("handler output = %v", m.Output)
+	}
+}
+
+func TestExceptionPropagatesUpCallStack(t *testing.T) {
+	// callee traps with null check; caller catches.
+	cb := isa.NewBuilder()
+	cb.Emit(isa.Instr{Op: isa.CHKNULL, Rs: isa.A0})
+	cb.Li(isa.V0, 1)
+	cb.Emit(isa.Instr{Op: isa.RET})
+	callee := &Method{Name: "deref", Code: cb.Finish(), FrameWords: 2}
+
+	b := isa.NewBuilder()
+	b.Li(isa.A0, 0) // null
+	b.Call(1)       // pc 1
+	b.Emit(isa.Instr{Op: isa.HALT})
+	b.Label("handler")
+	b.Li(isa.T0, 88)
+	b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.T0})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	main := &Method{Name: "main", Code: b.Finish(), FrameWords: 4,
+		Handlers: []Handler{{Start: 0, End: 3, Target: 3, Kind: 0}}}
+	m := run(t, image(main, callee), DefaultOptions())
+	if len(m.Output) != 1 || m.Output[0] != 88 {
+		t.Fatalf("propagated handler output = %v", m.Output)
+	}
+}
+
+func TestUncaughtExceptionHaltsWithError(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(isa.T0, 1)
+	b.Li(isa.T1, 0)
+	b.Op3(isa.DIV, isa.T2, isa.T0, isa.T1)
+	b.Emit(isa.Instr{Op: isa.HALT})
+	img := image(&Method{Name: "main", Code: b.Finish(), FrameWords: 4})
+	m := NewMachine(img, newStubRuntime(), DefaultOptions())
+	if err := m.Run(1_000_000); err == nil {
+		t.Fatal("uncaught exception should error")
+	}
+}
+
+// buildParallelSTL assembles main() with an STL writing arr[i] = i*i for
+// i in [0, n), arr at address base. Layout: fp+0 = i home, fp+1 = limit.
+func buildParallelSTL(n, base int64, ncpu int64) *Image {
+	b := isa.NewBuilder()
+	b.Li(isa.T0, 0)
+	b.Sw(isa.T0, isa.FP, 0) // i home = 0
+	b.Li(isa.T0, n)
+	b.Sw(isa.T0, isa.FP, 1) // limit home
+	b.Emit(isa.Instr{Op: isa.STLSTART, Imm: 1})
+	b.Label("init")
+	b.Emit(isa.Instr{Op: isa.MFC2, Rd: isa.T1, Imm: isa.CP2Iteration})
+	b.Lw(isa.S0, isa.FP, 0) // base value of i
+	b.Op3(isa.ADD, isa.S0, isa.S0, isa.T1)
+	b.Lw(isa.S1, isa.FP, 1) // limit (invariant reload)
+	b.Label("top")
+	b.Br(isa.BGE, isa.S0, isa.S1, "shutdown")
+	b.Op3(isa.MUL, isa.T2, isa.S0, isa.S0)
+	b.OpImm(isa.ADDI, isa.T3, isa.S0, base)
+	b.Sw(isa.T2, isa.T3, 0)
+	b.Emit(isa.Instr{Op: isa.STLEOI})
+	b.OpImm(isa.ADDI, isa.S0, isa.S0, ncpu)
+	b.Jmp("top")
+	b.Label("shutdown")
+	b.Emit(isa.Instr{Op: isa.STLSHUTDOWN})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	code := b.Finish()
+	main := &Method{Name: "main", Code: code, FrameWords: 8}
+	img := image(main)
+	img.STLs[1] = &STLDesc{ID: 1, Method: 0, InitPC: b.LabelPC("init"),
+		BodyStart: b.LabelPC("init"), BodyEnd: b.LabelPC("shutdown") + 1}
+	return img
+}
+
+func TestSTLParallelLoopCorrectAndFast(t *testing.T) {
+	const n, base = 64, 100000
+	img := buildParallelSTL(n, base, 4)
+	m := run(t, img, DefaultOptions())
+	for i := int64(0); i < n; i++ {
+		if got := m.Mem.Read(mem.Addr(base + i)); got != i*i {
+			t.Fatalf("arr[%d] = %d, want %d", i, got, i*i)
+		}
+	}
+	if m.TLS.Violations != 0 {
+		t.Errorf("independent loop suffered %d violations", m.TLS.Violations)
+	}
+	if m.TLS.Commits < n-4 {
+		t.Errorf("commits = %d", m.TLS.Commits)
+	}
+
+	// The same work on one CPU must be slower.
+	img1 := buildParallelSTL(n, base, 1)
+	m1 := run(t, img1, Options{NCPU: 1, Handlers: tls.NewHandlers})
+	if m1.Clock <= m.Clock {
+		t.Errorf("4-CPU run (%d cycles) not faster than 1-CPU (%d cycles)", m.Clock, m1.Clock)
+	}
+	speedup := float64(m1.Clock) / float64(m.Clock)
+	if speedup < 2.0 {
+		t.Errorf("speedup = %.2f, want > 2 for an independent loop", speedup)
+	}
+}
+
+// buildSerializedSTL assembles an STL where every iteration increments a
+// shared memory counter early-read/late-write, forcing RAW violations.
+func buildSerializedSTL(n int64) *Image {
+	const counter = 200000
+	b := isa.NewBuilder()
+	b.Li(isa.T0, 0)
+	b.Sw(isa.T0, isa.FP, 0)
+	b.Li(isa.T0, n)
+	b.Sw(isa.T0, isa.FP, 1)
+	b.Li(isa.T0, 0)
+	b.Li(isa.T1, counter)
+	b.Sw(isa.T0, isa.T1, 0)
+	b.Emit(isa.Instr{Op: isa.STLSTART, Imm: 1})
+	b.Label("init")
+	b.Emit(isa.Instr{Op: isa.MFC2, Rd: isa.T1, Imm: isa.CP2Iteration})
+	b.Lw(isa.S0, isa.FP, 0)
+	b.Op3(isa.ADD, isa.S0, isa.S0, isa.T1)
+	b.Lw(isa.S1, isa.FP, 1)
+	b.Li(isa.S2, counter)
+	b.Label("top")
+	b.Br(isa.BGE, isa.S0, isa.S1, "shutdown")
+	b.Lw(isa.T2, isa.S2, 0) // early read of shared counter
+	// Busy work to widen the window.
+	for i := 0; i < 10; i++ {
+		b.Op3(isa.ADD, isa.T3, isa.T3, isa.T2)
+	}
+	b.OpImm(isa.ADDI, isa.T2, isa.T2, 1)
+	b.Sw(isa.T2, isa.S2, 0) // late write
+	b.Emit(isa.Instr{Op: isa.STLEOI})
+	b.OpImm(isa.ADDI, isa.S0, isa.S0, 4)
+	b.Jmp("top")
+	b.Label("shutdown")
+	b.Emit(isa.Instr{Op: isa.STLSHUTDOWN})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	main := &Method{Name: "main", Code: b.Finish(), FrameWords: 8}
+	img := image(main)
+	img.STLs[1] = &STLDesc{ID: 1, Method: 0, InitPC: b.LabelPC("init"),
+		BodyStart: b.LabelPC("init"), BodyEnd: b.LabelPC("shutdown") + 1}
+	return img
+}
+
+func TestSTLSerializedLoopStaysCorrect(t *testing.T) {
+	const n = 40
+	m := run(t, buildSerializedSTL(n), DefaultOptions())
+	if got := m.Mem.Read(200000); got != n {
+		t.Fatalf("counter = %d, want %d (sequential semantics violated)", got, n)
+	}
+	if m.TLS.Violations == 0 {
+		t.Error("dependent loop should suffer violations")
+	}
+	st := m.TLS.Stats
+	if st.RunViolated == 0 {
+		t.Error("violated work should be accounted")
+	}
+}
+
+func TestSTLStateAccountingSumsSane(t *testing.T) {
+	m := run(t, buildParallelSTL(64, 100000, 4), DefaultOptions())
+	st := m.TLS.Stats
+	if st.RunUsed == 0 || st.Overhead == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Serial == 0 {
+		t.Error("pre-loop setup should be serial time")
+	}
+}
+
+func TestMFC2CPUID(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Emit(isa.Instr{Op: isa.MFC2, Rd: isa.T0, Imm: isa.CP2CPUID})
+	b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.T0})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	m := run(t, image(&Method{Name: "main", Code: b.Finish(), FrameWords: 2}), DefaultOptions())
+	if m.Output[0] != 0 {
+		t.Fatalf("master cpu id = %v", m.Output)
+	}
+}
+
+func TestAllocatorTrafficVisible(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Emit(isa.Instr{Op: isa.ALLOC, Rd: isa.T0, Imm: 3})
+	b.Lw(isa.T1, isa.T0, 0) // read class word back
+	b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.T1})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	m := run(t, image(&Method{Name: "main", Code: b.Finish(), FrameWords: 2}), DefaultOptions())
+	if m.Output[0] != 3 {
+		t.Fatalf("allocated header = %v", m.Output)
+	}
+}
+
+func TestCycleBudgetEnforced(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Label("spin")
+	b.Jmp("spin")
+	img := image(&Method{Name: "main", Code: b.Finish(), FrameWords: 2})
+	m := NewMachine(img, newStubRuntime(), DefaultOptions())
+	if err := m.Run(10_000); err == nil {
+		t.Fatal("infinite loop should exceed budget")
+	}
+}
+
+// TestSavedRegisterRestoreOnUnwind: an exception that abandons a callee
+// frame must restore the callee-saved registers its prologue stored (the
+// epilogue never runs), or the caller's register-allocated locals corrupt.
+func TestSavedRegisterRestoreOnUnwind(t *testing.T) {
+	// callee: saves S0, clobbers it, then throws.
+	cb := isa.NewBuilder()
+	cb.Sw(isa.S0, isa.FP, 0) // prologue save (SaveBase = 0)
+	cb.Li(isa.S0, 9999)      // clobber
+	cb.Li(isa.T0, 1)
+	cb.Emit(isa.Instr{Op: isa.THROW, Rs: isa.T0})
+	callee := &Method{Name: "boom", Code: cb.Finish(), FrameWords: 2,
+		SavedRegs: []isa.Reg{isa.S0}, SaveBase: 0}
+
+	b := isa.NewBuilder()
+	b.Li(isa.S0, 42) // caller's precious register-allocated local
+	b.Call(1)        // pc 1: throws
+	b.Emit(isa.Instr{Op: isa.HALT})
+	b.Label("handler")
+	b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.S0}) // must print 42, not 9999
+	b.Emit(isa.Instr{Op: isa.HALT})
+	main := &Method{Name: "main", Code: b.Finish(), FrameWords: 4,
+		Handlers: []Handler{{Start: 0, End: 3, Target: 3, Kind: 0}}}
+
+	m := run(t, image(main, callee), DefaultOptions())
+	if len(m.Output) != 1 || m.Output[0] != 42 {
+		t.Fatalf("unwind did not restore callee-saved register: output %v", m.Output)
+	}
+}
+
+// TestHoistedSTLCheaperOnRepeatEntry: repeat entries of a hoisted STL pay a
+// reduced startup handler (§4.2.7).
+func TestHoistedSTLCheaperOnRepeatEntry(t *testing.T) {
+	// Two STL entries in sequence sharing one descriptor: the second entry
+	// of the hoisted variant pays the reduced startup.
+	mk := func(hoisted bool) int64 {
+		b := isa.NewBuilder()
+		for rep := 0; rep < 2; rep++ {
+			b.Li(isa.T0, 0)
+			b.Sw(isa.T0, isa.FP, 0)
+			b.Li(isa.T0, 8)
+			b.Sw(isa.T0, isa.FP, 1)
+			b.Emit(isa.Instr{Op: isa.STLSTART, Imm: 1})
+			init := b.PC()
+			b.Emit(isa.Instr{Op: isa.MFC2, Rd: isa.T1, Imm: isa.CP2Iteration})
+			b.Lw(isa.S0, isa.FP, 0)
+			b.Op3(isa.ADD, isa.S0, isa.S0, isa.T1)
+			b.Lw(isa.S1, isa.FP, 1)
+			top := fmt.Sprintf("top%d", rep)
+			shut := fmt.Sprintf("shut%d", rep)
+			b.Label(top)
+			b.Br(isa.BGE, isa.S0, isa.S1, shut)
+			b.OpImm(isa.ADDI, isa.T3, isa.S0, 130000)
+			b.Sw(isa.S0, isa.T3, 0)
+			b.Emit(isa.Instr{Op: isa.STLEOI})
+			b.OpImm(isa.ADDI, isa.S0, isa.S0, 4)
+			b.Jmp(top)
+			b.Label(shut)
+			b.Emit(isa.Instr{Op: isa.STLSHUTDOWN})
+			_ = init
+		}
+		b.Emit(isa.Instr{Op: isa.HALT})
+		code := b.Finish()
+		img := image(&Method{Name: "main", Code: code, FrameWords: 8})
+		img.STLs[1] = &STLDesc{ID: 1, Method: 0, InitPC: 5, Hoisted: hoisted,
+			BodyStart: 0, BodyEnd: len(code)}
+		m := run(t, img, DefaultOptions())
+		return m.Clock
+	}
+	plain := mk(false)
+	hoisted := mk(true)
+	if hoisted >= plain {
+		t.Fatalf("hoisted repeat entry should be cheaper: %d vs %d cycles", hoisted, plain)
+	}
+}
+
+// TestSpeculativeIOOrdering: an IOPUT executed by a speculative thread
+// defers until the thread is the head, so output appears in sequential
+// iteration order no matter how execution interleaves.
+func TestSpeculativeIOOrdering(t *testing.T) {
+	const n = 24
+	b := isa.NewBuilder()
+	b.Li(isa.T0, 0)
+	b.Sw(isa.T0, isa.FP, 0)
+	b.Li(isa.T0, n)
+	b.Sw(isa.T0, isa.FP, 1)
+	b.Emit(isa.Instr{Op: isa.STLSTART, Imm: 1})
+	b.Label("init")
+	b.Emit(isa.Instr{Op: isa.MFC2, Rd: isa.T1, Imm: isa.CP2Iteration})
+	b.Lw(isa.S0, isa.FP, 0)
+	b.Op3(isa.ADD, isa.S0, isa.S0, isa.T1)
+	b.Lw(isa.S1, isa.FP, 1)
+	b.Label("top")
+	b.Br(isa.BGE, isa.S0, isa.S1, "shutdown")
+	// Variable-length busy work so CPUs finish out of order.
+	b.OpImm(isa.ANDI, isa.T2, isa.S0, 3)
+	b.Label("spin")
+	b.Br(isa.BLE, isa.T2, isa.Zero, "emit")
+	b.OpImm(isa.ADDI, isa.T2, isa.T2, -1)
+	b.Op3(isa.MUL, isa.T3, isa.T2, isa.T2)
+	b.Jmp("spin")
+	b.Label("emit")
+	b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.S0})
+	b.Emit(isa.Instr{Op: isa.STLEOI})
+	b.OpImm(isa.ADDI, isa.S0, isa.S0, 4)
+	b.Jmp("top")
+	b.Label("shutdown")
+	b.Emit(isa.Instr{Op: isa.STLSHUTDOWN})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	code := b.Finish()
+	img := image(&Method{Name: "main", Code: code, FrameWords: 8})
+	img.STLs[1] = &STLDesc{ID: 1, Method: 0, InitPC: b.LabelPC("init"),
+		BodyStart: b.LabelPC("init"), BodyEnd: b.LabelPC("shutdown") + 1}
+	m := run(t, img, DefaultOptions())
+	if len(m.Output) != n {
+		t.Fatalf("output length %d, want %d", len(m.Output), n)
+	}
+	for i, v := range m.Output {
+		if v != int64(i) {
+			t.Fatalf("output out of order at %d: %v", i, m.Output)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package isa
+
+import "fmt"
+
+// Builder assembles instruction streams with symbolic labels. The microJIT
+// backend uses it to emit code without tracking instruction indices by hand.
+type Builder struct {
+	code   Code
+	labels map[string]int
+	fixups []fixup
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.code) }
+
+// Emit appends an instruction and returns its pc.
+func (b *Builder) Emit(in Instr) int {
+	b.code = append(b.code, in)
+	return len(b.code) - 1
+}
+
+// Op3 emits a three-register instruction.
+func (b *Builder) Op3(op Op, rd, rs, rt Reg) { b.Emit(Instr{Op: op, Rd: rd, Rs: rs, Rt: rt}) }
+
+// Op2 emits a two-register instruction (rd, rs).
+func (b *Builder) Op2(op Op, rd, rs Reg) { b.Emit(Instr{Op: op, Rd: rd, Rs: rs}) }
+
+// OpImm emits an immediate-form instruction rd = rs op imm.
+func (b *Builder) OpImm(op Op, rd, rs Reg, imm int64) {
+	b.Emit(Instr{Op: op, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Li emits a load-immediate.
+func (b *Builder) Li(rd Reg, imm int64) { b.Emit(Instr{Op: LI, Rd: rd, Imm: imm}) }
+
+// Move emits rd = rs as an ADD with the zero register.
+func (b *Builder) Move(rd, rs Reg) { b.Op3(ADD, rd, rs, Zero) }
+
+// Lw emits rd = mem[rs+off].
+func (b *Builder) Lw(rd, rs Reg, off int64) { b.Emit(Instr{Op: LW, Rd: rd, Rs: rs, Imm: off}) }
+
+// Sw emits mem[rs+off] = rt.
+func (b *Builder) Sw(rt, rs Reg, off int64) { b.Emit(Instr{Op: SW, Rt: rt, Rs: rs, Imm: off}) }
+
+// Label binds name to the next instruction. Binding the same name twice
+// panics: label names are compiler-generated and must be unique.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("isa: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.code)
+}
+
+// Br emits a conditional branch to a label resolved at Finish time.
+func (b *Builder) Br(op Op, rs, rt Reg, label string) {
+	pc := b.Emit(Instr{Op: op, Rs: rs, Rt: rt, Target: -1})
+	b.fixups = append(b.fixups, fixup{pc: pc, label: label})
+}
+
+// Jmp emits an unconditional jump to a label.
+func (b *Builder) Jmp(label string) {
+	pc := b.Emit(Instr{Op: J, Target: -1})
+	b.fixups = append(b.fixups, fixup{pc: pc, label: label})
+}
+
+// Call emits a call to method id.
+func (b *Builder) Call(method int) { b.Emit(Instr{Op: CALL, Target: method}) }
+
+// PC returns the index the next emitted instruction will have.
+func (b *Builder) PC() int { return len(b.code) }
+
+// LabelPC returns the bound pc of a label, or -1 if unbound.
+func (b *Builder) LabelPC(name string) int {
+	if pc, ok := b.labels[name]; ok {
+		return pc
+	}
+	return -1
+}
+
+// Finish resolves all label references and returns the code. It panics on an
+// undefined label, which indicates a compiler bug.
+func (b *Builder) Finish() Code {
+	for _, f := range b.fixups {
+		pc, ok := b.labels[f.label]
+		if !ok {
+			panic(fmt.Sprintf("isa: undefined label %q", f.label))
+		}
+		b.code[f.pc].Target = pc
+	}
+	return b.code
+}

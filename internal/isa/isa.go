@@ -1,0 +1,271 @@
+// Package isa defines the MIPS-like register instruction set executed by the
+// simulated Hydra chip multiprocessor.
+//
+// The IR plays the role of the MIPS machine code emitted by the paper's
+// microJIT compiler. Registers are 64-bit; floating point operations act on
+// the same register file, interpreting register bits as IEEE-754 float64
+// (the paper's separate FP coprocessor register file is a detail that does
+// not affect any reported result). Memory is word addressed, one word = 8
+// bytes, one cache line = 4 words = 32 bytes, matching the paper's 32-byte
+// lines.
+//
+// Besides ordinary computation instructions the ISA carries:
+//
+//   - the TEST annotation instructions of Table 2 (lwl, swl, sloop, eoi,
+//     eloop), which are no-ops for architectural state but are observed by
+//     the hardware profiler;
+//   - TLS control markers (STL startup / end-of-iteration / shutdown and the
+//     multilevel switch handlers), whose cycle costs follow Table 1;
+//   - lwnv, the "load word, non-violating" instruction used by thread
+//     synchronizing locks (§4.2.4);
+//   - VM runtime instructions (allocation, monitors, throw) whose memory
+//     traffic is issued through the simulated memory system so that TLS and
+//     TEST observe the dependencies the paper describes (free-list heads,
+//     object lock words).
+package isa
+
+// Reg names a general-purpose register. Register 0 is hardwired to zero.
+type Reg uint8
+
+// Register conventions (loosely MIPS o32-flavoured).
+const (
+	Zero Reg = 0 // always reads as 0
+	AT   Reg = 1 // assembler temporary (immediate materialization)
+	V0   Reg = 2 // return value
+	V1   Reg = 3 // secondary return value
+	A0   Reg = 4 // first argument register; A0..A5 carry arguments
+	A1   Reg = 5
+	A2   Reg = 6
+	A3   Reg = 7
+	A4   Reg = 8
+	A5   Reg = 9
+	T0   Reg = 10 // T0..T5: expression temporaries (caller saved)
+	T1   Reg = 11
+	T2   Reg = 12
+	T3   Reg = 13
+	T4   Reg = 14
+	T5   Reg = 15
+	S0   Reg = 16 // S0..S11: callee-saved; microJIT assigns locals here
+	S1   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	S8   Reg = 24
+	S9   Reg = 25
+	S10  Reg = 26
+	S11  Reg = 27
+	GP   Reg = 28 // globals (static field area) base
+	SP   Reg = 29 // stack pointer
+	FP   Reg = 30 // frame pointer
+	RA   Reg = 31 // return address
+)
+
+// NumRegs is the architectural register count.
+const NumRegs = 32
+
+// NumSaved is how many callee-saved registers are available for locals.
+const NumSaved = int(S11-S0) + 1
+
+// NumTemps is the depth of the expression temporary stack (T0..T5).
+const NumTemps = int(T5-T0) + 1
+
+// NumArgRegs is how many arguments are passed in registers.
+const NumArgRegs = int(A5-A0) + 1
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. Three-register ALU forms compute Rd = Rs op Rt; immediate forms
+// compute Rd = Rs op Imm.
+const (
+	NOP Op = iota
+
+	// Integer ALU, register forms.
+	ADD
+	SUB
+	MUL
+	DIV // traps on divide by zero (ArithmeticException)
+	REM // traps on divide by zero
+	AND
+	OR
+	XOR
+	NOR
+	SLL
+	SRL
+	SRA
+	SLT // Rd = (Rs < Rt) ? 1 : 0, signed
+	SLE
+	SEQ
+	SNE
+	MIN // Rd = min(Rs, Rt), signed
+	MAX
+
+	// Integer ALU, immediate forms.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LI // Rd = Imm (64-bit immediate materialization)
+
+	// Floating point; register bits are float64. CVT ops convert in place
+	// between the integer and float interpretations.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FABS
+	FMIN
+	FMAX
+	FSLT // integer 0/1 result
+	FSLE
+	FSEQ
+	CVTIF // Rd = float64(int64(Rs))
+	CVTFI // Rd = int64(trunc(float64bits(Rs)))
+	FSQRT
+	FSIN
+	FCOS
+	FEXP
+	FLOG
+
+	// Memory. Effective address is Rs + Imm (word offset).
+	LW   // Rd = mem[Rs+Imm]
+	SW   // mem[Rs+Imm] = Rt
+	LWNV // like LW but never raises a speculation violation (§4.2.4)
+
+	// Control flow. Target is an instruction index within the method.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLE
+	BGT
+	J
+	CALL // call method Target; arguments in A0..; result in V0
+	RET  // return from method; result already in V0
+
+	// TEST annotation instructions (Table 2). Architectural no-ops that the
+	// profiler observes. They cost one cycle when annotation mode is on,
+	// zero otherwise (they are only present in annotation-mode code).
+	LWL   // local variable load annotation; Imm = local slot id
+	SWL   // local variable store annotation; Imm = local slot id
+	SLOOP // start of prospective STL; Imm = loop id, Imm2 = local slot count
+	EOI   // end of iteration of prospective STL; Imm = loop id
+	ELOOP // exit of prospective STL; Imm = loop id
+
+	// TLS control markers. Costs follow Table 1 and are charged by the
+	// simulator as handler overhead (Figure 10 "Overhead" bucket).
+	STLSTART    // master enters an STL; Imm = STL id
+	STLEOI      // end of speculative iteration; wait-for-head + commit
+	STLSHUTDOWN // loop exit; wait-for-head, kill slaves, resume serial
+	STLSWSTART  // multilevel decomposition: switch STL to inner loop (§4.2.6)
+	STLSWEND    // multilevel decomposition: restore outer STL
+	MFC2        // Rd = coprocessor register Imm (see CP2 constants)
+
+	// VM runtime instructions. These perform their memory traffic through
+	// the simulated memory hierarchy so dependencies are architecturally
+	// visible (free-list words, lock words, object headers).
+	ALLOC    // Rd = new object of class Imm
+	ALLOCARR // Rd = new array, length in Rs; Imm = element kind tag
+	MONENTER // acquire monitor of object in Rs
+	MONEXIT  // release monitor of object in Rs
+	THROW    // throw the exception object in Rs
+	CHKNULL  // trap NullPointerException if Rs == 0
+	CHKIDX   // bounds check: array ref in Rs, index in Rt (reads length word)
+	IOPUT    // write Rs to the output stream (system call; never speculative)
+	HALT     // end of program (main method only)
+)
+
+// CP2 coprocessor registers readable through MFC2.
+const (
+	CP2Iteration = 0 // per-CPU speculative iteration counter (§4.2.2)
+	CP2CPUID     = 1 // id of the executing CPU
+)
+
+// Exception kinds carried by trap-raising instructions and Instr.Imm of
+// exception table entries.
+const (
+	ExNullPointer = 1
+	ExArrayBounds = 2
+	ExArithmetic  = 3
+	ExUser        = 4 // programmatic throw of a user exception class
+)
+
+// Instr is one instruction. The operand fields used depend on Op; unused
+// fields are zero.
+type Instr struct {
+	Op     Op
+	Rd     Reg
+	Rs     Reg
+	Rt     Reg
+	Imm    int64 // immediate, word offset, id, or coprocessor register
+	Imm2   int64 // secondary immediate (e.g. slot count for SLOOP)
+	Target int   // branch target pc, or callee method id for CALL
+}
+
+// Code is the instruction stream of one compiled method.
+type Code []Instr
+
+// Cost returns the base execution latency in cycles for op, excluding memory
+// stalls (which the cache model adds) and excluding TLS handler costs (which
+// the TLS unit charges per Table 1). Single-issue cores execute one
+// instruction per cycle; multi-cycle ops model the longer functional units.
+func Cost(op Op) int64 {
+	switch op {
+	case MUL:
+		return 3
+	case DIV, REM:
+		return 10
+	case FADD, FSUB, FMUL, FMIN, FMAX, FNEG, FABS, FSLT, FSLE, FSEQ, CVTIF, CVTFI:
+		return 3
+	case FDIV:
+		return 12
+	case FSQRT:
+		return 20
+	case FSIN, FCOS, FEXP, FLOG:
+		return 30
+	case ALLOC, ALLOCARR:
+		// Allocator bookkeeping beyond its explicit memory traffic.
+		return 8
+	case MONENTER, MONEXIT:
+		return 2
+	case IOPUT:
+		return 40 // system call entry/exit
+	default:
+		return 1
+	}
+}
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool {
+	switch op {
+	case BEQ, BNE, BLT, BGE, BLE, BGT:
+		return true
+	}
+	return false
+}
+
+// IsAnnotation reports whether op is a TEST annotation instruction.
+func (op Op) IsAnnotation() bool {
+	switch op {
+	case LWL, SWL, SLOOP, EOI, ELOOP:
+		return true
+	}
+	return false
+}
+
+// Terminates reports whether control never falls through op.
+func (op Op) Terminates() bool {
+	switch op {
+	case J, RET, THROW, HALT:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpNamesComplete(t *testing.T) {
+	for op := NOP; op <= HALT; op++ {
+		if strings.HasPrefix(op.Name(), "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	cases := map[Reg]string{
+		Zero: "$zero", V0: "$v0", A0: "$a0", T0: "$t0",
+		S0: "$s0", S11: "$s11", GP: "$gp", SP: "$sp", FP: "$fp", RA: "$ra",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestRegisterPartition(t *testing.T) {
+	// The calling convention partitions must not overlap and must cover
+	// what the JIT assumes.
+	if NumSaved != 12 {
+		t.Errorf("NumSaved = %d, want 12", NumSaved)
+	}
+	if NumTemps != 6 {
+		t.Errorf("NumTemps = %d, want 6", NumTemps)
+	}
+	if NumArgRegs != 6 {
+		t.Errorf("NumArgRegs = %d, want 6", NumArgRegs)
+	}
+	if A5 >= T0 || T5 >= S0 || S11 >= GP {
+		t.Error("register class boundaries overlap")
+	}
+}
+
+func TestCostBaseline(t *testing.T) {
+	if Cost(ADD) != 1 || Cost(LW) != 1 || Cost(BEQ) != 1 {
+		t.Error("simple ops must cost one cycle")
+	}
+	if Cost(DIV) <= Cost(MUL) || Cost(MUL) <= Cost(ADD) {
+		t.Error("latency ordering add < mul < div violated")
+	}
+	if Cost(FSQRT) <= Cost(FDIV) {
+		t.Error("fsqrt should be slower than fdiv")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	for _, op := range []Op{BEQ, BNE, BLT, BGE, BLE, BGT} {
+		if !op.IsBranch() {
+			t.Errorf("%s should be a branch", op.Name())
+		}
+	}
+	for _, op := range []Op{J, RET, THROW, HALT} {
+		if !op.Terminates() {
+			t.Errorf("%s should terminate a block", op.Name())
+		}
+		if op.IsBranch() {
+			t.Errorf("%s should not be a conditional branch", op.Name())
+		}
+	}
+	for _, op := range []Op{LWL, SWL, SLOOP, EOI, ELOOP} {
+		if !op.IsAnnotation() {
+			t.Errorf("%s should be an annotation", op.Name())
+		}
+	}
+	if LW.IsAnnotation() || ADD.IsBranch() {
+		t.Error("predicate false positives")
+	}
+}
+
+func TestBuilderResolvesLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Li(T0, 5)
+	b.Label("top")
+	b.OpImm(ADDI, T0, T0, -1)
+	b.Br(BGT, T0, Zero, "top")
+	b.Jmp("done")
+	b.Op3(ADD, T1, T1, T1) // dead
+	b.Label("done")
+	b.Emit(Instr{Op: HALT})
+	code := b.Finish()
+
+	if code[2].Target != 1 {
+		t.Errorf("backward branch target = %d, want 1", code[2].Target)
+	}
+	if code[3].Target != 5 {
+		t.Errorf("forward jump target = %d, want 5", code[3].Target)
+	}
+}
+
+func TestBuilderUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Finish with undefined label should panic")
+		}
+	}()
+	b := NewBuilder()
+	b.Jmp("nowhere")
+	b.Finish()
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label should panic")
+		}
+	}()
+	b := NewBuilder()
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	b := NewBuilder()
+	b.Li(T0, 42)
+	b.Lw(T1, FP, 3)
+	b.Sw(T1, GP, 7)
+	b.Emit(Instr{Op: SLOOP, Imm: 2, Imm2: 1})
+	b.Emit(Instr{Op: LWL, Imm: 0})
+	b.Emit(Instr{Op: HALT})
+	text := Disassemble(b.Finish())
+	for _, want := range []string{"li", "lw", "sw", "sloop", "L2", "lwl", "v0", "halt", "3($fp)", "7($gp)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLabelPC(t *testing.T) {
+	b := NewBuilder()
+	if b.LabelPC("missing") != -1 {
+		t.Error("unbound label should report -1")
+	}
+	b.Li(T0, 1)
+	b.Label("here")
+	if b.LabelPC("here") != 1 {
+		t.Errorf("LabelPC = %d, want 1", b.LabelPC("here"))
+	}
+}

@@ -1,0 +1,111 @@
+package isa
+
+import "fmt"
+
+var opNames = map[Op]string{
+	NOP: "nop",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", NOR: "nor",
+	SLL: "sll", SRL: "srl", SRA: "sra",
+	SLT: "slt", SLE: "sle", SEQ: "seq", SNE: "sne", MIN: "min", MAX: "max",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", SLTI: "slti", LI: "li",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv",
+	FNEG: "fneg", FABS: "fabs", FMIN: "fmin", FMAX: "fmax",
+	FSLT: "fslt", FSLE: "fsle", FSEQ: "fseq",
+	CVTIF: "cvtif", CVTFI: "cvtfi",
+	FSQRT: "fsqrt", FSIN: "fsin", FCOS: "fcos", FEXP: "fexp", FLOG: "flog",
+	LW: "lw", SW: "sw", LWNV: "lwnv",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLE: "ble", BGT: "bgt",
+	J: "j", CALL: "call", RET: "ret",
+	LWL: "lwl", SWL: "swl", SLOOP: "sloop", EOI: "eoi", ELOOP: "eloop",
+	STLSTART: "stl_startup", STLEOI: "stl_eoi", STLSHUTDOWN: "stl_shutdown",
+	STLSWSTART: "stl_switch_startup", STLSWEND: "stl_switch_shutdown",
+	MFC2:  "mfc2",
+	ALLOC: "alloc", ALLOCARR: "allocarr",
+	MONENTER: "monenter", MONEXIT: "monexit",
+	THROW: "throw", CHKNULL: "chknull", CHKIDX: "chkidx",
+	IOPUT: "ioput", HALT: "halt",
+}
+
+// Name returns the assembler mnemonic for op.
+func (op Op) Name() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+var regNames = [NumRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"t0", "t1", "t2", "t3", "t4", "t5",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+	"gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional register name.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return "$" + regNames[r]
+	}
+	return fmt.Sprintf("$r%d", uint8(r))
+}
+
+// String disassembles one instruction.
+func (in Instr) String() string {
+	op := in.Op
+	switch op {
+	case NOP, RET, HALT, STLEOI, STLSHUTDOWN, STLSWEND:
+		return op.Name()
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, NOR, SLL, SRL, SRA,
+		SLT, SLE, SEQ, SNE, MIN, MAX,
+		FADD, FSUB, FMUL, FDIV, FMIN, FMAX, FSLT, FSLE, FSEQ:
+		return fmt.Sprintf("%-8s %s, %s, %s", op.Name(), in.Rd, in.Rs, in.Rt)
+	case FNEG, FABS, CVTIF, CVTFI, FSQRT, FSIN, FCOS, FEXP, FLOG:
+		return fmt.Sprintf("%-8s %s, %s", op.Name(), in.Rd, in.Rs)
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI:
+		return fmt.Sprintf("%-8s %s, %s, %d", op.Name(), in.Rd, in.Rs, in.Imm)
+	case LI:
+		return fmt.Sprintf("%-8s %s, %d", op.Name(), in.Rd, in.Imm)
+	case LW, LWNV:
+		return fmt.Sprintf("%-8s %s, %d(%s)", op.Name(), in.Rd, in.Imm, in.Rs)
+	case SW:
+		return fmt.Sprintf("%-8s %s, %d(%s)", op.Name(), in.Rt, in.Imm, in.Rs)
+	case BEQ, BNE, BLT, BGE, BLE, BGT:
+		return fmt.Sprintf("%-8s %s, %s, @%d", op.Name(), in.Rs, in.Rt, in.Target)
+	case J:
+		return fmt.Sprintf("%-8s @%d", op.Name(), in.Target)
+	case CALL:
+		return fmt.Sprintf("%-8s m%d", op.Name(), in.Target)
+	case LWL, SWL:
+		return fmt.Sprintf("%-8s v%d", op.Name(), in.Imm)
+	case SLOOP:
+		return fmt.Sprintf("%-8s L%d, %d", op.Name(), in.Imm, in.Imm2)
+	case EOI, ELOOP:
+		return fmt.Sprintf("%-8s L%d", op.Name(), in.Imm)
+	case STLSTART, STLSWSTART:
+		return fmt.Sprintf("%-8s stl%d", op.Name(), in.Imm)
+	case MFC2:
+		return fmt.Sprintf("%-8s %s, cp2:%d", op.Name(), in.Rd, in.Imm)
+	case ALLOC:
+		return fmt.Sprintf("%-8s %s, class%d", op.Name(), in.Rd, in.Imm)
+	case ALLOCARR:
+		return fmt.Sprintf("%-8s %s, %s", op.Name(), in.Rd, in.Rs)
+	case MONENTER, MONEXIT, THROW, CHKNULL, IOPUT:
+		return fmt.Sprintf("%-8s %s", op.Name(), in.Rs)
+	case CHKIDX:
+		return fmt.Sprintf("%-8s %s[%s]", op.Name(), in.Rs, in.Rt)
+	default:
+		return fmt.Sprintf("%-8s rd=%s rs=%s rt=%s imm=%d tgt=%d",
+			op.Name(), in.Rd, in.Rs, in.Rt, in.Imm, in.Target)
+	}
+}
+
+// Disassemble renders code with instruction indices, one per line.
+func Disassemble(code Code) string {
+	out := ""
+	for i, in := range code {
+		out += fmt.Sprintf("%4d: %s\n", i, in.String())
+	}
+	return out
+}

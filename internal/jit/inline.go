@@ -1,0 +1,148 @@
+package jit
+
+import (
+	"jrpm/internal/bytecode"
+)
+
+// InlineLimit is the maximum callee size (in bytecode instructions)
+// considered for inlining.
+const InlineLimit = 24
+
+// Inline performs the microJIT's method inlining (§4.1 lists inlining among
+// its optimizations) as a bytecode-to-bytecode transform: every INVOKE of a
+// small leaf method (no calls, no exception handlers) is replaced by the
+// callee's body with locals renamed into fresh caller slots. The input
+// program is not modified.
+//
+// Run it before CFG analysis: callee loops become caller loops, so a hot
+// loop inside a helper called from a loop body turns into an ordinary nest
+// the decomposition analyzer can reason about — and call overhead inside
+// speculative threads disappears.
+func Inline(p *bytecode.Program) *bytecode.Program {
+	inlinable := map[int]bool{}
+	for i, m := range p.Methods {
+		inlinable[i] = isInlinable(m)
+	}
+	out := &bytecode.Program{
+		Name:    p.Name,
+		Classes: p.Classes,
+		Statics: p.Statics,
+		Main:    p.Main,
+	}
+	for _, m := range p.Methods {
+		out.Methods = append(out.Methods, inlineInto(p, m, inlinable))
+	}
+	return out
+}
+
+func isInlinable(m *bytecode.Method) bool {
+	if len(m.Code) > InlineLimit || len(m.Handlers) > 0 {
+		return false
+	}
+	for _, in := range m.Code {
+		if in.Op == bytecode.INVOKE {
+			return false // leaf methods only (also excludes recursion)
+		}
+	}
+	return true
+}
+
+// inlineInto rewrites one method, expanding inlinable call sites.
+func inlineInto(p *bytecode.Program, m *bytecode.Method, inlinable map[int]bool) *bytecode.Method {
+	expand := false
+	for _, in := range m.Code {
+		if in.Op == bytecode.INVOKE && inlinable[int(in.A)] && int(in.A) != m.ID {
+			expand = true
+			break
+		}
+	}
+	if !expand {
+		return m
+	}
+
+	nm := &bytecode.Method{
+		ID: m.ID, Name: m.Name, NArgs: m.NArgs, NLocals: m.NLocals,
+		HasResult: m.HasResult,
+	}
+	// Pass 1: compute the new pc of every old pc so branches can retarget.
+	newPC := make([]int, len(m.Code)+1)
+	pc := 0
+	for i, in := range m.Code {
+		newPC[i] = pc
+		if in.Op == bytecode.INVOKE && inlinable[int(in.A)] && int(in.A) != m.ID {
+			pc += expandedSize(p.Methods[in.A])
+		} else {
+			pc++
+		}
+	}
+	newPC[len(m.Code)] = pc
+
+	// Pass 2: emit.
+	for i, in := range m.Code {
+		if in.Op == bytecode.INVOKE && inlinable[int(in.A)] && int(in.A) != m.ID {
+			callee := p.Methods[in.A]
+			base := nm.NLocals // fresh slots for this inline site
+			nm.NLocals += callee.NLocals
+			emitInlined(nm, callee, base, newPC[i+1])
+			continue
+		}
+		out := in
+		if in.IsBranch() {
+			out.A = int64(newPC[in.A])
+		}
+		nm.Code = append(nm.Code, out)
+	}
+	// Handler table pcs move with the code.
+	for _, h := range m.Handlers {
+		nm.Handlers = append(nm.Handlers, bytecode.Handler{
+			Start: newPC[h.Start], End: newPC[h.End],
+			Target: newPC[h.Target], Kind: h.Kind,
+		})
+	}
+	return nm
+}
+
+// expandedSize is the exact instruction count emitInlined will produce.
+func expandedSize(callee *bytecode.Method) int {
+	n := callee.NArgs // argument stores
+	for _, in := range callee.Code {
+		switch in.Op {
+		case bytecode.RETURN:
+			n++ // becomes GOTO (last one could fall through, but keep exact)
+		case bytecode.IRETURN:
+			n++ // becomes GOTO; the value stays on the stack
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// emitInlined appends the callee body with locals rebased and returns
+// rewritten as jumps to endPC (the instruction after the call site).
+func emitInlined(nm *bytecode.Method, callee *bytecode.Method, base, endPC int) {
+	// The call site's operand stack holds the arguments with the last on
+	// top: store them into the rebased parameter slots in reverse.
+	entry := len(nm.Code)
+	for a := callee.NArgs - 1; a >= 0; a-- {
+		nm.Code = append(nm.Code, bytecode.Ins{Op: bytecode.STORE, A: int64(base + a)})
+	}
+	bodyBase := len(nm.Code)
+	for _, in := range callee.Code {
+		out := in
+		switch in.Op {
+		case bytecode.LOAD, bytecode.STORE, bytecode.IINC:
+			out.A = in.A + int64(base)
+		case bytecode.RETURN, bytecode.IRETURN:
+			// An ireturn's value is already on the operand stack — exactly
+			// what the call site expects; just transfer control past it.
+			out = bytecode.Ins{Op: bytecode.GOTO, A: int64(endPC)}
+		default:
+			if in.IsBranch() {
+				out.A = in.A + int64(bodyBase)
+			}
+		}
+		nm.Code = append(nm.Code, out)
+	}
+	_ = entry
+}

@@ -1,0 +1,146 @@
+package jit
+
+import (
+	"testing"
+
+	"jrpm/internal/bytecode"
+	fe "jrpm/internal/frontend"
+)
+
+// callHeavy builds a loop invoking a small helper per iteration.
+func callHeavy() *bytecode.Program {
+	p := fe.NewProgram("callheavy")
+	mix := p.Func("mix", []string{"x", "y"}, true)
+	mix.Body(fe.Ret(fe.BXor(fe.Mul(fe.L("x"), fe.I(3)), fe.Add(fe.L("y"), fe.I(7)))))
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(64))),
+		fe.ForUp("i", fe.I(0), fe.I(64),
+			fe.SetIdx(fe.L("a"), fe.L("i"), fe.CallE(mix, fe.L("i"), fe.Mul(fe.L("i"), fe.L("i")))),
+		),
+		fe.Set("s", fe.I(0)),
+		fe.ForUp("j", fe.I(0), fe.I(64),
+			fe.Set("s", fe.Add(fe.L("s"), fe.Idx(fe.L("a"), fe.L("j")))),
+		),
+		fe.Print(fe.L("s")),
+	)
+	return p.MustBuild()
+}
+
+func TestInlineRemovesCallSites(t *testing.T) {
+	bp := callHeavy()
+	inl := Inline(bp)
+	if err := bytecode.Verify(inl); err != nil {
+		t.Fatalf("inlined program fails verification: %v", err)
+	}
+	for _, in := range inl.Methods[bp.Main].Code {
+		if in.Op == bytecode.INVOKE {
+			t.Fatal("small leaf call survived inlining")
+		}
+	}
+	// The original program must be untouched.
+	found := false
+	for _, in := range bp.Methods[bp.Main].Code {
+		if in.Op == bytecode.INVOKE {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Inline mutated its input")
+	}
+}
+
+func TestInlinePreservesSemantics(t *testing.T) {
+	bp := callHeavy()
+	plain := execute(t, bp, ModePlain, nil, 1)
+	inl := execute(t, Inline(bp), ModePlain, nil, 1)
+	if len(plain.Output) != len(inl.Output) || plain.Output[0] != inl.Output[0] {
+		t.Fatalf("inlined output %v, original %v", inl.Output, plain.Output)
+	}
+	if inl.Clock >= plain.Clock {
+		t.Errorf("inlining should remove call overhead: %d vs %d cycles", inl.Clock, plain.Clock)
+	}
+}
+
+func TestInlineSkipsLargeAndRecursive(t *testing.T) {
+	p := fe.NewProgram("skip")
+	// Recursive: must not inline.
+	rec := p.Func("rec", []string{"n"}, true)
+	rec.Body(
+		fe.If(fe.Le(fe.L("n"), fe.I(0)), fe.S(fe.Ret(fe.I(0))), nil),
+		fe.Ret(fe.Add(fe.L("n"), fe.CallE(rec, fe.Sub(fe.L("n"), fe.I(1))))),
+	)
+	p.Func("main", nil, false).Body(
+		fe.Print(fe.CallE(rec, fe.I(5))),
+	)
+	bp := p.MustBuild()
+	inl := Inline(bp)
+	if err := bytecode.Verify(inl); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	for _, in := range inl.Methods[bp.Main].Code {
+		if in.Op == bytecode.INVOKE {
+			calls++
+		}
+	}
+	if calls == 0 {
+		t.Fatal("recursive callee was inlined")
+	}
+	m := execute(t, inl, ModePlain, nil, 1)
+	if m.Output[0] != 15 {
+		t.Fatalf("rec(5) = %v, want 15", m.Output)
+	}
+}
+
+func TestInlineHandlesMultipleSitesAndBranches(t *testing.T) {
+	p := fe.NewProgram("multi")
+	abs := p.Func("absv", []string{"x"}, true)
+	abs.Body(
+		fe.If(fe.Lt(fe.L("x"), fe.I(0)), fe.S(fe.Ret(fe.Neg(fe.L("x")))), nil),
+		fe.Ret(fe.L("x")),
+	)
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.CallE(abs, fe.I(-4))),
+		fe.Set("b", fe.CallE(abs, fe.I(9))),
+		fe.Print(fe.Add(fe.L("a"), fe.L("b"))),
+	)
+	bp := p.MustBuild()
+	inl := Inline(bp)
+	if err := bytecode.Verify(inl); err != nil {
+		t.Fatalf("verification: %v", err)
+	}
+	m := execute(t, inl, ModePlain, nil, 1)
+	if m.Output[0] != 13 {
+		t.Fatalf("output %v, want [13]", m.Output)
+	}
+}
+
+func TestInlinedLoopJoinsCallerNest(t *testing.T) {
+	// A helper containing a loop, called from a loop: after inlining the
+	// helper loop is a nested loop of main and becomes analyzable.
+	p := fe.NewProgram("nesting")
+	fill := p.Func("fill", []string{"acc", "k"}, true)
+	fill.Body(
+		fe.ForUp("t", fe.I(0), fe.I(4),
+			fe.Set("acc", fe.Add(fe.L("acc"), fe.Mul(fe.L("k"), fe.L("t")))),
+		),
+		fe.Ret(fe.L("acc")),
+	)
+	p.Func("main", nil, false).Body(
+		fe.Set("s", fe.I(0)),
+		fe.ForUp("i", fe.I(0), fe.I(20),
+			fe.Set("s", fe.CallE(fill, fe.L("s"), fe.L("i"))),
+		),
+		fe.Print(fe.L("s")),
+	)
+	bp := p.MustBuild()
+	inl := Inline(bp)
+	if err := bytecode.Verify(inl); err != nil {
+		t.Fatal(err)
+	}
+	plain := execute(t, bp, ModePlain, nil, 1)
+	after := execute(t, inl, ModePlain, nil, 1)
+	if plain.Output[0] != after.Output[0] {
+		t.Fatalf("semantics changed: %v vs %v", plain.Output, after.Output)
+	}
+}

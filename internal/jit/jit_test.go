@@ -1,0 +1,542 @@
+package jit
+
+import (
+	"testing"
+
+	"jrpm/internal/bytecode"
+	"jrpm/internal/cfg"
+	fe "jrpm/internal/frontend"
+	"jrpm/internal/hydra"
+	"jrpm/internal/isa"
+	"jrpm/internal/tls"
+	"jrpm/internal/vm"
+)
+
+// execute compiles and runs a program, returning the machine.
+func execute(t *testing.T, bp *bytecode.Program, mode Mode, sel *Selection, ncpu int) *hydra.Machine {
+	t.Helper()
+	info := cfg.AnalyzeProgram(bp)
+	img, _, err := Compile(bp, info, mode, sel)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rt := vm.New(bp, vm.DefaultConfig())
+	opts := hydra.DefaultOptions()
+	opts.NCPU = ncpu
+	opts.Profile = mode == ModeAnnotated
+	m := hydra.NewMachine(img, rt, opts)
+	m.Boot()
+	rt.Install(m)
+	if err := m.Run(200_000_000); err != nil {
+		t.Fatalf("run (%v mode): %v", mode, err)
+	}
+	return m
+}
+
+// sumProgram computes sum(i*i) for i in [0,n) and prints it.
+func sumProgram(n int64) *bytecode.Program {
+	p := fe.NewProgram("sum")
+	p.Func("main", nil, false).Body(
+		fe.Set("sum", fe.I(0)),
+		fe.ForUp("i", fe.I(0), fe.I(n),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.Mul(fe.L("i"), fe.L("i")))),
+		),
+		fe.Print(fe.L("sum")),
+	)
+	return p.MustBuild()
+}
+
+func expectOutput(t *testing.T, m *hydra.Machine, want ...int64) {
+	t.Helper()
+	if len(m.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", m.Output, want)
+	}
+	for i := range want {
+		if m.Output[i] != want[i] {
+			t.Fatalf("output = %v, want %v", m.Output, want)
+		}
+	}
+}
+
+func TestPlainSum(t *testing.T) {
+	m := execute(t, sumProgram(100), ModePlain, nil, 1)
+	expectOutput(t, m, 328350)
+}
+
+func TestPlainRecursionFib(t *testing.T) {
+	p := fe.NewProgram("fib")
+	fib := p.Func("fib", []string{"n"}, true)
+	fib.Body(
+		fe.If(fe.Lt(fe.L("n"), fe.I(2)), fe.S(fe.Ret(fe.L("n"))), nil),
+		fe.Ret(fe.Add(fe.CallE(fib, fe.Sub(fe.L("n"), fe.I(1))),
+			fe.CallE(fib, fe.Sub(fe.L("n"), fe.I(2))))),
+	)
+	p.Func("main", nil, false).Body(fe.Print(fe.CallE(fib, fe.I(12))))
+	m := execute(t, p.MustBuild(), ModePlain, nil, 1)
+	expectOutput(t, m, 144)
+}
+
+func TestPlainArraysObjectsStatics(t *testing.T) {
+	p := fe.NewProgram("obj")
+	node := p.Class("Node", "val", "next")
+	tot := p.StaticVar("total")
+	p.Func("main", nil, false).Body(
+		fe.Set("head", fe.I(0)),
+		// Build a 5-node list, values 1..5.
+		fe.ForUp("i", fe.I(1), fe.I(6),
+			fe.Set("n", fe.NewE(node)),
+			fe.SetField(fe.L("n"), node, "val", fe.L("i")),
+			fe.SetField(fe.L("n"), node, "next", fe.L("head")),
+			fe.Set("head", fe.L("n")),
+		),
+		// Sum the list.
+		fe.SetStatic(tot, fe.I(0)),
+		fe.Set("p", fe.L("head")),
+		fe.While(fe.Ne(fe.L("p"), fe.I(0)),
+			fe.SetStatic(tot, fe.Add(fe.StaticE(tot), fe.FieldE(fe.L("p"), node, "val"))),
+			fe.Set("p", fe.FieldE(fe.L("p"), node, "next")),
+		),
+		fe.Print(fe.StaticE(tot)),
+		// Array round trip.
+		fe.Set("a", fe.NewArr(fe.I(8))),
+		fe.SetIdx(fe.L("a"), fe.I(3), fe.I(77)),
+		fe.Print(fe.Add(fe.Idx(fe.L("a"), fe.I(3)), fe.Len(fe.L("a")))),
+	)
+	m := execute(t, p.MustBuild(), ModePlain, nil, 1)
+	expectOutput(t, m, 15, 85)
+}
+
+func TestPlainFloatMath(t *testing.T) {
+	p := fe.NewProgram("float")
+	p.Func("main", nil, false).Body(
+		fe.Set("x", fe.F(3.0)),
+		fe.Set("y", fe.Sqrt(fe.FMul(fe.L("x"), fe.L("x")))),
+		fe.If(fe.AndC(fe.FGt(fe.L("y"), fe.F(2.99)), fe.FLt(fe.L("y"), fe.F(3.01))),
+			fe.S(fe.Print(fe.I(1))), fe.S(fe.Print(fe.I(0)))),
+		fe.Print(fe.ToInt(fe.FAdd(fe.L("y"), fe.F(0.5)))),
+	)
+	m := execute(t, p.MustBuild(), ModePlain, nil, 1)
+	expectOutput(t, m, 1, 3)
+}
+
+func TestPlainExceptionHandling(t *testing.T) {
+	p := fe.NewProgram("exc")
+	p.Func("main", nil, false).Body(
+		fe.Try(
+			fe.S(
+				fe.Set("z", fe.I(0)),
+				fe.Print(fe.Div(fe.I(10), fe.L("z"))),
+			),
+			0, "e",
+			fe.S(fe.Print(fe.I(99))),
+		),
+	)
+	m := execute(t, p.MustBuild(), ModePlain, nil, 1)
+	expectOutput(t, m, 99)
+}
+
+func TestPlainBoundsCheck(t *testing.T) {
+	p := fe.NewProgram("oob")
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(4))),
+		fe.Try(
+			fe.S(fe.Print(fe.Idx(fe.L("a"), fe.I(9)))),
+			0, "e",
+			fe.S(fe.Print(fe.I(-1))),
+		),
+	)
+	m := execute(t, p.MustBuild(), ModePlain, nil, 1)
+	expectOutput(t, m, -1)
+}
+
+func TestPlainDeepExpressionSpilling(t *testing.T) {
+	// An expression deep enough to exhaust the six temporaries.
+	p := fe.NewProgram("deep")
+	deep := fe.Add(fe.I(1), fe.Add(fe.I(2), fe.Add(fe.I(3), fe.Add(fe.I(4),
+		fe.Add(fe.I(5), fe.Add(fe.I(6), fe.Add(fe.I(7), fe.I(8))))))))
+	// Constants fold; force registers with locals.
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.I(1)), fe.Set("b", fe.I(2)), fe.Set("c", fe.I(3)),
+		fe.Set("d", fe.I(4)), fe.Set("e", fe.I(5)), fe.Set("f", fe.I(6)),
+		fe.Set("g", fe.I(7)), fe.Set("h", fe.I(8)),
+		fe.Set("x", fe.Add(fe.Mul(fe.L("a"), fe.L("b")),
+			fe.Add(fe.Mul(fe.L("c"), fe.L("d")),
+				fe.Add(fe.Mul(fe.L("e"), fe.L("f")),
+					fe.Add(fe.Mul(fe.L("g"), fe.L("h")),
+						fe.Add(fe.Mul(fe.L("a"), fe.L("h")),
+							fe.Add(fe.Mul(fe.L("b"), fe.L("g")),
+								fe.Mul(fe.L("c"), fe.L("f"))))))))),
+		fe.Print(fe.L("x")),
+		fe.Print(deep),
+	)
+	m := execute(t, p.MustBuild(), ModePlain, nil, 1)
+	// 2 + 12 + 30 + 56 + 8 + 14 + 18 = 140
+	expectOutput(t, m, 140, 36)
+}
+
+func TestAnnotatedModeProfilesLoops(t *testing.T) {
+	bp := sumProgram(200)
+	m := execute(t, bp, ModeAnnotated, nil, 1)
+	expectOutput(t, m, 2646700)
+	if m.Tracer == nil {
+		t.Fatal("annotated run must attach the tracer")
+	}
+	loops := m.Tracer.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("profiled loops = %d, want 1", len(loops))
+	}
+	for _, ls := range loops {
+		if ls.Iterations != 200 || ls.Entries != 1 {
+			t.Errorf("iterations/entries = %d/%d, want 200/1", ls.Iterations, ls.Entries)
+		}
+		// The counter is an inductor and the sum a reduction: both are
+		// statically discounted, so the compiler eliminates their
+		// annotations and the profile records no local dependencies.
+		for k := range ls.Deps {
+			if k < 0x10000 {
+				t.Errorf("optimized local still annotated: dep key %#x", k)
+			}
+		}
+	}
+}
+
+func TestAnnotatedModeRecordsUnoptimizableDeps(t *testing.T) {
+	// x = (x*31+i) % m is neither inductor nor reduction: its lwl/swl must
+	// survive annotation elimination and produce a local dependency.
+	p := fe.NewProgram("lcgdep")
+	p.Func("main", nil, false).Body(
+		fe.Set("x", fe.I(1)),
+		fe.ForUp("i", fe.I(0), fe.I(100),
+			fe.Set("x", fe.Rem(fe.Add(fe.Mul(fe.L("x"), fe.I(31)), fe.L("i")), fe.I(9973))),
+		),
+		fe.Print(fe.L("x")),
+	)
+	m := execute(t, p.MustBuild(), ModeAnnotated, nil, 1)
+	found := false
+	for _, ls := range m.Tracer.Loops() {
+		for k, ds := range ls.Deps {
+			if k < 0x10000 && ds.Iters > 90 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("carried unoptimizable local recorded no dependency arcs")
+	}
+}
+
+func TestAnnotatedSlowerThanPlain(t *testing.T) {
+	bp := sumProgram(500)
+	plain := execute(t, bp, ModePlain, nil, 1)
+	ann := execute(t, bp, ModeAnnotated, nil, 1)
+	if ann.Clock <= plain.Clock {
+		t.Fatalf("annotated (%d) should be slower than plain (%d)", ann.Clock, plain.Clock)
+	}
+	slowdown := float64(ann.Clock)/float64(plain.Clock) - 1
+	if slowdown > 0.6 {
+		t.Errorf("profiling slowdown %.0f%% unreasonably high", slowdown*100)
+	}
+}
+
+// selectLoop builds a TLS Selection for every loop of the main method using
+// the cfg classification directly (the analyzer does this from profiles).
+func selectLoop(bp *bytecode.Program, syncSlots map[int][]int) *Selection {
+	info := cfg.AnalyzeProgram(bp)
+	sel := &Selection{Plans: map[int64]*Plan{}, NCPU: 4}
+	g := info.Graphs[bp.Main]
+	for _, l := range g.Loops {
+		if l.Depth != 1 {
+			continue
+		}
+		plan := &Plan{
+			LoopID:     cfg.GlobalLoopID(bp.Main, l.Index),
+			MethodID:   bp.Main,
+			Loop:       l.Index,
+			Inductors:  l.Inductors,
+			Resetable:  l.Resetable,
+			Reductions: l.Reductions,
+			SyncSlots:  syncSlots[l.Index],
+		}
+		seen := map[int]bool{}
+		for s := range l.Inductors {
+			seen[s] = true
+		}
+		for s := range l.Resetable {
+			seen[s] = true
+		}
+		for s := range l.Reductions {
+			seen[s] = true
+		}
+		for _, s := range plan.SyncSlots {
+			seen[s] = true
+		}
+		for _, s := range l.Carried {
+			if !seen[s] {
+				plan.Comm = append(plan.Comm, s)
+			}
+		}
+		sel.Plans[plan.LoopID] = plan
+	}
+	return sel
+}
+
+func TestTLSReductionLoopCorrectAndFast(t *testing.T) {
+	bp := sumProgram(400)
+	sel := selectLoop(bp, nil)
+	if len(sel.Plans) != 1 {
+		t.Fatalf("plans = %d", len(sel.Plans))
+	}
+	seq := execute(t, bp, ModePlain, nil, 1)
+	par := execute(t, bp, ModeTLS, sel, 4)
+	expectOutput(t, par, seq.Output...)
+	if par.TLS.Commits < 390 {
+		t.Errorf("commits = %d", par.TLS.Commits)
+	}
+	speedup := float64(seq.Clock) / float64(par.Clock)
+	if speedup < 1.5 {
+		t.Errorf("speedup = %.2f, want > 1.5 (reduction removes the carried dep)", speedup)
+	}
+	if par.TLS.Violations > 10 {
+		t.Errorf("violations = %d, want ~0 with reduction optimization", par.TLS.Violations)
+	}
+}
+
+func TestTLSArrayLoopCorrectAndFast(t *testing.T) {
+	// Independent iterations: a[i] = i*i, then checksum serially.
+	p := fe.NewProgram("arr")
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(256))),
+		fe.ForUp("i", fe.I(0), fe.I(256),
+			fe.SetIdx(fe.L("a"), fe.L("i"), fe.Mul(fe.L("i"), fe.L("i"))),
+		),
+		fe.Set("sum", fe.I(0)),
+		fe.ForUp("j", fe.I(0), fe.I(256),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.Idx(fe.L("a"), fe.L("j")))),
+		),
+		fe.Print(fe.L("sum")),
+	)
+	bp := p.MustBuild()
+	sel := selectLoop(bp, nil)
+	seq := execute(t, bp, ModePlain, nil, 1)
+	par := execute(t, bp, ModeTLS, sel, 4)
+	expectOutput(t, par, seq.Output...)
+	if sp := float64(seq.Clock) / float64(par.Clock); sp < 1.5 {
+		t.Errorf("speedup = %.2f", sp)
+	}
+}
+
+func TestTLSCommunicatedDependencyStaysCorrect(t *testing.T) {
+	// x = (x*1103515245 + 12345) mod m each iteration: a true carried
+	// dependency that is neither inductor nor reduction → communicated.
+	p := fe.NewProgram("lcg")
+	p.Func("main", nil, false).Body(
+		fe.Set("x", fe.I(1)),
+		fe.ForUp("i", fe.I(0), fe.I(50),
+			fe.Set("x", fe.Rem(fe.Add(fe.Mul(fe.L("x"), fe.I(1103515245)), fe.I(12345)), fe.I(1000000007))),
+		),
+		fe.Print(fe.L("x")),
+	)
+	bp := p.MustBuild()
+	sel := selectLoop(bp, nil)
+	seq := execute(t, bp, ModePlain, nil, 1)
+	par := execute(t, bp, ModeTLS, sel, 4)
+	expectOutput(t, par, seq.Output...)
+	if par.TLS.Violations == 0 {
+		t.Error("communicated dependency should cause violations")
+	}
+}
+
+func TestTLSSyncLockReducesViolations(t *testing.T) {
+	// Same LCG dependency, but protected by a thread synchronizing lock.
+	build := func() *bytecode.Program {
+		p := fe.NewProgram("lcgsync")
+		p.Func("main", nil, false).Body(
+			fe.Set("x", fe.I(1)),
+			fe.Set("work", fe.I(0)),
+			fe.ForUp("i", fe.I(0), fe.I(60),
+				fe.Set("x", fe.Rem(fe.Add(fe.Mul(fe.L("x"), fe.I(75)), fe.I(74)), fe.I(65537))),
+				// Independent tail work widens the window.
+				fe.ForUp("k", fe.I(0), fe.I(20),
+					fe.Set("work", fe.Add(fe.L("work"), fe.L("k"))),
+				),
+			),
+			fe.Print(fe.L("x")),
+			fe.Print(fe.L("work")),
+		)
+		return p.MustBuild()
+	}
+	bp := build()
+	seq := execute(t, bp, ModePlain, nil, 1)
+
+	// Find slot of x: it is the first declared local (slot 0).
+	noLock := execute(t, bp, ModeTLS, selectLoop(bp, nil), 4)
+	withLock := execute(t, build(), ModeTLS, selectLoop(bp, map[int][]int{0: {0}}), 4)
+	expectOutput(t, noLock, seq.Output...)
+	expectOutput(t, withLock, seq.Output...)
+	if withLock.TLS.Violations >= noLock.TLS.Violations {
+		t.Errorf("lock: %d violations, unlocked: %d — lock should reduce them",
+			withLock.TLS.Violations, noLock.TLS.Violations)
+	}
+}
+
+func TestTLSResetableInductorCorrect(t *testing.T) {
+	// ptr walks 0..6 cyclically via conditional reset while summing.
+	p := fe.NewProgram("reset")
+	p.Func("main", nil, false).Body(
+		fe.Set("ptr", fe.I(0)),
+		fe.Set("sum", fe.I(0)),
+		fe.ForUp("i", fe.I(0), fe.I(100),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.L("ptr"))),
+			fe.Inc("ptr", 1),
+			fe.If(fe.Ge(fe.L("ptr"), fe.I(7)), fe.S(fe.Set("ptr", fe.I(0))), nil),
+		),
+		fe.Print(fe.L("sum")),
+		fe.Print(fe.L("ptr")),
+	)
+	bp := p.MustBuild()
+	info := cfg.AnalyzeProgram(bp)
+	l := info.Graphs[0].Loops[0]
+	if len(l.Resetable) != 1 {
+		t.Fatalf("resetable = %v (inductors %v)", l.Resetable, l.Inductors)
+	}
+	sel := selectLoop(bp, nil)
+	seq := execute(t, bp, ModePlain, nil, 1)
+	par := execute(t, bp, ModeTLS, sel, 4)
+	expectOutput(t, par, seq.Output...)
+}
+
+func TestTLSLoopWithCallsCorrect(t *testing.T) {
+	p := fe.NewProgram("calls")
+	sq := p.Func("square", []string{"v"}, true)
+	sq.Body(fe.Ret(fe.Mul(fe.L("v"), fe.L("v"))))
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(64))),
+		fe.ForUp("i", fe.I(0), fe.I(64),
+			fe.SetIdx(fe.L("a"), fe.L("i"), fe.CallE(sq, fe.L("i"))),
+		),
+		fe.Set("sum", fe.I(0)),
+		fe.ForUp("j", fe.I(0), fe.I(64),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.Idx(fe.L("a"), fe.L("j")))),
+		),
+		fe.Print(fe.L("sum")),
+	)
+	bp := p.MustBuild()
+	seq := execute(t, bp, ModePlain, nil, 1)
+	par := execute(t, bp, ModeTLS, selectLoop(bp, nil), 4)
+	expectOutput(t, par, seq.Output...)
+}
+
+func TestTLSAllocationInLoopCorrect(t *testing.T) {
+	p := fe.NewProgram("allocloop")
+	node := p.Class("Box", "v")
+	p.Func("main", nil, false).Body(
+		fe.Set("sum", fe.I(0)),
+		fe.ForUp("i", fe.I(0), fe.I(64),
+			fe.Set("b", fe.NewE(node)),
+			fe.SetField(fe.L("b"), node, "v", fe.L("i")),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.FieldE(fe.L("b"), node, "v"))),
+		),
+		fe.Print(fe.L("sum")),
+	)
+	bp := p.MustBuild()
+	seq := execute(t, bp, ModePlain, nil, 1)
+	par := execute(t, bp, ModeTLS, selectLoop(bp, nil), 4)
+	expectOutput(t, par, seq.Output...)
+}
+
+func TestTLSHandlerCostsAffectRuntime(t *testing.T) {
+	bp := sumProgram(200)
+	sel := selectLoop(bp, nil)
+	info := cfg.AnalyzeProgram(bp)
+	img, _, err := Compile(bp, info, ModeTLS, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(h tls.HandlerCosts) int64 {
+		rt := vm.New(bp, vm.DefaultConfig())
+		opts := hydra.DefaultOptions()
+		opts.Handlers = h
+		m := hydra.NewMachine(img, rt, opts)
+		m.Boot()
+		rt.Install(m)
+		if err := m.Run(100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Clock
+	}
+	newC := runWith(tls.NewHandlers)
+	oldC := runWith(tls.OldHandlers)
+	if oldC <= newC {
+		t.Errorf("old handlers (%d cycles) should be slower than new (%d)", oldC, newC)
+	}
+}
+
+func TestCompileReportPopulated(t *testing.T) {
+	bp := sumProgram(10)
+	_, rep, err := Compile(bp, nil, ModePlain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles <= 0 || rep.Methods != 1 || rep.CodeSize == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+// TestAnnotatedCodeShape reproduces Figure 3's structure: the compiled
+// annotated loop carries sloop at entry, eoi on the back edge, eloop at the
+// exit, and lwl/swl on the interesting (carried, unoptimized) local.
+func TestAnnotatedCodeShape(t *testing.T) {
+	p := fe.NewProgram("fig3")
+	p.Func("main", nil, false).Body(
+		fe.Set("lcl", fe.I(10)),
+		fe.Set("x", fe.I(0)),
+		fe.While(fe.Gt(fe.L("lcl"), fe.I(0)),
+			// An unpredictable carried update (neither inductor nor
+			// reduction), like Figure 3's lcl_v.
+			fe.Set("lcl", fe.Sub(fe.L("lcl"), fe.Sel(fe.Gt(fe.L("x"), fe.I(2)), fe.I(1), fe.I(2)))),
+			fe.Set("x", fe.Rem(fe.Add(fe.L("x"), fe.I(1)), fe.I(5))),
+		),
+		fe.Print(fe.L("lcl")),
+	)
+	bp := p.MustBuild()
+	img, _, err := Compile(bp, nil, ModeAnnotated, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[isa.Op]int{}
+	for _, in := range img.Methods[bp.Main].Code {
+		counts[in.Op]++
+	}
+	if counts[isa.SLOOP] != 1 || counts[isa.ELOOP] != 1 {
+		t.Fatalf("sloop/eloop = %d/%d, want 1/1", counts[isa.SLOOP], counts[isa.ELOOP])
+	}
+	if counts[isa.EOI] != 1 {
+		t.Fatalf("eoi = %d, want 1 (on the back edge)", counts[isa.EOI])
+	}
+	if counts[isa.LWL] == 0 || counts[isa.SWL] == 0 {
+		t.Fatal("carried unoptimized local lost its lwl/swl annotations")
+	}
+}
+
+// TestPlainCodeCarriesNoAnnotations: plain and TLS images must not contain
+// profiling instructions.
+func TestPlainCodeCarriesNoAnnotations(t *testing.T) {
+	bp := sumProgram(50)
+	for _, mode := range []Mode{ModePlain, ModeTLS} {
+		var sel *Selection
+		if mode == ModeTLS {
+			sel = selectLoop(bp, nil)
+		}
+		img, _, err := Compile(bp, nil, mode, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range img.Methods {
+			for _, in := range m.Code {
+				if in.Op.IsAnnotation() {
+					t.Fatalf("mode %v emitted annotation %s", mode, in.Op.Name())
+				}
+			}
+		}
+	}
+}

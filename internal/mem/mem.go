@@ -1,0 +1,224 @@
+// Package mem provides the simulated flat memory of the Hydra CMP and the
+// cache hierarchy latency model.
+//
+// Memory is word addressed; one word is 8 bytes and one cache line is
+// LineWords = 4 words = 32 bytes, matching the paper's 32-byte lines. All
+// architectural data — the VM heap, runtime stacks, static fields, free
+// lists and object lock words — lives in this address space, so every
+// dependency the paper discusses is visible to the TLS hardware and to the
+// TEST profiler as real memory traffic.
+//
+// The cache model tracks tags only (data always lives in the flat array; L1s
+// are write-through) and exists to charge the latencies of the paper's
+// Figure 2: L1 hit 1 cycle, L2 hit 5 cycles, inter-processor transfer 10
+// cycles, main memory 50 cycles.
+package mem
+
+import "fmt"
+
+// Addr is a word address.
+type Addr uint32
+
+// Geometry and latency constants (paper Figure 2).
+const (
+	WordBytes = 8
+	LineWords = 4 // 32-byte lines
+
+	LatL1        = 1  // L1 hit
+	LatL2        = 5  // L2 hit
+	LatInterproc = 10 // read from another CPU's speculative store buffer
+	LatMem       = 50 // main memory
+)
+
+// Line returns the cache line index containing a.
+func Line(a Addr) Addr { return a / LineWords }
+
+// Memory is the flat simulated memory.
+type Memory struct {
+	words []int64
+}
+
+// NewMemory returns a memory of size words.
+func NewMemory(size int) *Memory {
+	return &Memory{words: make([]int64, size)}
+}
+
+// Size returns the memory size in words.
+func (m *Memory) Size() int { return len(m.words) }
+
+// Read returns the word at a.
+func (m *Memory) Read(a Addr) int64 {
+	if int(a) >= len(m.words) {
+		panic(fmt.Sprintf("mem: read beyond memory at %d", a))
+	}
+	return m.words[a]
+}
+
+// Write stores v at a.
+func (m *Memory) Write(a Addr, v int64) {
+	if int(a) >= len(m.words) {
+		panic(fmt.Sprintf("mem: write beyond memory at %d", a))
+	}
+	m.words[a] = v
+}
+
+// CacheConfig describes the cache hierarchy geometry.
+type CacheConfig struct {
+	NCPU     int
+	L1Lines  int // lines per CPU L1 (paper: 512 = 16 kB)
+	L1Assoc  int // paper: 4-way
+	L2Lines  int // shared L2 lines (paper: 65536 = 2 MB)
+	L2Assoc  int
+	LatL1    int64
+	LatL2    int64
+	LatMem   int64
+	LatInter int64
+}
+
+// DefaultCacheConfig returns the paper's Hydra configuration for ncpu CPUs.
+func DefaultCacheConfig(ncpu int) CacheConfig {
+	return CacheConfig{
+		NCPU:     ncpu,
+		L1Lines:  512,
+		L1Assoc:  4,
+		L2Lines:  65536,
+		L2Assoc:  8,
+		LatL1:    LatL1,
+		LatL2:    LatL2,
+		LatMem:   LatMem,
+		LatInter: LatInterproc,
+	}
+}
+
+// setAssoc is a set-associative tag array with LRU replacement.
+type setAssoc struct {
+	sets  int
+	assoc int
+	tags  []Addr   // sets*assoc entries; 0 means empty (line 0 is never cached: it is the null page)
+	lru   []uint32 // per-entry last-use stamp
+	clock uint32
+}
+
+func newSetAssoc(lines, assoc int) *setAssoc {
+	sets := lines / assoc
+	if sets == 0 {
+		sets = 1
+	}
+	return &setAssoc{
+		sets:  sets,
+		assoc: assoc,
+		tags:  make([]Addr, sets*assoc),
+		lru:   make([]uint32, sets*assoc),
+	}
+}
+
+// access looks line up, touching LRU state. If fill is true a miss allocates
+// the line (evicting LRU). It reports whether the access hit.
+func (s *setAssoc) access(line Addr, fill bool) bool {
+	s.clock++
+	set := int(line) % s.sets
+	base := set * s.assoc
+	victim := base
+	for i := 0; i < s.assoc; i++ {
+		e := base + i
+		if s.tags[e] == line {
+			s.lru[e] = s.clock
+			return true
+		}
+		if s.lru[e] < s.lru[victim] {
+			victim = e
+		}
+	}
+	if fill {
+		s.tags[victim] = line
+		s.lru[victim] = s.clock
+	}
+	return false
+}
+
+// contains reports whether line is present without touching LRU state.
+func (s *setAssoc) contains(line Addr) bool {
+	set := int(line) % s.sets
+	base := set * s.assoc
+	for i := 0; i < s.assoc; i++ {
+		if s.tags[base+i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// invalidate removes line if present.
+func (s *setAssoc) invalidate(line Addr) {
+	set := int(line) % s.sets
+	base := set * s.assoc
+	for i := 0; i < s.assoc; i++ {
+		if s.tags[base+i] == line {
+			s.tags[base+i] = 0
+			s.lru[base+i] = 0
+		}
+	}
+}
+
+// CacheSim models per-CPU L1 data caches over a shared L2 and charges access
+// latencies. It tracks tags only; correctness data lives in Memory.
+type CacheSim struct {
+	cfg CacheConfig
+	l1  []*setAssoc
+	l2  *setAssoc
+
+	// Statistics.
+	L1Hits, L1Misses, L2Hits, L2Misses int64
+}
+
+// NewCacheSim builds the cache hierarchy for cfg.
+func NewCacheSim(cfg CacheConfig) *CacheSim {
+	cs := &CacheSim{cfg: cfg, l2: newSetAssoc(cfg.L2Lines, cfg.L2Assoc)}
+	for i := 0; i < cfg.NCPU; i++ {
+		cs.l1 = append(cs.l1, newSetAssoc(cfg.L1Lines, cfg.L1Assoc))
+	}
+	return cs
+}
+
+// Config returns the geometry the simulator was built with.
+func (cs *CacheSim) Config() CacheConfig { return cs.cfg }
+
+// Load charges the latency of a load by cpu from address a and updates tag
+// state (L1 and L2 fills on miss).
+func (cs *CacheSim) Load(cpu int, a Addr) int64 {
+	line := Line(a)
+	if cs.l1[cpu].access(line, true) {
+		cs.L1Hits++
+		return cs.cfg.LatL1
+	}
+	cs.L1Misses++
+	if cs.l2.access(line, true) {
+		cs.L2Hits++
+		return cs.cfg.LatL2
+	}
+	cs.L2Misses++
+	return cs.cfg.LatMem
+}
+
+// Store charges the latency of a store by cpu to address a. The L1s are
+// write-through with a write buffer, so a store retires in one cycle; the
+// write allocates in the L2 and updates (does not invalidate) other L1s that
+// hold the line, as Hydra's write-through bus does. Here "updates" is a
+// no-op because data lives in flat memory; we only keep tag state coherent.
+func (cs *CacheSim) Store(cpu int, a Addr) int64 {
+	line := Line(a)
+	cs.l1[cpu].access(line, true)
+	cs.l2.access(line, true)
+	return cs.cfg.LatL1
+}
+
+// InterprocLatency returns the cost of reading a value out of another CPU's
+// speculative store buffer across the read bus.
+func (cs *CacheSim) InterprocLatency() int64 { return cs.cfg.LatInter }
+
+// InvalidateL1 removes a line from one CPU's L1 (used when speculative state
+// is discarded on a violation: the speculatively-read lines are flash
+// cleared).
+func (cs *CacheSim) InvalidateL1(cpu int, a Addr) {
+	cs.l1[cpu].invalidate(Line(a))
+}

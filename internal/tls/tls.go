@@ -1,0 +1,509 @@
+// Package tls implements Hydra's thread-level speculation support: per-CPU
+// speculative store buffers, exposed-read tracking via L1 speculative tag
+// bits, the write-bus RAW violation broadcast, and the in-order head/commit
+// protocol (paper §2).
+//
+// Threads are loop iterations distributed round-robin over CPUs (§4.2.2):
+// CPU k executes iterations k, k+NCPU, k+2·NCPU, … The oldest uncommitted
+// iteration is the non-speculative "head" thread; it alone may commit its
+// store buffer, and it can never suffer a violation.
+//
+// TLS semantics implemented exactly as in the paper:
+//
+//   - RAW: a load first checks the thread's own store buffer, then the
+//     buffers of sequentially older threads (data forwarding), then memory.
+//     Exposed reads (loads not preceded by an own store to the same word)
+//     are tracked; a store by an older thread to a tracked word violates
+//     this thread and, transitively, all younger ones.
+//   - WAW: buffered writes commit strictly in thread order.
+//   - WAR: buffered writes are invisible to older threads.
+//
+// Buffer capacity limits follow Figure 2 (store buffer 64 lines, load buffer
+// 512 lines). A thread that exceeds either limit must stall until it becomes
+// the head, at which point its state is safe (paper §3, "speculative state
+// overflow"). Handler overheads follow Table 1, with both the paper's "New"
+// and "Old" generations available for the Table 1 reproduction.
+package tls
+
+import (
+	"fmt"
+
+	"jrpm/internal/mem"
+)
+
+// HandlerCosts gives the fixed cycle cost of each TLS software handler
+// (paper Table 1).
+type HandlerCosts struct {
+	Startup  int64 // STL_STARTUP (master only)
+	Shutdown int64 // STL_SHUTDOWN (master only)
+	EOI      int64 // STL_EOI, per committed iteration
+	Restart  int64 // STL_RESTART, per violation
+}
+
+// NewHandlers are the improved handler overheads ("New" column of Table 1).
+var NewHandlers = HandlerCosts{Startup: 23, Shutdown: 16, EOI: 5, Restart: 6}
+
+// OldHandlers are the previously reported overheads ("Old" column).
+var OldHandlers = HandlerCosts{Startup: 41, Shutdown: 46, EOI: 14, Restart: 13}
+
+// Config parameterizes the speculation hardware.
+type Config struct {
+	NCPU             int
+	StoreBufferLines int // per-thread store buffer capacity (paper: 64)
+	LoadBufferLines  int // per-thread speculatively-read line limit (paper: 512)
+	Handlers         HandlerCosts
+}
+
+// DefaultConfig returns the paper's Hydra TLS configuration.
+func DefaultConfig(ncpu int) Config {
+	return Config{
+		NCPU:             ncpu,
+		StoreBufferLines: 64,
+		LoadBufferLines:  512,
+		Handlers:         NewHandlers,
+	}
+}
+
+// ChargeKind classifies cycles charged to a speculative thread attempt.
+type ChargeKind int
+
+// Charge kinds. Run covers application computation (including memory
+// stalls); Wait covers waiting to become head and overflow stalls; Overhead
+// covers TLS handler cycles.
+const (
+	ChargeRun ChargeKind = iota
+	ChargeWait
+	ChargeOverhead
+)
+
+// StateStats aggregates machine cycles by the execution states of the
+// paper's Figure 10. Speculative cycles land in used/violated buckets when
+// the attempt commits or is discarded; Serial counts cycles outside STLs.
+type StateStats struct {
+	Serial       int64
+	RunUsed      int64
+	WaitUsed     int64
+	Overhead     int64
+	RunViolated  int64
+	WaitViolated int64
+}
+
+// Total returns the sum over all buckets.
+func (s StateStats) Total() int64 {
+	return s.Serial + s.RunUsed + s.WaitUsed + s.Overhead + s.RunViolated + s.WaitViolated
+}
+
+// Add accumulates other into s.
+func (s *StateStats) Add(o StateStats) {
+	s.Serial += o.Serial
+	s.RunUsed += o.RunUsed
+	s.WaitUsed += o.WaitUsed
+	s.Overhead += o.Overhead
+	s.RunViolated += o.RunViolated
+	s.WaitViolated += o.WaitViolated
+}
+
+// storeBuffer holds one thread's speculative writes.
+type storeBuffer struct {
+	data  map[mem.Addr]int64
+	lines map[mem.Addr]struct{}
+}
+
+func newStoreBuffer() *storeBuffer {
+	return &storeBuffer{data: make(map[mem.Addr]int64), lines: make(map[mem.Addr]struct{})}
+}
+
+func (b *storeBuffer) reset() {
+	clear(b.data)
+	clear(b.lines)
+}
+
+func (b *storeBuffer) put(a mem.Addr, v int64) {
+	b.data[a] = v
+	b.lines[mem.Line(a)] = struct{}{}
+}
+
+// thread is the per-CPU speculation context.
+type thread struct {
+	iter      int64 // iteration index being executed; -1 when inactive
+	buf       *storeBuffer
+	readWords map[mem.Addr]struct{} // exposed speculative reads (word grain)
+	readLines map[mem.Addr]struct{} // distinct lines read (load buffer usage)
+
+	// Tentative cycle accounting for the current attempt (flushed to
+	// StateStats on commit or violation).
+	run, wait, overhead int64
+}
+
+func (t *thread) resetSpecState() {
+	t.buf.reset()
+	clear(t.readWords)
+	clear(t.readLines)
+}
+
+// Unit is the machine-wide TLS controller.
+type Unit struct {
+	cfg    Config
+	memory *mem.Memory
+	caches *mem.CacheSim
+
+	active     bool
+	stlID      int64
+	threads    []*thread
+	nextCommit int64 // iteration index of the current head
+	nextSpawn  int64 // next iteration index to hand out
+
+	// Stats is the Figure 10 state accounting, plus event counters below.
+	Stats      StateStats
+	Commits    int64
+	Violations int64
+	Overflows  int64 // overflow stall episodes
+
+	// MaxStoreLines / MaxLoadLines record the high-water buffer usage of
+	// committed threads (Table 3 columns j and k).
+	MaxStoreLines   int
+	MaxLoadLines    int
+	sumStoreLines   int64
+	sumLoadLines    int64
+	committedLoads  int64
+	committedStores int64
+}
+
+// NewUnit builds a TLS unit over the given memory and caches.
+func NewUnit(cfg Config, memory *mem.Memory, caches *mem.CacheSim) *Unit {
+	u := &Unit{cfg: cfg, memory: memory, caches: caches}
+	for i := 0; i < cfg.NCPU; i++ {
+		u.threads = append(u.threads, &thread{
+			iter:      -1,
+			buf:       newStoreBuffer(),
+			readWords: make(map[mem.Addr]struct{}),
+			readLines: make(map[mem.Addr]struct{}),
+		})
+	}
+	return u
+}
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// Active reports whether an STL is executing speculatively.
+func (u *Unit) Active() bool { return u.active }
+
+// STL returns the id of the active STL (meaningful only when Active).
+func (u *Unit) STL() int64 { return u.stlID }
+
+// Start activates speculation for an STL with CPU 0 as the master/head:
+// iteration i is assigned to CPU i. The STL_STARTUP handler cost is charged
+// to the Overhead bucket.
+func (u *Unit) Start(stlID int64) { u.StartAt(stlID, 0, 0) }
+
+// StartAt activates speculation with headCPU executing iteration baseIter
+// and the remaining CPUs taking baseIter+1, baseIter+2, … in CPU-id order
+// (wrapping past headCPU). Used both for ordinary STL entry (head = master,
+// base 0) and to resume an outer STL after a multilevel switch.
+func (u *Unit) StartAt(stlID int64, headCPU int, baseIter int64) {
+	if u.active {
+		panic("tls: nested STL start (only one STL may be active)")
+	}
+	u.active = true
+	u.Stats.Overhead += u.cfg.Handlers.Startup
+	u.assign(stlID, headCPU, baseIter)
+}
+
+// assign distributes iterations round-robin starting at the head CPU.
+func (u *Unit) assign(stlID int64, headCPU int, baseIter int64) {
+	u.stlID = stlID
+	u.nextCommit = baseIter
+	u.nextSpawn = baseIter + int64(u.cfg.NCPU)
+	n := u.cfg.NCPU
+	for off := 0; off < n; off++ {
+		t := u.threads[(headCPU+off)%n]
+		t.iter = baseIter + int64(off)
+		t.resetSpecState()
+		t.run, t.wait, t.overhead = 0, 0, 0
+	}
+}
+
+// SwitchSTL reassigns the active unit to a different STL without paying the
+// full startup/shutdown handlers — the multilevel decomposition switch of
+// §4.2.6. The head CPU must have committed its partial buffer and killed
+// the younger threads first (CommitPartial + KillYounger).
+func (u *Unit) SwitchSTL(stlID int64, headCPU int, baseIter int64) {
+	if !u.active {
+		panic("tls: SwitchSTL while inactive")
+	}
+	u.assign(stlID, headCPU, baseIter)
+}
+
+// CommitPartial drains the head's store buffer mid-iteration (its state is
+// non-speculative) without advancing the head token. Used by the multilevel
+// switch and by overflow drains at loop granularity.
+func (u *Unit) CommitPartial(cpu int) {
+	t := u.threads[cpu]
+	if !u.IsHead(cpu) {
+		panic("tls: CommitPartial by non-head thread")
+	}
+	u.drainBuffer(cpu, t)
+	clear(t.readWords)
+	clear(t.readLines)
+}
+
+// KillYounger discards every thread younger than cpu's (their work flushes
+// to the violated buckets) and returns the affected CPUs.
+func (u *Unit) KillYounger(cpu int) []int {
+	my := u.threads[cpu].iter
+	var killed []int
+	for c, t := range u.threads {
+		if t.iter > my {
+			u.flushAttempt(t, false)
+			t.resetSpecState()
+			t.iter = -1
+			killed = append(killed, c)
+		}
+	}
+	return killed
+}
+
+// Iteration returns the iteration index CPU cpu is executing.
+func (u *Unit) Iteration(cpu int) int64 { return u.threads[cpu].iter }
+
+// IsHead reports whether cpu's thread is the non-speculative head.
+func (u *Unit) IsHead(cpu int) bool {
+	return u.active && u.threads[cpu].iter == u.nextCommit
+}
+
+// ChargeAttempt adds cycles to the current attempt of cpu's thread. When
+// speculation is inactive the cycles go straight to the Serial bucket.
+func (u *Unit) ChargeAttempt(cpu int, kind ChargeKind, cycles int64) {
+	if !u.active {
+		u.Stats.Serial += cycles
+		return
+	}
+	t := u.threads[cpu]
+	switch kind {
+	case ChargeRun:
+		t.run += cycles
+	case ChargeWait:
+		t.wait += cycles
+	case ChargeOverhead:
+		t.overhead += cycles
+	}
+}
+
+// flushAttempt moves tentative cycles into the used or violated buckets.
+func (u *Unit) flushAttempt(t *thread, used bool) {
+	if used {
+		u.Stats.RunUsed += t.run
+		u.Stats.WaitUsed += t.wait
+	} else {
+		u.Stats.RunViolated += t.run
+		u.Stats.WaitViolated += t.wait
+	}
+	u.Stats.Overhead += t.overhead
+	t.run, t.wait, t.overhead = 0, 0, 0
+}
+
+// Load performs a speculative load by cpu. It returns the value, the charged
+// latency, and whether the read is newly tracked. Forwarding order: own
+// buffer, then older threads from youngest to oldest, then memory.
+// If noViolate is true (the lwnv instruction) the read is not tracked and
+// can never cause a violation.
+func (u *Unit) Load(cpu int, a mem.Addr, noViolate bool) (int64, int64) {
+	t := u.threads[cpu]
+	if v, ok := t.buf.data[a]; ok {
+		return v, mem.LatL1 // own store buffer hit
+	}
+	// Track the exposed read before looking for forwarded data.
+	if !noViolate {
+		t.readWords[a] = struct{}{}
+		t.readLines[mem.Line(a)] = struct{}{}
+	}
+	// Forward from the nearest older thread that buffered the word.
+	myIter := t.iter
+	var bestIter int64 = -1
+	var bestVal int64
+	for _, ot := range u.threads {
+		if ot.iter >= 0 && ot.iter < myIter && ot.iter > bestIter {
+			if v, ok := ot.buf.data[a]; ok {
+				bestIter = ot.iter
+				bestVal = v
+			}
+		}
+	}
+	if bestIter >= 0 {
+		return bestVal, u.caches.InterprocLatency()
+	}
+	return u.memory.Read(a), u.caches.Load(cpu, a)
+}
+
+// Store performs a speculative store by cpu and returns the charged latency
+// plus the list of CPUs whose threads were violated by the write-bus
+// broadcast (each must restart; the caller redirects their PCs and charges
+// the restart handler).
+func (u *Unit) Store(cpu int, a mem.Addr, v int64) (int64, []int) {
+	t := u.threads[cpu]
+	t.buf.put(a, v)
+	violated := u.broadcast(cpu, a)
+	return mem.LatL1, violated
+}
+
+// broadcast finds the oldest younger thread with an exposed read of a and
+// violates it and everything younger.
+func (u *Unit) broadcast(cpu int, a mem.Addr) []int {
+	my := u.threads[cpu].iter
+	var oldest int64 = -1
+	for _, ot := range u.threads {
+		if ot.iter > my {
+			if _, ok := ot.readWords[a]; ok {
+				if oldest < 0 || ot.iter < oldest {
+					oldest = ot.iter
+				}
+			}
+		}
+	}
+	if oldest < 0 {
+		return nil
+	}
+	return u.ViolateFrom(oldest)
+}
+
+// ViolateFrom restarts every thread with iteration >= fromIter: speculative
+// state is discarded, tentative cycles flush to the violated buckets, and
+// the restart handler cost is charged. It returns the affected CPUs; the
+// caller must redirect their PCs to the STL restart point.
+func (u *Unit) ViolateFrom(fromIter int64) []int {
+	var cpus []int
+	for c, t := range u.threads {
+		if t.iter >= fromIter {
+			u.Violations++
+			u.flushAttempt(t, false)
+			t.resetSpecState()
+			t.overhead += u.cfg.Handlers.Restart
+			cpus = append(cpus, c)
+		}
+	}
+	return cpus
+}
+
+// StoreOverflow reports whether cpu's store buffer exceeds capacity.
+func (u *Unit) StoreOverflow(cpu int) bool {
+	return len(u.threads[cpu].buf.lines) > u.cfg.StoreBufferLines
+}
+
+// LoadOverflow reports whether cpu's speculatively-read line set exceeds the
+// load buffer (L1 speculative tag) capacity.
+func (u *Unit) LoadOverflow(cpu int) bool {
+	return len(u.threads[cpu].readLines) > u.cfg.LoadBufferLines
+}
+
+// DrainOverflow is called when an overflowed thread has become the head: its
+// state is non-speculative, so the store buffer drains to memory and the
+// read tracking clears. The thread then continues in place.
+func (u *Unit) DrainOverflow(cpu int) {
+	t := u.threads[cpu]
+	if t.iter != u.nextCommit {
+		panic("tls: DrainOverflow on non-head thread")
+	}
+	u.Overflows++
+	u.drainBuffer(cpu, t)
+	clear(t.readWords)
+	clear(t.readLines)
+}
+
+func (u *Unit) drainBuffer(cpu int, t *thread) {
+	for a, v := range t.buf.data {
+		u.memory.Write(a, v)
+		u.caches.Store(cpu, a) // keep tag state coherent; drain is background
+	}
+	t.buf.reset()
+}
+
+// CommitEOI commits the head thread at the end of its iteration: the buffer
+// drains in order, speculative tags clear, the head token advances, and the
+// CPU is handed the next round-robin iteration. The EOI handler cost is
+// charged to the (new) attempt. Panics if cpu is not the head — the caller
+// must spin in a wait state until IsHead.
+func (u *Unit) CommitEOI(cpu int) {
+	t := u.threads[cpu]
+	if !u.IsHead(cpu) {
+		panic(fmt.Sprintf("tls: CommitEOI by non-head cpu %d (iter %d, head %d)", cpu, t.iter, u.nextCommit))
+	}
+	u.noteBufferUsage(t)
+	u.flushAttempt(t, true)
+	u.drainBuffer(cpu, t)
+	clear(t.readWords)
+	clear(t.readLines)
+	u.Commits++
+	u.nextCommit++
+	t.iter = u.nextSpawn
+	u.nextSpawn++
+	t.overhead += u.cfg.Handlers.EOI
+}
+
+func (u *Unit) noteBufferUsage(t *thread) {
+	sl := len(t.buf.lines)
+	ll := len(t.readLines)
+	if sl > u.MaxStoreLines {
+		u.MaxStoreLines = sl
+	}
+	if ll > u.MaxLoadLines {
+		u.MaxLoadLines = ll
+	}
+	u.sumStoreLines += int64(sl)
+	u.sumLoadLines += int64(ll)
+	u.committedStores++
+	u.committedLoads++
+}
+
+// AvgBufferLines returns the mean store-buffer and load-buffer line usage of
+// committed threads (Table 3 columns).
+func (u *Unit) AvgBufferLines() (store, load float64) {
+	if u.committedStores == 0 {
+		return 0, 0
+	}
+	return float64(u.sumStoreLines) / float64(u.committedStores),
+		float64(u.sumLoadLines) / float64(u.committedLoads)
+}
+
+// Shutdown finalizes the STL: the exiting thread (which must be the head)
+// commits its buffer; every younger thread is killed and its work discarded
+// into the violated buckets. Speculation deactivates. Returns the CPUs that
+// were killed so the caller can idle them.
+func (u *Unit) Shutdown(cpu int) []int {
+	t := u.threads[cpu]
+	if !u.IsHead(cpu) {
+		panic("tls: Shutdown by non-head thread")
+	}
+	u.noteBufferUsage(t)
+	u.flushAttempt(t, true)
+	u.drainBuffer(cpu, t)
+	u.Stats.Overhead += u.cfg.Handlers.Shutdown
+	var killed []int
+	for c, ot := range u.threads {
+		if c == cpu {
+			ot.iter = -1
+			continue
+		}
+		if ot.iter >= 0 {
+			u.flushAttempt(ot, false)
+			ot.resetSpecState()
+			ot.iter = -1
+			killed = append(killed, c)
+		}
+	}
+	u.active = false
+	return killed
+}
+
+// ChargeSerial adds cycles to the Serial bucket directly (used by the
+// machine for non-speculative execution).
+func (u *Unit) ChargeSerial(cycles int64) { u.Stats.Serial += cycles }
+
+// ResetStats clears the accumulated statistics (between program phases).
+func (u *Unit) ResetStats() {
+	u.Stats = StateStats{}
+	u.Commits, u.Violations, u.Overflows = 0, 0, 0
+	u.MaxStoreLines, u.MaxLoadLines = 0, 0
+	u.sumStoreLines, u.sumLoadLines = 0, 0
+	u.committedLoads, u.committedStores = 0, 0
+}

@@ -1,0 +1,143 @@
+package tracer
+
+import "jrpm/internal/mem"
+
+// PredictParams carries the machine parameters the predictor needs.
+type PredictParams struct {
+	NCPU         int
+	StartupCost  int64 // STL_STARTUP handler cycles
+	ShutdownCost int64 // STL_SHUTDOWN handler cycles
+	EOICost      int64 // STL_EOI handler cycles
+	CommPerIter  int64 // extra per-iteration cycles for communicated locals
+	ForwardLat   int64 // inter-processor forwarding latency
+	// ExtraBound is an additional serialization bound (cycles between
+	// consecutive thread starts) computed by the analyzer for effects the
+	// raw arc statistics miss — e.g. communicated locals load at the top
+	// of each iteration regardless of where the profiled load occurred.
+	ExtraBound float64
+}
+
+// SourceBound computes the serialization bound a single dependency source
+// imposes, optionally treating the consuming load as happening at thread
+// start (zeroLoad) — the codegen reality for communicated locals.
+func (ls *LoopStats) SourceBound(key uint32, fwd int64, zeroLoad bool) float64 {
+	ds := ls.Deps[key]
+	if ds == nil || ls.Iterations == 0 {
+		return 0
+	}
+	f := float64(ds.Iters) / float64(ls.Iterations)
+	dist := ds.AvgDist()
+	if dist < 1 {
+		dist = 1
+	}
+	load := ds.AvgLoadOff()
+	if zeroLoad {
+		load = 0
+	}
+	gap := ds.AvgStoreOff() - load + float64(fwd)
+	if gap <= 0 {
+		return 0
+	}
+	return f * gap / dist
+}
+
+// Prediction is the TEST performance estimate for running a loop as an STL.
+// All times are in cycles, comparable to the loop's measured sequential time.
+type Prediction struct {
+	SeqCycles int64   // measured sequential time of the loop
+	ParCycles int64   // estimated speculative time
+	Speedup   float64 // SeqCycles / ParCycles
+	Interval  float64 // estimated cycles between thread commits
+	DepBound  float64 // serialization bound from the critical dependency
+	CPUBound  float64 // throughput bound from CPU count
+	Overflow  float64 // overflow frequency folded into the estimate
+}
+
+// Predict estimates the speculative performance of the loop on a machine
+// with the given parameters, following §3.1: average dependency arc
+// frequencies, thread sizes, critical arc lengths, overflow frequencies and
+// speculative overheads combine into an idealized schedule (violations and
+// commit-wait load imbalance are deliberately not modelled — the paper's
+// Figure 10 discussion attributes the predicted-vs-actual gap to exactly
+// those effects).
+func (ls *LoopStats) Predict(p PredictParams) Prediction {
+	return ls.PredictExcluding(p, nil)
+}
+
+// PredictExcluding is Predict with some dependency sources discounted —
+// the analyzer excludes dependencies that a selected optimization removes
+// (inductors, reductions, per-CPU allocation, lock elision) before
+// estimating the speculative schedule.
+func (ls *LoopStats) PredictExcluding(p PredictParams, exclude func(key uint32) bool) Prediction {
+	pred := Prediction{SeqCycles: ls.TotalCycles}
+	if ls.Iterations == 0 || p.NCPU <= 0 {
+		pred.ParCycles = ls.TotalCycles
+		pred.Speedup = 1
+		return pred
+	}
+	avgT := ls.AvgThreadSize()
+	perIter := avgT + float64(p.EOICost) + float64(p.CommPerIter)
+
+	// Throughput bound: N CPUs retire one iteration every perIter/N cycles.
+	pred.CPUBound = perIter / float64(p.NCPU)
+
+	// Dependency bound: for an arc of distance d, the consumer thread
+	// cannot issue its dependent load before the producer's store, i.e.
+	// consecutive thread starts are at least (storeOff - loadOff +
+	// forwarding) / d apart, weighted by how often the arc occurs. For the
+	// sources surviving here (heap dependencies that no optimization can
+	// remove) the LATEST observed store offset is used rather than the
+	// mean: an arc that occasionally stores late costs a whole violated
+	// thread, so the risk estimate must be pessimistic. The tightest
+	// surviving source governs.
+	for key, ds := range ls.Deps {
+		if exclude != nil && exclude(key) {
+			continue
+		}
+		f := float64(ds.Iters) / float64(ls.Iterations)
+		dist := ds.AvgDist()
+		if dist < 1 {
+			dist = 1
+		}
+		gap := float64(ds.MaxStoreOff) - ds.AvgLoadOff() + float64(p.ForwardLat)
+		if gap > 0 {
+			if b := f * gap / dist; b > pred.DepBound {
+				pred.DepBound = b
+			}
+		}
+	}
+
+	if p.ExtraBound > pred.DepBound {
+		pred.DepBound = p.ExtraBound
+	}
+	interval := pred.CPUBound
+	if pred.DepBound > interval {
+		interval = pred.DepBound
+	}
+	// An overflowing iteration stalls until it becomes the head, which
+	// serializes it against the other CPUs' work.
+	pred.Overflow = ls.OverflowFreq()
+	interval += pred.Overflow * avgT * float64(p.NCPU-1) / float64(p.NCPU)
+	pred.Interval = interval
+
+	par := float64(ls.Entries)*float64(p.StartupCost+p.ShutdownCost) +
+		float64(ls.Iterations)*interval
+	if par < 1 {
+		par = 1
+	}
+	pred.ParCycles = int64(par)
+	pred.Speedup = float64(pred.SeqCycles) / par
+	return pred
+}
+
+// DefaultPredictParams builds predictor parameters from handler costs.
+func DefaultPredictParams(ncpu int, startup, shutdown, eoi, commPerIter int64) PredictParams {
+	return PredictParams{
+		NCPU:         ncpu,
+		StartupCost:  startup,
+		ShutdownCost: shutdown,
+		EOICost:      eoi,
+		CommPerIter:  commPerIter,
+		ForwardLat:   mem.LatInterproc,
+	}
+}

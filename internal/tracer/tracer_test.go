@@ -1,0 +1,357 @@
+package tracer
+
+import (
+	"testing"
+
+	"jrpm/internal/mem"
+)
+
+// driveLoop simulates a simple annotated loop execution against the tracer:
+// iters iterations of size iterCycles, invoking body(iterIndex, startCycle)
+// to emit events inside each iteration. Returns the final cycle.
+func driveLoop(t *Tracer, loopID int64, iters int, iterCycles int64,
+	body func(i int, start int64)) int64 {
+	now := int64(1000)
+	t.OnSloop(loopID, now)
+	for i := 0; i < iters; i++ {
+		start := now
+		if body != nil {
+			body(i, start)
+		}
+		now += iterCycles
+		t.OnEOI(loopID, now)
+	}
+	now += 2
+	t.OnEloop(loopID, now)
+	return now
+}
+
+func TestIterationAndEntryCounting(t *testing.T) {
+	tr := New(DefaultConfig())
+	driveLoop(tr, 1, 10, 100, nil)
+	driveLoop(tr, 1, 5, 100, nil)
+	ls := tr.Loop(1)
+	if ls.Entries != 2 || ls.Iterations != 15 {
+		t.Fatalf("entries=%d iters=%d, want 2/15", ls.Entries, ls.Iterations)
+	}
+	if got := ls.ItersPerEntry(); got != 7.5 {
+		t.Errorf("iters/entry = %v", got)
+	}
+	if ls.AvgThreadSize() < 99 || ls.AvgThreadSize() > 102 {
+		t.Errorf("avg thread size = %v, want ~100", ls.AvgThreadSize())
+	}
+}
+
+func TestInterThreadHeapDependencyDetected(t *testing.T) {
+	tr := New(DefaultConfig())
+	// Each iteration stores to address 500 at offset 80, and loads it at
+	// offset 10 — a distance-1 loop-carried dependency.
+	driveLoop(tr, 1, 20, 100, func(i int, start int64) {
+		tr.OnLoad(500, start+10, ClassHeap)
+		tr.OnStore(500, start+80, ClassHeap)
+	})
+	ls := tr.Loop(1)
+	ds := ls.Deps[HeapDepKey]
+	if ds == nil {
+		t.Fatal("no heap dependency recorded")
+	}
+	// First iteration has no prior store; 19 carry the dependency.
+	if ds.Iters != 19 {
+		t.Fatalf("dep iterations = %d, want 19", ds.Iters)
+	}
+	if ds.AvgDist() != 1 {
+		t.Errorf("avg arc distance = %v, want 1", ds.AvgDist())
+	}
+	if ds.AvgStoreOff() != 80 || ds.AvgLoadOff() != 10 {
+		t.Errorf("offsets = %v/%v, want 80/10", ds.AvgStoreOff(), ds.AvgLoadOff())
+	}
+	if ls.CriticalIters != 19 {
+		t.Errorf("critical iterations = %d", ls.CriticalIters)
+	}
+}
+
+func TestIntraThreadDependencyIgnored(t *testing.T) {
+	tr := New(DefaultConfig())
+	// Store then load within the same iteration: no inter-thread arc.
+	driveLoop(tr, 1, 10, 100, func(i int, start int64) {
+		tr.OnStore(600, start+10, ClassHeap)
+		tr.OnLoad(600, start+20, ClassHeap)
+	})
+	if ds := tr.Loop(1).Deps[HeapDepKey]; ds != nil {
+		t.Fatalf("intra-thread access misclassified: %+v", ds)
+	}
+}
+
+func TestPreLoopStoreIgnored(t *testing.T) {
+	tr := New(DefaultConfig())
+	tr.OnStore(700, 10, ClassHeap) // store long before the loop: read-only inside it
+	driveLoop(tr, 1, 10, 100, func(i int, start int64) {
+		tr.OnLoad(700, start+5, ClassHeap)
+	})
+	if ds := tr.Loop(1).Deps[HeapDepKey]; ds != nil {
+		t.Fatalf("loop-invariant load misclassified as dependency: %+v", ds)
+	}
+}
+
+func TestDistanceTwoArc(t *testing.T) {
+	tr := New(DefaultConfig())
+	// Iterations alternate between two addresses: each address is re-read
+	// two iterations after it was stored (distance 2).
+	driveLoop(tr, 1, 20, 100, func(i int, start int64) {
+		a := mem.Addr(800 + i%2)
+		tr.OnLoad(a, start+10, ClassHeap)
+		tr.OnStore(a, start+50, ClassHeap)
+	})
+	ds := tr.Loop(1).Deps[HeapDepKey]
+	if ds == nil || ds.AvgDist() != 2 {
+		t.Fatalf("distance = %v, want 2", ds.AvgDist())
+	}
+}
+
+func TestLocalVariableDependency(t *testing.T) {
+	tr := New(DefaultConfig())
+	const key, slot = 0x10002, 2
+	driveLoop(tr, 1, 10, 100, func(i int, start int64) {
+		tr.OnLocalLoad(key, slot, start+5)
+		tr.OnLocalStore(key, slot, start+90)
+	})
+	ds := tr.Loop(1).Deps[slot]
+	if ds == nil || ds.Iters != 9 {
+		t.Fatalf("local dep = %+v, want 9 iterations", ds)
+	}
+	if ds.AvgStoreOff() != 90 || ds.AvgLoadOff() != 5 {
+		t.Errorf("local arc offsets wrong: %v/%v", ds.AvgStoreOff(), ds.AvgLoadOff())
+	}
+}
+
+func TestNestedLoopsSeparateBanks(t *testing.T) {
+	tr := New(DefaultConfig())
+	now := int64(0)
+	tr.OnSloop(1, now)
+	for outer := 0; outer < 4; outer++ {
+		tr.OnSloop(2, now)
+		for inner := 0; inner < 8; inner++ {
+			now += 50
+			tr.OnEOI(2, now)
+		}
+		tr.OnEloop(2, now)
+		now += 10
+		tr.OnEOI(1, now)
+	}
+	tr.OnEloop(1, now)
+	outer, inner := tr.Loop(1), tr.Loop(2)
+	if outer.Iterations != 4 || inner.Iterations != 32 {
+		t.Fatalf("iterations outer=%d inner=%d", outer.Iterations, inner.Iterations)
+	}
+	if inner.Entries != 4 {
+		t.Errorf("inner entries = %d", inner.Entries)
+	}
+	if outer.AvgThreadSize() != 410 {
+		t.Errorf("outer thread size = %v, want 410", outer.AvgThreadSize())
+	}
+}
+
+func TestOverflowAnalysis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StoreBufferLines = 4
+	tr := New(cfg)
+	// Each iteration stores to 6 distinct lines — exceeds a 4-line buffer.
+	driveLoop(tr, 1, 10, 1000, func(i int, start int64) {
+		for l := 0; l < 6; l++ {
+			tr.OnStore(mem.Addr(10000+i*100+l*mem.LineWords), start+int64(l), ClassHeap)
+		}
+	})
+	ls := tr.Loop(1)
+	if ls.OverflowIters != 10 {
+		t.Fatalf("overflow iterations = %d, want 10", ls.OverflowIters)
+	}
+	if ls.OverflowFreq() != 1 {
+		t.Errorf("overflow frequency = %v", ls.OverflowFreq())
+	}
+	if ls.MaxStoreLines != 6 {
+		t.Errorf("max store lines = %d, want 6", ls.MaxStoreLines)
+	}
+}
+
+func TestNoOverflowWhenLinesReused(t *testing.T) {
+	tr := New(DefaultConfig())
+	driveLoop(tr, 1, 10, 100, func(i int, start int64) {
+		for k := 0; k < 100; k++ { // same line every time
+			tr.OnStore(20000, start+int64(k), ClassHeap)
+		}
+	})
+	ls := tr.Loop(1)
+	if ls.OverflowIters != 0 {
+		t.Fatalf("reused line should not overflow, got %d", ls.OverflowIters)
+	}
+	if ls.SumStoreLines != 10 { // one new line per iteration
+		t.Errorf("sum store lines = %d, want 10", ls.SumStoreLines)
+	}
+}
+
+func TestBankExhaustionCountsUnprofiled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumBanks = 2
+	tr := New(cfg)
+	tr.OnSloop(1, 0)
+	tr.OnSloop(2, 10)
+	tr.OnSloop(3, 20) // no bank available
+	if tr.Loop(3).Unprofiled != 1 {
+		t.Fatalf("unprofiled = %d, want 1", tr.Loop(3).Unprofiled)
+	}
+	if tr.Loop(3).Entries != 0 {
+		t.Error("unprofiled entry must not count as a profiled entry")
+	}
+}
+
+func TestBankStealingFromOverflowingOuterLoop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumBanks = 1
+	cfg.StoreBufferLines = 2
+	tr := New(cfg)
+	now := int64(0)
+	tr.OnSloop(1, now)
+	// Outer loop overflows on 5 consecutive iterations.
+	for i := 0; i < 5; i++ {
+		for l := 0; l < 4; l++ {
+			tr.OnStore(mem.Addr(30000+i*1000+l*mem.LineWords), now+int64(l), ClassHeap)
+		}
+		now += 100
+		tr.OnEOI(1, now)
+	}
+	// Inner loop now wants a bank; the hopeless outer bank is stolen.
+	tr.OnSloop(2, now)
+	if tr.Loop(2).Entries != 1 {
+		t.Fatal("inner loop did not get a stolen bank")
+	}
+	if !tr.Loop(1).AbandonedOverflow {
+		t.Error("outer loop should be marked abandoned-for-overflow")
+	}
+}
+
+func TestPredictParallelLoop(t *testing.T) {
+	tr := New(DefaultConfig())
+	driveLoop(tr, 1, 1000, 200, nil) // no dependencies, no overflow
+	p := tr.Loop(1).Predict(DefaultPredictParams(4, 23, 16, 5, 0))
+	if p.Speedup < 3.5 || p.Speedup > 4.0 {
+		t.Fatalf("independent loop predicted speedup = %v, want ~3.9", p.Speedup)
+	}
+}
+
+func TestPredictSerializedLoop(t *testing.T) {
+	tr := New(DefaultConfig())
+	// Store at the very end, load at the very start: fully serialized.
+	driveLoop(tr, 1, 1000, 200, func(i int, start int64) {
+		tr.OnLoad(900, start+1, ClassHeap)
+		tr.OnStore(900, start+195, ClassHeap)
+	})
+	p := tr.Loop(1).Predict(DefaultPredictParams(4, 23, 16, 5, 0))
+	if p.Speedup > 1.2 {
+		t.Fatalf("serialized loop predicted speedup = %v, want ~1", p.Speedup)
+	}
+	if p.DepBound <= p.CPUBound {
+		t.Error("dependency bound should dominate")
+	}
+}
+
+func TestPredictOverflowPenalty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StoreBufferLines = 2
+	tr := New(cfg)
+	driveLoop(tr, 1, 1000, 200, func(i int, start int64) {
+		for l := 0; l < 4; l++ {
+			tr.OnStore(mem.Addr(40000+i*100+l*mem.LineWords), start+int64(l), ClassHeap)
+		}
+	})
+	p := tr.Loop(1).Predict(DefaultPredictParams(4, 23, 16, 5, 0))
+	if p.Speedup > 1.5 {
+		t.Fatalf("always-overflowing loop predicted speedup = %v, want ~1", p.Speedup)
+	}
+}
+
+func TestPredictEmptyLoop(t *testing.T) {
+	ls := &LoopStats{Deps: map[uint32]*DepStats{}}
+	p := ls.Predict(DefaultPredictParams(4, 23, 16, 5, 0))
+	if p.Speedup != 1 {
+		t.Errorf("empty loop speedup = %v, want 1", p.Speedup)
+	}
+}
+
+func TestSufficientHeuristic(t *testing.T) {
+	ls := &LoopStats{Iterations: 999}
+	if ls.Sufficient() {
+		t.Error("999 iterations should not yet be sufficient")
+	}
+	ls.Iterations = 1000
+	if !ls.Sufficient() {
+		t.Error("1000 iterations should be sufficient")
+	}
+	ovf := &LoopStats{Iterations: 20, OverflowIters: 20}
+	if !ovf.Sufficient() {
+		t.Error("consistent overflow should be sufficient")
+	}
+}
+
+func TestAnnotationCounting(t *testing.T) {
+	tr := New(DefaultConfig())
+	driveLoop(tr, 1, 3, 10, func(i int, start int64) {
+		tr.OnLocalLoad(1, 1, start)
+		tr.OnLocalStore(1, 1, start+1)
+	})
+	// sloop + 3*eoi + eloop + 3*(lwl+swl) = 11
+	if tr.AnnotationCount != 11 {
+		t.Fatalf("annotation count = %d, want 11", tr.AnnotationCount)
+	}
+}
+
+func TestSourceBound(t *testing.T) {
+	tr := New(DefaultConfig())
+	driveLoop(tr, 1, 100, 200, func(i int, start int64) {
+		tr.OnLocalLoad(0x42, 0x42, start+150)
+		tr.OnLocalStore(0x42, 0x42, start+180)
+	})
+	ls := tr.Loop(1)
+	// Measured load offset: bound uses 180-150+fwd over distance 1.
+	b1 := ls.SourceBound(0x42, 10, false)
+	if b1 < 35 || b1 > 45 {
+		t.Errorf("measured-offset bound = %.1f, want ~40", b1)
+	}
+	// Zero-load (comm codegen reality): 180-0+fwd.
+	b2 := ls.SourceBound(0x42, 10, true)
+	if b2 < 180 || b2 > 195 {
+		t.Errorf("zero-load bound = %.1f, want ~188", b2)
+	}
+	if ls.SourceBound(0x99, 10, false) != 0 {
+		t.Error("unknown source should bound at 0")
+	}
+}
+
+func TestPredictExcludingRemovesSources(t *testing.T) {
+	tr := New(DefaultConfig())
+	driveLoop(tr, 1, 500, 200, func(i int, start int64) {
+		// A tight serializing local dependency...
+		tr.OnLocalLoad(7, 7, start+5)
+		tr.OnLocalStore(7, 7, start+190)
+	})
+	ls := tr.Loop(1)
+	p := DefaultPredictParams(4, 23, 16, 5, 0)
+	with := ls.PredictExcluding(p, nil)
+	without := ls.PredictExcluding(p, func(k uint32) bool { return k == 7 })
+	if with.Speedup >= 1.5 {
+		t.Errorf("serialized loop predicted %.2f with the dep included", with.Speedup)
+	}
+	if without.Speedup < 3.0 {
+		t.Errorf("excluding the optimized dep should predict ~3.9, got %.2f", without.Speedup)
+	}
+}
+
+func TestExtraBoundDominates(t *testing.T) {
+	tr := New(DefaultConfig())
+	driveLoop(tr, 1, 500, 200, nil)
+	p := DefaultPredictParams(4, 23, 16, 5, 0)
+	p.ExtraBound = 150 // analyzer-computed serialization
+	pred := tr.Loop(1).Predict(p)
+	if pred.Interval < 150 {
+		t.Errorf("interval %.1f ignores the extra bound", pred.Interval)
+	}
+}

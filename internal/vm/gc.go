@@ -1,0 +1,127 @@
+package vm
+
+import (
+	"sort"
+
+	"jrpm/internal/hydra"
+	"jrpm/internal/isa"
+	"jrpm/internal/mem"
+)
+
+// CollectGarbage runs a stop-the-world mark-sweep collection
+// (hydra.Runtime). The machine guarantees the caller is either executing
+// serially or is the head thread with all younger speculation quiesced, so
+// flat memory is architecturally consistent.
+//
+// Roots are every CPU's register file, the live stack region, and the
+// static field area. Reference identification is exact: a root or heap word
+// is a reference iff it equals the address of an allocated block (the
+// allocation registry). Marked blocks are scanned conservatively over their
+// whole body — field layouts contain only word values, so any word that
+// matches an allocated block keeps it alive.
+//
+// The sweep rebuilds the shared free list from all unmarked blocks plus the
+// surviving free spans, coalescing adjacent spans; the per-CPU speculative
+// lists reset to empty and refill on demand.
+func (v *VM) CollectGarbage(m *hydra.Machine, cpu int) {
+	v.GCs++
+	marked := make(map[mem.Addr]bool, len(v.blocks))
+
+	var work []mem.Addr
+	consider := func(w int64) {
+		a := mem.Addr(w)
+		if w <= 0 || a < v.heapBase || a >= v.heapLimit {
+			return
+		}
+		if _, ok := v.blocks[a]; ok && !marked[a] {
+			marked[a] = true
+			work = append(work, a)
+		}
+	}
+
+	// Roots: registers, stacks, statics.
+	scanned := int64(0)
+	lowSP := int64(hydra.StackTop)
+	for _, c := range m.CPUs {
+		for _, r := range c.Regs {
+			consider(r)
+		}
+		scanned += 32
+		if sp := c.Regs[isa.SP]; sp > int64(v.heapLimit) && sp < lowSP {
+			lowSP = sp
+		}
+	}
+	for a := mem.Addr(lowSP); a < hydra.StackTop; a++ {
+		consider(m.RawRead(a))
+		scanned++
+	}
+	for i := 0; i < m.Image.Statics; i++ {
+		consider(m.RawRead(hydra.GlobalBase + mem.Addr(i)))
+		scanned++
+	}
+
+	// Mark: transitively scan block bodies.
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		size := v.blocks[a]
+		for off := int64(0); off < size; off++ {
+			consider(m.RawRead(a + mem.Addr(off)))
+		}
+		scanned += size
+	}
+
+	// Collect surviving free spans from the shared and per-CPU lists.
+	type span struct {
+		addr mem.Addr
+		size int64
+	}
+	var spans []span
+	walk := func(headAddr mem.Addr) {
+		cur := m.RawRead(headAddr)
+		for cur != 0 {
+			spans = append(spans, span{mem.Addr(cur), m.RawRead(mem.Addr(cur) + blkSize)})
+			cur = m.RawRead(mem.Addr(cur) + blkNext)
+		}
+	}
+	walk(v.heapBase + metaShared)
+	for i := range m.CPUs {
+		walk(v.heapBase + metaCPU0 + mem.Addr(i))
+	}
+
+	// Sweep: unmarked blocks become free spans.
+	freed := int64(0)
+	for a, size := range v.blocks {
+		if !marked[a] {
+			spans = append(spans, span{a, size})
+			freed++
+			delete(v.blocks, a)
+		}
+	}
+	v.LastLive = int64(len(v.blocks))
+	v.LastFreed = freed
+
+	// Coalesce and rebuild the shared list (address order aids locality).
+	sort.Slice(spans, func(i, j int) bool { return spans[i].addr < spans[j].addr })
+	var merged []span
+	for _, s := range spans {
+		if n := len(merged); n > 0 && merged[n-1].addr+mem.Addr(merged[n-1].size) == s.addr {
+			merged[n-1].size += s.size
+		} else {
+			merged = append(merged, s)
+		}
+	}
+	prev := v.heapBase + metaShared
+	for _, s := range merged {
+		m.RawWrite(prev, int64(s.addr))
+		m.RawWrite(s.addr+blkSize, s.size)
+		prev = s.addr + blkNext
+	}
+	m.RawWrite(prev, 0)
+	for i := range m.CPUs {
+		m.RawWrite(v.heapBase+metaCPU0+mem.Addr(i), 0)
+	}
+
+	// Collector cost: root/heap scan plus per-object mark/sweep work.
+	m.ChargeGC(cpu, 200+scanned/4+8*int64(len(marked))+4*freed)
+}

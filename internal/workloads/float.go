@@ -1,0 +1,371 @@
+package workloads
+
+import (
+	"jrpm/internal/bytecode"
+	. "jrpm/internal/frontend"
+)
+
+// Euler — 2D fluid-dynamics sweeps over a grid: flux computation reads the
+// old grid and writes the new one, row by row. Several distinct sweeps give
+// Euler its many similar-coverage STLs; the best loop level in each nest
+// depends on the grid dimensions (data-set sensitive).
+func Euler() *Workload {
+	const nx, ny, steps = 24, 9, 3 // paper: 33x9
+	build := func() *bytecode.Program {
+		p := NewProgram("euler")
+		idx := func(i, j Expr) Expr { return Add(Mul(i, I(ny)), j) }
+		p.Func("main", nil, false).Body(
+			Set("u", NewArr(I(nx*ny))),
+			Set("v", NewArr(I(nx*ny))),
+			ForUp("i0", I(0), I(nx),
+				ForUp("j0", I(0), I(ny),
+					SetIdx(L("u"), idx(L("i0"), L("j0")),
+						FAdd(Sin(ToFloat(L("i0"))), Cos(ToFloat(L("j0"))))),
+				),
+			),
+			ForUp("t", I(0), I(steps),
+				// Flux sweep: interior rows independent.
+				ForUp("i", I(1), I(nx-1),
+					ForUp("j", I(1), I(ny-1),
+						Set("c", Idx(L("u"), idx(L("i"), L("j")))),
+						Set("l", Idx(L("u"), idx(Sub(L("i"), I(1)), L("j")))),
+						Set("r", Idx(L("u"), idx(Add(L("i"), I(1)), L("j")))),
+						Set("d", Idx(L("u"), idx(L("i"), Sub(L("j"), I(1))))),
+						Set("up", Idx(L("u"), idx(L("i"), Add(L("j"), I(1))))),
+						SetIdx(L("v"), idx(L("i"), L("j")),
+							FAdd(FMul(L("c"), F(0.6)),
+								FMul(FAdd(FAdd(L("l"), L("r")), FAdd(L("d"), L("up"))), F(0.1)))),
+					),
+				),
+				// Copy-back sweep.
+				ForUp("i2", I(1), I(nx-1),
+					ForUp("j2", I(1), I(ny-1),
+						SetIdx(L("u"), idx(L("i2"), L("j2")), Idx(L("v"), idx(L("i2"), L("j2")))),
+					),
+				),
+				// Dissipation sweep.
+				ForUp("i3", I(1), I(nx-1),
+					ForUp("j3", I(1), I(ny-1),
+						SetIdx(L("u"), idx(L("i3"), L("j3")),
+							FMul(Idx(L("u"), idx(L("i3"), L("j3"))), F(0.999))),
+					),
+				),
+			),
+			Set("sum", F(0)),
+			ForUp("q", I(0), I(nx*ny),
+				Set("sum", FAdd(L("sum"), FAbs(Idx(L("u"), L("q"))))),
+			),
+			Print(ToInt(FMul(L("sum"), F(1000)))),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "euler", Category: Float,
+		Description: "Fluid dynamics grid sweeps",
+		DataSet:     "24x9 grid, 3 timesteps (paper: 33x9)",
+		Paper:       PaperRef{Speedup: 2.5, Analyzable: true, DataSetDep: true, SerialPct: 0.13},
+		Build:       build,
+	}
+}
+
+// FFT — iterative radix-2 FFT. Inner butterfly loops are parallel; the late
+// stages have few, very large iterations whose speculative footprint leads
+// to overflow stalls — the wait-used time the paper attributes to fft.
+func FFT() *Workload {
+	const logn = 8 // 256 complex points (paper: 1024)
+	const n = 1 << logn
+	build := func() *bytecode.Program {
+		p := NewProgram("fft")
+		p.Func("main", nil, false).Body(
+			Set("re", NewArr(I(n))),
+			Set("im", NewArr(I(n))),
+			ForUp("x", I(0), I(n),
+				SetIdx(L("re"), L("x"), Sin(ToFloat(Mul(L("x"), I(3))))),
+				SetIdx(L("im"), L("x"), F(0)),
+			),
+			// Stages: span doubles each stage.
+			Set("span", I(1)),
+			While(Lt(L("span"), I(n)),
+				Set("groups", Div(I(n), Mul(L("span"), I(2)))),
+				// Parallel over groups; group work grows with span.
+				ForUp("g", I(0), L("groups"),
+					Set("base", Mul(L("g"), Mul(L("span"), I(2)))),
+					Set("ang0", FDiv(F(-3.141592653589793), ToFloat(L("span")))),
+					ForUp("k", I(0), L("span"),
+						Set("ang", FMul(L("ang0"), ToFloat(L("k")))),
+						Set("wr", Cos(L("ang"))),
+						Set("wi", Sin(L("ang"))),
+						Set("i1", Add(L("base"), L("k"))),
+						Set("i2", Add(L("i1"), L("span"))),
+						Set("tr", FSub(FMul(L("wr"), Idx(L("re"), L("i2"))),
+							FMul(L("wi"), Idx(L("im"), L("i2"))))),
+						Set("ti", FAdd(FMul(L("wr"), Idx(L("im"), L("i2"))),
+							FMul(L("wi"), Idx(L("re"), L("i2"))))),
+						SetIdx(L("re"), L("i2"), FSub(Idx(L("re"), L("i1")), L("tr"))),
+						SetIdx(L("im"), L("i2"), FSub(Idx(L("im"), L("i1")), L("ti"))),
+						SetIdx(L("re"), L("i1"), FAdd(Idx(L("re"), L("i1")), L("tr"))),
+						SetIdx(L("im"), L("i1"), FAdd(Idx(L("im"), L("i1")), L("ti"))),
+					),
+				),
+				Set("span", Mul(L("span"), I(2))),
+			),
+			Set("sum", F(0)),
+			ForUp("q", I(0), I(n),
+				Set("sum", FAdd(L("sum"), FAdd(FAbs(Idx(L("re"), L("q"))), FAbs(Idx(L("im"), L("q")))))),
+			),
+			Print(ToInt(FMul(L("sum"), F(100)))),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "fft", Category: Float,
+		Description: "Radix-2 FFT; large late-stage iterations pressure the buffers",
+		DataSet:     "256 complex points (paper: 1024)",
+		Paper:       PaperRef{Speedup: 2.6, Analyzable: true, SerialPct: 0.01},
+		Build:       build,
+	}
+}
+
+// FourierTest — Fourier coefficient computation: outer loop over
+// coefficients, each integrating numerically with heavy trigonometry — an
+// ideal STL with a per-coefficient reduction.
+func FourierTest() *Workload {
+	const ncoef, nstep = 24, 40
+	build := func() *bytecode.Program {
+		p := NewProgram("FourierTest")
+		p.Func("main", nil, false).Body(
+			Set("coef", NewArr(I(ncoef))),
+			ForUp("k", I(0), I(ncoef),
+				Set("acc", F(0)),
+				ForUp("s", I(0), I(nstep),
+					Set("x", FMul(ToFloat(L("s")), F(0.05))),
+					Set("acc", FAdd(L("acc"),
+						FMul(FMul(FAdd(L("x"), F(1.0)), Cos(FMul(ToFloat(L("k")), L("x")))), F(0.05)))),
+				),
+				SetIdx(L("coef"), L("k"), L("acc")),
+			),
+			Set("sum", F(0)),
+			ForUp("q", I(0), I(ncoef),
+				Set("sum", FAdd(L("sum"), FAbs(Idx(L("coef"), L("q"))))),
+			),
+			Print(ToInt(FMul(L("sum"), F(10000)))),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "FourierTest", Category: Float,
+		Description: "Fourier coefficients; heavy independent outer iterations",
+		DataSet:     "24 coefficients x 40 integration steps",
+		Paper:       PaperRef{Speedup: 3.5, Analyzable: true, SerialPct: 0},
+		Build:       build,
+	}
+}
+
+// LuFactor — LU decomposition. Each elimination step has a short serial
+// pivot phase and a parallel row-update loop; the row-update STL is entered
+// once per pivot with a shrinking trip count, the natural home for the
+// hoisted startup/shutdown optimization (§4.2.7).
+func LuFactor() *Workload {
+	const n = 20 // paper: 101x101
+	build := func() *bytecode.Program {
+		p := NewProgram("LuFactor")
+		at := func(i, j Expr) Expr { return Add(Mul(i, I(n)), j) }
+		p.Func("main", nil, false).Body(
+			Set("a", NewArr(I(n*n))),
+			ForUp("i0", I(0), I(n),
+				ForUp("j0", I(0), I(n),
+					SetIdx(L("a"), at(L("i0"), L("j0")),
+						FAdd(ToFloat(Add(pseudo(Add(Mul(L("i0"), I(31)), L("j0")), 19), I(1))),
+							Sel(Eq(L("i0"), L("j0")), F(40.0), F(0.0)))),
+				),
+			),
+			ForUp("k", I(0), I(n-1),
+				Set("piv", Idx(L("a"), at(L("k"), L("k")))),
+				// Parallel row updates below the pivot.
+				ForUp("i", Add(L("k"), I(1)), I(n),
+					Set("f", FDiv(Idx(L("a"), at(L("i"), L("k"))), L("piv"))),
+					SetIdx(L("a"), at(L("i"), L("k")), L("f")),
+					ForUp("j", Add(L("k"), I(1)), I(n),
+						SetIdx(L("a"), at(L("i"), L("j")),
+							FSub(Idx(L("a"), at(L("i"), L("j"))),
+								FMul(L("f"), Idx(L("a"), at(L("k"), L("j")))))),
+					),
+				),
+			),
+			Set("sum", F(0)),
+			ForUp("q", I(0), I(n),
+				Set("sum", FAdd(L("sum"), FAbs(Idx(L("a"), at(L("q"), L("q")))))),
+			),
+			Print(ToInt(FMul(L("sum"), F(100)))),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "LuFactor", Category: Float,
+		Description: "LU factorization; per-pivot parallel row updates (hoisting applies)",
+		DataSet:     "20x20 matrix (paper: 101x101)",
+		Paper:       PaperRef{Speedup: 2.8, Analyzable: true, DataSetDep: true, SerialPct: 0.10},
+		Build:       build,
+	}
+}
+
+// MolDyn — molecular dynamics. Each particle's force sums interactions with
+// every other particle (reads only), so the outer force loop parallelizes;
+// the potential-energy accumulator is a reduction.
+func MolDyn() *Workload {
+	const np = 40
+	build := func() *bytecode.Program {
+		p := NewProgram("moldyn")
+		p.Func("main", nil, false).Body(
+			Set("x", NewArr(I(np))),
+			Set("f", NewArr(I(np))),
+			ForUp("i0", I(0), I(np),
+				SetIdx(L("x"), L("i0"), FMul(ToFloat(Add(pseudo(L("i0"), 100), I(1))), F(0.01))),
+			),
+			Set("pot", F(0)),
+			ForUp("i", I(0), I(np),
+				Set("fi", F(0)),
+				Set("xi", Idx(L("x"), L("i"))),
+				ForUp("j", I(0), I(np),
+					If(Ne(L("j"), L("i")), S(
+						Set("dx", FSub(L("xi"), Idx(L("x"), L("j")))),
+						Set("r2", FAdd(FMul(L("dx"), L("dx")), F(0.01))),
+						Set("inv", FDiv(F(1.0), L("r2"))),
+						Set("fi", FAdd(L("fi"), FMul(L("dx"), FMul(L("inv"), L("inv"))))),
+						Set("pot", FAdd(L("pot"), L("inv"))),
+					), nil),
+				),
+				SetIdx(L("f"), L("i"), L("fi")),
+			),
+			Set("sum", F(0)),
+			ForUp("q", I(0), I(np),
+				Set("sum", FAdd(L("sum"), FAbs(Idx(L("f"), L("q"))))),
+			),
+			Print(ToInt(L("sum"))),
+			Print(ToInt(FMul(L("pot"), F(0.001)))),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "moldyn", Category: Float,
+		Description: "Molecular dynamics pair forces with an energy reduction",
+		DataSet:     "40 particles",
+		Paper:       PaperRef{Speedup: 3.3, Analyzable: true, SerialPct: 0},
+		Build:       build,
+	}
+}
+
+// NeuralNet — layered feed-forward evaluation and a delta-rule update. The
+// per-layer neuron loops have few iterations but are entered once per
+// sample: exactly the shape where hoisting the STL startup/shutdown to the
+// outer loop pays (§4.2.7, which the paper notes helps two NeuralNet loops).
+func NeuralNet() *Workload {
+	const nin, nhid, nout, samples = 5, 10, 10, 10 // paper: 35x8x8
+	build := func() *bytecode.Program {
+		p := NewProgram("NeuralNet")
+		p.Func("main", nil, false).Body(
+			Set("w1", NewArr(I(nin*nhid))),
+			Set("w2", NewArr(I(nhid*nout))),
+			Set("hid", NewArr(I(nhid))),
+			Set("out", NewArr(I(nout))),
+			ForUp("a", I(0), I(nin*nhid),
+				SetIdx(L("w1"), L("a"), FMul(ToFloat(Sub(pseudo(L("a"), 200), I(100))), F(0.01)))),
+			ForUp("b", I(0), I(nhid*nout),
+				SetIdx(L("w2"), L("b"), FMul(ToFloat(Sub(pseudo(Add(L("b"), I(999)), 200), I(100))), F(0.01)))),
+			Set("err", F(0)),
+			ForUp("s", I(0), I(samples),
+				// Hidden layer: parallel over neurons.
+				ForUp("h", I(0), I(nhid),
+					Set("acc", F(0)),
+					ForUp("i", I(0), I(nin),
+						Set("xv", FMul(ToFloat(Add(Rem(Add(L("s"), L("i")), I(7)), I(1))), F(0.1))),
+						Set("acc", FAdd(L("acc"), FMul(L("xv"),
+							Idx(L("w1"), Add(Mul(L("i"), I(nhid)), L("h")))))),
+					),
+					// Sigmoid-ish squashing.
+					SetIdx(L("hid"), L("h"), FDiv(L("acc"), FAdd(F(1.0), FAbs(L("acc"))))),
+				),
+				// Output layer.
+				ForUp("o", I(0), I(nout),
+					Set("acc", F(0)),
+					ForUp("h2", I(0), I(nhid),
+						Set("acc", FAdd(L("acc"), FMul(Idx(L("hid"), L("h2")),
+							Idx(L("w2"), Add(Mul(L("h2"), I(nout)), L("o")))))),
+					),
+					SetIdx(L("out"), L("o"), L("acc")),
+				),
+				// Delta update of w2: parallel over output neurons.
+				ForUp("o2", I(0), I(nout),
+					Set("d", FSub(F(0.5), Idx(L("out"), L("o2")))),
+					ForUp("h3", I(0), I(nhid),
+						SetIdx(L("w2"), Add(Mul(L("h3"), I(nout)), L("o2")),
+							FAdd(Idx(L("w2"), Add(Mul(L("h3"), I(nout)), L("o2"))),
+								FMul(FMul(L("d"), Idx(L("hid"), L("h3"))), F(0.05)))),
+					),
+					Set("err", FAdd(L("err"), FAbs(L("d")))),
+				),
+			),
+			Print(ToInt(FMul(L("err"), F(1000)))),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "NeuralNet", Category: Float,
+		Description: "Layered network; small per-layer loops entered per sample (hoisting)",
+		DataSet:     "5x10x10 network, 10 samples (paper: 35x8x8)",
+		Paper:       PaperRef{Speedup: 3.0, Analyzable: true, DataSetDep: true, SerialPct: 0.02},
+		Build:       build,
+	}
+}
+
+// Shallow — shallow-water simulation: independent row sweeps over 2D
+// fields, the friendliest of the FP kernels.
+func Shallow() *Workload {
+	const nx, ny, steps = 26, 26, 2 // paper: 256x256
+	build := func() *bytecode.Program {
+		p := NewProgram("shallow")
+		at := func(i, j Expr) Expr { return Add(Mul(i, I(ny)), j) }
+		p.Func("main", nil, false).Body(
+			Set("hf", NewArr(I(nx*ny))),
+			Set("uf", NewArr(I(nx*ny))),
+			ForUp("i0", I(0), I(nx),
+				ForUp("j0", I(0), I(ny),
+					SetIdx(L("hf"), at(L("i0"), L("j0")),
+						FAdd(F(10.0), Sin(ToFloat(Add(L("i0"), L("j0")))))),
+				),
+			),
+			ForUp("t", I(0), I(steps),
+				ForUp("i", I(1), I(nx-1),
+					ForUp("j", I(1), I(ny-1),
+						Set("gradx", FSub(Idx(L("hf"), at(Add(L("i"), I(1)), L("j"))),
+							Idx(L("hf"), at(Sub(L("i"), I(1)), L("j"))))),
+						Set("grady", FSub(Idx(L("hf"), at(L("i"), Add(L("j"), I(1)))),
+							Idx(L("hf"), at(L("i"), Sub(L("j"), I(1)))))),
+						SetIdx(L("uf"), at(L("i"), L("j")),
+							FMul(FAdd(L("gradx"), L("grady")), F(-0.12))),
+					),
+				),
+				ForUp("i2", I(1), I(nx-1),
+					ForUp("j2", I(1), I(ny-1),
+						SetIdx(L("hf"), at(L("i2"), L("j2")),
+							FAdd(Idx(L("hf"), at(L("i2"), L("j2"))),
+								Idx(L("uf"), at(L("i2"), L("j2"))))),
+					),
+				),
+			),
+			Set("sum", F(0)),
+			ForUp("q", I(0), I(nx*ny),
+				Set("sum", FAdd(L("sum"), Idx(L("hf"), L("q")))),
+			),
+			Print(ToInt(FMul(L("sum"), F(100)))),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "shallow", Category: Float,
+		Description: "Shallow water stencil sweeps",
+		DataSet:     "26x26 grid, 2 timesteps (paper: 256x256)",
+		Paper:       PaperRef{Speedup: 3.7, Analyzable: true, DataSetDep: true, SerialPct: 0.06},
+		Build:       build,
+	}
+}

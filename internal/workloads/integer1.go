@@ -1,0 +1,476 @@
+package workloads
+
+import (
+	"jrpm/internal/bytecode"
+	. "jrpm/internal/frontend" // the kernel DSL reads as a language
+)
+
+// pseudo returns an AST expression hashing e into [0, mod) — the suite's
+// deterministic stand-in for benchmark input data.
+func pseudo(e Expr, mod int64) Expr {
+	return Rem(BAnd(Add(Mul(e, I(1103515245)), I(12345)), I(0x7fffffff)), I(mod))
+}
+
+// Assignment — jBYTEmark's resource allocation kernel: repeated reduction
+// sweeps over a cost matrix. Many STLs contribute comparable coverage (the
+// paper notes Assignment has many equally weighted decompositions), and the
+// best level in each i/j nest depends on the matrix size.
+func Assignment() *Workload {
+	const n = 32 // paper: 51x51
+	build := func() *bytecode.Program {
+		p := NewProgram("Assignment")
+		p.Func("main", nil, false).Body(
+			Set("n", I(n)),
+			Set("cost", NewArr(I(n*n))),
+			// Fill the cost matrix.
+			ForUp("i", I(0), L("n"),
+				ForUp("j", I(0), L("n"),
+					SetIdx(L("cost"), Add(Mul(L("i"), L("n")), L("j")),
+						pseudo(Add(Mul(L("i"), I(131)), L("j")), 100)),
+				),
+			),
+			// Row reduction: subtract each row's minimum.
+			ForUp("i", I(0), L("n"),
+				Set("rmin", I(1<<30)),
+				ForUp("j", I(0), L("n"),
+					Set("rmin", MinI(L("rmin"), Idx(L("cost"), Add(Mul(L("i"), L("n")), L("j"))))),
+				),
+				ForUp("j2", I(0), L("n"),
+					SetIdx(L("cost"), Add(Mul(L("i"), L("n")), L("j2")),
+						Sub(Idx(L("cost"), Add(Mul(L("i"), L("n")), L("j2"))), L("rmin"))),
+				),
+			),
+			// Column reduction.
+			ForUp("j", I(0), L("n"),
+				Set("cmin", I(1<<30)),
+				ForUp("i", I(0), L("n"),
+					Set("cmin", MinI(L("cmin"), Idx(L("cost"), Add(Mul(L("i"), L("n")), L("j"))))),
+				),
+				ForUp("i2", I(0), L("n"),
+					SetIdx(L("cost"), Add(Mul(L("i2"), L("n")), L("j")),
+						Sub(Idx(L("cost"), Add(Mul(L("i2"), L("n")), L("j"))), L("cmin"))),
+				),
+			),
+			// Count zero entries per row (greedy assignment proxy).
+			Set("assigned", I(0)),
+			ForUp("i", I(0), L("n"),
+				Set("z", I(0)),
+				ForUp("j", I(0), L("n"),
+					If(Eq(Idx(L("cost"), Add(Mul(L("i"), L("n")), L("j"))), I(0)),
+						S(Inc("z", 1)), nil),
+				),
+				Set("assigned", Add(L("assigned"), L("z"))),
+			),
+			// Checksum.
+			Set("sum", I(0)),
+			ForUp("k", I(0), I(n*n),
+				Set("sum", Add(L("sum"), Idx(L("cost"), L("k")))),
+			),
+			Print(L("assigned")),
+			Print(L("sum")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "Assignment", Category: Integer,
+		Description: "Resource allocation: reduction sweeps over a cost matrix",
+		DataSet:     "32x32 (paper: 51x51)",
+		Paper:       PaperRef{Speedup: 3.1, Analyzable: true, DataSetDep: true, SerialPct: 0.01},
+		Build:       build,
+	}
+}
+
+// BitOps — bit array operations with tiny loop bodies. The loop pointer
+// walks the array cyclically: an inductor with a conditional reset, the
+// resetable non-communicating inductor showcase of §4.2.3 (the paper:
+// "the resetable non-communicating loop inductor dramatically improves
+// BitOps").
+func BitOps() *Workload {
+	const size, iters = 256, 4100
+	build := func() *bytecode.Program {
+		p := NewProgram("BitOps")
+		p.Func("main", nil, false).Body(
+			Set("bits", NewArr(I(size))),
+			Set("ptr", I(0)),
+			Set("check", I(0)),
+			ForUp("i", I(0), I(iters),
+				SetIdx(L("bits"), L("ptr"), BXor(Idx(L("bits"), L("ptr")), I(1))),
+				Set("check", Add(L("check"), Idx(L("bits"), L("ptr")))),
+				Inc("ptr", 1),
+				If(Ge(L("ptr"), I(size)), S(Set("ptr", I(0))), nil),
+			),
+			Print(L("check")),
+			Print(L("ptr")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "BitOps", Category: Integer,
+		Description: "Bit array operations; cyclic pointer = resetable inductor",
+		DataSet:     "256-entry bit array, 4100 operations",
+		Paper:       PaperRef{Speedup: 2.9, Analyzable: false, SerialPct: 0},
+		Build:       build,
+	}
+}
+
+// Compress — LZW-style stream compression. The hash-table state carries
+// truly dynamic dependencies between nearby iterations: the profile sees
+// them as infrequent (so the loop is selected), but actual speculative
+// execution suffers run-violated/wait-violated time — the compress story of
+// §6.2. The Table 4 transformation compresses independently at guessed
+// stream offsets (chunking), removing the cross-chunk dependencies.
+func Compress() *Workload {
+	const n, tbl = 2048, 16
+	common := func(p *Program, chunked bool) {
+		main := p.Func("main", nil, false)
+		var body []Stmt
+		body = append(body,
+			Set("input", NewArr(I(n))),
+			Set("table", NewArr(I(tbl*16))),
+			Set("out", NewArr(I(n))),
+		)
+		body = append(body, ForUp("x", I(0), I(n),
+			SetIdx(L("input"), L("x"), pseudo(L("x"), 97)))...)
+		if !chunked {
+			body = append(body, ForUp("i", I(0), I(n),
+				Set("c", Idx(L("input"), L("i"))),
+				Set("h", Rem(Mul(L("c"), L("c")), I(tbl))),
+				Set("e", Idx(L("table"), L("h"))), // string-table probe, early
+				Set("w", Rem(Add(Mul(L("e"), I(5)), L("c")), I(997))),
+				Set("w", Add(L("w"), Rem(Mul(L("w"), I(3)), I(251)))),
+				Set("w", Add(L("w"), Rem(Mul(L("w"), I(7)), I(127)))),
+				SetIdx(L("out"), L("i"), L("w")),
+				SetIdx(L("table"), L("h"), L("w")), // insert, late
+			)...)
+		} else {
+			// Transformed: 8 chunks, each with a private table region.
+			body = append(body, ForUp("ch", I(0), I(16),
+				Set("base", Mul(L("ch"), I(n/16))),
+				Set("tb", Mul(L("ch"), I(tbl))),
+				ForUp("k", I(0), I(n/16),
+					Set("i", Add(L("base"), L("k"))),
+					Set("c", Idx(L("input"), L("i"))),
+					Set("h", Add(L("tb"), Rem(Mul(L("c"), L("c")), I(tbl)))),
+					Set("e", Idx(L("table"), L("h"))),
+					Set("w", Rem(Add(Mul(L("e"), I(5)), L("c")), I(997))),
+					Set("w", Add(L("w"), Rem(Mul(L("w"), I(3)), I(251)))),
+					Set("w", Add(L("w"), Rem(Mul(L("w"), I(7)), I(127)))),
+					SetIdx(L("out"), L("i"), L("w")),
+					SetIdx(L("table"), L("h"), L("w")),
+				),
+			)...)
+		}
+		body = append(body, Set("sum", I(0)))
+		body = append(body, ForUp("q", I(0), I(n),
+			Set("sum", Add(L("sum"), Idx(L("out"), L("q")))))...)
+		body = append(body, Print(L("sum")))
+		main.Body(Block(body))
+	}
+	return &Workload{
+		Name: "compress", Category: Integer,
+		Description: "LZW-style compression; dynamic hash-state dependencies",
+		DataSet:     "2048 symbols, 16-entry string table (paper: SPEC input)",
+		Paper:       PaperRef{Speedup: 1.6, Analyzable: false, SerialPct: 0},
+		Build: func() *bytecode.Program {
+			p := NewProgram("compress")
+			common(p, false)
+			return p.MustBuild()
+		},
+		BuildTransformed: func() *bytecode.Program {
+			p := NewProgram("compress-chunked")
+			common(p, true)
+			return p.MustBuild()
+		},
+		Transformed: &Transform{
+			Difficulty: "Low", CompilerAuto: false, Lines: 13,
+			Note: "Guess next offset when compressing/uncompressing data (chunked streams)",
+		},
+	}
+}
+
+// DB — address-book style database operations. The probe cursor is a
+// loop-carried local; in the original it updates at the end of the
+// iteration (long arc), and the Table 4 transformation schedules it to the
+// top, where the automatic thread synchronizing lock (§4.2.4) takes over —
+// the paper marks this row compiler-optimizable. An insertion-sort index
+// rebuild provides the large serial section Table 3 reports for db.
+func DB() *Workload {
+	const nrec, nops = 128, 2048
+	build := func(scheduled bool) func() *bytecode.Program {
+		return func() *bytecode.Program {
+			p := NewProgram("db")
+			tblC := p.Class("Table", "dirty")
+			main := p.Func("main", nil, false)
+			var body []Stmt
+			body = append(body, Set("tbl", NewE(tblC)))
+			body = append(body, Set("rec", NewArr(I(nrec))))
+			body = append(body, ForUp("x", I(0), I(nrec),
+				SetIdx(L("rec"), L("x"), pseudo(L("x"), 1009)))...)
+			// Serial phase: insertion sort of the index (pointer-dependent).
+			body = append(body, ForUp("s", I(1), I(nrec),
+				Set("v", Idx(L("rec"), L("s"))),
+				Set("t", Sub(L("s"), I(1))),
+				While(AndC(Ge(L("t"), I(0)), Gt(Idx(L("rec"), L("t")), L("v"))),
+					SetIdx(L("rec"), Add(L("t"), I(1)), Idx(L("rec"), L("t"))),
+					Set("t", Sub(L("t"), I(1))),
+				),
+				SetIdx(L("rec"), Add(L("t"), I(1)), L("v")),
+			)...)
+			// Operation loop.
+			var ops []Stmt
+			if scheduled {
+				ops = ForUp("op", I(0), I(nops),
+					// Scheduled: the carried cursor updates first and its
+					// last use follows immediately, so the synchronizing
+					// lock releases the successor before the heavy tail.
+					Set("pos", Rem(Add(Mul(L("pos"), I(13)), Add(L("op"), I(7))), I(nrec))),
+					Synchronized(L("tbl"),
+						Set("v", Idx(L("rec"), L("pos"))),
+						SetIdx(L("rec"), L("pos"), Rem(Add(L("v"), I(1)), I(100000))),
+					),
+					Set("w", Rem(Add(Mul(L("v"), I(3)), L("op")), I(4099))),
+					Set("w", Add(L("w"), Mul(Rem(L("w"), I(17)), I(5)))),
+					Set("w", Add(L("w"), Mul(Rem(L("w"), I(23)), I(7)))),
+					Set("acc", Add(L("acc"), L("w"))),
+				)
+			} else {
+				ops = ForUp("op", I(0), I(nops),
+					Synchronized(L("tbl"),
+						Set("v", Idx(L("rec"), L("pos"))),
+						SetIdx(L("rec"), L("pos"), Rem(Add(L("v"), I(1)), I(100000))),
+					),
+					Set("w", Rem(Add(Mul(L("v"), I(3)), L("op")), I(4099))),
+					Set("w", Add(L("w"), Mul(Rem(L("w"), I(17)), I(5)))),
+					Set("w", Add(L("w"), Mul(Rem(L("w"), I(23)), I(7)))),
+					Set("acc", Add(L("acc"), L("w"))),
+					// Original: cursor update at the end (long arc).
+					Set("pos", Rem(Add(Mul(L("pos"), I(13)), Add(L("op"), I(7))), I(nrec))),
+				)
+			}
+			body = append(body, Set("pos", I(0)), Set("acc", I(0)))
+			body = append(body, ops...)
+			body = append(body, Print(L("acc")), Print(L("pos")))
+			main.Body(Block(body))
+			return p.MustBuild()
+		}
+	}
+	return &Workload{
+		Name: "db", Category: Integer,
+		Description:      "Database operations; short carried cursor dependency + serial index sort",
+		DataSet:          "192 records, 768 operations (paper: SPEC db, 5000 ops)",
+		Paper:            PaperRef{Speedup: 1.5, Analyzable: false, SerialPct: 0.27},
+		Build:            build(false),
+		BuildTransformed: build(true),
+		Transformed: &Transform{
+			Difficulty: "Low", CompilerAuto: true, Lines: 4,
+			Note: "Schedule loop carried dependency (cursor update moved to loop top)",
+		},
+	}
+}
+
+// DeltaBlue — the incremental constraint solver: passes of pointer chasing
+// along a constraint chain. The chain walk carries both the cursor and the
+// propagated value, so almost nothing is selectable; Jrpm gains little
+// (the paper's deltaBlue bar is near 1.0 with a visible serial fraction).
+func DeltaBlue() *Workload {
+	const chain, passes = 96, 12
+	build := func() *bytecode.Program {
+		p := NewProgram("deltaBlue")
+		cons := p.Class("Constraint", "next", "strength", "val")
+		p.Func("main", nil, false).Body(
+			// Build the chain (serial allocation).
+			Set("head", I(0)),
+			ForUp("i", I(0), I(chain),
+				Set("c", NewE(cons)),
+				SetField(L("c"), cons, "strength", pseudo(L("i"), 7)),
+				SetField(L("c"), cons, "next", L("head")),
+				Set("head", L("c")),
+			),
+			// Propagation passes: serial pointer chase carrying `val`.
+			// Each step churns a short-lived plan object (deltaBlue
+			// allocates records as it replans), which keeps the collector
+			// busy on the deliberately small heap.
+			Set("val", I(1)),
+			ForUp("pass", I(0), I(passes),
+				Set("cur", L("head")),
+				While(Ne(L("cur"), I(0)),
+					Set("plan", NewE(cons)),
+					SetField(L("plan"), cons, "strength", L("val")),
+					Set("val", Rem(Add(Mul(L("val"), I(7)),
+						Add(FieldE(L("cur"), cons, "strength"),
+							FieldE(L("plan"), cons, "strength"))), I(9973))),
+					SetField(L("cur"), cons, "val", L("val")),
+					Set("cur", FieldE(L("cur"), cons, "next")),
+				),
+			),
+			// A small parallelizable statistics loop over a flat copy.
+			Set("st", NewArr(I(chain))),
+			Set("cur", L("head")),
+			Set("k", I(0)),
+			While(Ne(L("cur"), I(0)),
+				SetIdx(L("st"), L("k"), FieldE(L("cur"), cons, "val")),
+				Inc("k", 1),
+				Set("cur", FieldE(L("cur"), cons, "next")),
+			),
+			Set("sum", I(0)),
+			ForUp("q", I(0), I(chain),
+				Set("sum", Add(L("sum"), Mul(Idx(L("st"), L("q")), Idx(L("st"), L("q"))))),
+			),
+			Print(L("val")),
+			Print(L("sum")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "deltaBlue", Category: Integer,
+		Description: "Constraint solver; pointer-chasing propagation, mostly serial",
+		DataSet:     "96-constraint chain, 12 passes",
+		Paper:       PaperRef{Speedup: 1.0, Analyzable: false, SerialPct: 0.22},
+		Build:       build,
+		HeapWords:   3000, // small heap: the plan-object churn triggers GC
+	}
+}
+
+// EmFloatPnt — software floating-point emulation over an array. Iterations
+// are independent but the normalization loop's trip count is data
+// dependent, producing the load imbalance (wait-used time) the paper
+// reports for EmFloatPnt.
+func EmFloatPnt() *Workload {
+	const n = 160
+	build := func() *bytecode.Program {
+		p := NewProgram("EmFloatPnt")
+		p.Func("main", nil, false).Body(
+			Set("a", NewArr(I(n))),
+			Set("r", NewArr(I(n))),
+			ForUp("x", I(0), I(n),
+				SetIdx(L("a"), L("x"), Add(pseudo(L("x"), 1<<20), I(3)))),
+			ForUp("i", I(0), I(n),
+				Set("v", Idx(L("a"), L("i"))),
+				Set("sign", BAnd(Shr(L("v"), I(19)), I(1))),
+				Set("mant", BAnd(L("v"), I((1<<16)-1))),
+				Set("ex", BAnd(Shr(L("v"), I(16)), I(7))),
+				// Emulated multiply by 3.5: mant*7 then renormalize.
+				Set("mant", Mul(L("mant"), I(7))),
+				Set("ex", Sub(L("ex"), I(1))),
+				// Data-dependent normalization loop.
+				While(Ge(L("mant"), I(1<<16)),
+					Set("mant", Shr(L("mant"), I(1))),
+					Inc("ex", 1),
+				),
+				While(AndC(Gt(L("mant"), I(0)), Lt(L("mant"), I(1<<15))),
+					Set("mant", Shl(L("mant"), I(1))),
+					Set("ex", Sub(L("ex"), I(1))),
+				),
+				SetIdx(L("r"), L("i"),
+					BOr(Shl(L("sign"), I(19)), BOr(Shl(BAnd(L("ex"), I(7)), I(16)), BAnd(L("mant"), I((1<<16)-1))))),
+			),
+			Set("sum", I(0)),
+			ForUp("q", I(0), I(n),
+				Set("sum", BXor(L("sum"), Mul(Idx(L("r"), L("q")), Add(L("q"), I(1))))),
+			),
+			Print(L("sum")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "EmFloatPnt", Category: Integer,
+		Description: "Software FP emulation; variable-length normalization causes load imbalance",
+		DataSet:     "160 emulated operations",
+		Paper:       PaperRef{Speedup: 2.9, Analyzable: false, SerialPct: 0},
+		Build:       build,
+	}
+}
+
+// Huffman — bit-stream encoding. The bit buffer is a per-iteration carried
+// dependency (sub-word packing), giving violations in the base version; the
+// Table 4 transformation merges four independent streams so the carried
+// state recurs at distance 4 — beyond the 4-CPU speculation window.
+func Huffman() *Workload {
+	const n = 1024
+	prolog := func() []Stmt {
+		return Block(
+			Set("input", NewArr(I(n))),
+			ForUp("x", I(0), I(n),
+				SetIdx(L("input"), L("x"), pseudo(L("x"), 16))),
+			// Canonical-ish code table: longer codes for rarer symbols.
+			Set("codes", NewArr(I(16))),
+			Set("lens", NewArr(I(16))),
+			ForUp("s", I(0), I(16),
+				SetIdx(L("codes"), L("s"), Add(L("s"), I(2))),
+				SetIdx(L("lens"), L("s"), Add(I(3), Rem(L("s"), I(4)))),
+			),
+			Set("out", NewArr(I(n))),
+		)
+	}
+	return &Workload{
+		Name: "Huffman", Category: Integer,
+		Description: "Huffman encoding; carried bit-buffer state",
+		DataSet:     "1024 symbols over a 16-symbol alphabet",
+		Paper:       PaperRef{Speedup: 1.9, Analyzable: false, SerialPct: 0},
+		Build: func() *bytecode.Program {
+			p := NewProgram("Huffman")
+			p.Func("main", nil, false).Body(
+				Block(prolog()),
+				Set("bitbuf", I(0)),
+				Set("nbits", I(0)),
+				Set("outp", I(0)),
+				ForUp("i", I(0), I(n),
+					Set("sym", Idx(L("input"), L("i"))),
+					Set("bitbuf", BOr(Shl(L("bitbuf"), Idx(L("lens"), L("sym"))),
+						Idx(L("codes"), L("sym")))),
+					Set("nbits", Add(L("nbits"), Idx(L("lens"), L("sym")))),
+					If(Ge(L("nbits"), I(24)), S(
+						SetIdx(L("out"), L("outp"), L("bitbuf")),
+						Inc("outp", 1),
+						Set("bitbuf", I(0)),
+						Set("nbits", I(0)),
+					), nil),
+				),
+				Set("sum", Add(L("bitbuf"), L("outp"))),
+				ForUp("q", I(0), I(n),
+					Set("sum", BXor(L("sum"), Idx(L("out"), L("q")))),
+				),
+				Print(L("sum")),
+			)
+			return p.MustBuild()
+		},
+		BuildTransformed: func() *bytecode.Program {
+			p := NewProgram("Huffman-merged")
+			p.Func("main", nil, false).Body(
+				Block(prolog()),
+				// Four interleaved streams: state recurs at distance 4.
+				Set("bufs", NewArr(I(4))),
+				Set("cnts", NewArr(I(4))),
+				Set("outps", NewArr(I(4))),
+				ForUp("s", I(0), I(4),
+					SetIdx(L("outps"), L("s"), Mul(L("s"), I(n/4)))),
+				ForUp("i", I(0), I(n),
+					Set("st", BAnd(L("i"), I(3))),
+					Set("sym", Idx(L("input"), L("i"))),
+					SetIdx(L("bufs"), L("st"), BOr(Shl(Idx(L("bufs"), L("st")), Idx(L("lens"), L("sym"))),
+						Idx(L("codes"), L("sym")))),
+					SetIdx(L("cnts"), L("st"), Add(Idx(L("cnts"), L("st")), Idx(L("lens"), L("sym")))),
+					If(Ge(Idx(L("cnts"), L("st")), I(24)), S(
+						SetIdx(L("out"), Idx(L("outps"), L("st")), Idx(L("bufs"), L("st"))),
+						SetIdx(L("outps"), L("st"), Add(Idx(L("outps"), L("st")), I(1))),
+						SetIdx(L("bufs"), L("st"), I(0)),
+						SetIdx(L("cnts"), L("st"), I(0)),
+					), nil),
+				),
+				Set("sum", I(0)),
+				ForUp("s2", I(0), I(4),
+					Set("sum", Add(L("sum"), Add(Idx(L("bufs"), L("s2")), Idx(L("outps"), L("s2"))))),
+				),
+				ForUp("q", I(0), I(n),
+					Set("sum", BXor(L("sum"), Idx(L("out"), L("q")))),
+				),
+				Print(L("sum")),
+			)
+			return p.MustBuild()
+		},
+		Transformed: &Transform{
+			Difficulty: "Med", CompilerAuto: false, Lines: 22,
+			Note: "Merge independent streams to prevent sub-word dependencies during compression",
+		},
+	}
+}

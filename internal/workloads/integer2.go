@@ -1,0 +1,610 @@
+package workloads
+
+import (
+	"jrpm/internal/bytecode"
+	. "jrpm/internal/frontend"
+)
+
+// IDEA — block cipher encryption. Blocks are independent, so iterations
+// parallelize cleanly; per-block work is a fixed sequence of modular
+// multiply/add/xor rounds.
+func IDEA() *Workload {
+	const blocks = 96
+	build := func() *bytecode.Program {
+		p := NewProgram("IDEA")
+		p.Func("main", nil, false).Body(
+			Set("in", NewArr(I(blocks*2))),
+			Set("out", NewArr(I(blocks*2))),
+			Set("keys", NewArr(I(16))),
+			ForUp("k", I(0), I(16),
+				SetIdx(L("keys"), L("k"), Add(pseudo(L("k"), 65535), I(1)))),
+			ForUp("x", I(0), I(blocks*2),
+				SetIdx(L("in"), L("x"), pseudo(L("x"), 65536))),
+			ForUp("b", I(0), I(blocks),
+				Set("x", Idx(L("in"), Mul(L("b"), I(2)))),
+				Set("y", Idx(L("in"), Add(Mul(L("b"), I(2)), I(1)))),
+				ForUp("r", I(0), I(8),
+					Set("k1", Idx(L("keys"), Mul(L("r"), I(2)))),
+					Set("k2", Idx(L("keys"), Add(Mul(L("r"), I(2)), I(1)))),
+					Set("x", Rem(Mul(Add(L("x"), I(1)), L("k1")), I(65537))),
+					Set("y", BAnd(Add(L("y"), L("k2")), I(65535))),
+					Set("t", L("x")),
+					Set("x", BXor(L("x"), L("y"))),
+					Set("y", BAnd(Add(L("t"), L("y")), I(65535))),
+				),
+				SetIdx(L("out"), Mul(L("b"), I(2)), L("x")),
+				SetIdx(L("out"), Add(Mul(L("b"), I(2)), I(1)), L("y")),
+			),
+			Set("sum", I(0)),
+			ForUp("q", I(0), I(blocks*2),
+				Set("sum", BXor(L("sum"), Add(Idx(L("out"), L("q")), L("q")))),
+			),
+			Print(L("sum")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "IDEA", Category: Integer,
+		Description: "Block cipher; independent 8-round blocks",
+		DataSet:     "96 two-word blocks",
+		Paper:       PaperRef{Speedup: 2.8, Analyzable: true, SerialPct: 0},
+		Build:       build,
+	}
+}
+
+// Jess — expert-system rule matching: each rule scans the fact base
+// (read-only inside the match loop), with a serial conflict-resolution pass
+// between cycles — partial parallelism plus a serial section.
+func Jess() *Workload {
+	const nfacts, nrules, cycles = 160, 24, 3
+	build := func() *bytecode.Program {
+		p := NewProgram("jess")
+		vec := p.Class("FactVector", "size")
+		p.Func("main", nil, false).Body(
+			Set("mon", NewE(vec)),
+			Set("facts", NewArr(I(nfacts))),
+			Set("ra", NewArr(I(nrules))),
+			Set("rb", NewArr(I(nrules))),
+			Set("act", NewArr(I(nrules))),
+			ForUp("x", I(0), I(nfacts),
+				SetIdx(L("facts"), L("x"), pseudo(L("x"), 64))),
+			ForUp("r", I(0), I(nrules),
+				SetIdx(L("ra"), L("r"), pseudo(Add(L("r"), I(100)), 64)),
+				SetIdx(L("rb"), L("r"), pseudo(Add(L("r"), I(200)), 8)),
+			),
+			Set("fired", I(0)),
+			ForUp("c", I(0), I(cycles),
+				// Match phase: rules scan facts independently.
+				ForUp("r", I(0), I(nrules),
+					Set("cnt", I(0)),
+					Set("pa", Idx(L("ra"), L("r"))),
+					Set("pb", Idx(L("rb"), L("r"))),
+					// The fact base is a synchronized container: scans
+					// enter its monitor (elided during speculation, §5.3).
+					Synchronized(L("mon"),
+						ForUp("f", I(0), I(nfacts),
+							Set("fv", Idx(L("facts"), L("f"))),
+							If(AndC(Ge(L("fv"), L("pa")),
+								Eq(Rem(L("fv"), I(8)), L("pb"))),
+								S(Inc("cnt", 1)), nil),
+						),
+					),
+					SetIdx(L("act"), L("r"), L("cnt")),
+				),
+				// Conflict resolution: serial scan carrying best-so-far.
+				Set("best", I(-1)),
+				Set("bestr", I(0)),
+				ForUp("r2", I(0), I(nrules),
+					If(Gt(Idx(L("act"), L("r2")), L("best")), S(
+						Set("best", Idx(L("act"), L("r2"))),
+						Set("bestr", L("r2")),
+					), nil),
+				),
+				// Fire: serial fact-base update.
+				ForUp("u", I(0), I(8),
+					SetIdx(L("facts"), Rem(Add(Mul(L("bestr"), I(19)), L("u")), I(nfacts)),
+						pseudo(Add(L("c"), Mul(L("u"), I(31))), 64)),
+				),
+				Set("fired", Add(L("fired"), L("best"))),
+			),
+			Print(L("fired")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "jess", Category: Integer,
+		Description: "Expert system rule matching with serial conflict resolution",
+		DataSet:     "160 facts, 24 rules, 3 cycles (paper: SPEC jess)",
+		Paper:       PaperRef{Speedup: 2.4, Analyzable: false, SerialPct: 0.07},
+		Build:       build,
+	}
+}
+
+// JLex — scanner-generator kernel: building DFA transition entries whose
+// closure computation has a data-dependent length, so the parallel loop is
+// imbalanced (wait-used), plus a serial worklist minimization pass.
+func JLex() *Workload {
+	const nstates, nsyms = 40, 12
+	build := func() *bytecode.Program {
+		p := NewProgram("jLex")
+		p.Func("main", nil, false).Body(
+			Set("trans", NewArr(I(nstates*nsyms))),
+			// Transition construction: parallel over states, imbalanced.
+			ForUp("s", I(0), I(nstates),
+				ForUp("c", I(0), I(nsyms),
+					Set("t", Add(Mul(L("s"), I(7)), L("c"))),
+					// Closure walk of data-dependent length.
+					Set("steps", Add(Add(I(1), Rem(Mul(L("s"), Add(L("c"), I(3))), I(17))),
+						Sel(Eq(Rem(L("s"), I(8)), I(0)), I(90), I(0)))),
+					Set("k", I(0)),
+					While(Lt(L("k"), L("steps")),
+						Set("t", Rem(Add(Mul(L("t"), I(5)), I(1)), I(nstates))),
+						Inc("k", 1),
+					),
+					SetIdx(L("trans"), Add(Mul(L("s"), I(nsyms)), L("c")), L("t")),
+				),
+			),
+			// Minimization-ish pass: serial worklist over partitions.
+			Set("part", NewArr(I(nstates))),
+			ForUp("s2", I(0), I(nstates),
+				SetIdx(L("part"), L("s2"), Rem(L("s2"), I(2)))),
+			Set("changed", I(1)),
+			Set("rounds", I(0)),
+			While(AndC(Gt(L("changed"), I(0)), Lt(L("rounds"), I(8))),
+				Set("changed", I(0)),
+				ForUp("s3", I(0), I(nstates),
+					Set("sig", I(0)),
+					ForUp("c2", I(0), I(nsyms),
+						Set("sig", Add(Mul(L("sig"), I(3)),
+							Idx(L("part"), Idx(L("trans"), Add(Mul(L("s3"), I(nsyms)), L("c2")))))),
+					),
+					Set("np", Rem(L("sig"), I(4))),
+					If(Ne(L("np"), Idx(L("part"), L("s3"))), S(
+						SetIdx(L("part"), L("s3"), L("np")),
+						Set("changed", Add(L("changed"), I(1))),
+					), nil),
+				),
+				Inc("rounds", 1),
+			),
+			Set("sum", I(0)),
+			ForUp("q", I(0), I(nstates*nsyms),
+				Set("sum", Add(L("sum"), Idx(L("trans"), L("q")))),
+			),
+			Print(L("sum")),
+			Print(L("rounds")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "jLex", Category: Integer,
+		Description: "Lexical analyzer generator; imbalanced DFA construction",
+		DataSet:     "40 states x 12 symbols",
+		Paper:       PaperRef{Speedup: 1.4, Analyzable: false, SerialPct: 0.10},
+		Build:       build,
+	}
+}
+
+// MipsSimulator — a CPU interpreter. In the original, the simulated pc and
+// the architectural register file in memory carry per-iteration
+// dependencies, so speculation mostly serializes; the Table 4
+// transformation (the paper's load-delay-slot forwarding rework) is modelled
+// as trace-style execution: the instruction index becomes an inductor and
+// register conflicts drop to occasional collisions.
+func MipsSimulator() *Workload {
+	const nins, steps = 128, 640
+	prolog := func() []Stmt {
+		return Block(
+			// Encoded instruction memory: op(2b) rd(4b) rs(4b) rt(4b).
+			Set("prog", NewArr(I(nins))),
+			ForUp("x", I(0), I(nins),
+				SetIdx(L("prog"), L("x"), pseudo(L("x"), 16384))),
+			Set("regs", NewArr(I(16))),
+			ForUp("r", I(0), I(16),
+				SetIdx(L("regs"), L("r"), Add(L("r"), I(1)))),
+		)
+	}
+	decodeExec := func(insVar string) []Stmt {
+		return []Stmt{
+			Set("op", BAnd(Shr(L(insVar), I(12)), I(3))),
+			Set("rd", BAnd(Shr(L(insVar), I(8)), I(15))),
+			Set("rs", BAnd(Shr(L(insVar), I(4)), I(15))),
+			Set("rt", BAnd(L(insVar), I(15))),
+			Set("a", Idx(L("regs"), L("rs"))),
+			Set("b", Idx(L("regs"), L("rt"))),
+			If(Eq(L("op"), I(0)), S(Set("v", Add(L("a"), L("b")))),
+				S(If(Eq(L("op"), I(1)), S(Set("v", Sub(L("a"), L("b")))),
+					S(If(Eq(L("op"), I(2)), S(Set("v", BXor(L("a"), L("b")))),
+						S(Set("v", BAnd(Add(Mul(L("a"), I(3)), L("b")), I(0xffff))))))))),
+			SetIdx(L("regs"), L("rd"), L("v")),
+		}
+	}
+	return &Workload{
+		Name: "MipsSimulator", Category: Integer,
+		Description: "CPU interpreter; pc and register-file dependencies",
+		DataSet:     "128 instructions, 640 simulated steps",
+		Paper:       PaperRef{Speedup: 1.0, Analyzable: false, SerialPct: 0.05},
+		Build: func() *bytecode.Program {
+			p := NewProgram("MipsSimulator")
+			p.Func("main", nil, false).Body(
+				Block(prolog()),
+				Set("pc", I(0)),
+				ForUp("st", I(0), I(steps),
+					Set("ins", Idx(L("prog"), L("pc"))),
+					Block(decodeExec("ins")),
+					// Branch: data-dependent next pc, set late.
+					If(AndC(Eq(L("op"), I(3)), Eq(BAnd(L("v"), I(7)), I(0))),
+						S(Set("pc", Rem(L("v"), I(nins)))),
+						S(Set("pc", Rem(Add(L("pc"), I(1)), I(nins))))),
+				),
+				Set("sum", I(0)),
+				ForUp("q", I(0), I(16),
+					Set("sum", Add(L("sum"), Idx(L("regs"), L("q")))),
+				),
+				Print(L("sum")),
+				Print(L("pc")),
+			)
+			return p.MustBuild()
+		},
+		BuildTransformed: func() *bytecode.Program {
+			p := NewProgram("MipsSimulator-trace")
+			p.Func("main", nil, false).Body(
+				Block(prolog()),
+				// Trace execution: instruction index is the loop inductor;
+				// destination renaming spreads register writes.
+				ForUp("st", I(0), I(steps),
+					Set("ins", Idx(L("prog"), Rem(L("st"), I(nins)))),
+					Block(decodeExec("ins")),
+				),
+				Set("sum", I(0)),
+				ForUp("q", I(0), I(16),
+					Set("sum", Add(L("sum"), Idx(L("regs"), L("q")))),
+				),
+				Print(L("sum")),
+			)
+			return p.MustBuild()
+		},
+		Transformed: &Transform{
+			Difficulty: "Med", CompilerAuto: false, Lines: 70,
+			Note: "Minimize dependencies for forwarding load delay slot value (trace-style dispatch)",
+		},
+	}
+}
+
+// MonteCarlo — Monte Carlo integration. The RNG seed is a frequent, short
+// loop-carried dependency: the automatic thread synchronizing lock (§4.2.4)
+// bounds the stall, and the Table 4 transformation pre-generates the seeds
+// serially so the sample loop becomes fully parallel.
+func MonteCarlo() *Workload {
+	const samples = 256
+	tail := func() []Stmt {
+		return []Stmt{
+			// Expensive per-sample function evaluation.
+			Set("fx", ToFloat(L("seed"))),
+			Set("fx", FDiv(L("fx"), F(1<<20))),
+			Set("g", FAdd(Sin(L("fx")), Cos(FMul(L("fx"), F(2.0))))),
+			Set("g", FMul(L("g"), Sqrt(FAdd(FMul(L("fx"), L("fx")), F(1.0))))),
+			// Stratification adjustment consults the RNG state again.
+			Set("acc", FAdd(L("acc"), FAdd(L("g"), FMul(ToFloat(BAnd(L("seed"), I(3))), F(0.001))))),
+		}
+	}
+	return &Workload{
+		Name: "monteCarlo", Category: Integer,
+		Description: "Monte Carlo simulation; carried RNG seed protected by a sync lock",
+		DataSet:     "256 samples",
+		Paper:       PaperRef{Speedup: 2.2, Analyzable: false, SerialPct: 0.01},
+		Build: func() *bytecode.Program {
+			p := NewProgram("monteCarlo")
+			p.Func("main", nil, false).Body(
+				Set("seed", I(12345)),
+				Set("acc", F(0)),
+				ForUp("i", I(0), I(samples),
+					// Per-sample setup precedes the seed update, so the
+					// lock-protected span covers a visible slice of the
+					// iteration (the manual transform removes it entirely).
+					Set("j", Rem(Mul(L("i"), I(13)), I(64))),
+					Set("j", Add(L("j"), Rem(Mul(L("j"), I(11)), I(37)))),
+					Set("j", Add(L("j"), Rem(Mul(L("j"), I(7)), I(23)))),
+					Set("seed", BAnd(Add(Mul(Add(L("seed"), L("j")), I(1103515245)), I(12345)), I(1<<20-1))),
+					Block(tail()),
+				),
+				Print(ToInt(FMul(L("acc"), F(1000)))),
+				Print(L("seed")),
+			)
+			return p.MustBuild()
+		},
+		BuildTransformed: func() *bytecode.Program {
+			p := NewProgram("monteCarlo-pregen")
+			p.Func("main", nil, false).Body(
+				// Pre-generate the seed stream serially.
+				Set("seeds", NewArr(I(samples))),
+				Set("seed", I(12345)),
+				ForUp("k", I(0), I(samples),
+					Set("seed", BAnd(Add(Mul(L("seed"), I(1103515245)), I(12345)), I(1<<20-1))),
+					SetIdx(L("seeds"), L("k"), L("seed")),
+				),
+				Set("acc", F(0)),
+				ForUp("i", I(0), I(samples),
+					Set("seed", Idx(L("seeds"), L("i"))),
+					Block(tail()),
+				),
+				Print(ToInt(FMul(L("acc"), F(1000)))),
+				Print(L("seed")),
+			)
+			return p.MustBuild()
+		},
+		Transformed: &Transform{
+			Difficulty: "Med", CompilerAuto: false, Lines: 39,
+			Note: "Schedule loop carried dependency (pre-generate the seed stream)",
+		},
+	}
+}
+
+// NumHeapSort — heap sort. The sift-down after each extraction touches the
+// heap top, a loop-carried dependency through the array; the Table 4
+// transformation sorts independent segments speculatively and merges
+// serially ("remove loop carried dependency at top of sorted heap").
+func NumHeapSort() *Workload {
+	const n = 256
+	// sift(a, root, limit) as a helper function shared by both variants.
+	addSift := func(p *Program) *FuncRef {
+		sift := p.Func("sift", []string{"a", "root", "limit"}, false)
+		sift.Body(
+			Set("r", L("root")),
+			Set("going", I(1)),
+			While(AndC(Gt(L("going"), I(0)), Lt(Add(Mul(L("r"), I(2)), I(1)), L("limit"))),
+				Set("ch", Add(Mul(L("r"), I(2)), I(1))),
+				If(AndC(Lt(Add(L("ch"), I(1)), L("limit")),
+					Gt(Idx(L("a"), Add(L("ch"), I(1))), Idx(L("a"), L("ch")))),
+					S(Inc("ch", 1)), nil),
+				If(Lt(Idx(L("a"), L("r")), Idx(L("a"), L("ch"))), S(
+					Set("t", Idx(L("a"), L("r"))),
+					SetIdx(L("a"), L("r"), Idx(L("a"), L("ch"))),
+					SetIdx(L("a"), L("ch"), L("t")),
+					Set("r", L("ch")),
+				), S(Set("going", I(0)))),
+			),
+			RetVoid(),
+		)
+		return sift
+	}
+	fill := func() []Stmt {
+		return Block(
+			Set("a", NewArr(I(n))),
+			ForUp("x", I(0), I(n),
+				SetIdx(L("a"), L("x"), pseudo(L("x"), 10007))),
+		)
+	}
+	checksum := func() []Stmt {
+		return Block(
+			Set("sum", I(0)),
+			ForUp("q", I(0), I(n),
+				Set("sum", Add(L("sum"), Mul(Idx(L("a"), L("q")), Add(L("q"), I(1))))),
+			),
+			Print(L("sum")),
+		)
+	}
+	return &Workload{
+		Name: "NumHeapSort", Category: Integer,
+		Description: "Heap sort; carried dependency at the heap top",
+		DataSet:     "256 keys",
+		Paper:       PaperRef{Speedup: 1.5, Analyzable: false, SerialPct: 0},
+		Build: func() *bytecode.Program {
+			p := NewProgram("NumHeapSort")
+			sift := addSift(p)
+			// Floyd's leaf-seeking sift: descend the larger-child path to a
+			// leaf, climb to the insertion point, then shift the path
+			// values one level up — writing the heap TOP last. This is the
+			// classical comparison-optimal sift, and it is exactly why the
+			// paper's NumHeapSort serializes: the value the next extraction
+			// reads (a[0]) is produced at the very end of each iteration.
+			floyd := p.Func("floydSift", []string{"a", "limit", "nodes", "vals"}, false)
+			floyd.Body(
+				Set("v", Idx(L("a"), I(0))),
+				Set("j", I(0)),
+				Set("d", I(0)),
+				While(Lt(Add(Mul(L("j"), I(2)), I(1)), L("limit")),
+					Set("ch", Add(Mul(L("j"), I(2)), I(1))),
+					If(AndC(Lt(Add(L("ch"), I(1)), L("limit")),
+						Gt(Idx(L("a"), Add(L("ch"), I(1))), Idx(L("a"), L("ch")))),
+						S(Inc("ch", 1)), nil),
+					SetIdx(L("nodes"), L("d"), L("ch")),
+					SetIdx(L("vals"), L("d"), Idx(L("a"), L("ch"))),
+					Inc("d", 1),
+					Set("j", L("ch")),
+				),
+				// Climb: find the deepest path node whose value beats v.
+				Set("m", L("d")),
+				While(AndC(Gt(L("m"), I(0)), Lt(Idx(L("vals"), Sub(L("m"), I(1))), L("v"))),
+					Set("m", Sub(L("m"), I(1))),
+				),
+				// Shift leaf-first; the final write lands on a[0].
+				If(Gt(L("m"), I(0)),
+					S(SetIdx(L("a"), Idx(L("nodes"), Sub(L("m"), I(1))), L("v"))), nil),
+				Set("k", Sub(L("m"), I(1))),
+				While(Ge(L("k"), I(0)),
+					If(Eq(L("k"), I(0)),
+						S(SetIdx(L("a"), I(0), Idx(L("vals"), I(0)))),
+						S(SetIdx(L("a"), Idx(L("nodes"), Sub(L("k"), I(1))), Idx(L("vals"), L("k"))))),
+					Set("k", Sub(L("k"), I(1))),
+				),
+				RetVoid(),
+			)
+			p.Func("main", nil, false).Body(
+				Block(fill()),
+				Set("nodes", NewArr(I(16))),
+				Set("vals", NewArr(I(16))),
+				// Heapify.
+				Set("h", I(n/2)),
+				While(Gt(L("h"), I(0)),
+					Set("h", Sub(L("h"), I(1))),
+					Do(CallE(sift, L("a"), L("h"), I(n))),
+				),
+				// Sort-down: every iteration depends on the previous
+				// through a[0], produced at the END of Floyd's sift.
+				Set("k", I(n-1)),
+				While(Gt(L("k"), I(0)),
+					Set("t", Idx(L("a"), I(0))),
+					SetIdx(L("a"), I(0), Idx(L("a"), L("k"))),
+					SetIdx(L("a"), L("k"), L("t")),
+					Do(CallE(floyd, L("a"), L("k"), L("nodes"), L("vals"))),
+					Set("k", Sub(L("k"), I(1))),
+				),
+				Block(checksum()),
+			)
+			return p.MustBuild()
+		},
+		BuildTransformed: func() *bytecode.Program {
+			p := NewProgram("NumHeapSort-segmented")
+			sift := addSift(p)
+			// Heapsort one segment [base, base+len).
+			seg := p.Func("sortseg", []string{"a", "base", "len"}, false)
+			seg.Body(
+				Set("b", NewArr(L("len"))),
+				ForUp("x", I(0), L("len"),
+					SetIdx(L("b"), L("x"), Idx(L("a"), Add(L("base"), L("x"))))),
+				Set("h", Div(L("len"), I(2))),
+				While(Gt(L("h"), I(0)),
+					Set("h", Sub(L("h"), I(1))),
+					Do(CallE(sift, L("b"), L("h"), L("len"))),
+				),
+				Set("k", Sub(L("len"), I(1))),
+				While(Gt(L("k"), I(0)),
+					Set("t", Idx(L("b"), I(0))),
+					SetIdx(L("b"), I(0), Idx(L("b"), L("k"))),
+					SetIdx(L("b"), L("k"), L("t")),
+					Do(CallE(sift, L("b"), I(0), L("k"))),
+					Set("k", Sub(L("k"), I(1))),
+				),
+				ForUp("y", I(0), L("len"),
+					SetIdx(L("a"), Add(L("base"), L("y")), Idx(L("b"), L("y")))),
+				RetVoid(),
+			)
+			p.Func("main", nil, false).Body(
+				Block(fill()),
+				// Sort 8 independent segments (speculatively parallel).
+				ForUp("s", I(0), I(8),
+					Do(CallE(seg, L("a"), Mul(L("s"), I(n/8)), I(n/8))),
+				),
+				// Serial 8-way merge into a fresh array, then copy back.
+				Set("m", NewArr(I(n))),
+				Set("idx", NewArr(I(8))),
+				ForUp("s2", I(0), I(8),
+					SetIdx(L("idx"), L("s2"), Mul(L("s2"), I(n/8)))),
+				ForUp("o", I(0), I(n),
+					Set("best", I(1<<30)),
+					Set("bs", I(-1)),
+					ForUp("s3", I(0), I(8),
+						Set("ix", Idx(L("idx"), L("s3"))),
+						If(AndC(Lt(L("ix"), Mul(Add(L("s3"), I(1)), I(n/8))),
+							Lt(Idx(L("a"), L("ix")), L("best"))), S(
+							Set("best", Idx(L("a"), L("ix"))),
+							Set("bs", L("s3")),
+						), nil),
+					),
+					SetIdx(L("m"), L("o"), L("best")),
+					SetIdx(L("idx"), L("bs"), Add(Idx(L("idx"), L("bs")), I(1))),
+				),
+				ForUp("z", I(0), I(n),
+					SetIdx(L("a"), L("z"), Idx(L("m"), L("z")))),
+				Block(checksum()),
+			)
+			return p.MustBuild()
+		},
+		Transformed: &Transform{
+			Difficulty: "Low", CompilerAuto: false, Lines: 7,
+			Note: "Remove loop carried dependency at top of sorted heap (independent segments + merge)",
+		},
+	}
+}
+
+// Raytrace — per-pixel ray casting against spheres. Pixels are independent
+// and the per-pixel speculative state fits the buffers; §6.1 contrasts this
+// with an overflow-prone raytracer, reproduced by RaytraceOverflow.
+func Raytrace() *Workload {
+	return &Workload{
+		Name: "raytrace", Category: Integer,
+		Description: "Per-pixel ray casting; fits speculative buffers",
+		DataSet:     "16x10 pixels, 3 spheres",
+		Paper:       PaperRef{Speedup: 2.5, Analyzable: false, SerialPct: 0.09},
+		Build:       func() *bytecode.Program { return raytraceProgram(16, 10, 1) },
+	}
+}
+
+// RaytraceOverflow is the §6.1 counterpart: the same tracer written with a
+// large per-pixel scratch buffer, which consistently overflows the
+// speculative store buffer; TEST predicts the overflow and the analyzer
+// rejects the loop. It is not part of the Table 3 suite.
+func RaytraceOverflow() *Workload {
+	return &Workload{
+		Name: "raytraceOverflow", Category: Integer,
+		Description: "Raytracer variant whose per-pixel scratch overflows speculative buffers",
+		DataSet:     "16x10 pixels, 3 spheres, 320-word per-pixel scratch",
+		Paper:       PaperRef{Speedup: 1.0, Analyzable: false},
+		Build:       func() *bytecode.Program { return raytraceProgram(16, 10, 320) },
+	}
+}
+
+// raytraceProgram renders w*h pixels; scratch > 1 adds a per-pixel scratch
+// buffer of that many words (the overflow variant).
+func raytraceProgram(w, h, scratch int64) *bytecode.Program {
+	p := NewProgram("raytrace")
+	main := p.Func("main", nil, false)
+	var body []Stmt
+	body = append(body,
+		Set("img", NewArr(I(w*h))),
+		Set("sc", NewArr(I(scratch*4))),
+		// Sphere table: cx, cy, cz, r^2 per sphere.
+		Set("sph", NewArr(I(12))),
+	)
+	body = append(body, ForUp("s", I(0), I(3),
+		SetIdx(L("sph"), Mul(L("s"), I(4)), ToFloat(Sub(pseudo(L("s"), 9), I(4)))),
+		SetIdx(L("sph"), Add(Mul(L("s"), I(4)), I(1)), ToFloat(Sub(pseudo(Add(L("s"), I(5)), 9), I(4)))),
+		SetIdx(L("sph"), Add(Mul(L("s"), I(4)), I(2)), F(8.0)),
+		SetIdx(L("sph"), Add(Mul(L("s"), I(4)), I(3)), F(4.0)),
+	)...)
+	body = append(body, ForUp("pix", I(0), I(w*h),
+		Set("px", ToFloat(Sub(Rem(L("pix"), I(w)), I(w/2)))),
+		Set("py", ToFloat(Sub(Div(L("pix"), I(w)), I(h/2)))),
+		// Normalize direction.
+		Set("norm", Sqrt(FAdd(FAdd(FMul(L("px"), L("px")), FMul(L("py"), L("py"))), F(64.0)))),
+		Set("dx", FDiv(L("px"), L("norm"))),
+		Set("dy", FDiv(L("py"), L("norm"))),
+		Set("dz", FDiv(F(8.0), L("norm"))),
+		Set("bestt", F(1e30)),
+		Set("hit", I(-1)),
+		ForUp("s", I(0), I(3),
+			Set("cx", Idx(L("sph"), Mul(L("s"), I(4)))),
+			Set("cy", Idx(L("sph"), Add(Mul(L("s"), I(4)), I(1)))),
+			Set("cz", Idx(L("sph"), Add(Mul(L("s"), I(4)), I(2)))),
+			Set("r2", Idx(L("sph"), Add(Mul(L("s"), I(4)), I(3)))),
+			// Ray-sphere: b = d.c; disc = b^2 - (c.c - r^2).
+			Set("bq", FAdd(FAdd(FMul(L("dx"), L("cx")), FMul(L("dy"), L("cy"))), FMul(L("dz"), L("cz")))),
+			Set("cc", FAdd(FAdd(FMul(L("cx"), L("cx")), FMul(L("cy"), L("cy"))), FMul(L("cz"), L("cz")))),
+			Set("disc", FSub(FMul(L("bq"), L("bq")), FSub(L("cc"), L("r2")))),
+			If(FGt(L("disc"), F(0)), S(
+				Set("tt", FSub(L("bq"), Sqrt(L("disc")))),
+				If(AndC(FGt(L("tt"), F(0.01)), FLt(L("tt"), L("bestt"))), S(
+					Set("bestt", L("tt")),
+					Set("hit", L("s")),
+				), nil),
+			), nil),
+		),
+		// The overflow variant writes a wide per-pixel scratch record.
+		If(Gt(I(scratch), I(1)),
+			Block(ForUp("sw", I(0), I(scratch),
+				SetIdx(L("sc"), Rem(Add(Mul(L("pix"), I(scratch)), L("sw")), I(scratch*4)),
+					Add(L("pix"), L("sw"))),
+			)), nil),
+		SetIdx(L("img"), L("pix"),
+			Sel(Ge(L("hit"), I(0)),
+				Add(Mul(L("hit"), I(80)), ToInt(FMul(L("bestt"), F(10.0)))),
+				I(0))),
+	)...)
+	body = append(body,
+		Set("sum", I(0)))
+	body = append(body, ForUp("q", I(0), I(w*h),
+		Set("sum", Add(L("sum"), Mul(Idx(L("img"), L("q")), Add(Rem(L("q"), I(13)), I(1))))))...)
+	body = append(body, Print(L("sum")))
+	main.Body(Block(body))
+	return p.MustBuild()
+}

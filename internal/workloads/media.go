@@ -1,0 +1,292 @@
+package workloads
+
+import (
+	"jrpm/internal/bytecode"
+	. "jrpm/internal/frontend"
+)
+
+// DecJpeg — image decoding: per-block dequantization and a separable
+// inverse transform. Blocks are independent, the classic multimedia STL.
+func DecJpeg() *Workload {
+	const blocks, bsz = 28, 16 // 4x4 coefficient blocks
+	build := func() *bytecode.Program {
+		p := NewProgram("decJpeg")
+		p.Func("main", nil, false).Body(
+			Set("coef", NewArr(I(blocks*bsz))),
+			Set("quant", NewArr(I(bsz))),
+			Set("img", NewArr(I(blocks*bsz))),
+			ForUp("q0", I(0), I(bsz),
+				SetIdx(L("quant"), L("q0"), Add(pseudo(L("q0"), 14), I(2)))),
+			// Serial entropy decode: the bit cursor carries across symbols.
+			Set("cursor", I(7)),
+			ForUp("x", I(0), I(blocks*bsz),
+				Set("cursor", Rem(Add(Mul(L("cursor"), I(33)), I(11)), I(4093))),
+				SetIdx(L("coef"), L("x"), Sub(Rem(L("cursor"), I(256)), I(128))),
+			),
+			ForUp("b", I(0), I(blocks),
+				// Dequantize into locals via a scratch row pass.
+				ForUp("r", I(0), I(4),
+					// Row butterfly on dequantized coefficients.
+					Set("base", Add(Mul(L("b"), I(bsz)), Mul(L("r"), I(4)))),
+					Set("c0", Mul(Idx(L("coef"), L("base")), Idx(L("quant"), Mul(L("r"), I(4))))),
+					Set("c1", Mul(Idx(L("coef"), Add(L("base"), I(1))), Idx(L("quant"), Add(Mul(L("r"), I(4)), I(1))))),
+					Set("c2", Mul(Idx(L("coef"), Add(L("base"), I(2))), Idx(L("quant"), Add(Mul(L("r"), I(4)), I(2))))),
+					Set("c3", Mul(Idx(L("coef"), Add(L("base"), I(3))), Idx(L("quant"), Add(Mul(L("r"), I(4)), I(3))))),
+					Set("s0", Add(L("c0"), L("c2"))),
+					Set("s1", Sub(L("c0"), L("c2"))),
+					Set("s2", Add(Shr(Mul(L("c1"), I(7)), I(3)), Shr(Mul(L("c3"), I(3)), I(3)))),
+					Set("s3", Sub(Shr(Mul(L("c1"), I(3)), I(3)), Shr(Mul(L("c3"), I(7)), I(3)))),
+					SetIdx(L("img"), L("base"), Add(L("s0"), L("s2"))),
+					SetIdx(L("img"), Add(L("base"), I(1)), Add(L("s1"), L("s3"))),
+					SetIdx(L("img"), Add(L("base"), I(2)), Sub(L("s1"), L("s3"))),
+					SetIdx(L("img"), Add(L("base"), I(3)), Sub(L("s0"), L("s2"))),
+				),
+				// Clamp pass.
+				ForUp("k", I(0), I(bsz),
+					Set("v", Idx(L("img"), Add(Mul(L("b"), I(bsz)), L("k")))),
+					SetIdx(L("img"), Add(Mul(L("b"), I(bsz)), L("k")),
+						MaxI(I(-255), MinI(I(255), L("v")))),
+				),
+			),
+			Set("sum", I(0)),
+			ForUp("q", I(0), I(blocks*bsz),
+				Set("sum", Add(L("sum"), Mul(Idx(L("img"), L("q")), Add(Rem(L("q"), I(5)), I(1))))),
+			),
+			Print(L("sum")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "decJpeg", Category: Multimedia,
+		Description: "Image decoding; independent block transforms",
+		DataSet:     "28 blocks of 4x4 coefficients",
+		Paper:       PaperRef{Speedup: 2.5, Analyzable: false, SerialPct: 0.13},
+		Build:       build,
+	}
+}
+
+// EncJpeg — image compression: a parallel forward transform + quantization
+// stage, then a serial entropy-coding stage carrying the bit buffer.
+func EncJpeg() *Workload {
+	const blocks, bsz = 24, 16
+	build := func() *bytecode.Program {
+		p := NewProgram("encJpeg")
+		p.Func("main", nil, false).Body(
+			Set("img", NewArr(I(blocks*bsz))),
+			Set("coef", NewArr(I(blocks*bsz))),
+			Set("out", NewArr(I(blocks*bsz))),
+			ForUp("x", I(0), I(blocks*bsz),
+				SetIdx(L("img"), L("x"), Sub(pseudo(L("x"), 256), I(128)))),
+			// Forward transform + quantization: parallel over blocks.
+			ForUp("b", I(0), I(blocks),
+				ForUp("r", I(0), I(4),
+					Set("base", Add(Mul(L("b"), I(bsz)), Mul(L("r"), I(4)))),
+					Set("c0", Idx(L("img"), L("base"))),
+					Set("c1", Idx(L("img"), Add(L("base"), I(1)))),
+					Set("c2", Idx(L("img"), Add(L("base"), I(2)))),
+					Set("c3", Idx(L("img"), Add(L("base"), I(3)))),
+					Set("s0", Add(Add(L("c0"), L("c1")), Add(L("c2"), L("c3")))),
+					Set("s1", Sub(Add(L("c0"), L("c1")), Add(L("c2"), L("c3")))),
+					Set("s2", Sub(L("c0"), L("c3"))),
+					Set("s3", Sub(L("c1"), L("c2"))),
+					SetIdx(L("coef"), L("base"), Div(L("s0"), I(4))),
+					SetIdx(L("coef"), Add(L("base"), I(1)), Div(L("s1"), I(4))),
+					SetIdx(L("coef"), Add(L("base"), I(2)), Div(L("s2"), I(2))),
+					SetIdx(L("coef"), Add(L("base"), I(3)), Div(L("s3"), I(2))),
+				),
+				// Column pass over the block.
+				ForUp("cl", I(0), I(4),
+					Set("base", Add(Mul(L("b"), I(bsz)), L("cl"))),
+					Set("c0", Idx(L("coef"), L("base"))),
+					Set("c1", Idx(L("coef"), Add(L("base"), I(4)))),
+					Set("c2", Idx(L("coef"), Add(L("base"), I(8)))),
+					Set("c3", Idx(L("coef"), Add(L("base"), I(12)))),
+					SetIdx(L("coef"), L("base"), Add(L("c0"), L("c2"))),
+					SetIdx(L("coef"), Add(L("base"), I(4)), Sub(L("c0"), L("c2"))),
+					SetIdx(L("coef"), Add(L("base"), I(8)), Add(L("c1"), L("c3"))),
+					SetIdx(L("coef"), Add(L("base"), I(12)), Sub(L("c1"), L("c3"))),
+				),
+			),
+			// Entropy coding: serial bit packing over all coefficients.
+			Set("bitbuf", I(0)),
+			Set("nbits", I(0)),
+			Set("outp", I(0)),
+			ForUp("i", I(0), I(blocks*bsz),
+				Set("v", BAnd(Idx(L("coef"), L("i")), I(63))),
+				Set("bitbuf", BOr(Shl(L("bitbuf"), I(6)), L("v"))),
+				Set("nbits", Add(L("nbits"), I(6))),
+				If(Ge(L("nbits"), I(24)), S(
+					SetIdx(L("out"), L("outp"), L("bitbuf")),
+					Inc("outp", 1),
+					Set("bitbuf", I(0)),
+					Set("nbits", I(0)),
+				), nil),
+			),
+			Set("sum", Add(L("bitbuf"), L("outp"))),
+			ForUp("q", I(0), I(blocks*bsz),
+				Set("sum", BXor(L("sum"), Idx(L("out"), L("q")))),
+			),
+			Print(L("sum")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "encJpeg", Category: Multimedia,
+		Description: "Image compression; parallel transform, serial entropy coding",
+		DataSet:     "24 blocks of 4x4 samples",
+		Paper:       PaperRef{Speedup: 2.2, Analyzable: false, SerialPct: 0.01},
+		Build:       build,
+	}
+}
+
+// H263Dec — video decoding: per-macroblock motion compensation from a
+// reference frame plus residual reconstruction; macroblocks independent.
+func H263Dec() *Workload {
+	const mbs, msz, frame = 24, 24, 768
+	build := func() *bytecode.Program {
+		p := NewProgram("h263dec")
+		p.Func("main", nil, false).Body(
+			Set("ref", NewArr(I(frame))),
+			Set("cur", NewArr(I(frame))),
+			Set("mv", NewArr(I(mbs))),
+			Set("res", NewArr(I(mbs*msz))),
+			ForUp("x", I(0), I(frame),
+				SetIdx(L("ref"), L("x"), pseudo(L("x"), 256))),
+			ForUp("m0", I(0), I(mbs),
+				SetIdx(L("mv"), L("m0"), Sub(pseudo(Add(L("m0"), I(77)), 17), I(8)))),
+			ForUp("r0", I(0), I(mbs*msz),
+				SetIdx(L("res"), L("r0"), Sub(pseudo(Add(L("r0"), I(555)), 32), I(16)))),
+			ForUp("m", I(0), I(mbs),
+				Set("base", Mul(L("m"), I(msz))),
+				Set("off", Idx(L("mv"), L("m"))),
+				ForUp("k", I(0), I(msz),
+					Set("src", Rem(Add(Add(L("base"), L("k")), Add(L("off"), I(frame))), I(frame))),
+					Set("pred", Idx(L("ref"), L("src"))),
+					Set("v", Add(L("pred"), Idx(L("res"), Add(L("base"), L("k"))))),
+					SetIdx(L("cur"), Add(L("base"), L("k")),
+						MaxI(I(0), MinI(I(255), L("v")))),
+				),
+			),
+			Set("sum", I(0)),
+			ForUp("q", I(0), I(frame),
+				Set("sum", Add(L("sum"), Mul(Idx(L("cur"), L("q")), Add(Rem(L("q"), I(7)), I(1))))),
+			),
+			Print(L("sum")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "h263dec", Category: Multimedia,
+		Description: "Video decoding; independent macroblock motion compensation",
+		DataSet:     "24 macroblocks over a 768-sample frame",
+		Paper:       PaperRef{Speedup: 2.9, Analyzable: false, SerialPct: 0.03},
+		Build:       build,
+	}
+}
+
+// MpegVideo — video decoding with data-dependent intra prediction: some
+// blocks read the previous block's reconstruction. The profile sees an
+// infrequent dependency and predicts well, but actual execution loses whole
+// threads to violations — §6.2's "truly dynamic" violations that neither
+// synchronization nor value prediction can remove.
+func MpegVideo() *Workload {
+	const mbs, msz = 24, 16
+	build := func() *bytecode.Program {
+		p := NewProgram("mpegVideo")
+		p.Func("main", nil, false).Body(
+			Set("rec", NewArr(I(mbs*msz))),
+			Set("res", NewArr(I(mbs*msz))),
+			Set("mode", NewArr(I(mbs))),
+			ForUp("r0", I(0), I(mbs*msz),
+				SetIdx(L("res"), L("r0"), Sub(pseudo(L("r0"), 64), I(32)))),
+			ForUp("m0", I(0), I(mbs),
+				SetIdx(L("mode"), L("m0"), pseudo(Add(L("m0"), I(31)), 10))),
+			ForUp("m", I(0), I(mbs),
+				Set("base", Mul(L("m"), I(msz))),
+				// ~30% of blocks intra-predict from the previous block's
+				// reconstruction (data dependent, late in the iteration).
+				Set("dc", I(128)),
+				If(AndC(Gt(L("m"), I(0)), Lt(Idx(L("mode"), L("m")), I(2))),
+					S(Set("dc", Idx(L("rec"), Sub(L("base"), I(1))))), nil),
+				ForUp("k", I(0), I(msz),
+					Set("v", Add(L("dc"), Idx(L("res"), Add(L("base"), L("k"))))),
+					// Inverse-transform-ish mixing work.
+					Set("v", Add(L("v"), Shr(Mul(Sub(L("v"), I(64)), I(3)), I(4)))),
+					SetIdx(L("rec"), Add(L("base"), L("k")),
+						MaxI(I(0), MinI(I(255), L("v")))),
+				),
+			),
+			Set("sum", I(0)),
+			ForUp("q", I(0), I(mbs*msz),
+				Set("sum", Add(L("sum"), Mul(Idx(L("rec"), L("q")), Add(Rem(L("q"), I(11)), I(1))))),
+			),
+			Print(L("sum")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "mpegVideo", Category: Multimedia,
+		Description: "Video decoding with dynamic intra-prediction violations",
+		DataSet:     "24 macroblocks, ~20% intra predicted",
+		Paper:       PaperRef{Speedup: 1.4, Analyzable: false, SerialPct: 0.47},
+		Build:       build,
+	}
+}
+
+// MP3 — audio decoding: a serial bitstream phase, then a frame loop whose
+// rare "long block" frames run a heavy synthesis loop — the multilevel STL
+// decomposition shape of §4.2.6 (the paper: "multilevel STL decompositions
+// improve mp3"). A notable fraction of the program stays serial.
+func MP3() *Workload {
+	const frames, coefs, heavy = 48, 12, 40
+	build := func() *bytecode.Program {
+		p := NewProgram("mp3")
+		p.Func("main", nil, false).Body(
+			Set("stream", NewArr(I(frames*coefs))),
+			Set("pcm", NewArr(I(frames*coefs))),
+			Set("synth", NewArr(I(frames*heavy))),
+			// Serial bitstream decode: carried bit position.
+			Set("bitpos", I(1)),
+			ForUp("x", I(0), I(frames*coefs),
+				Set("bitpos", Rem(Add(Mul(L("bitpos"), I(29)), I(17)), I(509))),
+				SetIdx(L("stream"), L("x"), L("bitpos")),
+			),
+			// Frame loop: light dequantization per frame; every 8th frame
+			// is a long block running the heavy synthesis inner loop.
+			ForUp("f", I(0), I(frames),
+				Set("fb", Mul(L("f"), I(coefs))),
+				ForUp("c", I(0), I(coefs),
+					SetIdx(L("pcm"), Add(L("fb"), L("c")),
+						Sub(Idx(L("stream"), Add(L("fb"), L("c"))), I(254))),
+				),
+				If(Eq(Rem(L("f"), I(8)), I(0)),
+					Block(ForUp("w", I(0), I(heavy),
+						Set("acc", F(0)),
+						ForUp("c2", I(0), I(coefs),
+							Set("acc", FAdd(L("acc"),
+								FMul(ToFloat(Idx(L("pcm"), Add(L("fb"), L("c2")))),
+									Cos(FMul(ToFloat(Mul(L("w"), L("c2"))), F(0.13)))))),
+						),
+						SetIdx(L("synth"), Add(Mul(L("f"), I(heavy)), L("w")),
+							ToInt(FDiv(L("acc"), F(64.0)))),
+					)), nil),
+			),
+			Set("sum", I(0)),
+			ForUp("q", I(0), I(frames*coefs),
+				Set("sum", Add(L("sum"), Idx(L("pcm"), L("q")))),
+			),
+			ForUp("q2", I(0), I(frames*heavy),
+				Set("sum", Add(L("sum"), Idx(L("synth"), L("q2")))),
+			),
+			Print(L("sum")),
+		)
+		return p.MustBuild()
+	}
+	return &Workload{
+		Name: "mp3", Category: Multimedia,
+		Description: "Audio decoding; rare heavy frames via multilevel STL",
+		DataSet:     "48 frames x 12 coefficients, heavy synthesis every 8th frame",
+		Paper:       PaperRef{Speedup: 1.5, Analyzable: false, SerialPct: 0.27},
+		Build:       build,
+	}
+}

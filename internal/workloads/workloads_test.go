@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"testing"
+
+	"jrpm/internal/bytecode"
+	"jrpm/internal/core"
+)
+
+// runPipeline runs one program through the full Jrpm pipeline.
+func runPipeline(t *testing.T, bp *bytecode.Program) *core.Result {
+	t.Helper()
+	res, err := core.Run(bp, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("%s: pipeline: %v", bp.Name, err)
+	}
+	if !res.OutputsMatch {
+		t.Fatalf("%s: speculative output differs from sequential: seq=%v tls=%v",
+			bp.Name, res.Seq.Output, res.TLS.Output)
+	}
+	return res
+}
+
+// TestSuiteCorrectness is the headline invariant: for every workload (and
+// every transformed variant) the profiled run and the speculative run must
+// produce byte-identical output to the sequential run.
+func TestSuiteCorrectness(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res := runPipeline(t, w.Build())
+			t.Logf("%s: seq=%d cycles, speedup=%.2f (pred %.2f), profiling +%.1f%%, violations=%d",
+				w.Name, res.Seq.Cycles, res.SpeedupActual(), res.SpeedupPredicted(),
+				res.ProfileSlowdown()*100, res.TLS.Violations)
+			if w.BuildTransformed != nil {
+				rt := runPipeline(t, w.BuildTransformed())
+				t.Logf("%s (transformed): speedup=%.2f", w.Name, rt.SpeedupActual())
+			}
+		})
+	}
+}
+
+func TestSuiteComplete(t *testing.T) {
+	all := All()
+	if len(all) != 26 {
+		t.Fatalf("suite has %d workloads, want 26 (Table 3)", len(all))
+	}
+	counts := map[Category]int{}
+	names := map[string]bool{}
+	for _, w := range all {
+		if names[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		names[w.Name] = true
+		counts[w.Category]++
+		if w.Build == nil || w.Description == "" || w.DataSet == "" {
+			t.Errorf("%s: incomplete definition", w.Name)
+		}
+		if (w.BuildTransformed == nil) != (w.Transformed == nil) {
+			t.Errorf("%s: transform metadata/build mismatch", w.Name)
+		}
+	}
+	if counts[Integer] != 14 || counts[Float] != 7 || counts[Multimedia] != 5 {
+		t.Errorf("category counts = %v, want 14/7/5", counts)
+	}
+	// Table 4 lists exactly six manual transformations.
+	transforms := 0
+	for _, w := range all {
+		if w.Transformed != nil {
+			transforms++
+		}
+	}
+	if transforms != 6 {
+		t.Errorf("manual transforms = %d, want 6 (Table 4)", transforms)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("fft") == nil || ByName("nosuch") != nil {
+		t.Fatal("ByName lookup broken")
+	}
+}
