@@ -9,6 +9,9 @@
 //	jrpm-bench -fig 8|9|10      # one figure
 //	jrpm-bench -ablate NAME     # inductor|sync|alloc|locks|handlers|buffers|cpus|banks
 //	jrpm-bench -attribution     # Table 3's per-benchmark optimization columns (slow)
+//	jrpm-bench -faults PLAN     # inject deterministic faults into every speculative run
+//	jrpm-bench -cyclebudget N   # cycle-budget watchdog per run
+//	jrpm-bench -guard           # enable the STL violation-storm guard
 package main
 
 import (
@@ -19,12 +22,39 @@ import (
 	"jrpm/internal/analyzer"
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
+	"jrpm/internal/faultinject"
 	fe "jrpm/internal/frontend"
 	"jrpm/internal/report"
 	"jrpm/internal/tls"
 	"jrpm/internal/tracer"
 	"jrpm/internal/workloads"
 )
+
+var (
+	faultsFlag = flag.String("faults", "", "fault-injection plan for speculative runs, e.g. seed=42,raw=0.01,overflow=0.005")
+	budgetFlag = flag.Int64("cyclebudget", 0, "cycle-budget watchdog for each run (0 = default 2e9)")
+	guardFlag  = flag.Bool("guard", false, "enable the STL violation-storm guard")
+)
+
+// baseOpts is the suite configuration with the safety-net flags applied.
+// Every speculative run then carries the fault plan, budget and guard; a
+// zero-fault plan leaves cycle counts identical to the unflagged baseline.
+func baseOpts() core.Options {
+	o := core.DefaultOptions()
+	if *budgetFlag > 0 {
+		o.MaxCycles = *budgetFlag
+	}
+	if *faultsFlag != "" {
+		plan, err := faultinject.Parse(*faultsFlag)
+		check(err)
+		o.Faults = &plan
+	}
+	if *guardFlag {
+		cfg := tls.DefaultGuardConfig()
+		o.Guard = &cfg
+	}
+	return o
+}
 
 func main() {
 	table := flag.Int("table", 0, "render one table (1, 3 or 4)")
@@ -40,7 +70,7 @@ func main() {
 	if *attrib {
 		names := []string{"BitOps", "monteCarlo", "db", "mp3", "NeuralNet",
 			"FourierTest", "jess", "deltaBlue", "Assignment", "moldyn"}
-		text, err := report.Table3Opt(core.DefaultOptions(), names)
+		text, err := report.Table3Opt(baseOpts(), names)
 		check(err)
 		fmt.Println(text)
 		return
@@ -52,7 +82,7 @@ func main() {
 	var results []*report.SuiteResult
 	if needSuite {
 		var err error
-		results, err = report.RunSuite(core.DefaultOptions(), nil)
+		results, err = report.RunSuite(baseOpts(), nil)
 		check(err)
 	}
 	if all || *table == 1 {

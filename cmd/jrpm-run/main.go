@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	jrpm-run [-cpus N] [-seq] program.jasm
+//	jrpm-run [-cpus N] [-seq] [-faults PLAN] [-cyclebudget N] [-guard] program.jasm
 //
-// With -seq only the sequential baseline runs (no speculation).
+// With -seq only the sequential baseline runs (no speculation). A -faults
+// plan (e.g. "seed=42,raw=0.01,overflow=0.005") injects deterministic faults
+// into the speculative run and cross-checks its architectural state against
+// the sequential oracle; -cyclebudget bounds every run with the watchdog;
+// -guard enables the STL violation-storm guard.
 package main
 
 import (
@@ -16,14 +20,19 @@ import (
 
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
+	"jrpm/internal/faultinject"
+	"jrpm/internal/tls"
 )
 
 func main() {
 	cpus := flag.Int("cpus", 4, "number of CPUs")
 	seq := flag.Bool("seq", false, "sequential run only")
+	faults := flag.String("faults", "", "fault-injection plan, e.g. seed=42,raw=0.01,overflow=0.005,bus=0.02,busdelay=12,heap=0.001,jit=0")
+	budget := flag.Int64("cyclebudget", 0, "cycle-budget watchdog for each run (0 = default 2e9)")
+	guard := flag.Bool("guard", false, "enable the STL violation-storm guard (sequential fallback for thrashing loops)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] program.jasm")
+		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] [-faults PLAN] [-cyclebudget N] [-guard] program.jasm")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -38,6 +47,21 @@ func main() {
 	}
 	opts := core.DefaultOptions()
 	opts.NCPU = *cpus
+	if *budget > 0 {
+		opts.MaxCycles = *budget
+	}
+	if *faults != "" {
+		plan, err := faultinject.Parse(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jrpm-run:", err)
+			os.Exit(2)
+		}
+		opts.Faults = &plan
+	}
+	if *guard {
+		cfg := tls.DefaultGuardConfig()
+		opts.Guard = &cfg
+	}
 	res, err := core.Run(prog, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jrpm-run:", err)
@@ -56,4 +80,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sequential: %d cycles; speculative: %d cycles (%.2fx on %d CPUs)\n",
 		res.Seq.Cycles, res.TLS.Cycles, res.SpeedupActual(), *cpus)
+	if len(res.TLS.FaultsFired) > 0 {
+		fmt.Fprintf(os.Stderr, "faults fired: %v; oracle checked: %v\n", res.TLS.FaultsFired, res.OracleChecked)
+	}
+	if res.JITFallback {
+		fmt.Fprintln(os.Stderr, "TLS recompilation failed; speculative phase ran the sequential image")
+	}
+	for _, id := range res.TLS.DecertifiedLoops {
+		fmt.Fprintf(os.Stderr, "guard: loop %d decertified (running sequentially)\n", id)
+	}
 }

@@ -147,6 +147,9 @@ func Parse(src string) (*Program, error) {
 			}
 			p.Name = fields[1]
 		case fields[0] == "statics":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: statics wants a count", lineNo)
+			}
 			n, err := strconv.Atoi(fields[1])
 			if err != nil {
 				return nil, fmt.Errorf("line %d: %v", lineNo, err)

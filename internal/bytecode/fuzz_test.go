@@ -1,0 +1,46 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAsm throws arbitrary text at the assembly parser. Parse must never
+// panic; when it does accept an input, the program must verify and survive
+// a Format/Parse round trip (Parse returns only verified programs, so a
+// crash or an unverifiable accept is a parser bug).
+func FuzzAsm(f *testing.F) {
+	f.Add(sampleAsm)
+	f.Add("program p\nmethod main args=0 locals=0 returns=false\n    return\nend\n")
+	f.Add("program p\nstatics 2\nclass C 1\nmethod main args=0 locals=1 returns=false\n" +
+		"    new C\n    store 0\n    load 0\n    const 7\n    putfield 0\n    return\nend\n")
+	f.Add("program p\nmethod main args=0 locals=1 returns=false\n  .L0:\n    goto .L0\nend\n")
+	f.Add("program x\nmethod main args=0 locals=0 returns=false\n  catch 0 .L0 .L0 .L0\nend\n")
+	f.Add("method orphan args=0 locals=0 returns=false\nend\n")
+	f.Add("program p\nstatics -1\n")
+	f.Add("fconst 0.5\niinc 3 -2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := Format(p)
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("accepted program did not round trip: %v\ninput:\n%s\nformatted:\n%s",
+				err, truncate(src), truncate(out))
+		}
+		// Format normalizes names (empty -> "_"), so compare structure only.
+		if len(p2.Methods) != len(p.Methods) || len(p2.Classes) != len(p.Classes) {
+			t.Fatalf("round trip changed shape: %d methods/%d classes vs %d/%d",
+				len(p.Methods), len(p.Classes), len(p2.Methods), len(p2.Classes))
+		}
+	})
+}
+
+func truncate(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "..."
+	}
+	return strings.ToValidUTF8(s, "?")
+}

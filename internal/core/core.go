@@ -17,11 +17,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"jrpm/internal/analyzer"
 	"jrpm/internal/bytecode"
 	"jrpm/internal/cfg"
+	"jrpm/internal/faultinject"
 	"jrpm/internal/hydra"
 	"jrpm/internal/jit"
 	"jrpm/internal/mem"
@@ -29,6 +31,12 @@ import (
 	"jrpm/internal/tracer"
 	"jrpm/internal/vm"
 )
+
+// ErrOracleMismatch reports that the speculative run's architectural state
+// (program output or final static fields) diverged from the clean sequential
+// run while fault injection was active — the safety net failed to preserve
+// sequential semantics under the injected adversity.
+var ErrOracleMismatch = errors.New("core: speculative state diverged from sequential oracle")
 
 // Options configures a pipeline run.
 type Options struct {
@@ -52,6 +60,24 @@ type Options struct {
 	// applied before loop analysis so helper loops join their caller's
 	// nest). Inlining is on by default.
 	NoInline bool
+
+	// Faults attaches a deterministic fault plan to the speculative phases
+	// (TLS recompilation and run). The baseline and profiling runs always
+	// execute clean, so the sequential result remains a trustworthy oracle
+	// reference; when the plan can fire, the speculative run's output and
+	// final static state are cross-checked against it (ErrOracleMismatch).
+	// A nil or zero plan injects nothing and leaves timing untouched.
+	Faults *faultinject.Plan
+
+	// Guard enables the runtime STL violation-storm guard on the
+	// speculative run: a thrashing loop is decertified after K bad windows
+	// and falls back to sequential execution with exponential re-probing.
+	Guard *tls.GuardConfig
+
+	// StormLimit caps violations between two commits in the speculative run
+	// before it fails with tls.ErrSpecViolationStorm (0 = simulator
+	// default).
+	StormLimit int64
 }
 
 // DefaultOptions is the paper's configuration: 4 CPUs, new handlers, both
@@ -79,6 +105,17 @@ type Phase struct {
 	AvgStoreBuf   float64
 	AvgLoadBuf    float64
 	OverflowBySTL map[int64]int64
+
+	// Statics snapshots the final static field words — part of the
+	// architectural state the fault-injection oracle compares.
+	Statics []int64
+	// FaultsFired counts injected faults by channel during this phase.
+	FaultsFired map[string]int64
+	// GuardStats is the per-loop guard state after this phase (nil when the
+	// guard is disabled).
+	GuardStats map[int64]tls.GuardLoopStats
+	// DecertifiedLoops lists loops still decertified at the end of the run.
+	DecertifiedLoops []int64
 }
 
 // Result is the full pipeline outcome for one program.
@@ -102,6 +139,15 @@ type Result struct {
 	// decompositions were reselected and the program recompiled once more.
 	Adapted       bool
 	ExcludedLoops []int64
+
+	// JITFallback reports that the TLS recompilation failed (an injected or
+	// genuine lowering fault) and the speculative phase ran the plain
+	// sequential image instead.
+	JITFallback bool
+	// OracleChecked reports that fault injection was active and the
+	// speculative architectural state was verified against the sequential
+	// run.
+	OracleChecked bool
 }
 
 // SpeedupActual is baseline time over speculative time (Figure 8 "Actual").
@@ -176,7 +222,7 @@ func Run(bp *bytecode.Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: plain compile: %w", err)
 	}
-	seq, _, err := execute(bp, plainImg, opts, false)
+	seq, _, err := execute(bp, plainImg, opts, false, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: sequential run: %w", err)
 	}
@@ -188,7 +234,7 @@ func Run(bp *bytecode.Program, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: annotated compile: %w", err)
 	}
 	res.CompileCycles = annRep.Cycles
-	prof, tr, err := execute(bp, annImg, opts, true)
+	prof, tr, err := execute(bp, annImg, opts, true, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling run: %w", err)
 	}
@@ -211,17 +257,36 @@ func Run(bp *bytecode.Program, opts Options) (*Result, error) {
 		res.PredictedCycles = res.Analysis.PredictedCycles * seq.Cycles / prof.Cycles
 	}
 
-	// Step 4-5: recompile selected loops, run speculative code.
-	tlsImg, tlsRep, err := jit.Compile(bp, info, jit.ModeTLS, res.Analysis.Selection)
+	// Step 4-5: recompile selected loops, run speculative code. The
+	// compile-time fault injector draws from the same plan as the run-time
+	// one; an injected (or genuine) lowering failure degrades to the plain
+	// sequential image instead of aborting the pipeline.
+	tlsImg, tlsRep, err := jit.CompileWithFaults(bp, info, jit.ModeTLS,
+		res.Analysis.Selection, faultinject.New(faultPlan(opts)))
 	if err != nil {
-		return nil, fmt.Errorf("core: TLS recompile: %w", err)
+		if !errors.Is(err, jit.ErrLowering) {
+			return nil, fmt.Errorf("core: TLS recompile: %w", err)
+		}
+		tlsImg, tlsRep = plainImg, &jit.Report{}
+		res.JITFallback = true
 	}
 	res.RecompileCycles = tlsRep.Cycles
-	spec, _, err := execute(bp, tlsImg, opts, false)
+	spec, _, err := execute(bp, tlsImg, opts, false, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: TLS run: %w", err)
 	}
 	res.TLS = spec
+
+	// Post-commit oracle: with an active fault plan, the speculative run's
+	// architectural state — program output plus final static fields — must
+	// match the clean sequential run exactly.
+	if !faultPlan(opts).Zero() {
+		res.OracleChecked = true
+		if !equalOutputs(seq.Output, spec.Output) || !equalOutputs(seq.Statics, spec.Statics) {
+			return nil, fmt.Errorf("%w: program %s under plan %q (faults fired: %v)",
+				ErrOracleMismatch, bp.Name, faultPlan(opts).String(), spec.FaultsFired)
+		}
+	}
 
 	// §6.2 feedback: a selected STL whose threads keep overflowing the
 	// speculative buffers at run time (something the averaged profile can
@@ -263,7 +328,7 @@ func adapt(bp *bytecode.Program, info *cfg.ProgramInfo, res *Result,
 	if err != nil {
 		return fmt.Errorf("core: adaptive recompile: %w", err)
 	}
-	spec, _, err := execute(bp, img, opts, false)
+	spec, _, err := execute(bp, img, opts, false, true)
 	if err != nil {
 		return fmt.Errorf("core: adaptive TLS run: %w", err)
 	}
@@ -289,8 +354,18 @@ func equalOutputs(a, b []int64) bool {
 	return true
 }
 
-// execute runs one image on a fresh machine.
-func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile bool) (Phase, *tracer.Tracer, error) {
+// faultPlan returns the effective fault plan (zero when none configured).
+func faultPlan(opts Options) faultinject.Plan {
+	if opts.Faults == nil {
+		return faultinject.Plan{}
+	}
+	return *opts.Faults
+}
+
+// execute runs one image on a fresh machine. Fault injection and the STL
+// guard attach only to speculative (spec) phases so the sequential and
+// profiling runs stay clean.
+func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec bool) (Phase, *tracer.Tracer, error) {
 	rt := vm.New(bp, opts.VM)
 	mopts := hydra.Options{
 		NCPU:     opts.NCPU,
@@ -299,6 +374,11 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile bool)
 		Cache:    opts.Cache,
 		Tracer:   opts.Tracer,
 		Profile:  profile,
+	}
+	if spec {
+		mopts.Faults = opts.Faults
+		mopts.Guard = opts.Guard
+		mopts.StormLimit = opts.StormLimit
 	}
 	m := hydra.NewMachine(img, rt, mopts)
 	m.Boot()
@@ -321,5 +401,13 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile bool)
 		OverflowBySTL: m.OverflowBySTL,
 	}
 	ph.AvgStoreBuf, ph.AvgLoadBuf = m.TLS.AvgBufferLines()
+	for i := 0; i < img.Statics; i++ {
+		ph.Statics = append(ph.Statics, m.RawRead(hydra.GlobalBase+mem.Addr(i)))
+	}
+	ph.FaultsFired = m.Injector().Fired()
+	if m.Guard != nil {
+		ph.GuardStats = m.Guard.Stats()
+		ph.DecertifiedLoops = m.Guard.DecertifiedLoops()
+	}
 	return ph, m.Tracer, err
 }

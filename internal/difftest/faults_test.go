@@ -1,0 +1,81 @@
+package difftest
+
+import (
+	"testing"
+
+	"jrpm/internal/core"
+	"jrpm/internal/faultinject"
+	"jrpm/internal/tls"
+)
+
+// TestDifferentialUnderFaultPlan: random programs run under a seeded
+// adversarial fault plan with the guard armed. Every run must complete
+// (no panics, no storms), pass the post-commit oracle, and match the
+// independent AST interpreter.
+func TestDifferentialUnderFaultPlan(t *testing.T) {
+	seeds := 16
+	if testing.Short() {
+		seeds = 6
+	}
+	guard := tls.DefaultGuardConfig()
+	for seed := int64(300); seed < int64(300+seeds); seed++ {
+		c := Generate(seed, DefaultConfig())
+		bp, err := c.Build()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := c.Oracle()
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		opts := core.DefaultOptions()
+		opts.Faults = &faultinject.Plan{
+			Seed: seed, RAW: 0.01, Overflow: 0.05, Bus: 0.1, BusDelay: 6, Heap: 0.005,
+		}
+		opts.Guard = &guard
+		res, err := core.Run(bp, opts)
+		if err != nil {
+			t.Fatalf("seed %d: pipeline under faults: %v", seed, err)
+		}
+		if !res.OracleChecked {
+			t.Fatalf("seed %d: oracle not checked under an active plan", seed)
+		}
+		if !equal(res.TLS.Output, want) {
+			t.Errorf("seed %d: speculative output %v, oracle %v (faults fired: %v)",
+				seed, res.TLS.Output, want, res.TLS.FaultsFired)
+		}
+	}
+}
+
+// TestDifferentialFaultRunsAreReproducible: the same program and plan twice
+// must agree cycle for cycle and fault for fault.
+func TestDifferentialFaultRunsAreReproducible(t *testing.T) {
+	c := Generate(77, DefaultConfig())
+	bp, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Faults = &faultinject.Plan{Seed: 77, RAW: 0.02, Overflow: 0.1, Bus: 0.2, BusDelay: 4}
+	a, err := core.Run(bp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := Generate(77, DefaultConfig())
+	bp2, err := c2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Run(bp2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TLS.Cycles != b.TLS.Cycles {
+		t.Fatalf("cycles diverged: %d vs %d", a.TLS.Cycles, b.TLS.Cycles)
+	}
+	for ch, n := range a.TLS.FaultsFired {
+		if b.TLS.FaultsFired[ch] != n {
+			t.Fatalf("fault counts diverged on %s: %d vs %d", ch, n, b.TLS.FaultsFired[ch])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package faultinject
+
+import "testing"
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "seed=42,raw=0.01,overflow=0.005,bus=0.02,busdelay=12,heap=0.001,jit=0.5"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Seed != 42 || p.RAW != 0.01 || p.Overflow != 0.005 || p.Bus != 0.02 ||
+		p.BusDelay != 12 || p.Heap != 0.001 || p.JIT != 0.5 {
+		t.Fatalf("parsed plan = %+v", p)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", p.String(), err)
+	}
+	if p2 != p {
+		t.Fatalf("round trip changed plan: %+v -> %+v", p, p2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"raw",          // no value
+		"raw=2",        // rate out of range
+		"raw=-0.1",     // negative rate
+		"seed=x",       // malformed int
+		"warp=0.5",     // unknown key
+		"raw=0.1,,y=1", // malformed tail
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestParseEmptyIsZeroPlan(t *testing.T) {
+	p, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Zero() {
+		t.Fatalf("empty spec plan = %+v, want zero", p)
+	}
+	if New(p) != nil {
+		t.Fatal("zero plan must build a nil injector (nil-receiver no-op)")
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var j *Injector
+	for i := 0; i < 1000; i++ {
+		if j.SpuriousRAW() || j.OverflowPressure() || j.HeapExhausted() || j.JITFailure() {
+			t.Fatal("nil injector fired")
+		}
+		if j.BusDelayCycles() != 0 {
+			t.Fatal("nil injector delayed the bus")
+		}
+	}
+	if j.FiredTotal() != 0 || len(j.Fired()) != 0 {
+		t.Fatal("nil injector counted faults")
+	}
+	if j.Summary() != "no faults fired" {
+		t.Fatalf("summary = %q", j.Summary())
+	}
+}
+
+// Determinism: two injectors with the same plan produce identical decision
+// sequences, channel by channel, regardless of how the channels interleave.
+func TestDecisionsAreDeterministicAndChannelIndependent(t *testing.T) {
+	plan := Plan{Seed: 7, RAW: 0.3, Overflow: 0.2, Heap: 0.1, Bus: 0.25, BusDelay: 5, JIT: 0.15}
+	a := New(plan)
+	b := New(plan)
+	var seqA, seqB []bool
+	// a: all RAW draws first, then all heap draws.
+	for i := 0; i < 500; i++ {
+		seqA = append(seqA, a.SpuriousRAW())
+	}
+	for i := 0; i < 500; i++ {
+		seqA = append(seqA, a.HeapExhausted())
+	}
+	// b: interleaved with other channels consuming their own counters.
+	for i := 0; i < 500; i++ {
+		seqB = append(seqB, b.SpuriousRAW())
+		b.OverflowPressure()
+		b.BusDelayCycles()
+		b.JITFailure()
+	}
+	for i := 0; i < 500; i++ {
+		seqB = append(seqB, b.HeapExhausted())
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("decision %d diverged across interleavings", i)
+		}
+	}
+	if a.fired[ChRAW] != b.fired[ChRAW] {
+		t.Fatal("fired counts diverged")
+	}
+}
+
+func TestRatesAreRoughlyHonored(t *testing.T) {
+	j := New(Plan{Seed: 3, RAW: 0.5})
+	fired := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if j.SpuriousRAW() {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("rate 0.5 fired %.3f of draws", got)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(Plan{Seed: 1, RAW: 0.5}), New(Plan{Seed: 2, RAW: 0.5})
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.SpuriousRAW() != b.SpuriousRAW() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 64-decision prefixes")
+	}
+}
+
+func TestBusDelayDefaultsWhenUnset(t *testing.T) {
+	j := New(Plan{Seed: 1, Bus: 1}) // always fires
+	if d := j.BusDelayCycles(); d != 8 {
+		t.Fatalf("unset BusDelay = %d cycles, want default 8", d)
+	}
+	j2 := New(Plan{Seed: 1, Bus: 1, BusDelay: 3})
+	if d := j2.BusDelayCycles(); d != 3 {
+		t.Fatalf("BusDelay = %d, want 3", d)
+	}
+}
+
+func TestSummaryIsStable(t *testing.T) {
+	j := New(Plan{Seed: 9, RAW: 1, Heap: 1})
+	j.SpuriousRAW()
+	j.HeapExhausted()
+	if got := j.Summary(); got != "heap=1 raw=1" {
+		t.Fatalf("summary = %q", got)
+	}
+}

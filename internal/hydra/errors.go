@@ -1,0 +1,87 @@
+package hydra
+
+import (
+	"errors"
+	"fmt"
+
+	"jrpm/internal/mem"
+	"jrpm/internal/tls"
+)
+
+// Typed error sentinels surfaced through Machine.Run. Every abnormal
+// termination of the simulator core unwraps to exactly one of these (or to
+// the tls package's sentinels), so callers can classify failures with
+// errors.Is instead of matching panic strings.
+var (
+	// ErrCycleBudgetExceeded reports that the cycle-budget watchdog fired:
+	// the workload did not halt within the budget passed to Run.
+	ErrCycleBudgetExceeded = errors.New("hydra: cycle budget exceeded")
+
+	// ErrNoRunnableCPU reports a scheduling deadlock: no CPU is runnable
+	// but the program has not halted.
+	ErrNoRunnableCPU = errors.New("hydra: no runnable CPU")
+
+	// ErrBadProgram reports malformed or unsupported native code: a PC out
+	// of range, an unimplemented opcode, an unknown STL or cp2 register.
+	ErrBadProgram = errors.New("hydra: bad program")
+
+	// ErrStackOverflow reports that a simulated call pushed the stack
+	// pointer into the heap region.
+	ErrStackOverflow = errors.New("hydra: simulated stack overflow")
+
+	// ErrOutOfMemory reports that an allocation still failed after a
+	// garbage collection.
+	ErrOutOfMemory = errors.New("hydra: out of memory")
+
+	// ErrUncaughtException reports a program exception with no matching
+	// handler anywhere on the call stack.
+	ErrUncaughtException = errors.New("hydra: uncaught exception")
+
+	// ErrInternal is the recover backstop's sentinel: a panic escaped the
+	// simulator core. Reaching it is itself a bug, but it must surface as
+	// an error, never crash the embedding process.
+	ErrInternal = errors.New("hydra: internal fault")
+
+	// ErrSpecViolationStorm re-exports the tls sentinel so callers can
+	// classify storms without importing tls.
+	ErrSpecViolationStorm = tls.ErrSpecViolationStorm
+)
+
+// MemFault is the typed error for an out-of-range data access that reached
+// architectural (head/non-speculative) execution. Speculative wild accesses
+// do not produce it — they defer like exceptions (§5.1) and die with the
+// violated thread.
+type MemFault struct {
+	CPU    int
+	Cycle  int64
+	Addr   mem.Addr
+	Write  bool
+	Method string
+	PC     int
+}
+
+// Error renders the fault with its execution context.
+func (f *MemFault) Error() string {
+	op := "load"
+	if f.Write {
+		op = "store"
+	}
+	return fmt.Sprintf("hydra: cpu%d %s at address %d out of range (method %s pc %d, cycle %d)",
+		f.CPU, op, f.Addr, f.Method, f.PC, f.Cycle)
+}
+
+// Unwrap makes errors.Is(f, mem.ErrOutOfRange) true.
+func (f *MemFault) Unwrap() error { return mem.ErrOutOfRange }
+
+// badProgram builds an ErrBadProgram with cpu/cycle context.
+func (m *Machine) badProgram(c *CPU, format string, args ...any) error {
+	return fmt.Errorf("%w: cpu%d at cycle %d: %s", ErrBadProgram, c.ID, m.Clock, fmt.Sprintf(format, args...))
+}
+
+// fail halts the machine with a terminal error (the first failure wins).
+func (m *Machine) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+	m.halted = true
+}

@@ -18,15 +18,37 @@ func b2i(b bool) int64 {
 	return 0
 }
 
-// exec runs one instruction on c.
+// exec runs one instruction on c. Out-of-range data accesses surface as
+// *mem.Fault panics from the memory model; recovering at the instruction
+// boundary leaves the CPU parked on the faulting instruction with no partial
+// architectural update, so a speculative fault can defer cleanly (§5.1).
 func (m *Machine) exec(c *CPU) {
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(*mem.Fault)
+			if !ok {
+				panic(r) // not a data fault; Run's backstop converts it
+			}
+			m.dataFault(c, f)
+		}
+	}()
 	method := m.Image.Method(c.MethodID)
 	if c.PC < 0 || c.PC >= len(method.Code) {
-		panic(fmt.Sprintf("hydra: cpu%d pc %d out of range in %s", c.ID, c.PC, method.Name))
+		m.fail(m.badProgram(c, "pc %d out of range in %s", c.PC, method.Name))
+		return
 	}
 	in := method.Code[c.PC]
 	m.Instructions++
 	c.extra = 0
+	// Deterministic fault injection: a spurious RAW violation hits this
+	// speculative thread as if an older store had touched one of its exposed
+	// reads (the thread and everything younger restart).
+	if m.TLS.Active() && !m.TLS.IsHead(c.ID) && m.inj.SpuriousRAW() {
+		for _, vc := range m.TLS.ViolateFrom(m.TLS.Iteration(c.ID)) {
+			m.redirectRestart(m.CPUs[vc])
+		}
+		return
+	}
 	cost := isa.Cost(in.Op)
 	r := &c.Regs
 	advance := true
@@ -197,7 +219,9 @@ func (m *Machine) exec(c *CPU) {
 		r[isa.SP] -= callee.FrameWords
 		r[isa.FP] = r[isa.SP]
 		if mem.Addr(r[isa.SP]) <= HeapBase {
-			panic("hydra: simulated stack overflow")
+			m.fail(fmt.Errorf("%w: cpu%d calling %s at cycle %d (sp %d)",
+				ErrStackOverflow, c.ID, callee.Name, m.Clock, r[isa.SP]))
+			return
 		}
 		c.MethodID = in.Target
 		c.PC = 0
@@ -249,9 +273,7 @@ func (m *Machine) exec(c *CPU) {
 		return
 	case isa.STLEOI:
 		if m.TLS.IsHead(c.ID) {
-			m.TLS.CommitEOI(c.ID)
-			c.PC++
-			c.readyAt = m.Clock + m.TLS.Config().Handlers.EOI
+			m.commitEOI(c)
 		} else {
 			c.state = stateWaitEOI
 			m.wait(c)
@@ -267,7 +289,8 @@ func (m *Machine) exec(c *CPU) {
 		return
 	case isa.STLSWSTART:
 		if m.outerSTL != nil {
-			panic("hydra: nested multilevel STL switch")
+			m.fail(m.badProgram(c, "nested multilevel STL switch"))
+			return
 		}
 		if m.TLS.IsHead(c.ID) {
 			m.doSwitchIn(c)
@@ -291,11 +314,19 @@ func (m *Machine) exec(c *CPU) {
 		case isa.CP2CPUID:
 			r[in.Rd] = int64(c.ID)
 		default:
-			panic("hydra: unknown cp2 register")
+			m.fail(m.badProgram(c, "unknown cp2 register %d", in.Imm))
+			return
 		}
 
 	// VM runtime.
 	case isa.ALLOC:
+		// Injected heap exhaustion forces the GC path exactly once per
+		// allocation site visit (never when a real collection already ran,
+		// so injection cannot fake an out-of-memory condition).
+		if c.gcAttempts == 0 && m.inj.HeapExhausted() {
+			m.requestGC(c)
+			return
+		}
 		ref, gcNeeded := m.Runtime.Alloc(m, c.ID, in.Imm)
 		if gcNeeded {
 			m.requestGC(c)
@@ -307,6 +338,10 @@ func (m *Machine) exec(c *CPU) {
 		n := r[in.Rs]
 		if n < 0 {
 			m.trap(c, isa.ExArrayBounds, 0)
+			return
+		}
+		if c.gcAttempts == 0 && m.inj.HeapExhausted() {
+			m.requestGC(c)
 			return
 		}
 		ref, gcNeeded := m.Runtime.AllocArray(m, c.ID, n)
@@ -360,7 +395,8 @@ func (m *Machine) exec(c *CPU) {
 		return
 
 	default:
-		panic(fmt.Sprintf("hydra: unimplemented op %s", in.Op.Name()))
+		m.fail(m.badProgram(c, "unimplemented op %s", in.Op.Name()))
+		return
 	}
 
 	r[isa.Zero] = 0
@@ -373,8 +409,12 @@ func (m *Machine) exec(c *CPU) {
 	m.TLS.ChargeAttempt(c.ID, tls.ChargeRun, total)
 	if c.overflowPending && m.TLS.Active() {
 		if m.TLS.IsHead(c.ID) {
-			m.TLS.DrainOverflow(c.ID)
-			m.noteOverflow()
+			newEpisode, err := m.TLS.DrainOverflow(c.ID)
+			if err != nil {
+				m.fail(err)
+				return
+			}
+			m.noteOverflow(newEpisode)
 			c.overflowPending = false
 		} else {
 			c.state = stateWaitOverflow
@@ -387,15 +427,31 @@ func (m *Machine) exec(c *CPU) {
 // following instruction (STL_INIT) with copies of the master's context.
 func (m *Machine) doSTLStart(c *CPU, stlID int64) {
 	if m.TLS.Active() {
-		panic("hydra: STLSTART while speculation active (decomposition selection bug)")
+		m.fail(m.badProgram(c, "STLSTART while speculation active (decomposition selection bug)"))
+		return
 	}
 	desc, ok := m.Image.STLs[stlID]
 	if !ok {
-		panic(fmt.Sprintf("hydra: unknown STL %d", stlID))
+		m.fail(m.badProgram(c, "unknown STL %d", stlID))
+		return
 	}
 	m.curSTL = desc
 	m.stlFrameDepth = len(c.frames)
-	m.TLS.StartAt(desc.ID, c.ID, 0)
+	m.stormCount = 0
+	// A loop the guard has decertified enters in solo (sequential-fallback)
+	// mode: only this CPU runs, iterations advance one at a time, and the
+	// loop keeps its TLS-compiled code but sequential semantics.
+	solo := m.Guard != nil && !m.Guard.Allow(desc.LoopID)
+	var err error
+	if solo {
+		err = m.TLS.StartSolo(desc.ID, c.ID)
+	} else {
+		err = m.TLS.StartAt(desc.ID, c.ID, 0)
+	}
+	if err != nil {
+		m.fail(err)
+		return
+	}
 	startup := m.TLS.Config().Handlers.Startup
 	if desc.Hoisted && m.lastHoisted == desc.ID {
 		// Repeat entry of a hoisted STL: the slaves are already awake.
@@ -404,7 +460,9 @@ func (m *Machine) doSTLStart(c *CPU, stlID int64) {
 		}
 	}
 	m.lastHoisted = desc.ID
-	m.deploySlaves(c, c.PC+1, startup)
+	if !solo {
+		m.deploySlaves(c, c.PC+1, startup)
+	}
 	c.PC++
 	c.readyAt = m.Clock + startup
 	m.snapshotAll()
@@ -416,8 +474,8 @@ func (m *Machine) doSTLStart(c *CPU, stlID int64) {
 func (m *Machine) requestGC(c *CPU) {
 	c.gcAttempts++
 	if c.gcAttempts > 1 {
-		m.halted = true
-		m.err = fmt.Errorf("hydra: out of memory (allocation fails after collection)")
+		m.fail(fmt.Errorf("%w: allocation by cpu%d still fails after collection (cycle %d)",
+			ErrOutOfMemory, c.ID, m.Clock))
 		return
 	}
 	if m.TLS.Active() && !m.TLS.IsHead(c.ID) {
@@ -464,8 +522,7 @@ func (m *Machine) dispatchException(c *CPU, kind int64, ref int64) {
 			}
 		}
 		if depth == 0 {
-			m.halted = true
-			m.err = fmt.Errorf("hydra: uncaught exception kind %d in %s at pc %d", kind, meth.Name, pc)
+			m.fail(fmt.Errorf("%w: kind %d in %s at pc %d", ErrUncaughtException, kind, meth.Name, pc))
 			return
 		}
 		depth--
@@ -483,11 +540,17 @@ func (m *Machine) resolveHandler(c *CPU, depth int, methodID int, target int, re
 			(depth == m.stlFrameDepth && methodID == m.curSTL.Method &&
 				target >= m.curSTL.BodyStart && target < m.curSTL.BodyEnd)
 		if !stay {
-			killed := m.TLS.Shutdown(c.ID)
+			killed, err := m.TLS.Shutdown(c.ID)
+			if err != nil {
+				m.fail(err)
+				return
+			}
 			for _, k := range killed {
 				m.CPUs[k].state = stateIdle
 			}
 			m.Master = c.ID
+			m.guardOnExit()
+			m.stormCount = 0
 			m.curSTL = nil
 			m.outerSTL = nil
 		}

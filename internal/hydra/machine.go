@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"jrpm/internal/faultinject"
 	"jrpm/internal/isa"
 	"jrpm/internal/mem"
 	"jrpm/internal/tls"
@@ -56,12 +57,17 @@ type CPU struct {
 
 	pendingExKind   int64
 	pendingExRef    int64
+	pendingFault    *MemFault // deferred speculative out-of-range access
 	pendingIO       int64
 	overflowPending bool
 	gcAttempts      int // consecutive collections for the same allocation
 
 	extra int64 // memory/runtime cycles accumulated by the current instruction
 }
+
+// exKindMemFault is the pendingExKind sentinel for a deferred out-of-range
+// access: real isa exception kinds are non-negative.
+const exKindMemFault = -1
 
 // Options configures a Machine.
 type Options struct {
@@ -71,7 +77,26 @@ type Options struct {
 	Cache    *mem.CacheConfig
 	Profile  bool // attach the TEST tracer and honour annotations
 	Tracer   *tracer.Config
+
+	// Faults enables deterministic fault injection (nil = none). A zero
+	// plan installs the hooks but never fires, leaving cycle counts
+	// identical to a machine with no plan at all.
+	Faults *faultinject.Plan
+
+	// Guard enables the STL violation-storm guard (nil = disabled): a
+	// thrashing STL is decertified after K bad windows and falls back to
+	// sequential (solo) execution, re-probing with exponential backoff.
+	Guard *tls.GuardConfig
+
+	// StormLimit caps violations between two commits before the machine
+	// fails with ErrSpecViolationStorm (0 = default 1<<20). It is the hard
+	// backstop below the cycle budget when the guard is disabled.
+	StormLimit int64
 }
+
+// defaultStormLimit bounds restarts-without-commit; generous enough that
+// no real decomposition approaches it.
+const defaultStormLimit = 1 << 20
 
 // DefaultOptions returns the paper's 4-CPU Hydra with new handlers.
 func DefaultOptions() Options {
@@ -101,6 +126,11 @@ type Machine struct {
 
 	halted bool
 	err    error
+
+	inj        *faultinject.Injector
+	Guard      *tls.Guard
+	stormLimit int64
+	stormCount int64 // violations since the last commit (storm backstop)
 
 	curSTL        *STLDesc
 	outerSTL      *STLDesc
@@ -135,6 +165,17 @@ func NewMachine(img *Image, rt Runtime, opts Options) *Machine {
 		OverflowBySTL: map[int64]int64{},
 	}
 	m.TLS = tls.NewUnit(tlsCfg, m.Mem, m.Caches)
+	if opts.Faults != nil {
+		m.inj = faultinject.New(*opts.Faults)
+	}
+	m.TLS.SetInjector(m.inj)
+	if opts.Guard != nil {
+		m.Guard = tls.NewGuard(*opts.Guard)
+	}
+	m.stormLimit = opts.StormLimit
+	if m.stormLimit <= 0 {
+		m.stormLimit = defaultStormLimit
+	}
 	if opts.Profile {
 		tcfg := tracer.DefaultConfig()
 		if opts.Tracer != nil {
@@ -166,8 +207,24 @@ func (m *Machine) Boot() {
 // Err returns the terminal error, if any (uncaught exception, cycle budget).
 func (m *Machine) Err() error { return m.err }
 
-// Run executes until the program halts or maxCycles elapse.
-func (m *Machine) Run(maxCycles int64) error {
+// Injector returns the attached fault injector (nil when no plan is set).
+func (m *Machine) Injector() *faultinject.Injector { return m.inj }
+
+// Run executes until the program halts or maxCycles elapse. All abnormal
+// terminations surface as typed errors (see errors.go); a panic escaping the
+// simulator core is itself a bug, but the recover backstop converts it to
+// ErrInternal rather than crash the embedding process.
+func (m *Machine) Run(maxCycles int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*mem.Fault); ok {
+				m.fail(fmt.Errorf("%w: unguarded memory access: %v", ErrInternal, f))
+			} else {
+				m.fail(fmt.Errorf("%w: panic: %v", ErrInternal, r))
+			}
+			err = m.err
+		}
+	}()
 	if m.CPUs[0].state == stateIdle && !m.halted {
 		m.Boot()
 	}
@@ -184,14 +241,14 @@ func (m *Machine) Run(maxCycles int64) error {
 			}
 		}
 		if !active {
-			m.err = fmt.Errorf("hydra: no runnable CPU at cycle %d", m.Clock)
+			m.fail(fmt.Errorf("%w at cycle %d", ErrNoRunnableCPU, m.Clock))
 			return m.err
 		}
 		if next > m.Clock {
 			m.Clock = next
 		}
 		if m.Clock > maxCycles {
-			m.err = fmt.Errorf("hydra: cycle budget %d exceeded", maxCycles)
+			m.fail(fmt.Errorf("%w: budget %d, clock %d", ErrCycleBudgetExceeded, maxCycles, m.Clock))
 			return m.err
 		}
 		for _, c := range m.CPUs {
@@ -213,10 +270,7 @@ func (m *Machine) step(c *CPU) {
 		m.exec(c)
 	case stateWaitEOI:
 		if m.TLS.IsHead(c.ID) {
-			m.TLS.CommitEOI(c.ID)
-			c.PC++
-			c.state = stateRunning
-			c.readyAt = m.Clock + m.TLS.Config().Handlers.EOI
+			m.commitEOI(c)
 		} else {
 			m.wait(c)
 		}
@@ -228,8 +282,12 @@ func (m *Machine) step(c *CPU) {
 		}
 	case stateWaitOverflow:
 		if m.TLS.IsHead(c.ID) {
-			m.TLS.DrainOverflow(c.ID)
-			m.noteOverflow()
+			newEpisode, err := m.TLS.DrainOverflow(c.ID)
+			if err != nil {
+				m.fail(err)
+				return
+			}
+			m.noteOverflow(newEpisode)
 			c.overflowPending = false
 			c.state = stateRunning
 			c.readyAt = m.Clock + 1
@@ -238,6 +296,12 @@ func (m *Machine) step(c *CPU) {
 		}
 	case stateWaitException:
 		if m.TLS.IsHead(c.ID) {
+			if c.pendingExKind == exKindMemFault {
+				// The wild access reached architectural execution: it is a
+				// genuine program fault, not a wrong-path artifact.
+				m.fail(c.pendingFault)
+				return
+			}
 			kind, ref := c.pendingExKind, c.pendingExRef
 			c.pendingExKind, c.pendingExRef = 0, 0
 			c.state = stateRunning
@@ -280,11 +344,91 @@ func (m *Machine) step(c *CPU) {
 	}
 }
 
-// noteOverflow attributes an overflow stall to the active STL's loop.
-func (m *Machine) noteOverflow() {
+// commitEOI commits the head's iteration at STL_EOI and routes the CPU to
+// its next iteration. The guard's decertify check runs before the commit:
+// demotion pins the next spawned iteration to iter+1, which CommitEOI then
+// hands to this CPU. In solo (sequential-fallback) mode the CPU re-enters
+// the loop through STL_INIT, which re-derives all register state from the
+// frame home slots and the hardware iteration register, so no speculative
+// sibling context is needed.
+func (m *Machine) commitEOI(c *CPU) {
+	loopID := int64(-1)
 	if m.curSTL != nil {
-		m.OverflowBySTL[m.curSTL.LoopID]++
+		loopID = m.curSTL.LoopID
 	}
+	if m.Guard != nil && loopID >= 0 && !m.TLS.Solo() && m.Guard.Decertified(loopID) {
+		killed, err := m.TLS.DemoteSolo(c.ID)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		for _, k := range killed {
+			m.CPUs[k].state = stateIdle
+			m.CPUs[k].overflowPending = false
+		}
+	}
+	if err := m.TLS.CommitEOI(c.ID); err != nil {
+		m.fail(err)
+		return
+	}
+	m.stormCount = 0
+	// Solo commits are sequential execution, not evidence of speculative
+	// health — feeding them to the guard would re-certify a thrashing loop
+	// the moment it was demoted.
+	if m.Guard != nil && loopID >= 0 && !m.TLS.Solo() {
+		m.Guard.OnCommit(loopID)
+	}
+	if m.TLS.Solo() {
+		c.MethodID = m.curSTL.Method
+		c.PC = m.curSTL.InitPC
+	} else {
+		c.PC++
+	}
+	c.state = stateRunning
+	c.readyAt = m.Clock + m.TLS.Config().Handlers.EOI
+}
+
+// noteOverflow attributes an overflow stall episode to the active STL's
+// loop. Repeated drains within one episode arrive with newEpisode false and
+// are not re-counted.
+func (m *Machine) noteOverflow(newEpisode bool) {
+	if !newEpisode || m.curSTL == nil {
+		return
+	}
+	m.OverflowBySTL[m.curSTL.LoopID]++
+	if m.Guard != nil {
+		m.Guard.OnOverflow(m.curSTL.LoopID)
+	}
+}
+
+// guardOnExit informs the guard that the active STL is shutting down (so a
+// partial probe window is judged).
+func (m *Machine) guardOnExit() {
+	if m.Guard != nil && m.curSTL != nil {
+		m.Guard.OnExit(m.curSTL.LoopID)
+	}
+}
+
+// dataFault routes an out-of-range data access (a *mem.Fault recovered at
+// the instruction boundary). A speculative non-head thread parks it like a
+// deferred exception (§5.1): the wild address may be the product of a
+// wrong-path value an older thread's store will soon squash. An access that
+// reaches architectural execution is a genuine program fault and halts the
+// machine with a typed MemFault.
+func (m *Machine) dataFault(c *CPU, f *mem.Fault) {
+	mf := &MemFault{
+		CPU: c.ID, Cycle: m.Clock, Addr: f.Addr, Write: f.Write,
+		Method: m.Image.Method(c.MethodID).Name, PC: c.PC,
+	}
+	c.extra = 0
+	if m.TLS.Active() && !m.TLS.IsHead(c.ID) {
+		c.pendingFault = mf
+		c.pendingExKind = exKindMemFault
+		c.state = stateWaitException
+		m.wait(c)
+		return
+	}
+	m.fail(mf)
 }
 
 // wait charges one cycle of head-wait time and re-polls next cycle.
@@ -316,10 +460,19 @@ func (m *Machine) loadWord(c *CPU, a mem.Addr, noViolate bool, cls AddrClass) in
 }
 
 // storeWord performs a data store; speculative stores may violate younger
-// threads, which are redirected to the STL restart point.
+// threads, which are redirected to the STL restart point. Out-of-range
+// addresses must be rejected before buffering — a buffered wild store would
+// only fault at drain time, after the commit partially applied.
 func (m *Machine) storeWord(c *CPU, a mem.Addr, v int64, cls AddrClass) {
 	if m.TLS.Active() {
-		lat, violated := m.TLS.Store(c.ID, a, v)
+		if !m.Mem.InRange(a) {
+			panic(&mem.Fault{Addr: a, Size: 1, Write: true})
+		}
+		lat, violated, err := m.TLS.Store(c.ID, a, v)
+		if err != nil {
+			m.fail(err)
+			return
+		}
 		c.extra += lat
 		for _, vc := range violated {
 			m.redirectRestart(m.CPUs[vc])
@@ -376,7 +529,10 @@ func (m *Machine) quiesceForGC(c *CPU) {
 	if !m.TLS.Active() {
 		return
 	}
-	m.TLS.CommitPartial(c.ID)
+	if err := m.TLS.CommitPartial(c.ID); err != nil {
+		m.fail(err)
+		return
+	}
 	for _, vc := range m.TLS.ViolateFrom(m.TLS.Iteration(c.ID) + 1) {
 		m.redirectRestart(m.CPUs[vc])
 	}
@@ -388,7 +544,17 @@ func (m *Machine) quiesceForGC(c *CPU) {
 // discarded attempt and charged the handler to the new attempt).
 func (m *Machine) redirectRestart(c *CPU) {
 	if m.curSTL == nil {
-		panic("hydra: violation with no active STL")
+		m.fail(fmt.Errorf("%w: violation with no active STL", ErrInternal))
+		return
+	}
+	m.stormCount++
+	if m.stormCount > m.stormLimit {
+		m.fail(fmt.Errorf("%w: %d restarts without a commit (loop %d)",
+			ErrSpecViolationStorm, m.stormCount, m.curSTL.LoopID))
+		return
+	}
+	if m.Guard != nil {
+		m.Guard.OnViolation(m.curSTL.LoopID)
 	}
 	if len(c.frames) > c.snap.depth {
 		c.frames = c.frames[:c.snap.depth]
@@ -399,6 +565,7 @@ func (m *Machine) redirectRestart(c *CPU) {
 	c.PC = m.curSTL.InitPC
 	c.state = stateRunning
 	c.pendingExKind, c.pendingExRef = 0, 0
+	c.pendingFault = nil
 	c.overflowPending = false
 	c.gcAttempts = 0
 	c.extra = 0
@@ -414,7 +581,11 @@ func (m *Machine) redirectRestart(c *CPU) {
 // execution (its registers hold the architecturally correct loop-exit
 // state, since it executed the final iteration).
 func (m *Machine) doShutdown(c *CPU) {
-	killed := m.TLS.Shutdown(c.ID)
+	killed, err := m.TLS.Shutdown(c.ID)
+	if err != nil {
+		m.fail(err)
+		return
+	}
 	for _, k := range killed {
 		m.CPUs[k].state = stateIdle
 		m.CPUs[k].overflowPending = false
@@ -425,6 +596,8 @@ func (m *Machine) doShutdown(c *CPU) {
 		// Hoisted STLs leave the slaves spun up for the next entry.
 		shutdown -= HoistShutdownSaving
 	}
+	m.guardOnExit()
+	m.stormCount = 0
 	m.curSTL = nil
 	m.outerSTL = nil
 	c.overflowPending = false
@@ -437,14 +610,26 @@ func (m *Machine) doShutdown(c *CPU) {
 // head commits its partial outer iteration, younger outer threads are
 // discarded, and all CPUs redeploy onto the inner STL.
 func (m *Machine) doSwitchIn(c *CPU) {
-	inner := m.Image.STLs[m.pendingSwitchID(c)]
-	m.TLS.CommitPartial(c.ID)
+	inner, ok := m.Image.STLs[m.pendingSwitchID(c)]
+	if !ok {
+		m.fail(m.badProgram(c, "multilevel switch into unknown STL %d", m.pendingSwitchID(c)))
+		return
+	}
+	if err := m.TLS.CommitPartial(c.ID); err != nil {
+		m.fail(err)
+		return
+	}
 	m.TLS.KillYounger(c.ID)
 	m.outerSTL = m.curSTL
 	m.outerResume = m.TLS.Iteration(c.ID)
 	m.curSTL = inner
-	m.TLS.SwitchSTL(inner.ID, c.ID, 0)
-	m.deploySlaves(c, c.PC+1, SwitchStartupCost)
+	if err := m.TLS.SwitchSTL(inner.ID, c.ID, 0); err != nil {
+		m.fail(err)
+		return
+	}
+	if !m.TLS.Solo() {
+		m.deploySlaves(c, c.PC+1, SwitchStartupCost)
+	}
 	c.PC++
 	c.state = stateRunning
 	c.readyAt = m.Clock + SwitchStartupCost
@@ -456,13 +641,25 @@ func (m *Machine) doSwitchIn(c *CPU) {
 // CPUs restart speculation at the outer STL_INIT with the following
 // iteration indices.
 func (m *Machine) doSwitchOut(c *CPU) {
-	m.TLS.CommitPartial(c.ID)
+	if m.outerSTL == nil {
+		m.fail(m.badProgram(c, "multilevel switch out with no outer STL"))
+		return
+	}
+	if err := m.TLS.CommitPartial(c.ID); err != nil {
+		m.fail(err)
+		return
+	}
 	m.TLS.KillYounger(c.ID)
 	outer := m.outerSTL
 	m.outerSTL = nil
 	m.curSTL = outer
-	m.TLS.SwitchSTL(outer.ID, c.ID, m.outerResume)
-	m.deploySlaves(c, outer.InitPC, SwitchShutdownCost)
+	if err := m.TLS.SwitchSTL(outer.ID, c.ID, m.outerResume); err != nil {
+		m.fail(err)
+		return
+	}
+	if !m.TLS.Solo() {
+		m.deploySlaves(c, outer.InitPC, SwitchShutdownCost)
+	}
 	c.PC++
 	c.state = stateRunning
 	c.readyAt = m.Clock + SwitchShutdownCost
@@ -489,6 +686,7 @@ func (m *Machine) deploySlaves(c *CPU, pc int, cost int64) {
 		sc.state = stateRunning
 		sc.readyAt = m.Clock + cost
 		sc.pendingExKind, sc.pendingExRef = 0, 0
+		sc.pendingFault = nil
 		sc.overflowPending = false
 	}
 }

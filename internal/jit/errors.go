@@ -1,0 +1,9 @@
+package jit
+
+import "errors"
+
+// ErrLowering is the sentinel every lowering failure unwraps to: an internal
+// compiler defect caught by the recover wrapper around method compilation,
+// or an injected JIT failure from a fault plan. Callers fall back to the
+// plain (sequential) image when TLS recompilation fails with it.
+var ErrLowering = errors.New("jit: lowering failed")

@@ -24,6 +24,7 @@ import (
 
 	"jrpm/internal/bytecode"
 	"jrpm/internal/cfg"
+	"jrpm/internal/faultinject"
 	"jrpm/internal/hydra"
 	"jrpm/internal/isa"
 )
@@ -77,6 +78,14 @@ type Report struct {
 
 // Compile lowers a whole program. sel may be nil except in ModeTLS.
 func Compile(p *bytecode.Program, info *cfg.ProgramInfo, mode Mode, sel *Selection) (*hydra.Image, *Report, error) {
+	return CompileWithFaults(p, info, mode, sel, nil)
+}
+
+// CompileWithFaults is Compile with a fault injector attached: the injector
+// may declare a deterministic lowering failure for a method (channel "jit"),
+// which surfaces as an ErrLowering-wrapped error exactly like a genuine
+// compiler defect. A nil injector (or a zero jit rate) never fires.
+func CompileWithFaults(p *bytecode.Program, info *cfg.ProgramInfo, mode Mode, sel *Selection, inj *faultinject.Injector) (*hydra.Image, *Report, error) {
 	if info == nil {
 		info = cfg.AnalyzeProgram(p)
 	}
@@ -89,8 +98,11 @@ func Compile(p *bytecode.Program, info *cfg.ProgramInfo, mode Mode, sel *Selecti
 	rep := &Report{}
 	nextSTL := int64(1)
 	for mi, m := range p.Methods {
+		if inj.JITFailure() {
+			return nil, nil, fmt.Errorf("jit: method %q: %w: injected lowering failure", m.Name, ErrLowering)
+		}
 		lw := newLowerer(p, info.Graphs[mi], m, mode, sel, img, &nextSTL)
-		hm, err := lw.compile()
+		hm, err := safeCompile(lw)
 		if err != nil {
 			return nil, nil, fmt.Errorf("jit: method %q: %w", m.Name, err)
 		}
@@ -106,6 +118,19 @@ func Compile(p *bytecode.Program, info *cfg.ProgramInfo, mode Mode, sel *Selecti
 	rep.STLs = len(img.STLs)
 	rep.Cycles += int64(rep.STLs) * 900
 	return img, rep, nil
+}
+
+// safeCompile runs one method lowering with a recover wrapper: the lowerer's
+// internal invariant panics (symbolic stack underflow, temporary exhaustion,
+// malformed selected loops) become ErrLowering-wrapped errors so a compiler
+// defect degrades to a compilation failure instead of crashing the process.
+func safeCompile(lw *lowerer) (hm *hydra.Method, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			hm, err = nil, fmt.Errorf("%w: %v", ErrLowering, r)
+		}
+	}()
+	return lw.compile()
 }
 
 // placement maps each local slot to a register, or NoReg for memory-resident

@@ -14,10 +14,37 @@
 // cycles, main memory 50 cycles.
 package mem
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Addr is a word address.
 type Addr uint32
+
+// ErrOutOfRange is the sentinel all out-of-range access faults unwrap to.
+var ErrOutOfRange = errors.New("mem: address out of range")
+
+// Fault is the typed error raised by an out-of-range memory access. The
+// machine layer wraps it with cpu/cycle context before surfacing it through
+// Machine.Run.
+type Fault struct {
+	Addr  Addr
+	Size  int
+	Write bool
+}
+
+// Error renders the fault.
+func (f *Fault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("mem: %s at %d beyond memory of %d words", op, f.Addr, f.Size)
+}
+
+// Unwrap makes errors.Is(f, ErrOutOfRange) true.
+func (f *Fault) Unwrap() error { return ErrOutOfRange }
 
 // Geometry and latency constants (paper Figure 2).
 const (
@@ -46,18 +73,24 @@ func NewMemory(size int) *Memory {
 // Size returns the memory size in words.
 func (m *Memory) Size() int { return len(m.words) }
 
-// Read returns the word at a.
+// InRange reports whether a is a valid word address. Callers on paths that
+// must stay panic-free (the simulator core) check before accessing.
+func (m *Memory) InRange(a Addr) bool { return int(a) < len(m.words) }
+
+// Read returns the word at a. An out-of-range address panics with a typed
+// *Fault; the machine layer bounds-checks first and treats any residual
+// fault as a simulator bug surfaced through its recover backstop.
 func (m *Memory) Read(a Addr) int64 {
 	if int(a) >= len(m.words) {
-		panic(fmt.Sprintf("mem: read beyond memory at %d", a))
+		panic(&Fault{Addr: a, Size: len(m.words)})
 	}
 	return m.words[a]
 }
 
-// Write stores v at a.
+// Write stores v at a. Out-of-range panics with a typed *Fault, as Read.
 func (m *Memory) Write(a Addr, v int64) {
 	if int(a) >= len(m.words) {
-		panic(fmt.Sprintf("mem: write beyond memory at %d", a))
+		panic(&Fault{Addr: a, Size: len(m.words), Write: true})
 	}
 	m.words[a] = v
 }

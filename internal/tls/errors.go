@@ -1,0 +1,32 @@
+package tls
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed error sentinels for the speculation protocol. They replace the
+// panics the unit used to throw on invariant breaches, so a protocol bug in
+// a caller (or an injected fault that drives the unit into a corner)
+// surfaces as an error through Machine.Run instead of crashing the process.
+var (
+	// ErrProtocol is the sentinel every protocol-invariant breach unwraps
+	// to: committing or draining from a non-head thread, nested STL starts,
+	// switching while inactive.
+	ErrProtocol = errors.New("tls: speculation protocol violation")
+
+	// ErrStoreBufferOverflow reports a speculative store buffer that grew
+	// past the unrecoverable hard cap — the overflow-stall machinery failed
+	// to park the thread, so its state can no longer be buffered.
+	ErrStoreBufferOverflow = errors.New("tls: store buffer overflow beyond drain capacity")
+
+	// ErrSpecViolationStorm reports a violation storm: restarts without a
+	// single intervening commit exceeded the configured limit, so the STL is
+	// thrashing instead of progressing.
+	ErrSpecViolationStorm = errors.New("tls: speculative violation storm")
+)
+
+// protocolErr wraps a formatted message so errors.Is(err, ErrProtocol) holds.
+func protocolErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, args...))
+}

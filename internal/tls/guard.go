@@ -1,0 +1,266 @@
+package tls
+
+import "sort"
+
+// GuardConfig parameterizes the STL violation-storm guard: the runtime
+// safety net that operationalizes the paper's "reject decompositions that
+// hurt" (§4.3, §6.2) under adversity. The guard watches per-loop
+// violation/commit ratios and overflow-stall episodes over fixed-size event
+// windows; a loop that produces Decertify consecutive bad windows is
+// decertified and falls back to sequential execution (solo mode), then is
+// re-probed speculatively after an exponentially growing number of
+// sequential entries.
+type GuardConfig struct {
+	// Window is the number of commit+violation events per evaluation
+	// window.
+	Window int64
+	// BadViolationRatio marks a window bad when
+	// violations/(commits+violations) >= this ratio.
+	BadViolationRatio float64
+	// BadOverflowRatio marks a window bad when overflow episodes per
+	// window event >= this ratio.
+	BadOverflowRatio float64
+	// Decertify is K: consecutive bad windows before the loop is
+	// decertified.
+	Decertify int
+	// Backoff is the number of sequential loop entries before the first
+	// re-probe; it doubles after every failed probe up to MaxBackoff.
+	Backoff    int64
+	MaxBackoff int64
+}
+
+// DefaultGuardConfig returns thresholds that tolerate the occasional
+// violation burst a healthy STL produces but catch thrashing within a few
+// windows.
+func DefaultGuardConfig() GuardConfig {
+	return GuardConfig{
+		Window:            32,
+		BadViolationRatio: 0.5,
+		BadOverflowRatio:  0.5,
+		Decertify:         3,
+		Backoff:           4,
+		MaxBackoff:        256,
+	}
+}
+
+// GuardLoopStats is the per-loop guard state exposed for reporting.
+type GuardLoopStats struct {
+	Commits     int64 // lifetime committed iterations
+	Violations  int64 // lifetime violations
+	Overflows   int64 // lifetime overflow episodes
+	Decertified bool  // currently running sequentially
+	Decerts     int64 // times the loop was decertified
+	Probes      int64 // speculative re-probe entries granted
+	Recerts     int64 // probes that re-certified the loop
+}
+
+// loopGuard tracks one loop.
+type loopGuard struct {
+	GuardLoopStats
+
+	// Current window counters.
+	wCommits, wViolations, wOverflows int64
+
+	badStreak int
+	backoff   int64 // sequential entries before the next probe
+	wait      int64 // countdown of sequential entries remaining
+	probing   bool  // the current speculative entry is a probe
+}
+
+// Guard is the machine-wide STL guard. It is driven by the machine at STL
+// entry (Allow), at commit/violation/overflow events, and at loop exit.
+type Guard struct {
+	cfg   GuardConfig
+	loops map[int64]*loopGuard
+}
+
+// NewGuard builds a guard; zero-valued config fields fall back to defaults.
+func NewGuard(cfg GuardConfig) *Guard {
+	def := DefaultGuardConfig()
+	if cfg.Window <= 0 {
+		cfg.Window = def.Window
+	}
+	if cfg.BadViolationRatio <= 0 {
+		cfg.BadViolationRatio = def.BadViolationRatio
+	}
+	if cfg.BadOverflowRatio <= 0 {
+		cfg.BadOverflowRatio = def.BadOverflowRatio
+	}
+	if cfg.Decertify <= 0 {
+		cfg.Decertify = def.Decertify
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = def.Backoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = def.MaxBackoff
+	}
+	return &Guard{cfg: cfg, loops: map[int64]*loopGuard{}}
+}
+
+// Config returns the effective configuration.
+func (g *Guard) Config() GuardConfig { return g.cfg }
+
+func (g *Guard) loop(id int64) *loopGuard {
+	lg := g.loops[id]
+	if lg == nil {
+		lg = &loopGuard{backoff: g.cfg.Backoff}
+		g.loops[id] = lg
+	}
+	return lg
+}
+
+// Allow is called at each STL entry and decides whether the loop may run
+// speculatively. A decertified loop runs sequentially until its backoff
+// expires, then gets one speculative probe entry.
+func (g *Guard) Allow(loopID int64) bool {
+	lg := g.loop(loopID)
+	if !lg.Decertified {
+		return true
+	}
+	if lg.probing {
+		return true // mid-probe (nested entries of a hoisted STL)
+	}
+	if lg.wait > 0 {
+		lg.wait--
+		return false
+	}
+	lg.probing = true
+	lg.Probes++
+	lg.wCommits, lg.wViolations, lg.wOverflows = 0, 0, 0
+	return true
+}
+
+// Decertified reports whether the loop is currently running sequentially.
+func (g *Guard) Decertified(loopID int64) bool {
+	if g == nil {
+		return false
+	}
+	if lg := g.loops[loopID]; lg != nil {
+		return lg.Decertified && !lg.probing
+	}
+	return false
+}
+
+// OnCommit records a committed iteration of the loop.
+func (g *Guard) OnCommit(loopID int64) {
+	lg := g.loop(loopID)
+	lg.Commits++
+	lg.wCommits++
+	g.evalWindow(lg)
+}
+
+// OnViolation records one violated thread attempt of the loop.
+func (g *Guard) OnViolation(loopID int64) {
+	lg := g.loop(loopID)
+	lg.Violations++
+	lg.wViolations++
+	g.evalWindow(lg)
+}
+
+// OnOverflow records one overflow-stall episode of the loop.
+func (g *Guard) OnOverflow(loopID int64) {
+	lg := g.loop(loopID)
+	lg.Overflows++
+	lg.wOverflows++
+}
+
+// OnExit is called when the loop's STL shuts down. A probe entry that ends
+// before filling a window is judged on its partial counts (an empty window
+// counts as good: the probe saw no trouble).
+func (g *Guard) OnExit(loopID int64) {
+	lg := g.loops[loopID]
+	if lg == nil || !lg.probing {
+		return
+	}
+	g.judge(lg, g.windowBad(lg))
+	lg.probing = false
+}
+
+// windowBad applies the ratio thresholds to the current window counters.
+func (g *Guard) windowBad(lg *loopGuard) bool {
+	events := lg.wCommits + lg.wViolations
+	if events == 0 {
+		return false
+	}
+	if float64(lg.wViolations) >= g.cfg.BadViolationRatio*float64(events) {
+		return true
+	}
+	return float64(lg.wOverflows) >= g.cfg.BadOverflowRatio*float64(events)
+}
+
+// evalWindow closes and judges the window once enough events accumulated.
+func (g *Guard) evalWindow(lg *loopGuard) {
+	if lg.wCommits+lg.wViolations < g.cfg.Window {
+		return
+	}
+	bad := g.windowBad(lg)
+	lg.wCommits, lg.wViolations, lg.wOverflows = 0, 0, 0
+	g.judge(lg, bad)
+	if lg.probing && !lg.Decertified {
+		lg.probing = false // probe succeeded mid-run; no longer probationary
+	}
+}
+
+// judge updates decertification state from one window verdict.
+func (g *Guard) judge(lg *loopGuard, bad bool) {
+	if bad {
+		if lg.probing || lg.Decertified {
+			// Failed probe: stay decertified, back off harder.
+			lg.backoff *= 2
+			if lg.backoff > g.cfg.MaxBackoff {
+				lg.backoff = g.cfg.MaxBackoff
+			}
+			lg.wait = lg.backoff
+			lg.probing = false
+			lg.badStreak = g.cfg.Decertify
+			return
+		}
+		lg.badStreak++
+		if lg.badStreak >= g.cfg.Decertify {
+			lg.Decertified = true
+			lg.Decerts++
+			lg.backoff = g.cfg.Backoff
+			lg.wait = lg.backoff
+		}
+		return
+	}
+	lg.badStreak = 0
+	if lg.Decertified && lg.probing {
+		// Good window during a probe: the loop behaves again. Only a probe
+		// can re-certify — good windows from any other source (e.g. stray
+		// events racing the demotion to solo) are not evidence.
+		lg.Decertified = false
+		lg.Recerts++
+		lg.backoff = g.cfg.Backoff
+	}
+}
+
+// Stats returns a copy of the per-loop guard state keyed by cfg global
+// loop id.
+func (g *Guard) Stats() map[int64]GuardLoopStats {
+	out := map[int64]GuardLoopStats{}
+	if g == nil {
+		return out
+	}
+	for id, lg := range g.loops {
+		out[id] = lg.GuardLoopStats
+	}
+	return out
+}
+
+// DecertifiedLoops returns the currently decertified loop ids in ascending
+// order (for deterministic reporting).
+func (g *Guard) DecertifiedLoops() []int64 {
+	var ids []int64
+	if g == nil {
+		return ids
+	}
+	for id, lg := range g.loops {
+		if lg.Decertified {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,151 @@
+package tls
+
+import "testing"
+
+// feedWindow drives one full evaluation window with the given commit and
+// violation counts (interleaved commits-first is fine: the window closes on
+// the event that reaches the Window total).
+func feedWindow(g *Guard, loop int64, commits, violations int) {
+	for i := 0; i < commits; i++ {
+		g.OnCommit(loop)
+	}
+	for i := 0; i < violations; i++ {
+		g.OnViolation(loop)
+	}
+}
+
+func TestGuardDecertifiesThrashingLoopWithinKWindows(t *testing.T) {
+	cases := []struct {
+		name       string
+		cfg        GuardConfig
+		commits    int // per window
+		violations int // per window
+		wantDecert bool
+	}{
+		{"all violations", GuardConfig{Window: 8, Decertify: 3}, 0, 8, true},
+		{"half violations hits ratio", GuardConfig{Window: 8, Decertify: 3}, 4, 4, true},
+		{"mostly commits stays certified", GuardConfig{Window: 8, Decertify: 3}, 7, 1, false},
+		{"single bad window is tolerated", GuardConfig{Window: 8, Decertify: 2}, 0, 8, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGuard(tc.cfg)
+			const loop = 42
+			windows := g.Config().Decertify
+			if tc.name == "single bad window is tolerated" {
+				windows = 1
+			}
+			for w := 0; w < windows; w++ {
+				feedWindow(g, loop, tc.commits, tc.violations)
+			}
+			if got := g.Decertified(loop); got != tc.wantDecert {
+				t.Fatalf("after %d windows of %d commits/%d violations: decertified = %v, want %v",
+					windows, tc.commits, tc.violations, got, tc.wantDecert)
+			}
+		})
+	}
+}
+
+func TestGuardBadStreakResetsOnGoodWindow(t *testing.T) {
+	g := NewGuard(GuardConfig{Window: 4, Decertify: 2})
+	const loop = 7
+	feedWindow(g, loop, 0, 4) // bad
+	feedWindow(g, loop, 4, 0) // good: streak resets
+	feedWindow(g, loop, 0, 4) // bad again — streak is 1, not 2
+	if g.Decertified(loop) {
+		t.Fatal("non-consecutive bad windows must not decertify")
+	}
+	feedWindow(g, loop, 0, 4)
+	if !g.Decertified(loop) {
+		t.Fatal("two consecutive bad windows at K=2 must decertify")
+	}
+}
+
+func TestGuardReprobesAfterBackoffAndRecertifies(t *testing.T) {
+	g := NewGuard(GuardConfig{Window: 4, Decertify: 1, Backoff: 3, MaxBackoff: 64})
+	const loop = 9
+	feedWindow(g, loop, 0, 4)
+	if !g.Decertified(loop) {
+		t.Fatal("setup: loop should be decertified")
+	}
+	// The next Backoff entries must run sequentially.
+	for i := 0; i < 3; i++ {
+		if g.Allow(loop) {
+			t.Fatalf("entry %d during backoff should be sequential", i)
+		}
+	}
+	// Then one probe entry is granted.
+	if !g.Allow(loop) {
+		t.Fatal("probe entry should be granted after backoff expires")
+	}
+	// The probe behaves: a clean window recertifies the loop.
+	feedWindow(g, loop, 4, 0)
+	if g.Decertified(loop) {
+		t.Fatal("good probe window must recertify the loop")
+	}
+	st := g.Stats()[loop]
+	if st.Probes != 1 || st.Recerts != 1 || st.Decerts != 1 {
+		t.Fatalf("stats = %+v, want 1 probe, 1 recert, 1 decert", st)
+	}
+}
+
+func TestGuardFailedProbeDoublesBackoff(t *testing.T) {
+	g := NewGuard(GuardConfig{Window: 4, Decertify: 1, Backoff: 2, MaxBackoff: 8})
+	const loop = 11
+	feedWindow(g, loop, 0, 4) // decertify; backoff 2
+	wantSequential := []int64{2, 4, 8, 8}
+	for round, want := range wantSequential {
+		// Drain the sequential entries.
+		seq := int64(0)
+		for !g.Allow(loop) {
+			seq++
+			if seq > 1000 {
+				t.Fatal("backoff never expired")
+			}
+		}
+		if seq != want {
+			t.Fatalf("round %d: %d sequential entries before probe, want %d (exponential, capped)", round, seq, want)
+		}
+		feedWindow(g, loop, 0, 4) // probe fails again
+	}
+}
+
+func TestGuardShortProbeJudgedAtExit(t *testing.T) {
+	g := NewGuard(GuardConfig{Window: 16, Decertify: 1, Backoff: 1})
+	const loop = 13
+	feedWindow(g, loop, 0, 16)
+	g.Allow(loop) // sequential
+	if !g.Allow(loop) {
+		t.Fatal("probe should be granted")
+	}
+	// Probe runs only 3 iterations, all commits, then the loop exits before
+	// the window fills: OnExit judges the partial window as good.
+	feedWindow(g, loop, 3, 0)
+	g.OnExit(loop)
+	if g.Decertified(loop) {
+		t.Fatal("clean partial probe window must recertify at exit")
+	}
+}
+
+func TestGuardOverflowRatioMarksWindowBad(t *testing.T) {
+	g := NewGuard(GuardConfig{Window: 4, BadOverflowRatio: 0.5, Decertify: 1})
+	const loop = 17
+	// All commits, but every iteration stalls on buffer overflow.
+	for i := 0; i < 4; i++ {
+		g.OnOverflow(loop)
+		g.OnCommit(loop)
+	}
+	if !g.Decertified(loop) {
+		t.Fatal("overflow-saturated window must count as bad")
+	}
+}
+
+func TestGuardIsNilSafeForReaders(t *testing.T) {
+	var g *Guard
+	if g.Decertified(1) {
+		t.Error("nil guard must report certified")
+	}
+	if len(g.Stats()) != 0 || len(g.DecertifiedLoops()) != 0 {
+		t.Error("nil guard must report empty stats")
+	}
+}

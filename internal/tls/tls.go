@@ -28,6 +28,7 @@ package tls
 import (
 	"fmt"
 
+	"jrpm/internal/faultinject"
 	"jrpm/internal/mem"
 )
 
@@ -130,6 +131,11 @@ type thread struct {
 	readWords map[mem.Addr]struct{} // exposed speculative reads (word grain)
 	readLines map[mem.Addr]struct{} // distinct lines read (load buffer usage)
 
+	// overflowed marks that the current attempt has already begun an
+	// overflow-stall episode; repeated drains while the thread stays head
+	// within one attempt belong to the same episode.
+	overflowed bool
+
 	// Tentative cycle accounting for the current attempt (flushed to
 	// StateStats on commit or violation).
 	run, wait, overhead int64
@@ -139,6 +145,7 @@ func (t *thread) resetSpecState() {
 	t.buf.reset()
 	clear(t.readWords)
 	clear(t.readLines)
+	t.overflowed = false
 }
 
 // Unit is the machine-wide TLS controller.
@@ -146,8 +153,10 @@ type Unit struct {
 	cfg    Config
 	memory *mem.Memory
 	caches *mem.CacheSim
+	inj    *faultinject.Injector
 
 	active     bool
+	solo       bool // sequential-fallback mode: only the head thread runs
 	stlID      int64
 	threads    []*thread
 	nextCommit int64 // iteration index of the current head
@@ -186,8 +195,15 @@ func NewUnit(cfg Config, memory *mem.Memory, caches *mem.CacheSim) *Unit {
 // Config returns the unit's configuration.
 func (u *Unit) Config() Config { return u.cfg }
 
+// SetInjector attaches a fault injector (nil disables injection).
+func (u *Unit) SetInjector(inj *faultinject.Injector) { u.inj = inj }
+
 // Active reports whether an STL is executing speculatively.
 func (u *Unit) Active() bool { return u.active }
+
+// Solo reports whether the unit runs in sequential-fallback mode: only the
+// head thread executes and iterations advance one at a time.
+func (u *Unit) Solo() bool { return u.active && u.solo }
 
 // STL returns the id of the active STL (meaningful only when Active).
 func (u *Unit) STL() int64 { return u.stlID }
@@ -195,27 +211,61 @@ func (u *Unit) STL() int64 { return u.stlID }
 // Start activates speculation for an STL with CPU 0 as the master/head:
 // iteration i is assigned to CPU i. The STL_STARTUP handler cost is charged
 // to the Overhead bucket.
-func (u *Unit) Start(stlID int64) { u.StartAt(stlID, 0, 0) }
+func (u *Unit) Start(stlID int64) error { return u.StartAt(stlID, 0, 0) }
 
 // StartAt activates speculation with headCPU executing iteration baseIter
 // and the remaining CPUs taking baseIter+1, baseIter+2, … in CPU-id order
 // (wrapping past headCPU). Used both for ordinary STL entry (head = master,
 // base 0) and to resume an outer STL after a multilevel switch.
-func (u *Unit) StartAt(stlID int64, headCPU int, baseIter int64) {
+func (u *Unit) StartAt(stlID int64, headCPU int, baseIter int64) error {
 	if u.active {
-		panic("tls: nested STL start (only one STL may be active)")
+		return protocolErr("nested STL start (only one STL may be active)")
 	}
 	u.active = true
+	u.solo = false
 	u.Stats.Overhead += u.cfg.Handlers.Startup
 	u.assign(stlID, headCPU, baseIter)
+	return nil
 }
 
-// assign distributes iterations round-robin starting at the head CPU.
+// StartSolo activates the unit in sequential-fallback mode for a
+// decertified STL: only headCPU runs; it is permanently the head and
+// iterations advance one at a time, so the TLS-compiled code executes with
+// sequential semantics (the machine redirects each committed iteration back
+// through STL_INIT, which re-derives all register state from the hardware
+// iteration register and the frame home slots).
+func (u *Unit) StartSolo(stlID int64, headCPU int) error {
+	if u.active {
+		return protocolErr("nested STL start (only one STL may be active)")
+	}
+	u.active = true
+	u.solo = true
+	u.Stats.Overhead += u.cfg.Handlers.Startup
+	u.assign(stlID, headCPU, 0)
+	return nil
+}
+
+// assign distributes iterations round-robin starting at the head CPU. In
+// solo mode only the head thread is populated and iterations hand out one
+// at a time.
 func (u *Unit) assign(stlID int64, headCPU int, baseIter int64) {
 	u.stlID = stlID
 	u.nextCommit = baseIter
-	u.nextSpawn = baseIter + int64(u.cfg.NCPU)
 	n := u.cfg.NCPU
+	if u.solo {
+		u.nextSpawn = baseIter + 1
+		for c, t := range u.threads {
+			if c == headCPU {
+				t.iter = baseIter
+			} else {
+				t.iter = -1
+			}
+			t.resetSpecState()
+			t.run, t.wait, t.overhead = 0, 0, 0
+		}
+		return
+	}
+	u.nextSpawn = baseIter + int64(n)
 	for off := 0; off < n; off++ {
 		t := u.threads[(headCPU+off)%n]
 		t.iter = baseIter + int64(off)
@@ -227,25 +277,46 @@ func (u *Unit) assign(stlID int64, headCPU int, baseIter int64) {
 // SwitchSTL reassigns the active unit to a different STL without paying the
 // full startup/shutdown handlers — the multilevel decomposition switch of
 // §4.2.6. The head CPU must have committed its partial buffer and killed
-// the younger threads first (CommitPartial + KillYounger).
-func (u *Unit) SwitchSTL(stlID int64, headCPU int, baseIter int64) {
+// the younger threads first (CommitPartial + KillYounger). Solo mode is
+// preserved across the switch.
+func (u *Unit) SwitchSTL(stlID int64, headCPU int, baseIter int64) error {
 	if !u.active {
-		panic("tls: SwitchSTL while inactive")
+		return protocolErr("SwitchSTL while inactive")
 	}
 	u.assign(stlID, headCPU, baseIter)
+	return nil
+}
+
+// DemoteSolo converts a running STL to sequential-fallback mode: the head
+// keeps its current iteration, every younger thread is killed (work
+// discarded to the violated buckets), and iterations hand out one at a
+// time from the head's. Returns the killed CPUs so the caller can idle
+// them.
+func (u *Unit) DemoteSolo(cpu int) ([]int, error) {
+	if !u.active {
+		return nil, protocolErr("DemoteSolo while inactive")
+	}
+	if !u.IsHead(cpu) {
+		return nil, protocolErr("DemoteSolo by non-head cpu %d", cpu)
+	}
+	killed := u.KillYounger(cpu)
+	u.solo = true
+	u.nextSpawn = u.threads[cpu].iter + 1
+	return killed, nil
 }
 
 // CommitPartial drains the head's store buffer mid-iteration (its state is
 // non-speculative) without advancing the head token. Used by the multilevel
 // switch and by overflow drains at loop granularity.
-func (u *Unit) CommitPartial(cpu int) {
+func (u *Unit) CommitPartial(cpu int) error {
 	t := u.threads[cpu]
 	if !u.IsHead(cpu) {
-		panic("tls: CommitPartial by non-head thread")
+		return protocolErr("CommitPartial by non-head cpu %d", cpu)
 	}
 	u.drainBuffer(cpu, t)
 	clear(t.readWords)
 	clear(t.readLines)
+	return nil
 }
 
 // KillYounger discards every thread younger than cpu's (their work flushes
@@ -336,15 +407,33 @@ func (u *Unit) Load(cpu int, a mem.Addr, noViolate bool) (int64, int64) {
 	return u.memory.Read(a), u.caches.Load(cpu, a)
 }
 
+// hardCapLines returns the runaway limit on buffered store lines: far above
+// the stall threshold, so it only trips when the overflow-park machinery
+// failed to stop the thread — an unrecoverable state surfaced as a typed
+// error rather than unbounded growth.
+func (u *Unit) hardCapLines() int {
+	cap := u.cfg.StoreBufferLines * 16
+	if cap < 1024 {
+		cap = 1024
+	}
+	return cap
+}
+
 // Store performs a speculative store by cpu and returns the charged latency
 // plus the list of CPUs whose threads were violated by the write-bus
 // broadcast (each must restart; the caller redirects their PCs and charges
-// the restart handler).
-func (u *Unit) Store(cpu int, a mem.Addr, v int64) (int64, []int) {
+// the restart handler). Fault injection may delay write-bus arbitration
+// (extra latency). A buffer grown past the runaway hard cap returns
+// ErrStoreBufferOverflow.
+func (u *Unit) Store(cpu int, a mem.Addr, v int64) (int64, []int, error) {
 	t := u.threads[cpu]
 	t.buf.put(a, v)
+	if len(t.buf.lines) > u.hardCapLines() {
+		return 0, nil, fmt.Errorf("%w: cpu %d buffered %d lines (hard cap %d)",
+			ErrStoreBufferOverflow, cpu, len(t.buf.lines), u.hardCapLines())
+	}
 	violated := u.broadcast(cpu, a)
-	return mem.LatL1, violated
+	return mem.LatL1 + u.inj.BusDelayCycles(), violated, nil
 }
 
 // broadcast finds the oldest younger thread with an exposed read of a and
@@ -385,29 +474,49 @@ func (u *Unit) ViolateFrom(fromIter int64) []int {
 	return cpus
 }
 
-// StoreOverflow reports whether cpu's store buffer exceeds capacity.
+// StoreOverflow reports whether cpu's store buffer exceeds capacity. Fault
+// injection can assert capacity pressure early.
 func (u *Unit) StoreOverflow(cpu int) bool {
-	return len(u.threads[cpu].buf.lines) > u.cfg.StoreBufferLines
+	if len(u.threads[cpu].buf.lines) > u.cfg.StoreBufferLines {
+		return true
+	}
+	return u.inj.OverflowPressure()
 }
 
 // LoadOverflow reports whether cpu's speculatively-read line set exceeds the
-// load buffer (L1 speculative tag) capacity.
+// load buffer (L1 speculative tag) capacity. Fault injection can assert
+// capacity pressure early.
 func (u *Unit) LoadOverflow(cpu int) bool {
-	return len(u.threads[cpu].readLines) > u.cfg.LoadBufferLines
+	if len(u.threads[cpu].readLines) > u.cfg.LoadBufferLines {
+		return true
+	}
+	return u.inj.OverflowPressure()
 }
 
 // DrainOverflow is called when an overflowed thread has become the head: its
 // state is non-speculative, so the store buffer drains to memory and the
 // read tracking clears. The thread then continues in place.
-func (u *Unit) DrainOverflow(cpu int) {
+//
+// It returns whether this drain opened a new overflow episode. A thread
+// that keeps overflowing while it stays head drains repeatedly within one
+// attempt; those drains continue the same stall episode and must not
+// inflate the Overflows counter (one episode = one contiguous stretch of
+// overflow pressure within one attempt — the quantity the §6.2 adaptive
+// feedback thresholds on).
+func (u *Unit) DrainOverflow(cpu int) (bool, error) {
 	t := u.threads[cpu]
 	if t.iter != u.nextCommit {
-		panic("tls: DrainOverflow on non-head thread")
+		return false, protocolErr("DrainOverflow on non-head cpu %d", cpu)
 	}
-	u.Overflows++
+	newEpisode := !t.overflowed
+	t.overflowed = true
+	if newEpisode {
+		u.Overflows++
+	}
 	u.drainBuffer(cpu, t)
 	clear(t.readWords)
 	clear(t.readLines)
+	return newEpisode, nil
 }
 
 func (u *Unit) drainBuffer(cpu int, t *thread) {
@@ -420,24 +529,27 @@ func (u *Unit) drainBuffer(cpu int, t *thread) {
 
 // CommitEOI commits the head thread at the end of its iteration: the buffer
 // drains in order, speculative tags clear, the head token advances, and the
-// CPU is handed the next round-robin iteration. The EOI handler cost is
-// charged to the (new) attempt. Panics if cpu is not the head — the caller
-// must spin in a wait state until IsHead.
-func (u *Unit) CommitEOI(cpu int) {
+// CPU is handed the next round-robin iteration (the next sequential
+// iteration in solo mode). The EOI handler cost is charged to the (new)
+// attempt. Errors if cpu is not the head — the caller must spin in a wait
+// state until IsHead.
+func (u *Unit) CommitEOI(cpu int) error {
 	t := u.threads[cpu]
 	if !u.IsHead(cpu) {
-		panic(fmt.Sprintf("tls: CommitEOI by non-head cpu %d (iter %d, head %d)", cpu, t.iter, u.nextCommit))
+		return protocolErr("CommitEOI by non-head cpu %d (iter %d, head %d)", cpu, t.iter, u.nextCommit)
 	}
 	u.noteBufferUsage(t)
 	u.flushAttempt(t, true)
 	u.drainBuffer(cpu, t)
 	clear(t.readWords)
 	clear(t.readLines)
+	t.overflowed = false
 	u.Commits++
 	u.nextCommit++
 	t.iter = u.nextSpawn
 	u.nextSpawn++
 	t.overhead += u.cfg.Handlers.EOI
+	return nil
 }
 
 func (u *Unit) noteBufferUsage(t *thread) {
@@ -469,10 +581,10 @@ func (u *Unit) AvgBufferLines() (store, load float64) {
 // commits its buffer; every younger thread is killed and its work discarded
 // into the violated buckets. Speculation deactivates. Returns the CPUs that
 // were killed so the caller can idle them.
-func (u *Unit) Shutdown(cpu int) []int {
+func (u *Unit) Shutdown(cpu int) ([]int, error) {
 	t := u.threads[cpu]
 	if !u.IsHead(cpu) {
-		panic("tls: Shutdown by non-head thread")
+		return nil, protocolErr("Shutdown by non-head cpu %d", cpu)
 	}
 	u.noteBufferUsage(t)
 	u.flushAttempt(t, true)
@@ -492,7 +604,8 @@ func (u *Unit) Shutdown(cpu int) []int {
 		}
 	}
 	u.active = false
-	return killed
+	u.solo = false
+	return killed, nil
 }
 
 // ChargeSerial adds cycles to the Serial bucket directly (used by the

@@ -1,6 +1,7 @@
 package tls
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -38,15 +39,14 @@ func TestStartAssignsRoundRobin(t *testing.T) {
 	}
 }
 
-func TestNestedStartPanics(t *testing.T) {
+func TestNestedStartErrors(t *testing.T) {
 	u, _ := newTestUnit(2)
-	u.Start(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("nested Start should panic (one STL at a time)")
-		}
-	}()
-	u.Start(2)
+	if err := u.Start(1); err != nil {
+		t.Fatalf("first Start: %v", err)
+	}
+	if err := u.Start(2); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("nested Start = %v, want ErrProtocol (one STL at a time)", err)
+	}
 }
 
 func TestForwardingFromOlderThread(t *testing.T) {
@@ -96,7 +96,7 @@ func TestRAWViolationOnExposedRead(t *testing.T) {
 	u.Load(2, 300, false)
 	u.Load(3, 300, false)
 	// Iter 1 now stores: iterations 2 and 3 must be violated.
-	_, violated := u.Store(1, 300, 9)
+	_, violated, _ := u.Store(1, 300, 9)
 	if len(violated) != 2 {
 		t.Fatalf("violated CPUs = %v, want cpus of iters 2,3", violated)
 	}
@@ -115,7 +115,7 @@ func TestOwnWriteThenReadIsNotExposed(t *testing.T) {
 	u.Start(1)
 	u.Store(2, 400, 1) // iter 2 writes first
 	u.Load(2, 400, false)
-	_, violated := u.Store(1, 400, 7)
+	_, violated, _ := u.Store(1, 400, 7)
 	if len(violated) != 0 {
 		t.Errorf("read-after-own-write should not be violable, got %v", violated)
 	}
@@ -128,7 +128,7 @@ func TestLwnvNeverViolates(t *testing.T) {
 	if v != 0 {
 		t.Errorf("lwnv = %d, want 0", v)
 	}
-	_, violated := u.Store(0, 500, 1)
+	_, violated, _ := u.Store(0, 500, 1)
 	if len(violated) != 0 {
 		t.Errorf("lwnv read caused violation: %v", violated)
 	}
@@ -158,15 +158,12 @@ func TestCommitAdvancesHeadAndWritesMemory(t *testing.T) {
 	}
 }
 
-func TestCommitByNonHeadPanics(t *testing.T) {
+func TestCommitByNonHeadErrors(t *testing.T) {
 	u, _ := newTestUnit(4)
 	u.Start(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("non-head commit should panic")
-		}
-	}()
-	u.CommitEOI(2)
+	if err := u.CommitEOI(2); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("non-head commit = %v, want ErrProtocol", err)
+	}
 }
 
 func TestWAWOrderingAcrossCommits(t *testing.T) {
@@ -223,12 +220,9 @@ func TestStoreOverflowDetection(t *testing.T) {
 func TestDrainOverflowRequiresHead(t *testing.T) {
 	u, _ := newTestUnit(2)
 	u.Start(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("DrainOverflow on non-head must panic")
-		}
-	}()
-	u.DrainOverflow(1)
+	if _, err := u.DrainOverflow(1); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("DrainOverflow on non-head = %v, want ErrProtocol", err)
+	}
 }
 
 func TestDrainOverflowFlushesState(t *testing.T) {
@@ -248,12 +242,133 @@ func TestDrainOverflowFlushesState(t *testing.T) {
 	}
 }
 
+// Regression: a head thread that keeps overflowing within one attempt
+// drains repeatedly, but that is ONE stall episode — the Overflows counter
+// (the §6.2 adaptive-feedback signal) must not count each drain.
+func TestDrainOverflowCountsEpisodesNotDrains(t *testing.T) {
+	u, _ := newTestUnit(2)
+	u.Start(1)
+	u.Store(0, 900, 1)
+	for i := 0; i < 5; i++ {
+		newEpisode, err := u.DrainOverflow(0)
+		if err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		if (i == 0) != newEpisode {
+			t.Fatalf("drain %d: newEpisode = %v", i, newEpisode)
+		}
+	}
+	if u.Overflows != 1 {
+		t.Fatalf("Overflows = %d after 5 drains in one attempt, want 1 episode", u.Overflows)
+	}
+	// Committing ends the attempt; the next overflow is a fresh episode.
+	if err := u.CommitEOI(0); err != nil {
+		t.Fatalf("CommitEOI: %v", err)
+	}
+	if err := u.CommitEOI(1); err != nil {
+		t.Fatalf("CommitEOI cpu1: %v", err)
+	}
+	// cpu0 is head again (iteration 2 of 2 CPUs).
+	if _, err := u.DrainOverflow(0); err != nil {
+		t.Fatalf("drain in new attempt: %v", err)
+	}
+	if u.Overflows != 2 {
+		t.Fatalf("Overflows = %d, want 2 (second attempt opened a new episode)", u.Overflows)
+	}
+}
+
+func TestStartSoloRunsSequentially(t *testing.T) {
+	u, m := newTestUnit(4)
+	if err := u.StartSolo(5, 2); err != nil {
+		t.Fatalf("StartSolo: %v", err)
+	}
+	if !u.Solo() || !u.IsHead(2) {
+		t.Fatal("solo head must be the starting CPU")
+	}
+	for c := 0; c < 4; c++ {
+		if c != 2 && u.Iteration(c) != -1 {
+			t.Fatalf("cpu %d has iteration %d in solo mode, want idle", c, u.Iteration(c))
+		}
+	}
+	// Iterations advance one at a time and the head never moves.
+	for iter := int64(0); iter < 3; iter++ {
+		if u.Iteration(2) != iter {
+			t.Fatalf("iteration = %d, want %d", u.Iteration(2), iter)
+		}
+		u.Store(2, 100+mem.Addr(iter), iter)
+		if err := u.CommitEOI(2); err != nil {
+			t.Fatalf("CommitEOI iter %d: %v", iter, err)
+		}
+		if !u.IsHead(2) {
+			t.Fatal("solo CPU must stay head after commit")
+		}
+	}
+	for iter := int64(0); iter < 3; iter++ {
+		if m.Read(100+mem.Addr(iter)) != iter {
+			t.Fatalf("iteration %d store not committed", iter)
+		}
+	}
+	killed, err := u.Shutdown(2)
+	if err != nil || len(killed) != 0 {
+		t.Fatalf("solo shutdown = %v, %v (no slaves to kill)", killed, err)
+	}
+	if u.Solo() {
+		t.Fatal("solo flag must clear at shutdown")
+	}
+}
+
+func TestDemoteSoloKillsYoungerAndSequences(t *testing.T) {
+	u, _ := newTestUnit(4)
+	u.Start(1)
+	killed, err := u.DemoteSolo(0)
+	if err != nil {
+		t.Fatalf("DemoteSolo: %v", err)
+	}
+	if len(killed) != 3 {
+		t.Fatalf("killed = %v, want the 3 younger threads", killed)
+	}
+	if !u.Solo() {
+		t.Fatal("unit must be in solo mode after demotion")
+	}
+	if err := u.CommitEOI(0); err != nil {
+		t.Fatalf("CommitEOI: %v", err)
+	}
+	if u.Iteration(0) != 1 {
+		t.Fatalf("post-demotion iteration = %d, want 1 (sequential, not round-robin)", u.Iteration(0))
+	}
+	if _, err := u.DemoteSolo(1); err == nil {
+		t.Fatal("DemoteSolo by non-head must error")
+	}
+}
+
+func TestStoreHardCapReturnsTypedError(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.StoreBufferLines = 1 // hard cap clamps to 1024 lines
+	m := mem.NewMemory(1 << 18)
+	u := NewUnit(cfg, m, mem.NewCacheSim(mem.DefaultCacheConfig(2)))
+	u.Start(1)
+	var got error
+	for i := 0; i < 1100; i++ {
+		_, _, err := u.Store(1, mem.Addr(i)*mem.LineWords+100, 1)
+		if err != nil {
+			got = err
+			break
+		}
+	}
+	if !errors.Is(got, ErrStoreBufferOverflow) {
+		t.Fatalf("runaway buffer error = %v, want ErrStoreBufferOverflow", got)
+	}
+}
+
 func TestShutdownKillsYoungerThreads(t *testing.T) {
 	u, m := newTestUnit(4)
 	u.Start(1)
 	u.Store(0, 1000, 8) // exiting head's live-out store
 	u.Store(2, 1001, 5) // younger speculative work, to be discarded
-	killed := u.Shutdown(0)
+	killed, err := u.Shutdown(0)
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
 	if len(killed) != 3 {
 		t.Fatalf("killed = %v, want 3 slaves", killed)
 	}
