@@ -24,6 +24,8 @@ import (
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
 	fe "jrpm/internal/frontend"
+	"jrpm/internal/mem"
+	"jrpm/internal/report"
 	"jrpm/internal/tls"
 	"jrpm/internal/tracer"
 	"jrpm/internal/workloads"
@@ -35,10 +37,17 @@ func pipeline(b *testing.B, w *workloads.Workload, transformed bool, opts core.O
 	if transformed {
 		build = w.BuildTransformed
 	}
+	// Program construction is frontend work, not simulator work; keep it off
+	// the timer. Stop/Start (rather than Reset) so benchmarks that measure
+	// two pipelines keep both on the clock.
+	b.StopTimer()
+	bp := build()
+	b.ReportAllocs()
+	b.StartTimer()
 	var res *core.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = core.Run(build(), opts)
+		res, err = core.Run(bp, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,17 +58,32 @@ func pipeline(b *testing.B, w *workloads.Workload, transformed bool, opts core.O
 	return res
 }
 
+// BenchmarkParallelSuite runs the whole Table 3 suite through the parallel
+// harness (workloads fanned across GOMAXPROCS); compare against the sum of
+// BenchmarkTable3Suite rows for the harness scaling factor.
+func BenchmarkParallelSuite(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := report.RunSuiteParallel(core.DefaultOptions(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTable1Overheads(b *testing.B) {
 	w := workloads.ByName("FourierTest")
 	oldOpts := core.DefaultOptions()
 	oldOpts.Handlers = tls.OldHandlers
+	bp := w.Build()
+	b.ReportAllocs()
+	b.ResetTimer()
 	var newC, oldC int64
 	for i := 0; i < b.N; i++ {
-		rn, err := core.Run(w.Build(), core.DefaultOptions())
+		rn, err := core.Run(bp, core.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
-		ro, err := core.Run(w.Build(), oldOpts)
+		ro, err := core.Run(bp, oldOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -208,13 +232,16 @@ func BenchmarkAblationParallelAlloc(b *testing.B) {
 	}
 	off := core.DefaultOptions()
 	off.VM.ParallelAlloc = false
+	bp := build()
+	b.ReportAllocs()
+	b.ResetTimer()
 	var on, no *core.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		if on, err = core.Run(build(), core.DefaultOptions()); err != nil {
+		if on, err = core.Run(bp, core.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
-		if no, err = core.Run(build(), off); err != nil {
+		if no, err = core.Run(bp, off); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -289,5 +316,50 @@ func BenchmarkAblationComparatorBanks(b *testing.B) {
 			res := pipeline(b, workloads.ByName("LuFactor"), false, o)
 			b.ReportMetric(res.SpeedupActual(), "speedup")
 		})
+	}
+}
+
+// BenchmarkTLSFastPath measures the per-access cost of the speculative
+// store-buffer structures (store + forwarded load + cross-CPU load). It must
+// report 0 allocs/op; difftest pins the same property with AllocsPerRun.
+func BenchmarkTLSFastPath(b *testing.B) {
+	m := mem.NewMemory(1 << 16)
+	caches := mem.NewCacheSim(mem.DefaultCacheConfig(4))
+	u := tls.NewUnit(tls.DefaultConfig(4), m, caches)
+	if err := u.Start(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := u.Store(1, 80, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		u.Load(1, 80, false)
+		u.Load(2, 128, false)
+	}
+}
+
+// BenchmarkTracerFastPath measures the per-access cost of the TEST
+// timestamp-memory record path (heap store/load + local store/load). It must
+// report 0 allocs/op.
+func BenchmarkTracerFastPath(b *testing.B) {
+	cfg := tracer.DefaultConfig()
+	cfg.MemWords = 1 << 16
+	tr := tracer.New(cfg)
+	defer tr.Release()
+	now := int64(0)
+	tr.OnSloop(1, now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		tr.OnStore(300, now, tracer.ClassHeap)
+		now++
+		tr.OnLoad(300, now, tracer.ClassHeap)
+		now++
+		tr.OnLocalStore(42, 3, now)
+		now++
+		tr.OnLocalLoad(42, 3, now)
 	}
 }

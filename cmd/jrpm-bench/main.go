@@ -82,7 +82,7 @@ func main() {
 	var results []*report.SuiteResult
 	if needSuite {
 		var err error
-		results, err = report.RunSuite(baseOpts(), nil)
+		results, err = report.RunSuiteParallel(baseOpts(), nil)
 		check(err)
 	}
 	if all || *table == 1 {

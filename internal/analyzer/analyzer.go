@@ -591,7 +591,15 @@ func (s *selector) pairMultilevel(sel *jit.Selection) {
 	if s.cfg.NoMultilevel {
 		return
 	}
-	for id, plan := range sel.Plans {
+	// Snapshot and sort the plan ids: the loop inserts inner plans into
+	// sel.Plans, and ranging a map under mutation is nondeterministic.
+	ids := make([]int64, 0, len(sel.Plans))
+	for id := range sel.Plans {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		plan := sel.Plans[id]
 		d := s.decisions[id]
 		g := s.info.Graphs[d.MethodID]
 		l := g.Loops[d.LoopIndex]

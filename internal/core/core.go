@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"jrpm/internal/analyzer"
 	"jrpm/internal/bytecode"
@@ -217,16 +218,24 @@ func Run(bp *bytecode.Program, opts Options) (*Result, error) {
 	}
 	info := cfg.AnalyzeProgram(bp)
 
-	// Baseline sequential run (plain code, no annotations).
+	// Baseline sequential run (plain code, no annotations). The baseline and
+	// the profiling leg below are independent machines over independent
+	// images, so the baseline runs on its own goroutine while the annotated
+	// compile and profiled run proceed; the legs join before the analyzer,
+	// which needs both cycle counts.
 	plainImg, _, err := jit.Compile(bp, info, jit.ModePlain, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: plain compile: %w", err)
 	}
-	seq, _, err := execute(bp, plainImg, opts, false, false)
-	if err != nil {
-		return nil, fmt.Errorf("core: sequential run: %w", err)
+	type seqOutcome struct {
+		ph  Phase
+		err error
 	}
-	res.Seq = seq
+	seqCh := make(chan seqOutcome, 1)
+	go func() {
+		ph, _, err := execute(bp, plainImg, opts, false, false)
+		seqCh <- seqOutcome{ph, err}
+	}()
 
 	// Step 1-2: annotated compile, profiled sequential run.
 	annImg, annRep, err := jit.Compile(bp, info, jit.ModeAnnotated, nil)
@@ -235,6 +244,12 @@ func Run(bp *bytecode.Program, opts Options) (*Result, error) {
 	}
 	res.CompileCycles = annRep.Cycles
 	prof, tr, err := execute(bp, annImg, opts, true, false)
+	so := <-seqCh // join the baseline leg before touching its results
+	if so.err != nil {
+		return nil, fmt.Errorf("core: sequential run: %w", so.err)
+	}
+	seq := so.ph
+	res.Seq = seq
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling run: %w", err)
 	}
@@ -319,6 +334,9 @@ func adapt(bp *bytecode.Program, info *cfg.ProgramInfo, res *Result,
 	if len(excluded) == 0 {
 		return nil
 	}
+	// Map iteration order is random; the exclusion list is user-visible
+	// (reports, CLI) and must not vary between identical runs.
+	sort.Slice(excluded, func(i, j int) bool { return excluded[i] < excluded[j] })
 	acfg.ExcludeLoops = map[int64]bool{}
 	for _, id := range excluded {
 		acfg.ExcludeLoops[id] = true
@@ -409,5 +427,10 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec
 		ph.GuardStats = m.Guard.Stats()
 		ph.DecertifiedLoops = m.Guard.DecertifiedLoops()
 	}
-	return ph, m.Tracer, err
+	// Everything the caller needs is extracted; recycle the machine's big
+	// pooled allocations (simulated memory, tracer timestamp slabs). The
+	// returned tracer's loop statistics remain valid after release.
+	tr := m.Tracer
+	m.Release()
+	return ph, tr, err
 }

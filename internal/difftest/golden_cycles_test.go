@@ -1,0 +1,173 @@
+package difftest
+
+// Golden cycle-equivalence suite: the simulated results of every workload —
+// cycle counts of all three phases, the Figure 10 state buckets, violation
+// and overflow counts — are pinned to the values recorded in
+// testdata/golden_cycles.json. Host-side optimizations (hardware-shaped TLS
+// buffers, tracer timestamp memories, scheduler fast paths, parallel
+// harnesses) must leave every one of these numbers bit-identical: only host
+// time is allowed to move. Regenerate with
+//
+//	go test ./internal/difftest -run TestGoldenCycles -update-golden
+//
+// and review the diff as carefully as a simulator change: any delta is a
+// simulated-behaviour change, not a performance one.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"jrpm/internal/core"
+	"jrpm/internal/tls"
+	"jrpm/internal/tracer"
+	"jrpm/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_cycles.json from the current simulator")
+
+// GoldenRow pins one configuration's simulated results.
+type GoldenRow struct {
+	Seq        int64
+	Profile    int64
+	TLS        int64
+	Commits    int64
+	Violations int64
+	Overflows  int64
+	Stats      tls.StateStats
+}
+
+func rowOf(res *core.Result) GoldenRow {
+	return GoldenRow{
+		Seq: res.Seq.Cycles, Profile: res.Profile.Cycles, TLS: res.TLS.Cycles,
+		Commits: res.TLS.Commits, Violations: res.TLS.Violations,
+		Overflows: res.TLS.Overflows, Stats: res.TLS.Stats,
+	}
+}
+
+// captureGolden runs the full workload suite (plus ablation spot checks) and
+// returns the simulated results keyed by configuration name.
+func captureGolden(t *testing.T) map[string]GoldenRow {
+	t.Helper()
+	out := map[string]GoldenRow{}
+	rec := func(key string, res *core.Result, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if !res.OutputsMatch {
+			t.Fatalf("%s: speculative output mismatch", key)
+		}
+		out[key] = rowOf(res)
+	}
+	for _, w := range workloads.All() {
+		opts := core.DefaultOptions()
+		if w.HeapWords > 0 {
+			opts.VM.HeapWords = w.HeapWords
+		}
+		res, err := core.Run(w.Build(), opts)
+		rec(w.Name, res, err)
+		if w.BuildTransformed != nil {
+			tr, err := core.Run(w.BuildTransformed(), opts)
+			rec(w.Name+"/transformed", tr, err)
+		}
+	}
+	// Ablation spot checks: capacity, handler generation, CPU count and
+	// comparator banks all reshape the fast-path structures under test.
+	{
+		o := core.DefaultOptions()
+		tc := tls.DefaultConfig(o.NCPU)
+		tc.StoreBufferLines = 16
+		o.TLS = &tc
+		res, err := core.Run(workloads.ByName("fft").Build(), o)
+		rec("ablate/stbuf16/fft", res, err)
+	}
+	{
+		o := core.DefaultOptions()
+		o.Handlers = tls.OldHandlers
+		res, err := core.Run(workloads.ByName("BitOps").Build(), o)
+		rec("ablate/oldhandlers/BitOps", res, err)
+	}
+	{
+		o := core.DefaultOptions()
+		o.NCPU = 8
+		res, err := core.Run(workloads.ByName("FourierTest").Build(), o)
+		rec("ablate/cpus8/FourierTest", res, err)
+	}
+	{
+		o := core.DefaultOptions()
+		tc := tracer.DefaultConfig()
+		tc.NumBanks = 1
+		o.Tracer = &tc
+		res, err := core.Run(workloads.ByName("LuFactor").Build(), o)
+		rec("ablate/banks1/LuFactor", res, err)
+	}
+	return out
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden_cycles.json") }
+
+func TestGoldenCycles(t *testing.T) {
+	got := captureGolden(t)
+
+	if *updateGolden {
+		var keys []string
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]GoldenRow, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		data, err := json.MarshalIndent(ordered, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden rows to %s", len(got), goldenPath())
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	want := map[string]GoldenRow{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d rows, capture produced %d", len(want), len(got))
+	}
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: missing from capture", k)
+			continue
+		}
+		if !reflect.DeepEqual(g, want[k]) {
+			t.Errorf("%s: simulated results diverged from golden\n got: %s\nwant: %s",
+				k, fmtRow(g), fmtRow(want[k]))
+		}
+	}
+}
+
+func fmtRow(r GoldenRow) string {
+	return fmt.Sprintf("seq=%d profile=%d tls=%d commits=%d viol=%d ovf=%d stats=%+v",
+		r.Seq, r.Profile, r.TLS, r.Commits, r.Violations, r.Overflows, r.Stats)
+}

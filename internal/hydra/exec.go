@@ -168,13 +168,30 @@ func (m *Machine) exec(c *CPU) {
 	case isa.FLOG:
 		r[in.Rd] = bits(math.Log(f64(r[in.Rs])))
 
-	// Memory.
+	// Memory. Effective addresses are bounds-checked here so the common wild
+	// wrong-path access takes a direct branch to the fault disposition instead
+	// of a panic unwind out of the memory model.
 	case isa.LW:
-		r[in.Rd] = m.loadWord(c, mem.Addr(r[in.Rs]+in.Imm), false, ClassHeap)
+		a := mem.Addr(r[in.Rs] + in.Imm)
+		if !m.Mem.InRange(a) {
+			m.wildLoad(c, a, false)
+			return
+		}
+		r[in.Rd] = m.loadWord(c, a, false, ClassHeap)
 	case isa.LWNV:
-		r[in.Rd] = m.loadWord(c, mem.Addr(r[in.Rs]+in.Imm), true, ClassHeap)
+		a := mem.Addr(r[in.Rs] + in.Imm)
+		if !m.Mem.InRange(a) {
+			m.wildLoad(c, a, true)
+			return
+		}
+		r[in.Rd] = m.loadWord(c, a, true, ClassHeap)
 	case isa.SW:
-		m.storeWord(c, mem.Addr(r[in.Rs]+in.Imm), r[in.Rt], ClassHeap)
+		a := mem.Addr(r[in.Rs] + in.Imm)
+		if !m.Mem.InRange(a) {
+			m.dataFaultAt(c, a, true)
+			return
+		}
+		m.storeWord(c, a, r[in.Rt], ClassHeap)
 
 	// Control flow.
 	case isa.BEQ:

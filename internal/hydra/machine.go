@@ -159,7 +159,7 @@ func NewMachine(img *Image, rt Runtime, opts Options) *Machine {
 	}
 	m := &Machine{
 		Image:         img,
-		Mem:           mem.NewMemory(MemWords),
+		Mem:           mem.NewPooledMemory(MemWords, StackRegionBase),
 		Caches:        mem.NewCacheSim(cacheCfg),
 		Runtime:       rt,
 		OverflowBySTL: map[int64]int64{},
@@ -183,12 +183,27 @@ func NewMachine(img *Image, rt Runtime, opts Options) *Machine {
 		}
 		tcfg.StoreBufferLines = tlsCfg.StoreBufferLines
 		tcfg.LoadBufferLines = tlsCfg.LoadBufferLines
+		tcfg.MemWords = MemWords
 		m.Tracer = tracer.New(tcfg)
 	}
 	for i := 0; i < opts.NCPU; i++ {
 		m.CPUs = append(m.CPUs, &CPU{ID: i, state: stateIdle})
 	}
 	return m
+}
+
+// Release returns the machine's pooled resources — the simulated memory and
+// the tracer's flat timestamp tables — for reuse by the next machine. Results
+// already extracted (cycle counts, outputs, tracer loop statistics) stay
+// valid; the machine itself must not run or be read afterwards.
+func (m *Machine) Release() {
+	if m.Tracer != nil {
+		m.Tracer.Release()
+	}
+	if m.Mem != nil {
+		m.Mem.Release()
+		m.Mem = nil
+	}
 }
 
 // Boot prepares CPU 0 at the program entry point.
@@ -230,17 +245,19 @@ func (m *Machine) Run(maxCycles int64) (err error) {
 	}
 	for !m.halted {
 		next := int64(math.MaxInt64)
-		active := false
+		active := 0
+		var solo *CPU
 		for _, c := range m.CPUs {
 			if c.state == stateIdle || c.state == stateHalted {
 				continue
 			}
-			active = true
+			active++
+			solo = c
 			if c.readyAt < next {
 				next = c.readyAt
 			}
 		}
-		if !active {
+		if active == 0 {
 			m.fail(fmt.Errorf("%w at cycle %d", ErrNoRunnableCPU, m.Clock))
 			return m.err
 		}
@@ -250,6 +267,25 @@ func (m *Machine) Run(maxCycles int64) (err error) {
 		if m.Clock > maxCycles {
 			m.fail(fmt.Errorf("%w: budget %d, clock %d", ErrCycleBudgetExceeded, maxCycles, m.Clock))
 			return m.err
+		}
+		// Serial-phase fast loop: with a single runnable CPU and speculation
+		// off, instructions dispatch back-to-back without rescanning the CPU
+		// list each cycle. Anything that can wake a second CPU (STL startup)
+		// flips TLS.Active and falls back to the general scheduler; clock
+		// advance and budget semantics are identical to the outer loop.
+		if active == 1 && solo.state == stateRunning && !m.TLS.Active() {
+			c := solo
+			for !m.halted && c.state == stateRunning && !m.TLS.Active() {
+				if c.readyAt > m.Clock {
+					m.Clock = c.readyAt
+				}
+				if m.Clock > maxCycles {
+					m.fail(fmt.Errorf("%w: budget %d, clock %d", ErrCycleBudgetExceeded, maxCycles, m.Clock))
+					return m.err
+				}
+				m.exec(c)
+			}
+			continue
 		}
 		for _, c := range m.CPUs {
 			if m.halted {
@@ -429,6 +465,38 @@ func (m *Machine) dataFault(c *CPU, f *mem.Fault) {
 		return
 	}
 	m.fail(mf)
+}
+
+// dataFaultAt is the panic-free route for a wild data access caught by an
+// explicit bounds check in the dispatch loop: same disposition as dataFault,
+// without materializing a *mem.Fault or unwinding through panic/recover —
+// speculative wrong-path wild addresses are common enough that the unwind
+// machinery showed up in profiles.
+func (m *Machine) dataFaultAt(c *CPU, a mem.Addr, write bool) {
+	mf := &MemFault{
+		CPU: c.ID, Cycle: m.Clock, Addr: a, Write: write,
+		Method: m.Image.Method(c.MethodID).Name, PC: c.PC,
+	}
+	c.extra = 0
+	if m.TLS.Active() && !m.TLS.IsHead(c.ID) {
+		c.pendingFault = mf
+		c.pendingExKind = exKindMemFault
+		c.state = stateWaitException
+		m.wait(c)
+		return
+	}
+	m.fail(mf)
+}
+
+// wildLoad handles a bounds-checked faulting load. The hardware load buffer
+// latches the exposed read before the bus access resolves, so the tracking
+// side effect happens even though no data transfers (matching what Unit.Load
+// did before it faulted).
+func (m *Machine) wildLoad(c *CPU, a mem.Addr, noViolate bool) {
+	if m.TLS.Active() && !noViolate {
+		m.TLS.TrackRead(c.ID, a)
+	}
+	m.dataFaultAt(c, a, false)
 }
 
 // wait charges one cycle of head-wait time and re-polls next cycle.

@@ -213,35 +213,39 @@ type Instr struct {
 // Code is the instruction stream of one compiled method.
 type Code []Instr
 
+// numOps is the opcode count, for the static cost table.
+const numOps = int(HALT) + 1
+
+// costTable holds the static per-opcode latency, precomputed once so the
+// dispatch loop pays an array load instead of a switch per instruction.
+var costTable = func() [numOps]int64 {
+	var t [numOps]int64
+	for op := 0; op < numOps; op++ {
+		t[op] = 1
+	}
+	set := func(c int64, ops ...Op) {
+		for _, op := range ops {
+			t[op] = c
+		}
+	}
+	set(3, MUL)
+	set(10, DIV, REM)
+	set(3, FADD, FSUB, FMUL, FMIN, FMAX, FNEG, FABS, FSLT, FSLE, FSEQ, CVTIF, CVTFI)
+	set(12, FDIV)
+	set(20, FSQRT)
+	set(30, FSIN, FCOS, FEXP, FLOG)
+	// Allocator bookkeeping beyond its explicit memory traffic.
+	set(8, ALLOC, ALLOCARR)
+	set(2, MONENTER, MONEXIT)
+	set(40, IOPUT) // system call entry/exit
+	return t
+}()
+
 // Cost returns the base execution latency in cycles for op, excluding memory
 // stalls (which the cache model adds) and excluding TLS handler costs (which
 // the TLS unit charges per Table 1). Single-issue cores execute one
 // instruction per cycle; multi-cycle ops model the longer functional units.
-func Cost(op Op) int64 {
-	switch op {
-	case MUL:
-		return 3
-	case DIV, REM:
-		return 10
-	case FADD, FSUB, FMUL, FMIN, FMAX, FNEG, FABS, FSLT, FSLE, FSEQ, CVTIF, CVTFI:
-		return 3
-	case FDIV:
-		return 12
-	case FSQRT:
-		return 20
-	case FSIN, FCOS, FEXP, FLOG:
-		return 30
-	case ALLOC, ALLOCARR:
-		// Allocator bookkeeping beyond its explicit memory traffic.
-		return 8
-	case MONENTER, MONEXIT:
-		return 2
-	case IOPUT:
-		return 40 // system call entry/exit
-	default:
-		return 1
-	}
-}
+func Cost(op Op) int64 { return costTable[op] }
 
 // IsBranch reports whether op is a conditional branch.
 func (op Op) IsBranch() bool {

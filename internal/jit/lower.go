@@ -2,6 +2,7 @@ package jit
 
 import (
 	"fmt"
+	"sort"
 
 	"jrpm/internal/bytecode"
 	"jrpm/internal/cfg"
@@ -102,6 +103,9 @@ func (lw *lowerer) compile() (*hydra.Method, error) {
 				plans = append(plans, p)
 			}
 		}
+		// Plan order fixes STL ids and frame-slot layout; sort so the
+		// emitted image does not depend on map iteration order.
+		sort.Slice(plans, func(i, j int) bool { return plans[i].Loop < plans[j].Loop })
 	}
 	var err error
 	lw.place, err = assignRegisters(lw.g, lw.m, lw.mode, plans)
@@ -192,8 +196,10 @@ func (lw *lowerer) prepareSTL(p *Plan) error {
 	for s, st := range p.Inductors {
 		ctx.indStep[s] = st
 	}
-	for s, st := range p.Resetable {
-		ctx.indStep[s] = st
+	// Frame-slot allocation below must not depend on map iteration order:
+	// these offsets are baked into the emitted code.
+	for _, s := range sortedKeys(p.Resetable) {
+		ctx.indStep[s] = p.Resetable[s]
 		ctx.resetAt[s] = lw.extraNext
 		lw.extraNext++
 	}
@@ -201,7 +207,7 @@ func (lw *lowerer) prepareSTL(p *Plan) error {
 		ctx.lockOf[s] = lw.extraNext
 		lw.extraNext++
 	}
-	for s := range p.Reductions {
+	for _, s := range sortedKeys(p.Reductions) {
 		ctx.redBase[s] = lw.extraNext
 		lw.extraNext += int64(lw.ncpu)
 	}

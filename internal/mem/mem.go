@@ -17,6 +17,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Addr is a word address.
@@ -60,14 +61,52 @@ const (
 // Line returns the cache line index containing a.
 func Line(a Addr) Addr { return a / LineWords }
 
-// Memory is the flat simulated memory.
+// Memory is the flat simulated memory. It tracks dirty watermarks on either
+// side of a split point (the low region fills bottom-up — globals and heap —
+// while the high region is the runtime stack filling top-down), so a pooled
+// memory can be re-zeroed by clearing only the touched ranges instead of the
+// whole multi-megabyte array.
 type Memory struct {
 	words []int64
+	split Addr // boundary between the low and high dirty regions
+	loMax Addr // exclusive top of the dirty low region
+	hiMin Addr // inclusive bottom of the dirty high region
 }
 
 // NewMemory returns a memory of size words.
 func NewMemory(size int) *Memory {
-	return &Memory{words: make([]int64, size)}
+	return &Memory{words: make([]int64, size), split: Addr(size), hiMin: Addr(size)}
+}
+
+// memPool recycles simulated memories between machine instances; a zeroed
+// 33 MB array is the single largest allocation-and-memclr cost of a pipeline
+// run, and the dirty watermarks make re-zeroing proportional to actual use.
+var memPool sync.Pool
+
+// NewPooledMemory returns a zeroed memory of size words, reusing a released
+// one when the geometry matches. split is the low/high dirty-region boundary
+// (typically the base of the stack region).
+func NewPooledMemory(size int, split Addr) *Memory {
+	if v := memPool.Get(); v != nil {
+		m := v.(*Memory)
+		if len(m.words) == size {
+			m.split = split
+			return m
+		}
+	}
+	m := NewMemory(size)
+	m.split = split
+	return m
+}
+
+// Release re-zeroes the dirty ranges and returns the memory to the pool. The
+// caller must not touch it afterwards.
+func (m *Memory) Release() {
+	clear(m.words[:m.loMax])
+	clear(m.words[m.hiMin:])
+	m.loMax = 0
+	m.hiMin = Addr(len(m.words))
+	memPool.Put(m)
 }
 
 // Size returns the memory size in words.
@@ -93,6 +132,13 @@ func (m *Memory) Write(a Addr, v int64) {
 		panic(&Fault{Addr: a, Size: len(m.words), Write: true})
 	}
 	m.words[a] = v
+	if a < m.split {
+		if a >= m.loMax {
+			m.loMax = a + 1
+		}
+	} else if a < m.hiMin {
+		m.hiMin = a
+	}
 }
 
 // CacheConfig describes the cache hierarchy geometry.
@@ -126,6 +172,7 @@ func DefaultCacheConfig(ncpu int) CacheConfig {
 // setAssoc is a set-associative tag array with LRU replacement.
 type setAssoc struct {
 	sets  int
+	mask  int // sets-1 when sets is a power of two, else -1 (modulo fallback)
 	assoc int
 	tags  []Addr   // sets*assoc entries; 0 means empty (line 0 is never cached: it is the null page)
 	lru   []uint32 // per-entry last-use stamp
@@ -137,19 +184,33 @@ func newSetAssoc(lines, assoc int) *setAssoc {
 	if sets == 0 {
 		sets = 1
 	}
+	mask := -1
+	if sets&(sets-1) == 0 {
+		mask = sets - 1
+	}
 	return &setAssoc{
 		sets:  sets,
+		mask:  mask,
 		assoc: assoc,
 		tags:  make([]Addr, sets*assoc),
 		lru:   make([]uint32, sets*assoc),
 	}
 }
 
+// setOf maps a line to its set: a mask when the geometry allows (the paper's
+// caches are power-of-two), an integer modulo otherwise.
+func (s *setAssoc) setOf(line Addr) int {
+	if s.mask >= 0 {
+		return int(line) & s.mask
+	}
+	return int(line) % s.sets
+}
+
 // access looks line up, touching LRU state. If fill is true a miss allocates
 // the line (evicting LRU). It reports whether the access hit.
 func (s *setAssoc) access(line Addr, fill bool) bool {
 	s.clock++
-	set := int(line) % s.sets
+	set := s.setOf(line)
 	base := set * s.assoc
 	victim := base
 	for i := 0; i < s.assoc; i++ {
@@ -171,7 +232,7 @@ func (s *setAssoc) access(line Addr, fill bool) bool {
 
 // contains reports whether line is present without touching LRU state.
 func (s *setAssoc) contains(line Addr) bool {
-	set := int(line) % s.sets
+	set := s.setOf(line)
 	base := set * s.assoc
 	for i := 0; i < s.assoc; i++ {
 		if s.tags[base+i] == line {
@@ -183,7 +244,7 @@ func (s *setAssoc) contains(line Addr) bool {
 
 // invalidate removes line if present.
 func (s *setAssoc) invalidate(line Addr) {
-	set := int(line) % s.sets
+	set := s.setOf(line)
 	base := set * s.assoc
 	for i := 0; i < s.assoc; i++ {
 		if s.tags[base+i] == line {

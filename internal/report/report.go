@@ -8,8 +8,11 @@ package report
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"jrpm/internal/cfg"
 	"jrpm/internal/core"
@@ -42,6 +45,52 @@ func RunSuite(opts core.Options, filter func(*workloads.Workload) bool) ([]*Suit
 		out = append(out, sr)
 	}
 	return out, nil
+}
+
+// RunSuiteParallel is RunSuite with the workloads fanned out across
+// GOMAXPROCS worker goroutines. Each workload's pipeline is an independent
+// deterministic simulation, so the fan-out changes wall-clock time only;
+// results come back in the same order RunSuite produces, and the first error
+// by that order wins (matching the sequential harness exactly).
+func RunSuiteParallel(opts core.Options, filter func(*workloads.Workload) bool) ([]*SuiteResult, error) {
+	var selected []*workloads.Workload
+	for _, w := range workloads.All() {
+		if filter != nil && !filter(w) {
+			continue
+		}
+		selected = append(selected, w)
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(selected) {
+		nw = len(selected)
+	}
+	if nw <= 1 {
+		return RunSuite(opts, filter)
+	}
+	results := make([]*SuiteResult, len(selected))
+	errs := make([]error, len(selected))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(selected) {
+					return
+				}
+				results[i], errs[i] = RunOne(selected[i], opts)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // RunOne executes a single workload (and its transformed variant).

@@ -55,12 +55,13 @@ type Config struct {
 	Handlers         HandlerCosts
 }
 
-// DefaultConfig returns the paper's Hydra TLS configuration.
+// DefaultConfig returns the paper's Hydra TLS configuration (Figure 2
+// capacities, see PaperStoreBufferLines / PaperLoadBufferLines).
 func DefaultConfig(ncpu int) Config {
 	return Config{
 		NCPU:             ncpu,
-		StoreBufferLines: 64,
-		LoadBufferLines:  512,
+		StoreBufferLines: PaperStoreBufferLines,
+		LoadBufferLines:  PaperLoadBufferLines,
 		Handlers:         NewHandlers,
 	}
 }
@@ -104,32 +105,14 @@ func (s *StateStats) Add(o StateStats) {
 	s.WaitViolated += o.WaitViolated
 }
 
-// storeBuffer holds one thread's speculative writes.
-type storeBuffer struct {
-	data  map[mem.Addr]int64
-	lines map[mem.Addr]struct{}
-}
-
-func newStoreBuffer() *storeBuffer {
-	return &storeBuffer{data: make(map[mem.Addr]int64), lines: make(map[mem.Addr]struct{})}
-}
-
-func (b *storeBuffer) reset() {
-	clear(b.data)
-	clear(b.lines)
-}
-
-func (b *storeBuffer) put(a mem.Addr, v int64) {
-	b.data[a] = v
-	b.lines[mem.Line(a)] = struct{}{}
-}
-
-// thread is the per-CPU speculation context.
+// thread is the per-CPU speculation context. Its buffers have the hardware
+// shapes of Figure 2 (see buffers.go): a fixed store-buffer CAM with
+// word-valid bits and generation-stamped speculative read tag sets.
 type thread struct {
 	iter      int64 // iteration index being executed; -1 when inactive
 	buf       *storeBuffer
-	readWords map[mem.Addr]struct{} // exposed speculative reads (word grain)
-	readLines map[mem.Addr]struct{} // distinct lines read (load buffer usage)
+	readWords *addrSet // exposed speculative reads (word grain)
+	readLines *addrSet // distinct lines read (load buffer usage)
 
 	// overflowed marks that the current attempt has already begun an
 	// overflow-stall episode; repeated drains while the thread stays head
@@ -143,8 +126,8 @@ type thread struct {
 
 func (t *thread) resetSpecState() {
 	t.buf.reset()
-	clear(t.readWords)
-	clear(t.readLines)
+	t.readWords.reset()
+	t.readLines.reset()
 	t.overflowed = false
 }
 
@@ -158,6 +141,7 @@ type Unit struct {
 	active     bool
 	solo       bool // sequential-fallback mode: only the head thread runs
 	stlID      int64
+	hardCap    int // runaway store-buffer line limit (see hardCapLines)
 	threads    []*thread
 	nextCommit int64 // iteration index of the current head
 	nextSpawn  int64 // next iteration index to hand out
@@ -181,12 +165,17 @@ type Unit struct {
 // NewUnit builds a TLS unit over the given memory and caches.
 func NewUnit(cfg Config, memory *mem.Memory, caches *mem.CacheSim) *Unit {
 	u := &Unit{cfg: cfg, memory: memory, caches: caches}
+	u.hardCap = u.hardCapLines()
+	// Read-set sizing: the overflow-park protocol stalls a thread once its
+	// read-line count passes LoadBufferLines, so the sets see at most a few
+	// entries beyond that (they grow if a protocol path outruns the bound).
+	readLineCap := cfg.LoadBufferLines + 8
 	for i := 0; i < cfg.NCPU; i++ {
 		u.threads = append(u.threads, &thread{
 			iter:      -1,
-			buf:       newStoreBuffer(),
-			readWords: make(map[mem.Addr]struct{}),
-			readLines: make(map[mem.Addr]struct{}),
+			buf:       newStoreBuffer(u.hardCap),
+			readWords: newAddrSet(readLineCap * mem.LineWords),
+			readLines: newAddrSet(readLineCap),
 		})
 	}
 	return u
@@ -314,8 +303,8 @@ func (u *Unit) CommitPartial(cpu int) error {
 		return protocolErr("CommitPartial by non-head cpu %d", cpu)
 	}
 	u.drainBuffer(cpu, t)
-	clear(t.readWords)
-	clear(t.readLines)
+	t.readWords.reset()
+	t.readLines.reset()
 	return nil
 }
 
@@ -381,13 +370,13 @@ func (u *Unit) flushAttempt(t *thread, used bool) {
 // can never cause a violation.
 func (u *Unit) Load(cpu int, a mem.Addr, noViolate bool) (int64, int64) {
 	t := u.threads[cpu]
-	if v, ok := t.buf.data[a]; ok {
+	if v, ok := t.buf.get(a); ok {
 		return v, mem.LatL1 // own store buffer hit
 	}
 	// Track the exposed read before looking for forwarded data.
 	if !noViolate {
-		t.readWords[a] = struct{}{}
-		t.readLines[mem.Line(a)] = struct{}{}
+		t.readWords.add(a)
+		t.readLines.add(mem.Line(a))
 	}
 	// Forward from the nearest older thread that buffered the word.
 	myIter := t.iter
@@ -395,7 +384,7 @@ func (u *Unit) Load(cpu int, a mem.Addr, noViolate bool) (int64, int64) {
 	var bestVal int64
 	for _, ot := range u.threads {
 		if ot.iter >= 0 && ot.iter < myIter && ot.iter > bestIter {
-			if v, ok := ot.buf.data[a]; ok {
+			if v, ok := ot.buf.get(a); ok {
 				bestIter = ot.iter
 				bestVal = v
 			}
@@ -405,6 +394,20 @@ func (u *Unit) Load(cpu int, a mem.Addr, noViolate bool) (int64, int64) {
 		return bestVal, u.caches.InterprocLatency()
 	}
 	return u.memory.Read(a), u.caches.Load(cpu, a)
+}
+
+// TrackRead records an exposed read that transferred no data: the machine
+// calls it when a speculative load faults on a wild address, after the
+// hardware load buffer has already latched the read but before the bus access
+// completes. It mirrors Load's tracking exactly (own-buffer hits are not
+// exposed) so the faulting path leaves the same architectural footprint.
+func (u *Unit) TrackRead(cpu int, a mem.Addr) {
+	t := u.threads[cpu]
+	if _, ok := t.buf.get(a); ok {
+		return
+	}
+	t.readWords.add(a)
+	t.readLines.add(mem.Line(a))
 }
 
 // hardCapLines returns the runaway limit on buffered store lines: far above
@@ -428,9 +431,9 @@ func (u *Unit) hardCapLines() int {
 func (u *Unit) Store(cpu int, a mem.Addr, v int64) (int64, []int, error) {
 	t := u.threads[cpu]
 	t.buf.put(a, v)
-	if len(t.buf.lines) > u.hardCapLines() {
+	if t.buf.lines() > u.hardCap {
 		return 0, nil, fmt.Errorf("%w: cpu %d buffered %d lines (hard cap %d)",
-			ErrStoreBufferOverflow, cpu, len(t.buf.lines), u.hardCapLines())
+			ErrStoreBufferOverflow, cpu, t.buf.lines(), u.hardCap)
 	}
 	violated := u.broadcast(cpu, a)
 	return mem.LatL1 + u.inj.BusDelayCycles(), violated, nil
@@ -442,11 +445,9 @@ func (u *Unit) broadcast(cpu int, a mem.Addr) []int {
 	my := u.threads[cpu].iter
 	var oldest int64 = -1
 	for _, ot := range u.threads {
-		if ot.iter > my {
-			if _, ok := ot.readWords[a]; ok {
-				if oldest < 0 || ot.iter < oldest {
-					oldest = ot.iter
-				}
+		if ot.iter > my && ot.readWords.contains(a) {
+			if oldest < 0 || ot.iter < oldest {
+				oldest = ot.iter
 			}
 		}
 	}
@@ -477,7 +478,7 @@ func (u *Unit) ViolateFrom(fromIter int64) []int {
 // StoreOverflow reports whether cpu's store buffer exceeds capacity. Fault
 // injection can assert capacity pressure early.
 func (u *Unit) StoreOverflow(cpu int) bool {
-	if len(u.threads[cpu].buf.lines) > u.cfg.StoreBufferLines {
+	if u.threads[cpu].buf.lines() > u.cfg.StoreBufferLines {
 		return true
 	}
 	return u.inj.OverflowPressure()
@@ -487,7 +488,7 @@ func (u *Unit) StoreOverflow(cpu int) bool {
 // load buffer (L1 speculative tag) capacity. Fault injection can assert
 // capacity pressure early.
 func (u *Unit) LoadOverflow(cpu int) bool {
-	if len(u.threads[cpu].readLines) > u.cfg.LoadBufferLines {
+	if u.threads[cpu].readLines.len() > u.cfg.LoadBufferLines {
 		return true
 	}
 	return u.inj.OverflowPressure()
@@ -514,17 +515,28 @@ func (u *Unit) DrainOverflow(cpu int) (bool, error) {
 		u.Overflows++
 	}
 	u.drainBuffer(cpu, t)
-	clear(t.readWords)
-	clear(t.readLines)
+	t.readWords.reset()
+	t.readLines.reset()
 	return newEpisode, nil
 }
 
+// drainBuffer commits the buffered lines to memory in line-allocation order
+// (words ascending within each line) — the order the hardware write-back
+// would use, and deterministic, unlike iterating a Go map.
 func (u *Unit) drainBuffer(cpu int, t *thread) {
-	for a, v := range t.buf.data {
-		u.memory.Write(a, v)
-		u.caches.Store(cpu, a) // keep tag state coherent; drain is background
+	b := t.buf
+	for _, slot := range b.order {
+		base := b.tags[slot] * mem.LineWords
+		vbits := b.valid[slot]
+		for off := mem.Addr(0); off < mem.LineWords; off++ {
+			if vbits&(1<<off) != 0 {
+				a := base + off
+				u.memory.Write(a, b.words[int(slot)*mem.LineWords+int(off)])
+				u.caches.Store(cpu, a) // keep tag state coherent; drain is background
+			}
+		}
 	}
-	t.buf.reset()
+	b.reset()
 }
 
 // CommitEOI commits the head thread at the end of its iteration: the buffer
@@ -541,8 +553,8 @@ func (u *Unit) CommitEOI(cpu int) error {
 	u.noteBufferUsage(t)
 	u.flushAttempt(t, true)
 	u.drainBuffer(cpu, t)
-	clear(t.readWords)
-	clear(t.readLines)
+	t.readWords.reset()
+	t.readLines.reset()
 	t.overflowed = false
 	u.Commits++
 	u.nextCommit++
@@ -553,8 +565,8 @@ func (u *Unit) CommitEOI(cpu int) error {
 }
 
 func (u *Unit) noteBufferUsage(t *thread) {
-	sl := len(t.buf.lines)
-	ll := len(t.readLines)
+	sl := t.buf.lines()
+	ll := t.readLines.len()
 	if sl > u.MaxStoreLines {
 		u.MaxStoreLines = sl
 	}

@@ -212,7 +212,7 @@ func TestStoreOverflowDetection(t *testing.T) {
 	}
 	// Same-line stores do not add pressure.
 	u.Store(1, 2*mem.LineWords+101, 1)
-	if len(u.threads[1].buf.lines) != 3 {
+	if u.threads[1].buf.lines() != 3 {
 		t.Fatal("line counting wrong")
 	}
 }
@@ -234,7 +234,7 @@ func TestDrainOverflowFlushesState(t *testing.T) {
 	if m.Read(900) != 3 {
 		t.Error("drain did not write memory")
 	}
-	if len(u.threads[0].readWords) != 0 {
+	if u.threads[0].readWords.len() != 0 {
 		t.Error("drain did not clear read tracking")
 	}
 	if u.Overflows != 1 {

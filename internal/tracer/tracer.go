@@ -23,7 +23,10 @@
 // counters against the hardware buffer limits predict TLS overflow stalls.
 package tracer
 
-import "jrpm/internal/mem"
+import (
+	"jrpm/internal/mem"
+	"jrpm/internal/tls"
+)
 
 // Config parameterizes the profiling hardware.
 type Config struct {
@@ -31,11 +34,28 @@ type Config struct {
 	StoreBufferLines int // store buffer capacity used by overflow analysis
 	LoadBufferLines  int // L1 speculative line capacity
 	StartRing        int // thread-start timestamps retained per bank
+
+	// MemWords sizes the flat timestamp tables; the machine passes its
+	// simulated-memory size. Zero selects a default large enough for the
+	// standard Hydra image.
+	MemWords int
 }
 
-// DefaultConfig returns the paper's TEST configuration.
+// defaultMemWords mirrors the hydra image's memory size for tracers built
+// without an explicit geometry (unit tests); the machine always passes its
+// own size.
+const defaultMemWords = 1<<22 + 4096
+
+// DefaultConfig returns the paper's TEST configuration. The overflow
+// analysis models the real TLS buffer capacities, so it shares the Figure 2
+// constants with the speculation hardware.
 func DefaultConfig() Config {
-	return Config{NumBanks: 8, StoreBufferLines: 64, LoadBufferLines: 512, StartRing: 32}
+	return Config{
+		NumBanks:         PaperComparatorBanks,
+		StoreBufferLines: tls.PaperStoreBufferLines,
+		LoadBufferLines:  tls.PaperLoadBufferLines,
+		StartRing:        32,
+	}
 }
 
 // Dependency source keys for non-local dependencies in per-loop stats.
@@ -196,10 +216,10 @@ type bank struct {
 	stats       *LoopStats
 	entryTS     int64
 	threadStart int64
-	starts      []int64 // ascending recent thread-start timestamps
+	starts      *startRing // recent thread-start timestamps, newest last
 
 	// Per-iteration state.
-	iterDeps   map[uint32]arcInfo
+	iterDeps   *depCAM
 	loadLines  int64
 	storeLines int64
 	overflowed bool
@@ -214,9 +234,11 @@ type Tracer struct {
 	cfg   Config
 	banks []*bank
 
-	storeTS map[mem.Addr]int64 // heap word → last store cycle
-	lineTS  map[mem.Addr]int64 // cache line → last access cycle
-	localTS map[uint64]int64   // composite local key → last store cycle
+	storeTS *tsSlab   // heap word → last store cycle (flat, word-indexed)
+	lineTS  *tsSlab   // cache line → last access cycle (flat, line-indexed)
+	localTS *localCAM // composite local key → last store cycle
+
+	freeBanks []*bank // retired comparator banks, recycled on sloop
 
 	loops map[int64]*LoopStats
 
@@ -227,17 +249,29 @@ type Tracer struct {
 
 // New returns an idle tracer.
 func New(cfg Config) *Tracer {
+	if cfg.MemWords <= 0 {
+		cfg.MemWords = defaultMemWords
+	}
 	t := &Tracer{
 		cfg:     cfg,
-		storeTS: make(map[mem.Addr]int64),
-		lineTS:  make(map[mem.Addr]int64),
-		localTS: make(map[uint64]int64),
+		storeTS: newSlab(cfg.MemWords),
+		lineTS:  newSlab(cfg.MemWords/mem.LineWords + 1),
+		localTS: newLocalCAM(1 << 12),
 		loops:   make(map[int64]*LoopStats),
 	}
 	for i := 0; i < cfg.NumBanks; i++ {
 		t.banks = append(t.banks, nil)
 	}
 	return t
+}
+
+// Release returns the tracer's flat timestamp tables to the shared pool. The
+// accumulated loop statistics stay valid; the tracer must not observe any
+// further traffic.
+func (t *Tracer) Release() {
+	t.storeTS.release()
+	t.lineTS.release()
+	t.storeTS, t.lineTS = nil, nil
 }
 
 // Loops returns the accumulated per-loop statistics.
@@ -289,14 +323,23 @@ func (t *Tracer) OnSloop(loopID int64, now int64) {
 		ls.Unprofiled++
 		return
 	}
-	t.banks[slot] = &bank{
-		loopID:      loopID,
-		stats:       ls,
-		entryTS:     now,
-		threadStart: now,
-		starts:      []int64{now},
-		iterDeps:    make(map[uint32]arcInfo),
+	var b *bank
+	if n := len(t.freeBanks); n > 0 {
+		b = t.freeBanks[n-1]
+		t.freeBanks = t.freeBanks[:n-1]
+		b.starts.reset()
+		b.iterDeps.reset()
+		b.loadLines, b.storeLines, b.overflowed = 0, 0, false
+		b.consecOverflow, b.itersThisEntry = 0, 0
+	} else {
+		b = &bank{starts: newStartRing(t.cfg.StartRing), iterDeps: newDepCAM(64)}
 	}
+	b.loopID = loopID
+	b.stats = ls
+	b.entryTS = now
+	b.threadStart = now
+	b.starts.push(now)
+	t.banks[slot] = b
 	ls.Entries++
 }
 
@@ -310,10 +353,7 @@ func (t *Tracer) OnEOI(loopID int64, now int64) {
 	}
 	t.finishIteration(b, now)
 	b.threadStart = now
-	b.starts = append(b.starts, now)
-	if len(b.starts) > t.cfg.StartRing {
-		b.starts = b.starts[1:]
-	}
+	b.starts.push(now)
 }
 
 // OnEloop handles an eloop annotation: accumulate and free the bank (the
@@ -330,6 +370,8 @@ func (t *Tracer) OnEloop(loopID int64, now int64) {
 			t.banks[i] = nil
 		}
 	}
+	b.stats = nil
+	t.freeBanks = append(t.freeBanks, b)
 }
 
 func (t *Tracer) closeBank(b *bank, now int64) {
@@ -353,27 +395,31 @@ func (t *Tracer) finishIteration(b *bank, now int64) {
 	b.itersThisEntry++
 
 	// Fold per-source arcs; the minimum-distance arc is the critical arc.
-	var crit *arcInfo
-	for key, arc := range b.iterDeps {
+	// The arcs are visited in insertion order, so the tie-break between
+	// equal arcs is deterministic (a map iteration here was not).
+	var crit arcInfo
+	haveCrit := false
+	for _, slot := range b.iterDeps.order {
+		key, arc := b.iterDeps.keys[slot], b.iterDeps.arcs[slot]
 		ds, ok := ls.Deps[key]
 		if !ok {
 			ds = &DepStats{}
 			ls.Deps[key] = ds
 		}
 		ds.note(arc.dist, arc.storeOff, arc.loadOff)
-		if crit == nil || arc.dist < crit.dist ||
+		if !haveCrit || arc.dist < crit.dist ||
 			(arc.dist == crit.dist && arc.storeOff-arc.loadOff > crit.storeOff-crit.loadOff) {
-			a := arc
-			crit = &a
+			crit = arc
+			haveCrit = true
 		}
 	}
-	if crit != nil {
+	if haveCrit {
 		ls.CriticalIters++
 		ls.SumCritDist += crit.dist
 		ls.SumCritStore += crit.storeOff
 		ls.SumCritLoad += crit.loadOff
 	}
-	clear(b.iterDeps)
+	b.iterDeps.reset()
 
 	// Overflow bookkeeping.
 	ls.SumLoadLines += b.loadLines
@@ -406,8 +452,8 @@ func (t *Tracer) noteDep(key uint32, storedAt, now int64) {
 		}
 		dist, storeOff := b.arcDistance(storedAt)
 		arc := arcInfo{dist: dist, storeOff: storeOff, loadOff: now - b.threadStart}
-		if old, ok := b.iterDeps[key]; !ok || arc.dist < old.dist {
-			b.iterDeps[key] = arc
+		if old, ok := b.iterDeps.get(key); !ok || arc.dist < old.dist {
+			b.iterDeps.put(key, arc)
 		}
 	}
 }
@@ -415,11 +461,11 @@ func (t *Tracer) noteDep(key uint32, storedAt, now int64) {
 // arcDistance computes how many thread boundaries separate storedAt from the
 // current thread, and the store's offset within its thread.
 func (b *bank) arcDistance(storedAt int64) (dist, storeOff int64) {
-	// starts is ascending; the last element is the current thread start.
+	// The ring holds recent starts; index 0 is the current thread start.
 	d := int64(0)
-	for i := len(b.starts) - 1; i >= 0; i-- {
-		if b.starts[i] <= storedAt {
-			return d, storedAt - b.starts[i]
+	for i := 0; i < b.starts.n; i++ {
+		if s := b.starts.at(i); s <= storedAt {
+			return d, storedAt - s
 		}
 		d++
 	}
@@ -430,7 +476,7 @@ func (b *bank) arcDistance(storedAt int64) (dist, storeOff int64) {
 // noteLine runs the overflow analysis for one heap access.
 func (t *Tracer) noteLine(a mem.Addr, isStore bool, now int64) {
 	line := mem.Line(a)
-	old := t.lineTS[line]
+	old := t.lineTS.getRaw(int(line))
 	for _, b := range t.banks {
 		if b == nil {
 			continue
@@ -449,13 +495,13 @@ func (t *Tracer) noteLine(a mem.Addr, isStore bool, now int64) {
 			}
 		}
 	}
-	t.lineTS[line] = now
+	t.lineTS.setRaw(int(line), now)
 }
 
 // OnLoad observes a heap load at address a with address class cls.
 func (t *Tracer) OnLoad(a mem.Addr, now int64, cls AddrClass) {
 	if cls != ClassStack {
-		if ts, ok := t.storeTS[a]; ok {
+		if ts, ok := t.storeTS.getTS(int(a)); ok {
 			t.noteDep(cls.depKey(), ts, now)
 		}
 	}
@@ -465,7 +511,7 @@ func (t *Tracer) OnLoad(a mem.Addr, now int64, cls AddrClass) {
 // OnStore observes a heap store at address a with address class cls.
 func (t *Tracer) OnStore(a mem.Addr, now int64, cls AddrClass) {
 	if cls != ClassStack {
-		t.storeTS[a] = now
+		t.storeTS.setTS(int(a), now)
 	}
 	t.noteLine(a, true, now)
 }
@@ -475,7 +521,7 @@ func (t *Tracer) OnStore(a mem.Addr, now int64, cls AddrClass) {
 // per-method slot id used for optimization decisions.
 func (t *Tracer) OnLocalLoad(key uint64, slot uint32, now int64) {
 	t.AnnotationCount++
-	if ts, ok := t.localTS[key]; ok {
+	if ts, ok := t.localTS.get(key); ok {
 		t.noteDep(slot, ts, now)
 	}
 }
@@ -483,7 +529,7 @@ func (t *Tracer) OnLocalLoad(key uint64, slot uint32, now int64) {
 // OnLocalStore observes an swl annotation.
 func (t *Tracer) OnLocalStore(key uint64, slot uint32, now int64) {
 	t.AnnotationCount++
-	t.localTS[key] = now
+	t.localTS.put(key, now)
 }
 
 // Sufficient implements the paper's data-collection heuristic: a loop's

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the host-performance benchmark suite and records per-workload ns/op,
+# B/op and allocs/op as JSON (BENCH_pr2.json at the repo root by default).
+#
+# Usage:
+#   scripts/bench.sh               # full suite, BENCH_pr2.json
+#   scripts/bench.sh out.json 3x   # custom output path and -benchtime
+#
+# Compare two snapshots with benchstat (see EXPERIMENTS.md):
+#   go test -run='^$' -bench=BenchmarkTable3Suite -count=10 . > new.txt
+#   benchstat old.txt new.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pr2.json}"
+BENCHTIME="${2:-1x}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run='^$' -bench='BenchmarkTable3Suite|BenchmarkParallelSuite|BenchmarkTable1Overheads' \
+    -benchtime="$BENCHTIME" -benchmem . | tee "$RAW"
+# The per-access microbenchmarks need real iteration counts for stable
+# ns/op and allocs/op; run them at the default 1s benchtime.
+go test -run='^$' -bench='BenchmarkTLSFastPath|BenchmarkTracerFastPath' \
+    -benchmem . | tee -a "$RAW"
+
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i-1)
+        if ($(i) == "B/op")      bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s", name, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n}" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
