@@ -25,6 +25,7 @@ import (
 	"jrpm/internal/core"
 	fe "jrpm/internal/frontend"
 	"jrpm/internal/mem"
+	"jrpm/internal/obs"
 	"jrpm/internal/report"
 	"jrpm/internal/tls"
 	"jrpm/internal/tracer"
@@ -338,6 +339,49 @@ func BenchmarkTLSFastPath(b *testing.B) {
 		u.Load(1, 80, false)
 		u.Load(2, 128, false)
 	}
+}
+
+// BenchmarkTraceOverhead quantifies the flight recorder's cost on a full
+// pipeline run: "off" is the baseline (nil Recorder, the zero-overhead
+// contract — the hot path must not even branch into event construction),
+// "on" attaches a default-mask event ring, reset each iteration. The PR
+// budget is <5%% wall-clock overhead with tracing on and 0%% (plus 0
+// allocs/op, pinned by TestRecorderHotPathZeroAlloc) when disabled.
+func BenchmarkTraceOverhead(b *testing.B) {
+	w := workloads.ByName("BitOps")
+	bp := w.Build()
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(bp, core.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.OutputsMatch {
+				b.Fatal("output mismatch")
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		ring := obs.NewRingMasked(1<<20, obs.MaskDefault)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			ring.Reset()
+			o := core.DefaultOptions()
+			o.Recorder = ring
+			res, err := core.Run(bp, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.OutputsMatch {
+				b.Fatal("output mismatch")
+			}
+			events = ring.Total()
+		}
+		b.ReportMetric(float64(events), "events")
+	})
 }
 
 // BenchmarkTracerFastPath measures the per-access cost of the TEST

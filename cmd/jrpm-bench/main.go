@@ -12,18 +12,28 @@
 //	jrpm-bench -faults PLAN     # inject deterministic faults into every speculative run
 //	jrpm-bench -cyclebudget N   # cycle-budget watchdog per run
 //	jrpm-bench -guard           # enable the STL violation-storm guard
+//	jrpm-bench -progress        # per-workload progress lines on stderr
+//	jrpm-bench -metrics FILE    # dump suite metrics as Prometheus text ("-" = stdout)
+//	jrpm-bench -trace DIR       # write one Perfetto trace per workload into DIR and exit
+//	jrpm-bench -http ADDR       # serve net/http/pprof and expvar during the run
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
+	"sync/atomic"
 
 	"jrpm/internal/analyzer"
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
 	"jrpm/internal/faultinject"
 	fe "jrpm/internal/frontend"
+	"jrpm/internal/obs"
 	"jrpm/internal/report"
 	"jrpm/internal/tls"
 	"jrpm/internal/tracer"
@@ -56,13 +66,38 @@ func baseOpts() core.Options {
 	return o
 }
 
+// liveMetrics backs the "jrpm" expvar: nil until the suite completes.
+var liveMetrics atomic.Pointer[obs.Registry]
+
 func main() {
 	table := flag.Int("table", 0, "render one table (1, 3 or 4)")
 	attrib := flag.Bool("attribution", false, "render Table 3's optimization attribution columns (slow)")
 	fig := flag.Int("fig", 0, "render one figure (8, 9 or 10)")
 	ablate := flag.String("ablate", "", "run one ablation study")
+	progressFlag := flag.Bool("progress", false, "emit per-workload progress lines to stderr")
+	metricsFlag := flag.String("metrics", "", "dump suite metrics as Prometheus text to FILE (\"-\" = stdout)")
+	traceDir := flag.String("trace", "", "write one Chrome trace-event JSON per workload into DIR and exit")
+	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar on ADDR (e.g. :6060) during the run")
 	flag.Parse()
 
+	if *httpAddr != "" {
+		expvar.Publish("jrpm", expvar.Func(func() any {
+			if reg := liveMetrics.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "jrpm-bench: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving pprof/expvar on %s\n", *httpAddr)
+	}
+	if *traceDir != "" {
+		traceSuite(*traceDir)
+		return
+	}
 	if *ablate != "" {
 		runAblation(*ablate)
 		return
@@ -81,9 +116,32 @@ func main() {
 
 	var results []*report.SuiteResult
 	if needSuite {
+		var progressW *os.File
+		if *progressFlag {
+			progressW = os.Stderr
+		}
 		var err error
-		results, err = report.RunSuiteParallel(baseOpts(), nil)
+		// An untyped nil must stay nil through the io.Writer conversion.
+		if progressW != nil {
+			results, err = report.RunSuiteParallelProgress(baseOpts(), nil, progressW)
+		} else {
+			results, err = report.RunSuiteParallel(baseOpts(), nil)
+		}
 		check(err)
+		if *metricsFlag != "" {
+			reg := report.SuiteMetrics(results)
+			liveMetrics.Store(reg)
+			w := os.Stdout
+			if *metricsFlag != "-" {
+				f, err := os.Create(*metricsFlag)
+				check(err)
+				defer f.Close()
+				w = f
+			}
+			check(reg.WritePrometheus(w))
+		}
+	} else if *metricsFlag != "" {
+		fmt.Fprintln(os.Stderr, "jrpm-bench: -metrics needs a suite run (table 3/4, a figure, or the default everything mode)")
 	}
 	if all || *table == 1 {
 		newC, oldC := table1Measurement()
@@ -243,6 +301,35 @@ func runAblation(name string) {
 			fmt.Printf(" %27.2fx", res.SpeedupActual())
 		}
 		fmt.Println()
+	}
+}
+
+// traceSuite runs every workload sequentially with the flight recorder
+// attached and writes DIR/<name>.trace.json per workload (Perfetto format).
+// Runs are sequential because each machine needs its own recorder ring.
+func traceSuite(dir string) {
+	check(os.MkdirAll(dir, 0o755))
+	ring := obs.NewRingMasked(1<<20, obs.MaskDefault)
+	for i, w := range workloads.All() {
+		opts := baseOpts()
+		if w.HeapWords > 0 {
+			opts.VM.HeapWords = w.HeapWords
+		}
+		ring.Reset()
+		opts.Recorder = ring
+		res, err := core.Run(w.Build(), opts)
+		check(err)
+		path := filepath.Join(dir, w.Name+".trace.json")
+		f, err := os.Create(path)
+		check(err)
+		err = obs.WriteChromeTrace(f, ring.Events(), opts.NCPU, w.Name)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		check(err)
+		fmt.Fprintf(os.Stderr, "[%2d/%d] %s: %d events (%d dropped) -> %s (%.2fx)\n",
+			i+1, len(workloads.All()), w.Name, ring.Total(), ring.Dropped(), path,
+			res.SpeedupActual())
 	}
 }
 

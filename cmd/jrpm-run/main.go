@@ -4,25 +4,41 @@
 //
 // Usage:
 //
-//	jrpm-run [-cpus N] [-seq] [-faults PLAN] [-cyclebudget N] [-guard] program.jasm
+//	jrpm-run [-cpus N] [-seq] [-faults PLAN] [-cyclebudget N] [-guard]
+//	         [-trace FILE] [-metrics -|FILE] [-http ADDR] program.jasm
 //
 // With -seq only the sequential baseline runs (no speculation). A -faults
 // plan (e.g. "seed=42,raw=0.01,overflow=0.005") injects deterministic faults
 // into the speculative run and cross-checks its architectural state against
 // the sequential oracle; -cyclebudget bounds every run with the watchdog;
 // -guard enables the STL violation-storm guard.
+//
+// Observability: -trace writes the speculative run's flight-recorder events
+// as Chrome trace-event JSON (Perfetto-viewable), -metrics dumps the run's
+// typed metrics in Prometheus text format ("-" = stdout), and -http serves
+// net/http/pprof and expvar (including the metrics snapshot under the
+// "jrpm" expvar once the run finishes) on the given address, e.g. :6060,
+// for live profiling while the simulation runs.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"sync/atomic"
 
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
 	"jrpm/internal/faultinject"
+	"jrpm/internal/obs"
 	"jrpm/internal/tls"
 )
+
+// liveMetrics backs the "jrpm" expvar: nil until the pipeline completes.
+var liveMetrics atomic.Pointer[obs.Registry]
 
 func main() {
 	cpus := flag.Int("cpus", 4, "number of CPUs")
@@ -30,9 +46,12 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection plan, e.g. seed=42,raw=0.01,overflow=0.005,bus=0.02,busdelay=12,heap=0.001,jit=0")
 	budget := flag.Int64("cyclebudget", 0, "cycle-budget watchdog for each run (0 = default 2e9)")
 	guard := flag.Bool("guard", false, "enable the STL violation-storm guard (sequential fallback for thrashing loops)")
+	trace := flag.String("trace", "", "write the speculative run's Chrome trace-event JSON to FILE")
+	metrics := flag.String("metrics", "", "write Prometheus text metrics to FILE (\"-\" = stdout)")
+	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar on ADDR (e.g. :6060) during the run")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] [-faults PLAN] [-cyclebudget N] [-guard] program.jasm")
+		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] [-faults PLAN] [-cyclebudget N] [-guard] [-trace FILE] [-metrics -|FILE] [-http ADDR] program.jasm")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -62,6 +81,25 @@ func main() {
 		cfg := tls.DefaultGuardConfig()
 		opts.Guard = &cfg
 	}
+	if *httpAddr != "" {
+		expvar.Publish("jrpm", expvar.Func(func() any {
+			if reg := liveMetrics.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "jrpm-run: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving pprof/expvar on %s\n", *httpAddr)
+	}
+	var ring *obs.Ring
+	if *trace != "" {
+		ring = obs.NewRingMasked(1<<20, obs.MaskDefault)
+		opts.Recorder = ring
+	}
 	res, err := core.Run(prog, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jrpm-run:", err)
@@ -73,6 +111,42 @@ func main() {
 	}
 	for _, v := range res.TLS.Output {
 		fmt.Println(v)
+	}
+	if ring != nil {
+		f, err := os.Create(*trace)
+		if err == nil {
+			err = obs.WriteChromeTrace(f, ring.Events(), opts.NCPU, res.Name)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jrpm-run: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events (%d dropped) written to %s\n",
+			ring.Total(), ring.Dropped(), *trace)
+	}
+	if *metrics != "" {
+		reg := res.Metrics()
+		if ring != nil {
+			obs.SummarizeEvents(reg, ring.Events())
+		}
+		liveMetrics.Store(reg)
+		w := os.Stdout
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jrpm-run:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WritePrometheus(w); err != nil {
+			fmt.Fprintln(os.Stderr, "jrpm-run:", err)
+			os.Exit(1)
+		}
 	}
 	if *seq {
 		fmt.Fprintf(os.Stderr, "sequential: %d cycles\n", res.Seq.Cycles)

@@ -1,0 +1,139 @@
+// Command jrpm-trace runs one workload (or a .jasm program) through the
+// full Jrpm pipeline with the speculation flight recorder attached to the
+// speculative phase, then exports the recorded events as Chrome trace-event
+// JSON — load the file at ui.perfetto.dev (or chrome://tracing) to see the
+// paper's Figure 6/7 run/wait/violated breakdown as a per-CPU timeline.
+//
+// Usage:
+//
+//	jrpm-trace -w BitOps -o trace.json -metrics -
+//	jrpm-trace [-cpus N] [-guard] [-events N] [-cache] program.jasm
+//
+// -metrics dumps the run's typed metrics (cycle/state/commit/violation/
+// overflow/cache counters plus event histograms) in Prometheus text format;
+// "-" writes them to stdout. -events bounds the flight-recorder ring: when
+// a run produces more events than fit, the oldest are overwritten and the
+// drop count is reported. -cache additionally records per-access L1/L2 miss
+// and bus-transfer events (high volume; they evict timeline events from a
+// bounded ring, so they are off by default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"jrpm/internal/bytecode"
+	"jrpm/internal/core"
+	"jrpm/internal/obs"
+	"jrpm/internal/tls"
+	"jrpm/internal/workloads"
+)
+
+func main() {
+	wname := flag.String("w", "", "workload name from the benchmark suite (see -list)")
+	out := flag.String("o", "trace.json", "Chrome trace-event JSON output path (\"-\" = stdout)")
+	metricsPath := flag.String("metrics", "", "write Prometheus text metrics to PATH (\"-\" = stdout)")
+	events := flag.Int("events", 1<<20, "flight-recorder ring capacity in events")
+	cache := flag.Bool("cache", false, "also record per-access cache events (L1/L2 miss, bus transfer)")
+	cpus := flag.Int("cpus", 4, "number of CPUs")
+	guard := flag.Bool("guard", false, "enable the STL violation-storm guard")
+	list := flag.Bool("list", false, "list workload names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Println(w.Name)
+		}
+		return
+	}
+
+	opts := core.DefaultOptions()
+	opts.NCPU = *cpus
+	if *guard {
+		cfg := tls.DefaultGuardConfig()
+		opts.Guard = &cfg
+	}
+
+	var prog *bytecode.Program
+	var name string
+	switch {
+	case *wname != "":
+		w := workloads.ByName(*wname)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "jrpm-trace: unknown workload %q (try -list)\n", *wname)
+			os.Exit(2)
+		}
+		if w.HeapWords > 0 {
+			opts.VM.HeapWords = w.HeapWords
+		}
+		prog = w.Build()
+		name = w.Name
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		fail(err)
+		prog, err = bytecode.Parse(string(src))
+		fail(err)
+		name = strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".jasm")
+	default:
+		fmt.Fprintln(os.Stderr, "usage: jrpm-trace [-w NAME | program.jasm] [-o trace.json] [-metrics -|PATH] [-events N] [-cache] [-cpus N] [-guard]")
+		os.Exit(2)
+	}
+
+	mask := obs.MaskDefault
+	if *cache {
+		mask = obs.MaskAll
+	}
+	ring := obs.NewRingMasked(*events, mask)
+	opts.Recorder = ring
+
+	res, err := core.Run(prog, opts)
+	fail(err)
+	if !res.OutputsMatch {
+		fail(fmt.Errorf("speculative output differs from sequential"))
+	}
+	evs := ring.Events()
+
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			fail(err)
+			defer f.Close()
+			w = f
+		}
+		fail(obs.WriteChromeTrace(w, evs, opts.NCPU, name))
+	}
+
+	if *metricsPath != "" {
+		reg := res.Metrics()
+		obs.SummarizeEvents(reg, evs)
+		reg.Gauge("jrpm_trace_events_recorded").Set(float64(ring.Total()))
+		reg.Gauge("jrpm_trace_events_dropped").Set(float64(ring.Dropped()))
+		w := os.Stdout
+		if *metricsPath != "-" {
+			f, err := os.Create(*metricsPath)
+			fail(err)
+			defer f.Close()
+			w = f
+		}
+		fail(reg.WritePrometheus(w))
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"%s: %d cycles speculative (%.2fx over sequential); %d events recorded, %d dropped",
+		name, res.TLS.Cycles, res.SpeedupActual(), ring.Total(), ring.Dropped())
+	if *out != "" && *out != "-" {
+		fmt.Fprintf(os.Stderr, "; trace written to %s (open at ui.perfetto.dev)", *out)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-trace:", err)
+		os.Exit(1)
+	}
+}

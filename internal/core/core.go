@@ -28,6 +28,7 @@ import (
 	"jrpm/internal/hydra"
 	"jrpm/internal/jit"
 	"jrpm/internal/mem"
+	"jrpm/internal/obs"
 	"jrpm/internal/tls"
 	"jrpm/internal/tracer"
 	"jrpm/internal/vm"
@@ -79,6 +80,11 @@ type Options struct {
 	// before it fails with tls.ErrSpecViolationStorm (0 = simulator
 	// default).
 	StormLimit int64
+
+	// Recorder attaches the speculation flight recorder to the TLS phase
+	// (the baseline and profiling runs stay uninstrumented, mirroring how
+	// Faults/Guard attach). nil disables recording at zero cost.
+	Recorder obs.Recorder
 }
 
 // DefaultOptions is the paper's configuration: 4 CPUs, new handlers, both
@@ -106,6 +112,10 @@ type Phase struct {
 	AvgStoreBuf   float64
 	AvgLoadBuf    float64
 	OverflowBySTL map[int64]int64
+
+	// Cache-hierarchy counters for the phase's machine.
+	L1Hits, L1Misses int64
+	L2Hits, L2Misses int64
 
 	// Statics snapshots the final static field words — part of the
 	// architectural state the fault-injection oracle compares.
@@ -397,6 +407,7 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec
 		mopts.Faults = opts.Faults
 		mopts.Guard = opts.Guard
 		mopts.StormLimit = opts.StormLimit
+		mopts.Recorder = opts.Recorder
 	}
 	m := hydra.NewMachine(img, rt, mopts)
 	m.Boot()
@@ -419,6 +430,8 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec
 		OverflowBySTL: m.OverflowBySTL,
 	}
 	ph.AvgStoreBuf, ph.AvgLoadBuf = m.TLS.AvgBufferLines()
+	ph.L1Hits, ph.L1Misses = m.Caches.L1Hits, m.Caches.L1Misses
+	ph.L2Hits, ph.L2Misses = m.Caches.L2Hits, m.Caches.L2Misses
 	for i := 0; i < img.Statics; i++ {
 		ph.Statics = append(ph.Statics, m.RawRead(hydra.GlobalBase+mem.Addr(i)))
 	}

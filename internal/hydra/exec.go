@@ -6,6 +6,7 @@ import (
 
 	"jrpm/internal/isa"
 	"jrpm/internal/mem"
+	"jrpm/internal/obs"
 	"jrpm/internal/tls"
 )
 
@@ -45,6 +46,9 @@ func (m *Machine) exec(c *CPU) {
 	// reads (the thread and everything younger restart).
 	if m.TLS.Active() && !m.TLS.IsHead(c.ID) && m.inj.SpuriousRAW() {
 		for _, vc := range m.TLS.ViolateFrom(m.TLS.Iteration(c.ID)) {
+			if m.rec != nil {
+				m.record(obs.EvViolation, vc, -1, int64(c.ID))
+			}
 			m.redirectRestart(m.CPUs[vc])
 		}
 		return
@@ -293,6 +297,7 @@ func (m *Machine) exec(c *CPU) {
 			m.commitEOI(c)
 		} else {
 			c.state = stateWaitEOI
+			m.recWait(c, obs.WaitEOI)
 			m.wait(c)
 		}
 		return
@@ -301,6 +306,7 @@ func (m *Machine) exec(c *CPU) {
 			m.doShutdown(c)
 		} else {
 			c.state = stateWaitShutdown
+			m.recWait(c, obs.WaitShutdown)
 			m.wait(c)
 		}
 		return
@@ -313,6 +319,7 @@ func (m *Machine) exec(c *CPU) {
 			m.doSwitchIn(c)
 		} else {
 			c.state = stateWaitSwitchIn
+			m.recWait(c, obs.WaitSwitchIn)
 			m.wait(c)
 		}
 		return
@@ -321,6 +328,7 @@ func (m *Machine) exec(c *CPU) {
 			m.doSwitchOut(c)
 		} else {
 			c.state = stateWaitSwitchOut
+			m.recWait(c, obs.WaitSwitchOut)
 			m.wait(c)
 		}
 		return
@@ -403,6 +411,7 @@ func (m *Machine) exec(c *CPU) {
 		if m.TLS.Active() && !m.TLS.IsHead(c.ID) {
 			c.pendingIO = r[in.Rs]
 			c.state = stateWaitIO
+			m.recWait(c, obs.WaitIO)
 			m.wait(c)
 			return
 		}
@@ -425,6 +434,13 @@ func (m *Machine) exec(c *CPU) {
 	c.readyAt = m.Clock + total
 	m.TLS.ChargeAttempt(c.ID, tls.ChargeRun, total)
 	if c.overflowPending && m.TLS.Active() {
+		if m.rec != nil {
+			kind := obs.EvLoadOverflow
+			if m.TLS.StoreOverflow(c.ID) {
+				kind = obs.EvStoreOverflow
+			}
+			m.record(kind, c.ID, m.TLS.Iteration(c.ID), m.stlLoopID())
+		}
 		if m.TLS.IsHead(c.ID) {
 			newEpisode, err := m.TLS.DrainOverflow(c.ID)
 			if err != nil {
@@ -433,8 +449,12 @@ func (m *Machine) exec(c *CPU) {
 			}
 			m.noteOverflow(newEpisode)
 			c.overflowPending = false
+			if m.rec != nil {
+				m.record(obs.EvOverflowDrain, c.ID, m.TLS.Iteration(c.ID), m.stlLoopID())
+			}
 		} else {
 			c.state = stateWaitOverflow
+			m.recWait(c, obs.WaitOverflow)
 		}
 	}
 }
@@ -457,7 +477,10 @@ func (m *Machine) doSTLStart(c *CPU, stlID int64) {
 	m.stormCount = 0
 	// A loop the guard has decertified enters in solo (sequential-fallback)
 	// mode: only this CPU runs, iterations advance one at a time, and the
-	// loop keeps its TLS-compiled code but sequential semantics.
+	// loop keeps its TLS-compiled code but sequential semantics. The
+	// decertified flag is read before Allow, which consumes backoff state,
+	// so the recorder can distinguish a re-probe from a plain start.
+	wasDecert := m.Guard != nil && m.Guard.Decertified(desc.LoopID)
 	solo := m.Guard != nil && !m.Guard.Allow(desc.LoopID)
 	var err error
 	if solo {
@@ -477,6 +500,20 @@ func (m *Machine) doSTLStart(c *CPU, stlID int64) {
 		}
 	}
 	m.lastHoisted = desc.ID
+	if m.rec != nil {
+		mode := int64(0)
+		switch {
+		case solo:
+			mode = 1
+			m.record(obs.EvGuardSolo, c.ID, desc.LoopID, 0)
+		case wasDecert:
+			mode = 2
+			m.record(obs.EvGuardProbe, c.ID, desc.LoopID, 0)
+		}
+		m.record(obs.EvSTLStart, c.ID, desc.LoopID, mode)
+		m.record(obs.EvHandlerStartup, c.ID, startup, desc.LoopID)
+		m.record(obs.EvThreadSpawn, c.ID, m.TLS.Iteration(c.ID), desc.LoopID)
+	}
 	if !solo {
 		m.deploySlaves(c, c.PC+1, startup)
 	}
@@ -497,12 +534,16 @@ func (m *Machine) requestGC(c *CPU) {
 	}
 	if m.TLS.Active() && !m.TLS.IsHead(c.ID) {
 		c.state = stateWaitGC
+		m.recWait(c, obs.WaitGC)
 		m.wait(c)
 		return
 	}
 	m.quiesceForGC(c)
 	m.Runtime.CollectGarbage(m, c.ID)
 	m.GCRuns++
+	if m.rec != nil {
+		m.record(obs.EvGC, c.ID, m.GCRuns, 0)
+	}
 	// PC unchanged: re-execute the allocation.
 	c.readyAt = m.Clock + 1 + c.extra
 	c.extra = 0
@@ -516,6 +557,7 @@ func (m *Machine) trap(c *CPU, kind int64, ref int64) {
 		c.pendingExKind = kind
 		c.pendingExRef = ref
 		c.state = stateWaitException
+		m.recWait(c, obs.WaitException)
 		m.wait(c)
 		return
 	}
@@ -557,6 +599,7 @@ func (m *Machine) resolveHandler(c *CPU, depth int, methodID int, target int, re
 			(depth == m.stlFrameDepth && methodID == m.curSTL.Method &&
 				target >= m.curSTL.BodyStart && target < m.curSTL.BodyEnd)
 		if !stay {
+			loopID := m.stlLoopID()
 			killed, err := m.TLS.Shutdown(c.ID)
 			if err != nil {
 				m.fail(err)
@@ -564,6 +607,12 @@ func (m *Machine) resolveHandler(c *CPU, depth int, methodID int, target int, re
 			}
 			for _, k := range killed {
 				m.CPUs[k].state = stateIdle
+			}
+			if m.rec != nil {
+				for _, k := range killed {
+					m.record(obs.EvKill, k, loopID, 0)
+				}
+				m.record(obs.EvSTLShutdown, c.ID, loopID, 0)
 			}
 			m.Master = c.ID
 			m.guardOnExit()

@@ -7,6 +7,7 @@ import (
 	"jrpm/internal/faultinject"
 	"jrpm/internal/isa"
 	"jrpm/internal/mem"
+	"jrpm/internal/obs"
 	"jrpm/internal/tls"
 	"jrpm/internal/tracer"
 )
@@ -92,6 +93,12 @@ type Options struct {
 	// fails with ErrSpecViolationStorm (0 = default 1<<20). It is the hard
 	// backstop below the cycle budget when the guard is disabled.
 	StormLimit int64
+
+	// Recorder receives cycle-stamped speculation events (the flight
+	// recorder). nil disables recording; the disabled path is one predicted
+	// branch per site — no allocation, no timing change, bit-identical
+	// cycle counts. Must be a nil interface to disable, not a typed nil.
+	Recorder obs.Recorder
 }
 
 // defaultStormLimit bounds restarts-without-commit; generous enough that
@@ -132,6 +139,11 @@ type Machine struct {
 	stormLimit int64
 	stormCount int64 // violations since the last commit (storm backstop)
 
+	rec obs.Recorder
+	// Configured latencies, cached so the recorder can classify a load's
+	// memory level from its charged latency without touching CacheSim.
+	latL2, latMem, latInter int64
+
 	curSTL        *STLDesc
 	outerSTL      *STLDesc
 	outerResume   int64
@@ -163,6 +175,10 @@ func NewMachine(img *Image, rt Runtime, opts Options) *Machine {
 		Caches:        mem.NewCacheSim(cacheCfg),
 		Runtime:       rt,
 		OverflowBySTL: map[int64]int64{},
+		rec:           opts.Recorder,
+		latL2:         cacheCfg.LatL2,
+		latMem:        cacheCfg.LatMem,
+		latInter:      cacheCfg.LatInter,
 	}
 	m.TLS = tls.NewUnit(tlsCfg, m.Mem, m.Caches)
 	if opts.Faults != nil {
@@ -327,6 +343,9 @@ func (m *Machine) step(c *CPU) {
 			c.overflowPending = false
 			c.state = stateRunning
 			c.readyAt = m.Clock + 1
+			if m.rec != nil {
+				m.record(obs.EvOverflowDrain, c.ID, m.TLS.Iteration(c.ID), m.stlLoopID())
+			}
 		} else {
 			m.wait(c)
 		}
@@ -359,6 +378,9 @@ func (m *Machine) step(c *CPU) {
 			m.quiesceForGC(c)
 			m.Runtime.CollectGarbage(m, c.ID)
 			m.GCRuns++
+			if m.rec != nil {
+				m.record(obs.EvGC, c.ID, m.GCRuns, 0)
+			}
 			c.state = stateRunning // PC unchanged: the alloc re-executes
 			c.readyAt = m.Clock + 1 + c.extra
 			c.extra = 0
@@ -402,10 +424,22 @@ func (m *Machine) commitEOI(c *CPU) {
 			m.CPUs[k].state = stateIdle
 			m.CPUs[k].overflowPending = false
 		}
+		if m.rec != nil {
+			m.record(obs.EvGuardDemote, c.ID, loopID, 0)
+			for _, k := range killed {
+				m.record(obs.EvKill, k, loopID, 0)
+			}
+		}
 	}
+	iter := m.TLS.Iteration(c.ID)
 	if err := m.TLS.CommitEOI(c.ID); err != nil {
 		m.fail(err)
 		return
+	}
+	if m.rec != nil {
+		m.record(obs.EvCommit, c.ID, iter, loopID)
+		m.record(obs.EvHandlerEOI, c.ID, m.TLS.Config().Handlers.EOI, loopID)
+		m.record(obs.EvThreadSpawn, c.ID, m.TLS.Iteration(c.ID), loopID)
 	}
 	m.stormCount = 0
 	// Solo commits are sequential execution, not evidence of speculative
@@ -461,6 +495,7 @@ func (m *Machine) dataFault(c *CPU, f *mem.Fault) {
 		c.pendingFault = mf
 		c.pendingExKind = exKindMemFault
 		c.state = stateWaitException
+		m.recWait(c, obs.WaitException)
 		m.wait(c)
 		return
 	}
@@ -482,6 +517,7 @@ func (m *Machine) dataFaultAt(c *CPU, a mem.Addr, write bool) {
 		c.pendingFault = mf
 		c.pendingExKind = exKindMemFault
 		c.state = stateWaitException
+		m.recWait(c, obs.WaitException)
 		m.wait(c)
 		return
 	}
@@ -505,19 +541,63 @@ func (m *Machine) wait(c *CPU) {
 	c.readyAt = m.Clock + 1
 }
 
+// record emits one flight-recorder event. Callers must have checked
+// m.rec != nil so the disabled path never builds the event value.
+func (m *Machine) record(kind obs.EventKind, cpu int, arg, aux int64) {
+	m.rec.Record(obs.Event{Cycle: m.Clock, Kind: kind, CPU: int32(cpu), Arg: arg, Aux: aux})
+}
+
+// stlLoopID is the active STL's loop id for event payloads (-1 outside STLs).
+func (m *Machine) stlLoopID() int64 {
+	if m.curSTL == nil {
+		return -1
+	}
+	return m.curSTL.LoopID
+}
+
+// recWait records c parking in a head-wait state. Recorded once at the
+// transition, not per polled wait cycle.
+func (m *Machine) recWait(c *CPU, reason int64) {
+	if m.rec != nil {
+		m.record(obs.EvThreadWait, c.ID, reason, m.stlLoopID())
+	}
+}
+
+// recordMemLat classifies a load's charged latency into a cache-level event.
+// Latency is a faithful fingerprint of the level because the configured
+// levels are distinct by construction (L1 hit / L2 hit / interprocessor
+// forward / memory).
+func (m *Machine) recordMemLat(c *CPU, a mem.Addr, lat int64) {
+	switch lat {
+	case m.latL2:
+		m.record(obs.EvL1Miss, c.ID, int64(a), 0)
+	case m.latMem:
+		m.record(obs.EvL2Miss, c.ID, int64(a), 0)
+	case m.latInter:
+		m.record(obs.EvBusTransfer, c.ID, int64(a), 0)
+	}
+}
+
 // loadWord performs a data load, speculative or not, charging latency into
 // the current instruction and informing the profiler.
 func (m *Machine) loadWord(c *CPU, a mem.Addr, noViolate bool, cls AddrClass) int64 {
 	if m.TLS.Active() {
 		v, lat := m.TLS.Load(c.ID, a, noViolate)
 		c.extra += lat
+		if m.rec != nil {
+			m.recordMemLat(c, a, lat)
+		}
 		if !noViolate && m.TLS.LoadOverflow(c.ID) {
 			c.overflowPending = true
 		}
 		return v
 	}
 	v := m.Mem.Read(a)
-	c.extra += m.Caches.Load(c.ID, a)
+	lat := m.Caches.Load(c.ID, a)
+	c.extra += lat
+	if m.rec != nil {
+		m.recordMemLat(c, a, lat)
+	}
 	if m.Tracer != nil {
 		if cls == ClassHeap && a >= StackRegionBase {
 			cls = ClassStack
@@ -543,6 +623,9 @@ func (m *Machine) storeWord(c *CPU, a mem.Addr, v int64, cls AddrClass) {
 		}
 		c.extra += lat
 		for _, vc := range violated {
+			if m.rec != nil {
+				m.record(obs.EvViolation, vc, int64(a), int64(c.ID))
+			}
 			m.redirectRestart(m.CPUs[vc])
 		}
 		if m.TLS.StoreOverflow(c.ID) {
@@ -602,6 +685,9 @@ func (m *Machine) quiesceForGC(c *CPU) {
 		return
 	}
 	for _, vc := range m.TLS.ViolateFrom(m.TLS.Iteration(c.ID) + 1) {
+		if m.rec != nil {
+			m.record(obs.EvViolation, vc, -2, int64(c.ID))
+		}
 		m.redirectRestart(m.CPUs[vc])
 	}
 }
@@ -642,6 +728,10 @@ func (m *Machine) redirectRestart(c *CPU) {
 		at = m.Clock
 	}
 	c.readyAt = at + m.TLS.Config().Handlers.Restart
+	if m.rec != nil {
+		m.record(obs.EvHandlerRestart, c.ID, m.TLS.Config().Handlers.Restart, m.curSTL.LoopID)
+		m.record(obs.EvRestart, c.ID, m.TLS.Iteration(c.ID), m.curSTL.LoopID)
+	}
 }
 
 // doShutdown finalizes an STL: the exiting head commits, younger threads are
@@ -649,6 +739,7 @@ func (m *Machine) redirectRestart(c *CPU) {
 // execution (its registers hold the architecturally correct loop-exit
 // state, since it executed the final iteration).
 func (m *Machine) doShutdown(c *CPU) {
+	loopID := m.stlLoopID()
 	killed, err := m.TLS.Shutdown(c.ID)
 	if err != nil {
 		m.fail(err)
@@ -663,6 +754,13 @@ func (m *Machine) doShutdown(c *CPU) {
 	if m.curSTL != nil && m.curSTL.Hoisted && shutdown > HoistShutdownSaving {
 		// Hoisted STLs leave the slaves spun up for the next entry.
 		shutdown -= HoistShutdownSaving
+	}
+	if m.rec != nil {
+		for _, k := range killed {
+			m.record(obs.EvKill, k, loopID, 0)
+		}
+		m.record(obs.EvHandlerShutdown, c.ID, shutdown, loopID)
+		m.record(obs.EvSTLShutdown, c.ID, loopID, 0)
 	}
 	m.guardOnExit()
 	m.stormCount = 0
@@ -695,6 +793,10 @@ func (m *Machine) doSwitchIn(c *CPU) {
 		m.fail(err)
 		return
 	}
+	if m.rec != nil {
+		m.record(obs.EvSTLSwitch, c.ID, inner.LoopID, 0)
+		m.record(obs.EvThreadSpawn, c.ID, m.TLS.Iteration(c.ID), inner.LoopID)
+	}
 	if !m.TLS.Solo() {
 		m.deploySlaves(c, c.PC+1, SwitchStartupCost)
 	}
@@ -724,6 +826,10 @@ func (m *Machine) doSwitchOut(c *CPU) {
 	if err := m.TLS.SwitchSTL(outer.ID, c.ID, m.outerResume); err != nil {
 		m.fail(err)
 		return
+	}
+	if m.rec != nil {
+		m.record(obs.EvSTLSwitch, c.ID, outer.LoopID, 1)
+		m.record(obs.EvThreadSpawn, c.ID, m.TLS.Iteration(c.ID), outer.LoopID)
 	}
 	if !m.TLS.Solo() {
 		m.deploySlaves(c, outer.InitPC, SwitchShutdownCost)
@@ -756,6 +862,9 @@ func (m *Machine) deploySlaves(c *CPU, pc int, cost int64) {
 		sc.pendingExKind, sc.pendingExRef = 0, 0
 		sc.pendingFault = nil
 		sc.overflowPending = false
+		if m.rec != nil {
+			m.record(obs.EvThreadSpawn, sc.ID, m.TLS.Iteration(sc.ID), m.stlLoopID())
+		}
 	}
 }
 

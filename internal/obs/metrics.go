@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d must be >= 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time float metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HistogramBuckets is the fixed bucket count of every Histogram. Bucket 0
+// holds observations <= 0; bucket i (i >= 1) holds values whose bit length
+// is i, i.e. the half-open range [2^(i-1), 2^i); the last bucket also
+// absorbs everything larger.
+const HistogramBuckets = 32
+
+// Histogram is a fixed log2-bucketed distribution of int64 observations —
+// no configuration, no allocation after construction, good enough to see
+// whether iteration times cluster at 2^7 or 2^13 cycles.
+type Histogram struct {
+	buckets [HistogramBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+		if idx >= HistogramBuckets {
+			idx = HistogramBuckets - 1
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports total observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bucket reports the (non-cumulative) count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i].Load() }
+
+// BucketUpper reports the inclusive upper bound of bucket i; the final
+// bucket is unbounded (+Inf).
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1<<i - 1
+}
+
+// Registry is a flat namespace of typed metrics. Names follow Prometheus
+// conventions and may carry a label suffix, e.g.
+// `jrpm_tls_commits_total{workload="BitOps"}`. Histogram names must be
+// plain (no labels) so the bucket `le` label can be appended.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every metric into a plain map (histograms become
+// {count, sum} submaps) — the shape expvar.Func expects.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = map[string]int64{"count": h.Count(), "sum": h.Sum()}
+	}
+	return out
+}
+
+// baseName strips a label suffix: `a_total{x="y"}` -> `a_total`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format, sorted by metric name so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	typeOf := make(map[string]string)
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name := range r.counters {
+		names = append(names, name)
+		typeOf[baseName(name)] = "counter"
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+		typeOf[baseName(name)] = "gauge"
+	}
+	for name := range r.hists {
+		names = append(names, name)
+		typeOf[baseName(name)] = "histogram"
+	}
+	sort.Strings(names)
+
+	typed := make(map[string]bool)
+	for _, name := range names {
+		base := baseName(name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typeOf[base]); err != nil {
+				return err
+			}
+		}
+		if c, ok := r.counters[name]; ok {
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, c.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		if g, ok := r.gauges[name]; ok {
+			if _, err := fmt.Fprintf(w, "%s %g\n", name, g.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		h := r.hists[name]
+		var cum int64
+		for i := 0; i < HistogramBuckets; i++ {
+			cum += h.Bucket(i)
+			le := "+Inf"
+			if i < HistogramBuckets-1 {
+				le = fmt.Sprint(BucketUpper(i))
+			}
+			// Skip interior zero buckets to keep output readable;
+			// always emit the +Inf bucket.
+			if h.Bucket(i) == 0 && i < HistogramBuckets-1 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JoinLabels merges non-empty comma-form label sets:
+// JoinLabels(`a="1"`, `b="2"`) -> `a="1",b="2"`.
+func JoinLabels(labels ...string) string {
+	parts := labels[:0:0]
+	for _, l := range labels {
+		if l != "" {
+			parts = append(parts, l)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Name appends a label set to a metric name: Name("x_total", `w="B"`) ->
+// `x_total{w="B"}`. Empty labels return the bare name.
+func Name(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}

@@ -1,0 +1,299 @@
+// Package obs is the simulator's observability layer: a speculation flight
+// recorder (fixed-capacity, generation-stamped event ring in the same
+// hardware-shaped style as tls/buffers.go), a typed metrics registry with
+// Prometheus text export, and a Chrome trace-event exporter that renders the
+// paper's Figure 6/7 run/wait/violated breakdown as a per-CPU timeline.
+//
+// The recorder is wired into the simulator behind a nil-check interface:
+// with a nil Recorder the instrumented sites reduce to a single predicted
+// branch — no allocation, no timing change — so the golden cycle suite stays
+// bit-identical whether or not the package is linked in.
+package obs
+
+// EventKind identifies one cycle-stamped simulator event. Kinds are dense
+// small integers so a KindMask bit per kind fits in a uint64.
+type EventKind uint8
+
+// Event kinds. Arg/Aux payloads are documented per kind; CPU is always the
+// CPU the event happened on (the victim for violations and kills).
+const (
+	// EvSTLStart: an STL region was entered. Arg=loop ID, Aux=mode
+	// (0 parallel, 1 solo/decertified, 2 guard probe).
+	EvSTLStart EventKind = iota
+	// EvSTLShutdown: the STL region exited. Arg=loop ID.
+	EvSTLShutdown
+	// EvSTLSwitch: control switched between nested STLs without a full
+	// shutdown. Arg=new loop ID, Aux=0 switch-in, 1 switch-out.
+	EvSTLSwitch
+	// EvThreadSpawn: a speculative thread began an iteration.
+	// Arg=iteration index, Aux=loop ID.
+	EvThreadSpawn
+	// EvThreadWait: the CPU parked waiting for head status or a resource.
+	// Arg=wait reason (Wait* constants), Aux=loop ID.
+	EvThreadWait
+	// EvCommit: the head thread committed its iteration. Arg=iteration
+	// index, Aux=loop ID.
+	EvCommit
+	// EvViolation: a RAW violation killed this CPU's work. Arg=violating
+	// word address (-1 injected spurious, -2 GC quiesce), Aux=writer CPU.
+	EvViolation
+	// EvRestart: a violated thread restarted its iteration. Arg=iteration
+	// index, Aux=loop ID.
+	EvRestart
+	// EvKill: speculative work was discarded at region exit or guard
+	// demotion. Arg=loop ID.
+	EvKill
+	// EvStoreOverflow: the speculative store buffer exceeded its paper
+	// capacity. Arg=iteration index, Aux=loop ID.
+	EvStoreOverflow
+	// EvLoadOverflow: the load-address set exceeded its paper capacity.
+	// Arg=iteration index, Aux=loop ID.
+	EvLoadOverflow
+	// EvOverflowDrain: an overflowed thread became head and drained its
+	// buffered state. Arg=iteration index, Aux=loop ID.
+	EvOverflowDrain
+	// EvHandlerStartup: the STL_STARTUP control handler ran. Arg=charged
+	// cycles, Aux=loop ID.
+	EvHandlerStartup
+	// EvHandlerShutdown: the STL_SHUTDOWN handler ran. Arg=charged cycles,
+	// Aux=loop ID.
+	EvHandlerShutdown
+	// EvHandlerEOI: the end-of-iteration handler ran. Arg=charged cycles,
+	// Aux=loop ID.
+	EvHandlerEOI
+	// EvHandlerRestart: the violation-restart handler ran. Arg=charged
+	// cycles, Aux=loop ID.
+	EvHandlerRestart
+	// EvGuardDemote: the storm guard decertified a loop mid-region.
+	// Arg=loop ID.
+	EvGuardDemote
+	// EvGuardProbe: a decertified loop re-entered as a parallel probe.
+	// Arg=loop ID.
+	EvGuardProbe
+	// EvGuardSolo: a decertified loop entered in sequential-fallback mode.
+	// Arg=loop ID.
+	EvGuardSolo
+	// EvGC: a stop-the-world garbage collection completed. Arg=GC run
+	// index.
+	EvGC
+	// EvL1Miss: a load missed L1 and hit L2. Arg=word address.
+	EvL1Miss
+	// EvL2Miss: a load missed both caches and went to memory. Arg=word
+	// address.
+	EvL2Miss
+	// EvBusTransfer: a load was forwarded over the interprocessor bus from
+	// an earlier thread's store buffer. Arg=word address.
+	EvBusTransfer
+
+	numEventKinds
+)
+
+// kindNames is indexed by EventKind.
+var kindNames = [numEventKinds]string{
+	EvSTLStart:        "stl_start",
+	EvSTLShutdown:     "stl_shutdown",
+	EvSTLSwitch:       "stl_switch",
+	EvThreadSpawn:     "thread_spawn",
+	EvThreadWait:      "thread_wait",
+	EvCommit:          "commit",
+	EvViolation:       "violation",
+	EvRestart:         "restart",
+	EvKill:            "kill",
+	EvStoreOverflow:   "store_overflow",
+	EvLoadOverflow:    "load_overflow",
+	EvOverflowDrain:   "overflow_drain",
+	EvHandlerStartup:  "handler_startup",
+	EvHandlerShutdown: "handler_shutdown",
+	EvHandlerEOI:      "handler_eoi",
+	EvHandlerRestart:  "handler_restart",
+	EvGuardDemote:     "guard_demote",
+	EvGuardProbe:      "guard_probe",
+	EvGuardSolo:       "guard_solo",
+	EvGC:              "gc",
+	EvL1Miss:          "l1_miss",
+	EvL2Miss:          "l2_miss",
+	EvBusTransfer:     "bus_transfer",
+}
+
+// String names the kind for metrics labels and trace export.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Wait reasons carried in EvThreadWait.Arg, mirroring the machine's
+// head-wait states.
+const (
+	WaitEOI int64 = iota
+	WaitShutdown
+	WaitOverflow
+	WaitException
+	WaitIO
+	WaitGC
+	WaitSwitchIn
+	WaitSwitchOut
+)
+
+// waitNames is indexed by the Wait* constants.
+var waitNames = [...]string{
+	"eoi", "shutdown", "overflow", "exception", "io", "gc",
+	"switch_in", "switch_out",
+}
+
+// WaitName names a wait reason for trace export.
+func WaitName(reason int64) string {
+	if reason >= 0 && int(reason) < len(waitNames) {
+		return waitNames[reason]
+	}
+	return "unknown"
+}
+
+// Event is one cycle-stamped occurrence inside the simulator. The struct is
+// a flat value — recording one is a copy into a preallocated slot, never an
+// allocation.
+type Event struct {
+	Cycle int64
+	Arg   int64
+	Aux   int64
+	CPU   int32
+	Kind  EventKind
+}
+
+// Recorder receives cycle-stamped events from the simulator. The disabled
+// path is a nil interface value — instrumented sites check `rec != nil`
+// before building the event, so a machine without a recorder pays one
+// predicted branch per site. Callers must pass a nil interface (not a typed
+// nil pointer) to disable recording.
+//
+// Implementations are not required to be goroutine-safe: a Machine is
+// single-goroutine, and each machine gets its own Recorder.
+type Recorder interface {
+	Record(ev Event)
+}
+
+// KindMask selects which event kinds a ring stores; bit k gates EventKind k.
+type KindMask uint64
+
+// MaskAll admits every event kind.
+const MaskAll KindMask = 1<<numEventKinds - 1
+
+// MaskDefault admits everything except the per-access cache events
+// (L1/L2 miss, bus transfer), which dominate event volume and would evict
+// the speculation timeline from a bounded ring long before the run ends.
+const MaskDefault = MaskAll &^ (1<<EvL1Miss | 1<<EvL2Miss | 1<<EvBusTransfer)
+
+// MaskOf builds a mask admitting exactly the given kinds.
+func MaskOf(kinds ...EventKind) KindMask {
+	var m KindMask
+	for _, k := range kinds {
+		m |= 1 << k
+	}
+	return m
+}
+
+// Ring is the flight recorder: a fixed-capacity event ring in the same
+// hardware-shaped style as the tls speculative buffers — all state is
+// preallocated at construction, Record is O(1) with zero allocations, and
+// Reset is an O(1) generation bump rather than a sweep. When the ring is
+// full the oldest event is overwritten (flight-recorder semantics: the tail
+// of the run is always retained) and Dropped counts the evictions.
+type Ring struct {
+	slots   []Event
+	stamp   []uint32 // generation stamp per slot; valid iff == gen
+	gen     uint32
+	mask    KindMask
+	next    int    // next slot to write
+	count   int    // live events, <= len(slots)
+	total   uint64 // events admitted by the mask since Reset
+	dropped uint64 // admitted events that overwrote an older one
+}
+
+// NewRing builds a recorder ring holding up to capacity events of any kind.
+func NewRing(capacity int) *Ring { return NewRingMasked(capacity, MaskAll) }
+
+// NewRingMasked builds a recorder ring that stores only kinds admitted by
+// mask. Capacity is clamped to at least 1.
+func NewRingMasked(capacity int, mask KindMask) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{
+		slots: make([]Event, capacity),
+		stamp: make([]uint32, capacity),
+		gen:   1,
+		mask:  mask,
+	}
+}
+
+// Record stores one event, overwriting the oldest when full. Zero-alloc.
+func (r *Ring) Record(ev Event) {
+	if r.mask&(1<<ev.Kind) == 0 {
+		return
+	}
+	r.total++
+	if r.count == len(r.slots) {
+		r.dropped++
+	} else {
+		r.count++
+	}
+	r.slots[r.next] = ev
+	r.stamp[r.next] = r.gen
+	r.next++
+	if r.next == len(r.slots) {
+		r.next = 0
+	}
+}
+
+// Len reports the number of live events (≤ Cap).
+func (r *Ring) Len() int { return r.count }
+
+// Cap reports the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Total reports events admitted by the mask since the last Reset, including
+// ones later overwritten.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Dropped reports how many admitted events were overwritten by newer ones.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Mask reports the ring's kind filter.
+func (r *Ring) Mask() KindMask { return r.mask }
+
+// Reset discards all recorded events in O(1) by bumping the generation, as
+// the tls buffers do — no slot is touched until it is next written.
+func (r *Ring) Reset() {
+	r.gen++
+	if r.gen == 0 { // wrapped: stale stamps could alias, so clear them once
+		for i := range r.stamp {
+			r.stamp[i] = 0
+		}
+		r.gen = 1
+	}
+	r.next = 0
+	r.count = 0
+	r.total = 0
+	r.dropped = 0
+}
+
+// Events returns the live events in chronological order (oldest first).
+// The returned slice is a fresh copy.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.slots)
+	}
+	for i := 0; i < r.count; i++ {
+		j := start + i
+		if j >= len(r.slots) {
+			j -= len(r.slots)
+		}
+		if r.stamp[j] == r.gen {
+			out = append(out, r.slots[j])
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func ev(cycle int64, kind EventKind, cpu int32) Event {
+	return Event{Cycle: cycle, Kind: kind, CPU: cpu}
+}
+
+func TestRingWrapAroundDropsOldest(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 20; i++ {
+		r.Record(ev(int64(i), EvCommit, 0))
+	}
+	if r.Len() != 8 || r.Cap() != 8 {
+		t.Fatalf("Len=%d Cap=%d, want 8/8", r.Len(), r.Cap())
+	}
+	if r.Total() != 20 || r.Dropped() != 12 {
+		t.Fatalf("Total=%d Dropped=%d, want 20/12", r.Total(), r.Dropped())
+	}
+	got := r.Events()
+	if len(got) != 8 {
+		t.Fatalf("Events len=%d, want 8", len(got))
+	}
+	for i, e := range got {
+		if want := int64(12 + i); e.Cycle != want {
+			t.Fatalf("event %d cycle=%d, want %d (chronological, oldest survivor first)", i, e.Cycle, want)
+		}
+	}
+}
+
+func TestRingMask(t *testing.T) {
+	r := NewRingMasked(8, MaskOf(EvCommit))
+	r.Record(ev(1, EvCommit, 0))
+	r.Record(ev(2, EvL1Miss, 0))
+	if r.Len() != 1 || r.Total() != 1 {
+		t.Fatalf("masked-out event was stored: Len=%d Total=%d", r.Len(), r.Total())
+	}
+	if MaskDefault&(1<<EvL1Miss) != 0 || MaskDefault&(1<<EvCommit) == 0 {
+		t.Fatal("MaskDefault must drop cache events and keep timeline events")
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(ev(int64(i), EvCommit, 0))
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatalf("Reset left state: Len=%d Total=%d Dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	if got := r.Events(); len(got) != 0 {
+		t.Fatalf("Events after Reset = %d, want 0", len(got))
+	}
+	r.Record(ev(99, EvViolation, 1))
+	got := r.Events()
+	if len(got) != 1 || got[0].Cycle != 99 {
+		t.Fatalf("post-Reset recording broken: %+v", got)
+	}
+}
+
+func TestRingRecordZeroAlloc(t *testing.T) {
+	r := NewRing(64) // small: exercises the wrap path too
+	e := ev(1, EvCommit, 2)
+	if n := testing.AllocsPerRun(1000, func() { r.Record(e) }); n != 0 {
+		t.Fatalf("Ring.Record allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, // non-positive -> bucket 0
+		{1, 1},         // [1,1]
+		{2, 2}, {3, 2}, // [2,3]
+		{4, 3}, {7, 3}, // [4,7]
+		{8, 4},
+		{1 << 10, 11},
+		{(1 << 11) - 1, 11},
+		{1 << 62, HistogramBuckets - 1}, // clamped into the +Inf bucket
+	}
+	for _, c := range cases {
+		before := h.Bucket(c.bucket)
+		h.Observe(c.v)
+		if h.Bucket(c.bucket) != before+1 {
+			t.Fatalf("Observe(%d) did not land in bucket %d", c.v, c.bucket)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("Count=%d, want %d", h.Count(), len(cases))
+	}
+	if BucketUpper(3) != 7 || BucketUpper(0) != 0 {
+		t.Fatalf("BucketUpper wrong: %d %d", BucketUpper(3), BucketUpper(0))
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(1234) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestRegistryPrometheusOutput(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`x_total{w="b"}`).Add(3)
+	reg.Counter(`x_total{w="a"}`).Add(2)
+	reg.Gauge("g").Set(1.5)
+	h := reg.Histogram("lat")
+	h.Observe(1)
+	h.Observe(5)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE x_total counter",
+		`x_total{w="a"} 2`,
+		`x_total{w="b"} 3`,
+		"# TYPE g gauge",
+		"g 1.5",
+		"# TYPE lat histogram",
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="7"} 2`,
+		`lat_bucket{le="+Inf"} 2`,
+		"lat_sum 6",
+		"lat_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted: a-label before b-label.
+	if strings.Index(out, `w="a"`) > strings.Index(out, `w="b"`) {
+		t.Fatalf("output not sorted:\n%s", out)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(7)
+	reg.Gauge("g").Set(2.5)
+	reg.Histogram("h").Observe(4)
+	snap := reg.Snapshot()
+	if snap["c"] != int64(7) || snap["g"] != 2.5 {
+		t.Fatalf("snapshot wrong: %v", snap)
+	}
+	if hm, ok := snap["h"].(map[string]int64); !ok || hm["count"] != 1 || hm["sum"] != 4 {
+		t.Fatalf("histogram snapshot wrong: %v", snap["h"])
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	events := []Event{
+		{Cycle: 10, Kind: EvSTLStart, CPU: 0, Arg: 7},
+		{Cycle: 10, Kind: EvThreadSpawn, CPU: 0, Arg: 0, Aux: 7},
+		{Cycle: 10, Kind: EvThreadSpawn, CPU: 1, Arg: 1, Aux: 7},
+		{Cycle: 40, Kind: EvViolation, CPU: 1, Arg: 5000, Aux: 0},
+		{Cycle: 46, Kind: EvRestart, CPU: 1, Arg: 1, Aux: 7},
+		{Cycle: 50, Kind: EvCommit, CPU: 0, Arg: 0, Aux: 7},
+		{Cycle: 50, Kind: EvThreadSpawn, CPU: 0, Arg: 2, Aux: 7},
+		{Cycle: 90, Kind: EvSTLShutdown, CPU: 0, Arg: 7},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, 2, "unit"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Cat  string `json:"cat"`
+			TID  int    `json:"tid"`
+			TS   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var sawRun, sawViolated, sawMeta bool
+	for _, te := range doc.TraceEvents {
+		switch {
+		case te.Ph == "M" && te.Name == "thread_name":
+			sawMeta = true
+		case te.Ph == "X" && te.Cat == "run" && te.Name == "i0" && te.TID == 0 && te.TS == 10 && te.Dur == 40:
+			sawRun = true
+		case te.Ph == "X" && te.Cat == "violated" && te.TID == 1:
+			sawViolated = true
+		}
+	}
+	if !sawMeta || !sawRun || !sawViolated {
+		t.Fatalf("missing spans (meta=%v run=%v violated=%v):\n%s", sawMeta, sawRun, sawViolated, buf.String())
+	}
+}
+
+func TestSummarizeEvents(t *testing.T) {
+	reg := NewRegistry()
+	SummarizeEvents(reg, []Event{
+		{Cycle: 10, Kind: EvThreadSpawn, CPU: 0},
+		{Cycle: 74, Kind: EvCommit, CPU: 0},
+		{Cycle: 74, Kind: EvViolation, CPU: 1},
+	})
+	if got := reg.Counter(`jrpm_events_total{kind="commit"}`).Value(); got != 1 {
+		t.Fatalf("commit event counter = %d, want 1", got)
+	}
+	h := reg.Histogram("jrpm_iteration_cycles")
+	if h.Count() != 1 || h.Sum() != 64 {
+		t.Fatalf("iteration histogram count=%d sum=%d, want 1/64", h.Count(), h.Sum())
+	}
+}

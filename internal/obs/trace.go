@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one Chrome trace-event JSON object. Only the fields the
+// exporter uses are modelled; ts/dur are in microseconds, which we map 1:1
+// to simulated cycles.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceWriter streams trace events as a JSON array without holding the
+// whole encoded trace in memory.
+type traceWriter struct {
+	bw    *bufio.Writer
+	first bool
+	err   error
+}
+
+func (tw *traceWriter) emit(ev traceEvent) {
+	if tw.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		tw.err = err
+		return
+	}
+	if !tw.first {
+		tw.bw.WriteString(",\n")
+	}
+	tw.first = false
+	_, tw.err = tw.bw.Write(b)
+}
+
+// cpuTrack is the per-CPU span state machine: at most one speculation-state
+// span (run / wait / violated) is open per track at a time.
+type cpuTrack struct {
+	name  string
+	cat   string
+	start int64
+	open  bool
+}
+
+// WriteChromeTrace renders recorded events as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each CPU gets
+// one track carrying its speculation-state spans — run iN / wait:<reason> /
+// violated — reproducing the paper's Figure 6/7 state breakdown as a
+// timeline; violations, overflows, handler charges, and guard transitions
+// appear as instants and short handler spans on the same track. One
+// simulated cycle is rendered as one microsecond.
+//
+// Events must be in chronological order (Ring.Events provides that).
+func WriteChromeTrace(w io.Writer, events []Event, ncpu int, name string) error {
+	tw := &traceWriter{bw: bufio.NewWriter(w), first: true}
+	tw.bw.WriteString("{\"traceEvents\":[\n")
+
+	// Track metadata: one named track per CPU, sorted by CPU index.
+	tw.emit(traceEvent{Name: "process_name", Ph: "M",
+		Args: map[string]any{"name": "jrpm " + name}})
+	for cpu := 0; cpu < ncpu; cpu++ {
+		tw.emit(traceEvent{Name: "thread_name", Ph: "M", TID: cpu,
+			Args: map[string]any{"name": fmt.Sprintf("cpu %d", cpu)}})
+		tw.emit(traceEvent{Name: "thread_sort_index", Ph: "M", TID: cpu,
+			Args: map[string]any{"sort_index": cpu}})
+	}
+
+	tracks := make([]cpuTrack, ncpu)
+	var maxCycle int64
+
+	closeSpan := func(cpu int, at int64, cat string) {
+		t := &tracks[cpu]
+		if !t.open {
+			return
+		}
+		if cat == "" {
+			cat = t.cat
+		}
+		dur := at - t.start
+		if dur < 0 {
+			dur = 0
+		}
+		tw.emit(traceEvent{Name: t.name, Ph: "X", Cat: cat, TID: cpu,
+			TS: t.start, Dur: dur})
+		t.open = false
+	}
+	openSpan := func(cpu int, at int64, name, cat string) {
+		closeSpan(cpu, at, "")
+		tracks[cpu] = cpuTrack{name: name, cat: cat, start: at, open: true}
+	}
+	instant := func(ev Event, name string, args map[string]any) {
+		tw.emit(traceEvent{Name: name, Ph: "i", Cat: "mark", TID: int(ev.CPU),
+			TS: ev.Cycle, S: "t", Args: args})
+	}
+
+	for _, ev := range events {
+		if int(ev.CPU) >= len(tracks) {
+			continue
+		}
+		if ev.Cycle > maxCycle {
+			maxCycle = ev.Cycle
+		}
+		cpu := int(ev.CPU)
+		switch ev.Kind {
+		case EvThreadSpawn, EvRestart, EvOverflowDrain:
+			openSpan(cpu, ev.Cycle, fmt.Sprintf("i%d", ev.Arg), "run")
+		case EvThreadWait:
+			openSpan(cpu, ev.Cycle, "wait:"+WaitName(ev.Arg), "wait")
+		case EvCommit:
+			closeSpan(cpu, ev.Cycle, "")
+		case EvViolation:
+			closeSpan(cpu, ev.Cycle, "violated")
+			args := map[string]any{"by_cpu": ev.Aux}
+			switch ev.Arg {
+			case -1:
+				args["cause"] = "injected"
+			case -2:
+				args["cause"] = "gc_quiesce"
+			default:
+				args["addr"] = ev.Arg
+			}
+			instant(ev, "violation", args)
+		case EvKill:
+			closeSpan(cpu, ev.Cycle, "killed")
+			instant(ev, "kill", map[string]any{"loop": ev.Arg})
+		case EvSTLStart:
+			mode := [...]string{"parallel", "solo", "probe"}[min(int(ev.Aux), 2)]
+			instant(ev, "stl_start", map[string]any{"loop": ev.Arg, "mode": mode})
+		case EvSTLShutdown:
+			closeSpan(cpu, ev.Cycle, "")
+			instant(ev, "stl_shutdown", map[string]any{"loop": ev.Arg})
+		case EvSTLSwitch:
+			dir := "in"
+			if ev.Aux == 1 {
+				dir = "out"
+			}
+			instant(ev, "stl_switch_"+dir, map[string]any{"loop": ev.Arg})
+		case EvStoreOverflow, EvLoadOverflow:
+			instant(ev, ev.Kind.String(), map[string]any{"iter": ev.Arg, "loop": ev.Aux})
+		case EvHandlerStartup, EvHandlerShutdown, EvHandlerEOI, EvHandlerRestart:
+			tw.emit(traceEvent{Name: ev.Kind.String(), Ph: "X", Cat: "handler",
+				TID: cpu, TS: ev.Cycle, Dur: ev.Arg})
+		case EvGuardDemote, EvGuardProbe, EvGuardSolo:
+			instant(ev, ev.Kind.String(), map[string]any{"loop": ev.Arg})
+		case EvGC:
+			instant(ev, "gc", map[string]any{"run": ev.Arg})
+		case EvL1Miss, EvL2Miss, EvBusTransfer:
+			instant(ev, ev.Kind.String(), map[string]any{"addr": ev.Arg})
+		}
+	}
+	// Close dangling spans so Perfetto does not drop them.
+	for cpu := range tracks {
+		closeSpan(cpu, maxCycle, "")
+	}
+
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.bw.WriteString("\n],\n")
+	meta, err := json.Marshal(map[string]any{"workload": name, "clock": "1 cycle = 1us"})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw.bw, "\"otherData\":%s}\n", meta)
+	return tw.bw.Flush()
+}
+
+// SummarizeEvents folds a recorded event stream into reg: a per-kind event
+// counter and a log2 histogram of committed-iteration lengths (thread spawn
+// to commit, in cycles).
+func SummarizeEvents(reg *Registry, events []Event) {
+	iterHist := reg.Histogram("jrpm_iteration_cycles")
+	spawnAt := make(map[int32]int64)
+	for _, ev := range events {
+		reg.Counter(Name("jrpm_events_total", fmt.Sprintf("kind=%q", ev.Kind.String()))).Inc()
+		switch ev.Kind {
+		case EvThreadSpawn, EvRestart:
+			spawnAt[ev.CPU] = ev.Cycle
+		case EvCommit:
+			if at, ok := spawnAt[ev.CPU]; ok {
+				iterHist.Observe(ev.Cycle - at)
+				delete(spawnAt, ev.CPU)
+			}
+		}
+	}
+}

@@ -8,14 +8,17 @@ package report
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"jrpm/internal/cfg"
 	"jrpm/internal/core"
+	"jrpm/internal/obs"
 	"jrpm/internal/tls"
 	"jrpm/internal/workloads"
 )
@@ -28,23 +31,72 @@ type SuiteResult struct {
 	Transformed *core.Result // nil unless the workload has a Table 4 variant
 	LoopCount   int
 	MaxDepth    int
+
+	// Metrics is the workload's result snapshotted as a typed registry
+	// (every metric labelled workload="<name>", transformed variants
+	// additionally variant="transformed"), ready for Prometheus text dump
+	// or merging via SuiteMetrics.
+	Metrics *obs.Registry
+}
+
+// progress serializes per-workload progress lines onto one writer shared by
+// all suite workers. A nil *progress is a valid no-op receiver, so the
+// silent path stays a nil check.
+type progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	total int
+}
+
+func newProgress(w io.Writer, total int) *progress {
+	if w == nil {
+		return nil
+	}
+	return &progress{w: w, start: time.Now(), total: total}
+}
+
+// line emits one "[ k/n] name: phase (elapsed)" record. Elapsed time is
+// wall-clock since the suite started — with workers interleaving, per-phase
+// deltas would mislead more than they inform.
+func (p *progress) line(idx int, name, phase string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[%2d/%d] %s: %s (%.1fs)\n",
+		idx+1, p.total, name, phase, time.Since(p.start).Seconds())
 }
 
 // RunSuite executes every workload (optionally filtered by name) through the
 // full pipeline.
 func RunSuite(opts core.Options, filter func(*workloads.Workload) bool) ([]*SuiteResult, error) {
+	return runSuiteSeq(opts, selectWorkloads(filter), nil)
+}
+
+func runSuiteSeq(opts core.Options, selected []*workloads.Workload, pw *progress) ([]*SuiteResult, error) {
 	var out []*SuiteResult
+	for i, w := range selected {
+		sr, err := runOne(w, opts, func(phase string) { pw.line(i, w.Name, phase) })
+		if err != nil {
+			return nil, err
+		}
+		pw.line(i, w.Name, "done")
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+func selectWorkloads(filter func(*workloads.Workload) bool) []*workloads.Workload {
+	var selected []*workloads.Workload
 	for _, w := range workloads.All() {
 		if filter != nil && !filter(w) {
 			continue
 		}
-		sr, err := RunOne(w, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, sr)
+		selected = append(selected, w)
 	}
-	return out, nil
+	return selected
 }
 
 // RunSuiteParallel is RunSuite with the workloads fanned out across
@@ -53,19 +105,23 @@ func RunSuite(opts core.Options, filter func(*workloads.Workload) bool) ([]*Suit
 // results come back in the same order RunSuite produces, and the first error
 // by that order wins (matching the sequential harness exactly).
 func RunSuiteParallel(opts core.Options, filter func(*workloads.Workload) bool) ([]*SuiteResult, error) {
-	var selected []*workloads.Workload
-	for _, w := range workloads.All() {
-		if filter != nil && !filter(w) {
-			continue
-		}
-		selected = append(selected, w)
-	}
+	return RunSuiteParallelProgress(opts, filter, nil)
+}
+
+// RunSuiteParallelProgress is RunSuiteParallel with per-workload progress
+// lines (name, pipeline phase, elapsed time) written to progressW as each
+// worker advances. nil progressW runs silently; writes are serialized, so
+// any writer (os.Stderr included) is safe. Progress output does not affect
+// results or their order.
+func RunSuiteParallelProgress(opts core.Options, filter func(*workloads.Workload) bool, progressW io.Writer) ([]*SuiteResult, error) {
+	selected := selectWorkloads(filter)
+	pw := newProgress(progressW, len(selected))
 	nw := runtime.GOMAXPROCS(0)
 	if nw > len(selected) {
 		nw = len(selected)
 	}
 	if nw <= 1 {
-		return RunSuite(opts, filter)
+		return runSuiteSeq(opts, selected, pw)
 	}
 	results := make([]*SuiteResult, len(selected))
 	errs := make([]error, len(selected))
@@ -80,7 +136,13 @@ func RunSuiteParallel(opts core.Options, filter func(*workloads.Workload) bool) 
 				if i >= len(selected) {
 					return
 				}
-				results[i], errs[i] = RunOne(selected[i], opts)
+				w := selected[i]
+				results[i], errs[i] = runOne(w, opts, func(phase string) { pw.line(i, w.Name, phase) })
+				status := "done"
+				if errs[i] != nil {
+					status = "failed: " + errs[i].Error()
+				}
+				pw.line(i, w.Name, status)
 			}
 		}()
 	}
@@ -95,11 +157,22 @@ func RunSuiteParallel(opts core.Options, filter func(*workloads.Workload) bool) 
 
 // RunOne executes a single workload (and its transformed variant).
 func RunOne(w *workloads.Workload, opts core.Options) (*SuiteResult, error) {
+	return runOne(w, opts, nil)
+}
+
+// runOne is RunOne with an optional phase callback for progress reporting.
+func runOne(w *workloads.Workload, opts core.Options, phase func(string)) (*SuiteResult, error) {
+	note := func(s string) {
+		if phase != nil {
+			phase(s)
+		}
+	}
 	if w.HeapWords > 0 {
 		opts.VM.HeapWords = w.HeapWords
 	}
 	bp := w.Build()
 	info := cfg.AnalyzeProgram(bp)
+	note("pipeline")
 	res, err := core.Run(bp, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
@@ -109,7 +182,10 @@ func RunOne(w *workloads.Workload, opts core.Options) (*SuiteResult, error) {
 	}
 	sr := &SuiteResult{Workload: w, Result: res,
 		LoopCount: info.TotalLoops(), MaxDepth: info.MaxLoopDepth()}
+	sr.Metrics = obs.NewRegistry()
+	res.FillMetrics(sr.Metrics, fmt.Sprintf("workload=%q", w.Name))
 	if w.BuildTransformed != nil {
+		note("transformed")
 		tr, err := core.Run(w.BuildTransformed(), opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s (transformed): %w", w.Name, err)
@@ -118,8 +194,22 @@ func RunOne(w *workloads.Workload, opts core.Options) (*SuiteResult, error) {
 			return nil, fmt.Errorf("%s (transformed): output mismatch", w.Name)
 		}
 		sr.Transformed = tr
+		tr.FillMetrics(sr.Metrics, fmt.Sprintf("variant=\"transformed\",workload=%q", w.Name))
 	}
 	return sr, nil
+}
+
+// SuiteMetrics folds every suite result into one registry (each workload's
+// metrics carry its workload label), ready for a single Prometheus dump.
+func SuiteMetrics(results []*SuiteResult) *obs.Registry {
+	reg := obs.NewRegistry()
+	for _, sr := range results {
+		sr.Result.FillMetrics(reg, fmt.Sprintf("workload=%q", sr.Workload.Name))
+		if sr.Transformed != nil {
+			sr.Transformed.FillMetrics(reg, fmt.Sprintf("variant=\"transformed\",workload=%q", sr.Workload.Name))
+		}
+	}
+	return reg
 }
 
 // Table1 renders the TLS overhead table: the configured handler costs (both

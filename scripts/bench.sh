@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Runs the host-performance benchmark suite and records per-workload ns/op,
-# B/op and allocs/op as JSON (BENCH_pr2.json at the repo root by default).
+# B/op and allocs/op as JSON (BENCH_pr3.json at the repo root by default).
 #
 # Usage:
-#   scripts/bench.sh               # full suite, BENCH_pr2.json
+#   scripts/bench.sh               # full suite, BENCH_pr3.json
 #   scripts/bench.sh out.json 3x   # custom output path and -benchtime
 #
 # Compare two snapshots with benchstat (see EXPERIMENTS.md):
@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr2.json}"
+OUT="${1:-BENCH_pr3.json}"
 BENCHTIME="${2:-1x}"
 
 RAW="$(mktemp)"
@@ -20,6 +20,10 @@ trap 'rm -f "$RAW"' EXIT
 
 go test -run='^$' -bench='BenchmarkTable3Suite|BenchmarkParallelSuite|BenchmarkTable1Overheads' \
     -benchtime="$BENCHTIME" -benchmem . | tee "$RAW"
+# Flight-recorder overhead: tracing-off must match the pre-obs baseline
+# (the recorder is a nil interface on the hot path) and tracing-on must
+# stay within ~5% of off; more repetitions for a stable comparison.
+go test -run='^$' -bench='BenchmarkTraceOverhead' -benchtime=10x -benchmem . | tee -a "$RAW"
 # The per-access microbenchmarks need real iteration counts for stable
 # ns/op and allocs/op; run them at the default 1s benchtime.
 go test -run='^$' -bench='BenchmarkTLSFastPath|BenchmarkTracerFastPath' \
