@@ -1,0 +1,176 @@
+// Command jrpm-fuzz drives the differential speculation conformance suite
+// (internal/progen) outside the go test harness: it generates seeded random
+// programs, runs every one through the seq-vs-TLS differential oracle, and
+// on divergence shrinks the program to a minimal reproducer and writes it
+// to a corpus directory.
+//
+// Usage:
+//
+//	jrpm-fuzz [flags]
+//	jrpm-fuzz -repro FILE
+//
+// Flags:
+//
+//	-seeds N      number of seeds to check (default 2000)
+//	-start N      first seed (default 1)
+//	-duration D   stop after D regardless of -seeds (0 = no time limit)
+//	-jobs N       parallel checker goroutines (default GOMAXPROCS)
+//	-size NAME    generator size: quick, small, stress or large (default small)
+//	-cpus N       simulated CPUs per check (default 4)
+//	-maxcycles N  per-run simulated cycle budget (default 50M)
+//	-repros DIR   where to write minimized reproducers
+//	-budget N     shrink budget, in harness evaluations (default 600)
+//	-chaos        enable the ChaosNoWordValid self-test bug (divergences expected)
+//	-quick        skip the rerun/faults/solo legs (seq-vs-TLS only)
+//	-v            log every seed, not just divergences
+//	-repro FILE   replay one reproducer JSON and exit (0 = still diverges
+//	              as recorded, 1 = verdict changed)
+//
+// Exit status: 0 when every seed conforms (or, with -repro, the recorded
+// verdict still holds), 1 on any divergence, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jrpm/internal/progen"
+)
+
+func main() {
+	seeds := flag.Int64("seeds", 2000, "number of seeds to check")
+	start := flag.Int64("start", 1, "first seed")
+	duration := flag.Duration("duration", 0, "stop after this long (0 = no limit)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel checker goroutines")
+	size := flag.String("size", "small", "generator size: quick, small, stress, large")
+	cpus := flag.Int("cpus", 4, "simulated CPUs per check")
+	maxCycles := flag.Int64("maxcycles", 50_000_000, "per-run simulated cycle budget (livelocks under an injected bug count as divergences)")
+	reproDir := flag.String("repros", "internal/progen/testdata/repros", "directory for minimized reproducers")
+	budget := flag.Int("budget", 600, "shrink budget (harness evaluations)")
+	chaos := flag.Bool("chaos", false, "enable the ChaosNoWordValid self-test bug")
+	quick := flag.Bool("quick", false, "skip the rerun/faults/solo legs")
+	verbose := flag.Bool("v", false, "log every seed")
+	reproFile := flag.String("repro", "", "replay one reproducer JSON and exit")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "jrpm-fuzz: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	if *reproFile != "" {
+		os.Exit(replay(*reproFile))
+	}
+
+	cfg, err := progen.ConfigByName(*size)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jrpm-fuzz: %v\n", err)
+		os.Exit(2)
+	}
+	cc := progen.DefaultCheckConfig()
+	cc.NCPU = *cpus
+	cc.MaxCycles = *maxCycles
+	cc.Chaos = *chaos
+	if *quick {
+		cc.Rerun, cc.Faults, cc.Solo = false, false, false
+	}
+
+	var deadline time.Time
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+
+	var (
+		mu        sync.Mutex // serializes shrinking and reporting
+		checked   atomic.Int64
+		diverged  atomic.Int64
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		startTime = time.Now()
+	)
+	next.Store(*start)
+	last := *start + *seeds // exclusive
+
+	if *jobs < 1 {
+		*jobs = 1
+	}
+	for w := 0; w < *jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seed := next.Add(1) - 1
+				if seed >= last {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				p := progen.Generate(seed, cfg)
+				v := progen.Check(p, cc)
+				checked.Add(1)
+				if !v.Diverged() {
+					if *verbose {
+						mu.Lock()
+						fmt.Printf("seed %d ok (%d checks, %d commits, %d violations)\n",
+							seed, v.Checks, v.Commits, v.Violations)
+						mu.Unlock()
+					}
+					continue
+				}
+				diverged.Add(1)
+				mu.Lock()
+				fmt.Printf("seed %d DIVERGED on leg %q: %s\n", seed, v.Divergence, v.Detail)
+				sr := progen.Shrink(p, cc, *budget)
+				if sr.Verdict.Diverged() {
+					path, werr := progen.NewRepro(sr, cc).Write(*reproDir)
+					if werr != nil {
+						fmt.Fprintf(os.Stderr, "jrpm-fuzz: writing reproducer: %v\n", werr)
+					} else {
+						fmt.Printf("  minimized to %d instructions (%d in kernel) after %d edits / %d checks → %s\n",
+							sr.Total, sr.Kernel, sr.Steps, sr.Checks, path)
+					}
+				} else {
+					fmt.Printf("  shrink lost the divergence after %d checks; keeping the original seed\n",
+						sr.Checks)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	n, d := checked.Load(), diverged.Load()
+	fmt.Printf("jrpm-fuzz: %d seeds checked in %s, %d divergences (size=%s cpus=%d chaos=%v)\n",
+		n, time.Since(startTime).Round(time.Millisecond), d, *size, *cpus, *chaos)
+	if d > 0 {
+		os.Exit(1)
+	}
+}
+
+// replay re-runs one stored reproducer and reports whether the recorded
+// verdict still holds.
+func replay(path string) int {
+	r, err := progen.LoadRepro(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jrpm-fuzz: %v\n", err)
+		return 2
+	}
+	v := r.Recheck()
+	fmt.Printf("recorded: leg %q (%s)\n", r.Divergence, r.Detail)
+	if v.Diverged() {
+		fmt.Printf("current:  leg %q (%s)\n", v.Divergence, v.Detail)
+	} else {
+		fmt.Printf("current:  conformant (%d checks)\n", v.Checks)
+	}
+	if v.Divergence == r.Divergence {
+		fmt.Println("verdict unchanged")
+		return 0
+	}
+	fmt.Println("VERDICT CHANGED")
+	return 1
+}

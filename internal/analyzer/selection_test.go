@@ -1,0 +1,143 @@
+package analyzer
+
+import (
+	"testing"
+
+	"jrpm/internal/bytecode"
+	"jrpm/internal/cfg"
+	fe "jrpm/internal/frontend"
+)
+
+// TestSelectionReasons is the table-driven map of the selector's verdicts:
+// each row is one program shape, the loop to inspect, and the exact
+// decision reason the analyzer must give. The reasons are part of the
+// report surface (jrpm -loops), so their wording is pinned here.
+func TestSelectionReasons(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func() *bytecode.Program
+		loop   int64 // global loop id to inspect (method 0)
+		mod    func(*Config)
+		reason string
+	}{
+		{
+			name:   "parallel-loop-selected",
+			build:  func() *bytecode.Program { return parallelLoop(300) },
+			reason: "selected",
+		},
+		{
+			name: "io-in-body",
+			build: func() *bytecode.Program {
+				p := fe.NewProgram("io")
+				p.Func("main", nil, false).Body(
+					fe.ForUp("i", fe.I(0), fe.I(50),
+						fe.Print(fe.L("i")),
+					),
+				)
+				return p.MustBuild()
+			},
+			reason: "system calls in loop body",
+		},
+		{
+			// A return inside the loop body compiles to a branch whose
+			// IRETURN block lies outside the natural loop (it cannot reach
+			// the back edge), so the loop is rejected for having a second
+			// exit target rather than via the HasEscape flag.
+			name: "return-in-body",
+			build: func() *bytecode.Program {
+				p := fe.NewProgram("esc")
+				f := p.Func("find", []string{"n"}, true)
+				f.Body(
+					fe.ForUp("i", fe.I(0), fe.L("n"),
+						fe.If(fe.Eq(fe.L("i"), fe.I(17)), []fe.Stmt{fe.Ret(fe.L("i"))}, nil),
+					),
+					fe.Ret(fe.I(-1)),
+				)
+				p.Func("main", nil, false).Body(
+					fe.Print(fe.CallE(f, fe.I(40))),
+				)
+				return p.MustBuild()
+			},
+			// "find" is declared first, so its loop is loop 0 of method 0.
+			reason: "multiple exit targets",
+		},
+		{
+			name: "too-few-iterations",
+			build: func() *bytecode.Program {
+				p := fe.NewProgram("short")
+				p.Func("main", nil, false).Body(
+					fe.Set("a", fe.NewArr(fe.I(8))),
+					fe.ForUp("i", fe.I(0), fe.I(2),
+						fe.SetIdx(fe.L("a"), fe.L("i"), fe.L("i")),
+					),
+					fe.Print(fe.Idx(fe.L("a"), fe.I(0))),
+				)
+				return p.MustBuild()
+			},
+			reason: "too few iterations per entry",
+		},
+		{
+			name: "never-profiled",
+			build: func() *bytecode.Program {
+				p := fe.NewProgram("dead")
+				p.Func("main", nil, false).Body(
+					fe.Set("n", fe.I(0)),
+					fe.If(fe.Ne(fe.L("n"), fe.I(0)), []fe.Stmt{
+						fe.While(fe.Lt(fe.L("n"), fe.I(100)),
+							fe.Inc("n", 1),
+						),
+					}, nil),
+					fe.Print(fe.L("n")),
+				)
+				return p.MustBuild()
+			},
+			reason: "never profiled",
+		},
+		{
+			name:  "adaptive-exclusion",
+			build: func() *bytecode.Program { return parallelLoop(300) },
+			mod: func(c *Config) {
+				c.ExcludeLoops = map[int64]bool{cfg.GlobalLoopID(0, 0): true}
+			},
+			reason: "runtime overflow feedback (adaptive reprofiling)",
+		},
+		{
+			name: "speedup-below-threshold",
+			build: func() *bytecode.Program {
+				// Every iteration reads the previous iteration's s at the top
+				// and stores it at the bottom: the carried arc spans the whole
+				// body, so the serialization bound caps the predicted speedup
+				// below the 1.2 threshold.
+				p := fe.NewProgram("serial")
+				p.Func("main", nil, false).Body(
+					fe.Set("a", fe.NewArr(fe.I(64))),
+					fe.Set("s", fe.I(1)),
+					fe.ForUp("i", fe.I(0), fe.I(200),
+						fe.Set("t", fe.Add(fe.L("s"), fe.Idx(fe.L("a"), fe.Rem(fe.L("i"), fe.I(64))))),
+						fe.SetIdx(fe.L("a"), fe.Rem(fe.L("t"), fe.I(64)), fe.L("t")),
+						fe.SetIdx(fe.L("a"), fe.Rem(fe.Add(fe.L("t"), fe.I(7)), fe.I(64)), fe.L("t")),
+						fe.Set("s", fe.L("t")),
+					),
+					fe.Print(fe.L("s")),
+				)
+				return p.MustBuild()
+			},
+			reason: "predicted speedup below threshold",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := analyze(t, tc.build(), tc.mod)
+			d := decisionFor(res, tc.loop)
+			if d == nil {
+				t.Fatalf("no decision recorded for loop %d: %+v", tc.loop, res.Decisions)
+			}
+			if d.Reason != tc.reason {
+				t.Errorf("reason = %q, want %q (selected=%v)", d.Reason, tc.reason, d.Selected)
+			}
+			if wantSel := tc.reason == "selected"; d.Selected != wantSel {
+				t.Errorf("Selected = %v, want %v", d.Selected, wantSel)
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package bytecode
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFuzzAsmCorpusSeedsParse guards the checked-in corpus: every seed-*
+// file whose name does not mark it as a rejection case must parse, so the
+// corpus keeps exercising the Format round-trip rather than bailing at the
+// first parse error.
+func TestFuzzAsmCorpusSeedsParse(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "fuzz", "FuzzAsm", "seed-*"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus seeds found: %v", err)
+	}
+	rejections := map[string]bool{
+		"seed-bad-attribute":  true,
+		"seed-orphan-label":   true,
+		"seed-missing-label":  true,
+		"seed-dup-class-args": true,
+	}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(string(raw), "\n", 3)
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			t.Errorf("%s: not a go fuzz corpus file", f)
+			continue
+		}
+		src, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(lines[1], "string("), ")"))
+		if err != nil {
+			t.Errorf("%s: bad corpus encoding: %v", f, err)
+			continue
+		}
+		_, perr := Parse(src)
+		name := filepath.Base(f)
+		if rejections[name] {
+			if perr == nil {
+				t.Errorf("%s: rejection seed unexpectedly parsed", name)
+			}
+			continue
+		}
+		if perr != nil {
+			t.Errorf("%s: %v", name, perr)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package cfg
+
+import (
+	"testing"
+
+	bc "jrpm/internal/bytecode"
+)
+
+// buildRaw wraps a hand-written instruction sequence into a verified
+// one-method program and its graph.
+func buildRaw(t *testing.T, name string, nlocals int, code []bc.Ins) *Graph {
+	t.Helper()
+	m := &bc.Method{Name: name, NArgs: 1, NLocals: nlocals, Code: code}
+	p := &bc.Program{Methods: []*bc.Method{m}, Main: 0}
+	if err := bc.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	return Build(p, m)
+}
+
+// blockAt returns the block whose code starts at pc.
+func blockAt(t *testing.T, g *Graph, pc int) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		if b.Start == pc {
+			return b
+		}
+	}
+	t.Fatalf("no block starts at pc %d", pc)
+	return nil
+}
+
+// TestDiamondDominators: if/else — neither arm dominates the join, the
+// entry dominates everything, and dominance is not symmetric.
+func TestDiamondDominators(t *testing.T) {
+	code := []bc.Ins{
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFEQ, A: 5},
+		{Op: bc.CONST, A: 1}, // 2: then arm
+		{Op: bc.STORE, A: 1},
+		{Op: bc.GOTO, A: 7},
+		{Op: bc.CONST, A: 2}, // 5: else arm
+		{Op: bc.STORE, A: 1},
+		{Op: bc.RETURN}, // 7: join
+	}
+	g := buildRaw(t, "diamond", 2, code)
+	entry := blockAt(t, g, 0)
+	then := blockAt(t, g, 2)
+	els := blockAt(t, g, 5)
+	join := blockAt(t, g, 7)
+	for _, b := range g.Blocks {
+		if !g.Dominates(entry.ID, b.ID) {
+			t.Errorf("entry does not dominate block %d", b.ID)
+		}
+	}
+	if g.Dominates(then.ID, join.ID) || g.Dominates(els.ID, join.ID) {
+		t.Error("a conditional arm must not dominate the join")
+	}
+	if g.Dominates(then.ID, els.ID) || g.Dominates(els.ID, then.ID) {
+		t.Error("sibling arms must not dominate each other")
+	}
+	if !g.Dominates(join.ID, join.ID) {
+		t.Error("dominance must be reflexive")
+	}
+	if g.Dominates(join.ID, entry.ID) {
+		t.Error("dominance must not be symmetric")
+	}
+	if len(g.Loops) != 0 {
+		t.Errorf("loops = %d, want 0", len(g.Loops))
+	}
+}
+
+// TestContinueMergesBackEdges: a loop whose body rejoins the header from
+// two places (a continue shape) is discovered as ONE natural loop whose
+// header dominates every back-edge source.
+func TestContinueMergesBackEdges(t *testing.T) {
+	code := []bc.Ins{
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 1},
+		{Op: bc.LOAD, A: 1}, // 2: header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 13},
+		{Op: bc.IINC, A: 1, B: 1},
+		{Op: bc.LOAD, A: 1}, // parity test
+		{Op: bc.CONST, A: 1},
+		{Op: bc.IAND},
+		{Op: bc.IFEQ, A: 12}, // even → skip the NOP ("continue")
+		{Op: bc.NOP},
+		{Op: bc.GOTO, A: 2}, // odd back edge
+		{Op: bc.GOTO, A: 2}, // 12: even back edge
+		{Op: bc.RETURN},     // 13
+	}
+	g := buildRaw(t, "continue", 2, code)
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1 (back edges to one header merge)", len(g.Loops))
+	}
+	l := g.Loops[0]
+	if len(l.Ends) != 2 {
+		t.Fatalf("back-edge sources = %d, want 2", len(l.Ends))
+	}
+	for _, e := range l.Ends {
+		if !g.Dominates(l.Header, e) {
+			t.Error("header must dominate every back-edge source")
+		}
+	}
+	if step, ok := l.Inductors[1]; !ok || step != 1 {
+		t.Errorf("slot 1 inductor step = %d/%v, want 1/true (increment dominates both ends)",
+			step, ok)
+	}
+}
+
+// TestSiblingLoopsAreIndependent: two sequential loops share no blocks,
+// have no parent, and neither dominates the other's body.
+func TestSiblingLoopsAreIndependent(t *testing.T) {
+	code := []bc.Ins{
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 1},
+		{Op: bc.LOAD, A: 1}, // 2: first header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 7},
+		{Op: bc.IINC, A: 1, B: 1},
+		{Op: bc.GOTO, A: 2},
+		{Op: bc.CONST, A: 0}, // 7
+		{Op: bc.STORE, A: 2},
+		{Op: bc.LOAD, A: 2}, // 9: second header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 14},
+		{Op: bc.IINC, A: 2, B: 1},
+		{Op: bc.GOTO, A: 9},
+		{Op: bc.RETURN}, // 14
+	}
+	g := buildRaw(t, "siblings", 3, code)
+	if len(g.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(g.Loops))
+	}
+	a, b := g.Loops[0], g.Loops[1]
+	if a.Parent != -1 || b.Parent != -1 || a.Depth != 1 || b.Depth != 1 {
+		t.Errorf("parents %d/%d depths %d/%d, want -1/-1 and 1/1",
+			a.Parent, b.Parent, a.Depth, b.Depth)
+	}
+	for blk := range a.Blocks {
+		if b.Blocks[blk] {
+			t.Fatalf("block %d belongs to both sibling loops", blk)
+		}
+	}
+	if g.MaxDepth() != 1 {
+		t.Errorf("max depth = %d, want 1", g.MaxDepth())
+	}
+}
+
+// TestInnermostLoopOf: header and body of a nested pair resolve to the
+// tightest enclosing loop; blocks outside every loop resolve to nil.
+func TestInnermostLoopOf(t *testing.T) {
+	// Reuse the shape of TestNestedLoopsAndDepth.
+	code := []bc.Ins{
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 1},
+		{Op: bc.LOAD, A: 1}, // 2: outer header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 16},
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 2},
+		{Op: bc.LOAD, A: 2}, // 7: inner header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 13},
+		{Op: bc.IINC, A: 2, B: 1},
+		{Op: bc.NOP},
+		{Op: bc.GOTO, A: 7},
+		{Op: bc.IINC, A: 1, B: 1}, // 13
+		{Op: bc.NOP},
+		{Op: bc.GOTO, A: 2},
+		{Op: bc.RETURN}, // 16
+	}
+	g := buildRaw(t, "innermost", 3, code)
+	outer, inner := g.Loops[0], g.Loops[1]
+	if outer.Depth != 1 {
+		outer, inner = inner, outer
+	}
+	if got := g.InnermostLoopOf(inner.Header); got != inner {
+		t.Errorf("InnermostLoopOf(inner header) = %v, want the inner loop", got)
+	}
+	// The outer increment block is in the outer loop only.
+	incBlk := blockAt(t, g, 13)
+	if got := g.InnermostLoopOf(incBlk.ID); got != outer {
+		t.Errorf("InnermostLoopOf(outer latch) = %v, want the outer loop", got)
+	}
+	exitBlk := blockAt(t, g, 16)
+	if got := g.InnermostLoopOf(exitBlk.ID); got != nil {
+		t.Errorf("InnermostLoopOf(exit) = %v, want nil", got)
+	}
+}
+
+// TestBreakKeepsSingleExitTarget: a conditional break that jumps to the
+// same block the header exits to keeps the loop a one-exit STL candidate;
+// a break to a DIFFERENT target makes it multi-exit.
+func TestBreakKeepsSingleExitTarget(t *testing.T) {
+	same := []bc.Ins{
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 1},
+		{Op: bc.LOAD, A: 1}, // 2: header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 10},
+		{Op: bc.LOAD, A: 1},
+		{Op: bc.IFEQ, A: 10}, // break to the common exit
+		{Op: bc.IINC, A: 1, B: 1},
+		{Op: bc.NOP},
+		{Op: bc.GOTO, A: 2},
+		{Op: bc.RETURN}, // 10
+	}
+	g := buildRaw(t, "break-same", 2, same)
+	if len(g.Loops) != 1 || len(g.Loops[0].Exits) != 1 {
+		t.Fatalf("same-target break: loops=%d exits=%v, want one loop with one exit",
+			len(g.Loops), g.Loops[0].Exits)
+	}
+
+	diff := []bc.Ins{
+		{Op: bc.CONST, A: 0},
+		{Op: bc.STORE, A: 1},
+		{Op: bc.LOAD, A: 1}, // 2: header
+		{Op: bc.LOAD, A: 0},
+		{Op: bc.IFICMPGE, A: 12},
+		{Op: bc.LOAD, A: 1},
+		{Op: bc.IFEQ, A: 10}, // break to a distinct landing pad
+		{Op: bc.IINC, A: 1, B: 1},
+		{Op: bc.NOP},
+		{Op: bc.GOTO, A: 2},
+		{Op: bc.CONST, A: 9}, // 10: landing pad
+		{Op: bc.STORE, A: 1},
+		{Op: bc.RETURN}, // 12
+	}
+	g = buildRaw(t, "break-diff", 2, diff)
+	if len(g.Loops) != 1 || len(g.Loops[0].Exits) != 2 {
+		t.Fatalf("distinct-target break: loops=%d exits=%v, want one loop with two exits",
+			len(g.Loops), g.Loops[0].Exits)
+	}
+}

@@ -1,0 +1,138 @@
+package jit
+
+import (
+	"fmt"
+	"testing"
+
+	"jrpm/internal/bytecode"
+	"jrpm/internal/cfg"
+	fe "jrpm/internal/frontend"
+)
+
+// Corner-case lowering tests surfaced by the progen conformance fuzzer:
+// degenerate loop shapes must still compile in every mode and the TLS image
+// must execute them with sequential semantics.
+
+// runBothModes compiles and runs the program plain and TLS-speculative and
+// requires identical output.
+func runBothModes(t *testing.T, bp *bytecode.Program) {
+	t.Helper()
+	seq := execute(t, bp, ModePlain, nil, 1)
+	par := execute(t, bp, ModeTLS, selectLoop(bp, nil), 4)
+	expectOutput(t, par, seq.Output...)
+}
+
+// TestEmptyLoopBodyTLS: a selected loop whose body is only the inductor
+// increment. The STL consists of STL_INIT, the bounds check and STL_EOI —
+// nothing else — and must still commit every iteration and exit cleanly.
+func TestEmptyLoopBodyTLS(t *testing.T) {
+	p := fe.NewProgram("empty")
+	p.Func("main", nil, false).Body(
+		fe.ForUp("i", fe.I(0), fe.I(40)),
+		fe.Print(fe.L("i")),
+	)
+	runBothModes(t, p.MustBuild())
+}
+
+// TestSingleIterationLoopTLS: a selected loop that executes exactly once.
+// Every slave speculates past the end immediately; only the head's
+// iteration may commit, and the loop-exit state must be architectural.
+func TestSingleIterationLoopTLS(t *testing.T) {
+	p := fe.NewProgram("once")
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(8))),
+		fe.ForUp("i", fe.I(0), fe.I(1),
+			fe.SetIdx(fe.L("a"), fe.L("i"), fe.I(99)),
+		),
+		fe.Print(fe.Idx(fe.L("a"), fe.I(0))),
+		fe.Print(fe.L("i")),
+	)
+	runBothModes(t, p.MustBuild())
+}
+
+// TestZeroIterationLoopTLS: the loop bound is below the start, so the body
+// never runs — the head discovers loop end on iteration 0.
+func TestZeroIterationLoopTLS(t *testing.T) {
+	p := fe.NewProgram("never")
+	p.Func("main", nil, false).Body(
+		fe.Set("s", fe.I(7)),
+		fe.ForUp("i", fe.I(5), fe.I(5),
+			fe.Set("s", fe.Add(fe.L("s"), fe.I(1))),
+		),
+		fe.Print(fe.L("s")),
+	)
+	runBothModes(t, p.MustBuild())
+}
+
+// TestMaxFrameSlots: far more locals than callee-saved registers, so most
+// locals live only in their frame home slots. The spilled-local paths of
+// the STL prologue (blanket save), STL_INIT reload and violation restart
+// must all agree with sequential execution.
+func TestMaxFrameSlots(t *testing.T) {
+	const nlocals = 120
+	p := fe.NewProgram("fat")
+	var body []any
+	for i := 0; i < nlocals; i++ {
+		body = append(body, fe.Set(fmt.Sprintf("x%d", i), fe.I(int64(i*3+1))))
+	}
+	body = append(body, fe.Set("a", fe.NewArr(fe.I(64))))
+	body = append(body, fe.ForUp("i", fe.I(0), fe.I(60),
+		// Touch a spread of the locals each iteration.
+		fe.SetIdx(fe.L("a"), fe.Rem(fe.L("i"), fe.I(64)),
+			fe.Add(fe.L("x7"), fe.Add(fe.L("x63"), fe.L(fmt.Sprintf("x%d", nlocals-1))))),
+	))
+	sum := fe.Expr(fe.I(0))
+	for i := 0; i < nlocals; i += 17 {
+		sum = fe.Add(sum, fe.L(fmt.Sprintf("x%d", i)))
+	}
+	body = append(body, fe.Print(sum), fe.Print(fe.Idx(fe.L("a"), fe.I(5))))
+	p.Func("main", nil, false).Body(body...)
+	runBothModes(t, p.MustBuild())
+}
+
+// TestCompileDeterministic locks in the sorted-plan fix: a plan whose
+// optimization maps hold several entries must compile to a byte-identical
+// image every time, whatever order the map iterates. The kernel mixes
+// inductors, a reduction, communicated carried locals and array traffic to
+// populate every map the STL emitters sort.
+func TestCompileDeterministic(t *testing.T) {
+	p := fe.NewProgram("det")
+	p.Func("main", nil, false).Body(
+		fe.Set("a", fe.NewArr(fe.I(128))),
+		fe.Set("sum", fe.I(0)),
+		fe.Set("carryA", fe.I(1)),
+		fe.Set("carryB", fe.I(2)),
+		fe.ForUp("i", fe.I(0), fe.I(100),
+			fe.Set("sum", fe.Add(fe.L("sum"), fe.Idx(fe.L("a"), fe.Rem(fe.L("i"), fe.I(128))))),
+			fe.Set("carryA", fe.BAnd(fe.Add(fe.L("carryA"), fe.L("i")), fe.I(1023))),
+			fe.Set("carryB", fe.BXor(fe.L("carryB"), fe.L("carryA"))),
+			fe.SetIdx(fe.L("a"), fe.Rem(fe.L("carryB"), fe.I(128)), fe.L("i")),
+		),
+		fe.Print(fe.L("sum")),
+		fe.Print(fe.L("carryB")),
+	)
+	bp := p.MustBuild()
+
+	render := func() string {
+		info := cfg.AnalyzeProgram(bp)
+		img, _, err := Compile(bp, info, ModeTLS, selectLoop(bp, nil))
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		out := ""
+		for _, m := range img.Methods {
+			out += fmt.Sprintf("%s %d\n", m.Name, len(m.Code))
+			for pc, in := range m.Code {
+				out += fmt.Sprintf("%4d %+v\n", pc, in)
+			}
+		}
+		return out
+	}
+
+	first := render()
+	for round := 1; round < 6; round++ {
+		if got := render(); got != first {
+			t.Fatalf("round %d produced a different image (map-order dependent codegen)", round)
+		}
+	}
+}

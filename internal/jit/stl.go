@@ -96,6 +96,41 @@ func (lw *lowerer) locateInductorSites(ctx *stlCtx) {
 	}
 }
 
+// incDominates reports whether slot s's inductor increment in the outer
+// loop has already executed whenever control reaches block head (an inner
+// loop's header). The classification pass guarantees exactly one
+// increment-shaped store of the right step on the every-iteration path
+// (dominating all back edges, not inside a nested loop); the increment has
+// run iff that block dominates head.
+func (lw *lowerer) incDominates(outer *stlCtx, s int, head int) bool {
+	code := lw.m.Code
+	l := outer.loop
+	step := outer.indStep[s]
+	for b := range l.Blocks {
+		if inner := lw.g.InnermostLoopOf(b); inner != l {
+			continue
+		}
+		blk := lw.g.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			st, ok := cfg.IncrementStep(code, pc, s)
+			if !ok || st != step {
+				continue
+			}
+			dominating := true
+			for _, e := range l.Ends {
+				if !lw.g.Dominates(b, e) {
+					dominating = false
+					break
+				}
+			}
+			if dominating {
+				return lw.g.Dominates(b, head)
+			}
+		}
+	}
+	return false
+}
+
 // enclosingSTL finds the selected-loop context of the nearest ancestor of l.
 func (lw *lowerer) enclosingSTL(l *cfg.Loop) *stlCtx {
 	for p := l.Parent; p != -1; p = lw.g.Loops[p].Parent {
@@ -157,14 +192,25 @@ func (lw *lowerer) emitSTLPrologue(ctx *stlCtx) {
 		startOp = isa.STLSWSTART
 		// Re-base the enclosing STL's inductors: the blanket save above
 		// overwrote their homes with this (partial) outer iteration's
-		// values, so record the current outer iteration as the new base.
-		// The outer plan's inductors were reclassified base-relative
-		// ("resetable") by the analyzer for exactly this reason.
+		// values, so record a new (home, base) pair. The outer plan's
+		// inductors were reclassified base-relative ("resetable") by the
+		// analyzer for exactly this reason. The base must name the
+		// iteration whose *start-of-iteration* value the home slot now
+		// holds: if the inductor's increment has already executed on the
+		// path to this inner loop, the saved value belongs to the start of
+		// the NEXT iteration, so the base is the current iteration + 1
+		// (the same convention emitResetComm uses after a mid-iteration
+		// write).
 		if outer := lw.enclosingSTL(ctx.loop); outer != nil {
 			if len(outer.resetAt) > 0 {
 				b.Emit(isa.Instr{Op: isa.MFC2, Rd: isa.T0, Imm: isa.CP2Iteration})
+				b.OpImm(isa.ADDI, isa.AT, isa.T0, 1)
 				for _, s := range sortedKeys(outer.resetAt) {
-					b.Sw(isa.T0, isa.FP, outer.resetAt[s])
+					base := isa.T0
+					if lw.incDominates(outer, s, ctx.loop.Header) {
+						base = isa.AT
+					}
+					b.Sw(base, isa.FP, outer.resetAt[s])
 				}
 			}
 		}

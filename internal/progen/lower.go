@@ -1,0 +1,365 @@
+// Lowering from the progen tree to the frontend AST and verified bytecode.
+//
+// The lowering is total: every tree the generator or the shrinker can
+// produce compiles. Array indices are range-reduced at the access site,
+// divisors are forced nonzero, shift counts are masked, and loop variables
+// resolve against the enclosing-loop stack (falling back to a constant at
+// top level), so no edit the shrinker makes can create an ill-formed
+// program — only out-of-bounds accesses guarded by try/catch are ever
+// allowed to raise.
+package progen
+
+import (
+	"fmt"
+
+	"jrpm/internal/bytecode"
+	fe "jrpm/internal/frontend"
+)
+
+// lowerer carries per-program lowering state.
+type lowerer struct {
+	p        *Prog
+	fp       *fe.Program
+	statics  []int // frontend static slots, by progen static index
+	mix      *fe.FuncRef
+	loopVars []string // enclosing loop variables, outermost first
+	loopTops []int64  // exclusive upper bound of each enclosing loop variable
+	nextVar  int      // fresh loop-variable counter
+}
+
+// Lower compiles the tree to a frontend program (for the AST-interpreter
+// oracle) and verified bytecode (for the VM/Hydra legs).
+func Lower(p *Prog) (*fe.Program, *bytecode.Program, error) {
+	lo := &lowerer{p: p, fp: fe.NewProgram(p.Name)}
+	for i := 0; i < p.Statics; i++ {
+		lo.statics = append(lo.statics, lo.fp.StaticVar(fmt.Sprintf("s%d", i)))
+	}
+
+	// The mix helper and the monitor class are declared only when the tree
+	// uses them, so shrinking away the last call/sync drops them from the
+	// image too.
+	var monClass *fe.ClassRef
+	if treeUses(p.Body, SSync) {
+		monClass = lo.fp.Class("Mon", "pad")
+	}
+	if treeUses(p.Body, SCallMix) {
+		lo.mix = lo.fp.Func("mix", []string{"x", "y"}, true)
+		k2 := p.HelperK2 & 7
+		lo.mix.Body(
+			fe.Ret(fe.BAnd(
+				fe.BXor(
+					fe.Mul(fe.BAnd(fe.L("x"), fe.I(0xffff)), fe.I(p.HelperK1)),
+					fe.Shl(fe.BAnd(fe.L("y"), fe.I(0xff)), fe.I(k2))),
+				fe.I(0xffffff))),
+		)
+	}
+
+	main := lo.fp.Func("main", nil, false)
+	var body []any
+
+	// Prologue: locals, statics, arrays (allocated, optionally prefilled),
+	// and the monitor object.
+	for i, v := range p.LocalInit {
+		body = append(body, fe.Set(local(i), fe.I(v)))
+	}
+	for i, v := range p.StaticInit {
+		body = append(body, fe.SetStatic(lo.statics[i], fe.I(v)))
+	}
+	for a := 0; a < p.Arrays; a++ {
+		body = append(body, fe.Set(array(a), fe.NewArr(fe.I(p.ArrayLen))))
+		if a < len(p.Prefill) && p.Prefill[a] {
+			pv := lo.fresh()
+			body = append(body, fe.ForUp(pv, fe.I(0), fe.I(p.ArrayLen),
+				fe.SetIdx(fe.L(array(a)), fe.L(pv),
+					fe.Rem(fe.Mul(fe.L(pv), fe.I(p.PrefillMul[a])), fe.I(1009)))))
+		}
+	}
+	if monClass != nil {
+		body = append(body, fe.Set("mon", fe.NewE(monClass)))
+	}
+
+	for _, s := range p.Body {
+		body = append(body, lo.stmt(s))
+	}
+
+	// Epilogue probes.
+	for _, pr := range p.Probes {
+		switch pr.Kind {
+		case PLocal:
+			body = append(body, fe.Print(fe.L(local(pr.K%max1(p.Locals)))))
+		case PStatic:
+			body = append(body, fe.Print(fe.StaticE(lo.statics[pr.K%max1(p.Statics)])))
+		case PArrSum:
+			a := fe.L(array(pr.K % max1(p.Arrays)))
+			ck, qv := lo.fresh(), lo.fresh()
+			body = append(body,
+				fe.Set(ck, fe.I(0)),
+				fe.ForUp(qv, fe.I(0), fe.I(p.ArrayLen),
+					fe.Set(ck, fe.Add(fe.Mul(fe.L(ck), fe.I(31)), fe.Idx(a, fe.L(qv))))),
+				fe.Print(fe.L(ck)))
+		case PArrElem:
+			a := fe.L(array(pr.K % max1(p.Arrays)))
+			body = append(body, fe.Print(fe.Idx(a, fe.I(mod64(pr.Idx, p.ArrayLen)))))
+		}
+	}
+	main.Body(body...)
+
+	bp, err := lo.fp.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return lo.fp, bp, nil
+}
+
+// Asm returns the canonical textual assembly of the lowered program — the
+// determinism anchor: same seed ⇒ byte-identical Asm.
+func Asm(p *Prog) (string, error) {
+	_, bp, err := Lower(p)
+	if err != nil {
+		return "", err
+	}
+	return bytecode.Format(bp), nil
+}
+
+// Instructions counts bytecode instructions: total across all methods, and
+// the kernel size — the largest loop body in main, which is the region the
+// speculative hardware actually executes. Reproducer size limits are stated
+// against the kernel count.
+func Instructions(bp *bytecode.Program) (total, kernel int) {
+	for _, m := range bp.Methods {
+		total += len(m.Code)
+	}
+	kernel = largestLoop(bp)
+	return total, kernel
+}
+
+// stmt lowers one statement node.
+func (lo *lowerer) stmt(s *Stmt) fe.Stmt {
+	p := lo.p
+	switch s.Kind {
+	case SAssign:
+		return fe.Set(local(s.Dst%max1(p.Locals)), lo.expr(s.E))
+	case SReduce:
+		d := local(s.Dst % max1(p.Locals))
+		return fe.Set(d, fe.Add(fe.L(d), lo.expr(s.E)))
+	case SCarry:
+		d := local(s.Dst % max1(p.Locals))
+		m := s.M
+		if m <= 0 {
+			m = 9973
+		}
+		return fe.Set(d, fe.Rem(
+			fe.BAnd(fe.Add(fe.Mul(fe.L(d), fe.I(s.K)), lo.expr(s.E)), fe.I(0x7fffffff)),
+			fe.I(m)))
+	case SArrStore:
+		return fe.SetIdx(fe.L(array(s.Arr%max1(p.Arrays))), lo.index(s.Idx), lo.expr(s.E))
+	case SStatStore:
+		return fe.SetStatic(lo.statics[s.Dst%max1(p.Statics)], lo.expr(s.E))
+	case SCallMix:
+		if lo.mix == nil { // shrinker dropped the last call; degrade to assign
+			return fe.Set(local(s.Dst%max1(p.Locals)), lo.expr(s.E))
+		}
+		return fe.Set(local(s.Dst%max1(p.Locals)),
+			fe.CallE(lo.mix, lo.expr(s.E), lo.expr(s.E2)))
+	case SFloat:
+		return fe.Set(local(s.Dst%max1(p.Locals)),
+			fe.ToInt(fe.FMul(
+				fe.ToFloat(fe.BAnd(lo.expr(s.E), fe.I(0xfff))),
+				fe.F(float64(s.K)))))
+	case SIf:
+		return fe.If(lo.cond(s), lo.block(s.Body), lo.block(s.Else))
+	case SLoop:
+		return lo.loopStmt(s)
+	case SBreakIf:
+		if len(lo.loopVars) == 0 {
+			return fe.Set(local(0), fe.I(0)) // no enclosing loop; inert
+		}
+		return fe.If(lo.cond(s), fe.S(fe.Break()), nil)
+	case SContinueIf:
+		if len(lo.loopVars) == 0 {
+			return fe.Set(local(0), fe.I(0))
+		}
+		return fe.If(lo.cond(s), fe.S(fe.Continue()), nil)
+	case SSync:
+		st := fe.SetIdx(fe.L(array(s.Arr%max1(p.Arrays))), lo.index(s.Idx), lo.expr(s.E))
+		return fe.Synchronized(fe.L("mon"), st)
+	case STry:
+		// The index may go negative by up to K; the catch arm observes the
+		// bounds exception.
+		d := local(s.Dst % max1(p.Locals))
+		raw := fe.Sub(lo.index(s.Idx), fe.I(s.K))
+		return fe.Try(
+			fe.S(fe.Set(d, fe.Idx(fe.L(array(s.Arr%max1(p.Arrays))), raw))),
+			0, "exc",
+			fe.S(fe.Set(d, fe.I(-1))))
+	}
+	return fe.Set(local(0), fe.I(0))
+}
+
+// loopStmt lowers a counted loop. The shape differs from fe.ForUp in one
+// deliberate way: the increment runs at the TOP of the body, so a generated
+// Continue skips the rest of the iteration without skipping the increment
+// (ForUp's bottom increment would loop forever). The loop variable still
+// takes values 0..Iters-1 and is still written by a single iinc per
+// iteration, which is the inductor shape the analyzer recognizes.
+func (lo *lowerer) loopStmt(s *Stmt) fe.Stmt {
+	iters := s.Iters
+	if iters < 0 {
+		iters = 0
+	}
+	v := lo.fresh()
+	lo.loopVars = append(lo.loopVars, v)
+	lo.loopTops = append(lo.loopTops, iters)
+	inner := lo.block(s.Body)
+	lo.loopVars = lo.loopVars[:len(lo.loopVars)-1]
+	lo.loopTops = lo.loopTops[:len(lo.loopTops)-1]
+
+	body := append([]fe.Stmt{fe.Inc(v, 1)}, inner...)
+	return feSeq(
+		fe.Set(v, fe.I(-1)),
+		fe.While(fe.Lt(fe.L(v), fe.I(iters-1)), body),
+	)
+}
+
+// block lowers a statement list.
+func (lo *lowerer) block(ss []*Stmt) []fe.Stmt {
+	var out []fe.Stmt
+	for _, s := range ss {
+		out = append(out, lo.stmt(s))
+	}
+	return out
+}
+
+// cond lowers a condition shape.
+func (lo *lowerer) cond(s *Stmt) fe.Cond {
+	a, b := lo.expr(s.CondA), lo.expr(s.CondB)
+	switch s.Cond {
+	case CLt:
+		return fe.Lt(a, b)
+	case CGe:
+		return fe.Ge(a, b)
+	case CEqMod3:
+		return fe.Eq(fe.Rem(fe.BAnd(a, fe.I(0xffff)), fe.I(3)), fe.I(0))
+	case CAndNe:
+		return fe.AndC(fe.Le(a, b), fe.Ne(a, fe.I(7)))
+	case CEqK:
+		return fe.Eq(a, b)
+	}
+	return fe.Lt(a, b)
+}
+
+// index lowers an index expression with range reduction to [0, ArrayLen).
+// Provably in-range indices — a constant within the array, or a loop
+// variable whose loop bound fits the array — skip the reduction wrapper, so
+// shrunk reproducers keep only the instructions that matter.
+func (lo *lowerer) index(e *Expr) fe.Expr {
+	if e != nil {
+		switch e.Kind {
+		case EConst:
+			if e.K >= 0 && e.K < lo.p.ArrayLen {
+				return fe.I(e.K)
+			}
+		case ELoopVar:
+			if n := len(lo.loopVars); n > 0 {
+				d := int(mod64(e.K, int64(n)))
+				if lo.loopTops[n-1-d] <= lo.p.ArrayLen {
+					return fe.L(lo.loopVars[n-1-d])
+				}
+			}
+		}
+	}
+	return fe.Rem(fe.BAnd(lo.expr(e), fe.I(0x7fffffff)), fe.I(lo.p.ArrayLen))
+}
+
+// expr lowers an expression node. All partial operations are guarded.
+func (lo *lowerer) expr(e *Expr) fe.Expr {
+	if e == nil {
+		return fe.I(0)
+	}
+	p := lo.p
+	switch e.Kind {
+	case EConst:
+		return fe.I(e.K)
+	case ELocal:
+		return fe.L(local(int(mod64(e.K, int64(max1(p.Locals))))))
+	case ELoopVar:
+		if len(lo.loopVars) == 0 {
+			return fe.I(e.K & 7)
+		}
+		// K selects among enclosing loop variables, innermost first.
+		d := int(mod64(e.K, int64(len(lo.loopVars))))
+		return fe.L(lo.loopVars[len(lo.loopVars)-1-d])
+	case EStatic:
+		return fe.StaticE(lo.statics[int(mod64(e.K, int64(max1(p.Statics))))])
+	case EArrLoad:
+		a := array(int(mod64(e.K, int64(max1(p.Arrays)))))
+		return fe.Idx(fe.L(a), lo.index(e.A))
+	case EAdd:
+		return fe.Add(lo.expr(e.A), lo.expr(e.B))
+	case ESub:
+		return fe.Sub(lo.expr(e.A), lo.expr(e.B))
+	case EMul:
+		return fe.Mul(fe.BAnd(lo.expr(e.A), fe.I(0xffff)), fe.BAnd(lo.expr(e.B), fe.I(0xff)))
+	case EDiv:
+		return fe.Div(lo.expr(e.A), fe.Add(fe.BAnd(lo.expr(e.B), fe.I(15)), fe.I(1)))
+	case EXor:
+		return fe.BXor(lo.expr(e.A), lo.expr(e.B))
+	case EAnd:
+		return fe.BAnd(lo.expr(e.A), lo.expr(e.B))
+	case EShr:
+		return fe.Shr(lo.expr(e.A), fe.BAnd(lo.expr(e.B), fe.I(7)))
+	case EMax:
+		return fe.MaxI(lo.expr(e.A), lo.expr(e.B))
+	}
+	return fe.I(0)
+}
+
+// fresh returns a fresh compiler-generated variable name.
+func (lo *lowerer) fresh() string {
+	lo.nextVar++
+	return fmt.Sprintf("t%d", lo.nextVar-1)
+}
+
+func local(i int) string { return fmt.Sprintf("v%d", i) }
+func array(i int) string { return fmt.Sprintf("a%d", i) }
+
+// max1 clamps a size to at least 1 so mod-mapping never divides by zero
+// even on trees the shrinker has hollowed out.
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// mod64 is a non-negative modulus.
+func mod64(k, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	m := k % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// treeUses reports whether any statement in the tree has the given kind.
+func treeUses(ss []*Stmt, k StmtKind) bool {
+	for _, s := range ss {
+		if s == nil {
+			continue
+		}
+		if s.Kind == k || treeUses(s.Body, k) || treeUses(s.Else, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// feSeq packs a statement pair into a single fe.Stmt-compatible value by
+// nesting in an always-true if — used where the tree expects one statement
+// but the lowering needs a sequence.
+func feSeq(ss ...fe.Stmt) fe.Stmt {
+	return fe.If(fe.Eq(fe.I(0), fe.I(0)), ss, nil)
+}

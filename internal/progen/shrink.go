@@ -1,0 +1,365 @@
+// Delta-debugging shrinker: minimize a divergent program to a small
+// reproducer while preserving the divergence.
+//
+// The shrinker is a greedy fixpoint over candidate edits to the program
+// tree. Each candidate clones the tree, applies one edit, and re-runs the
+// differential harness; the edit is kept iff the clone still diverges (any
+// divergence counts — classic ddmin practice, since shrinking frequently
+// walks one bug's manifestation into another's). Edits, in the order tried:
+//
+//   - delete a statement (any list in the tree, one element at a time,
+//     after first trying to delete whole halves of long lists);
+//   - hoist a compound statement's body in place of the statement (unwraps
+//     ifs, loops, sync blocks);
+//   - reduce a loop's iteration count (1, 2, 4, half);
+//   - simplify an expression to one of its operands, then to a constant;
+//   - drop an epilogue probe, or narrow an array-checksum probe to the
+//     single element that carries the divergence;
+//   - zero initial values, drop array prefill, shrink the arrays.
+//
+// Every edit keeps the tree well-formed by construction (lowering is total),
+// so the predicate is the only correctness authority the shrinker needs.
+package progen
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ShrinkResult is the outcome of minimizing one divergent program.
+type ShrinkResult struct {
+	Prog    *Prog
+	Verdict *Verdict // verdict of the final minimized program
+	Steps   int      // accepted edits
+	Checks  int      // harness evaluations spent
+	Total   int      // bytecode instructions, all methods
+	Kernel  int      // instructions in the largest loop of main
+}
+
+// Shrink minimizes p under the given harness configuration. budget caps the
+// number of harness evaluations (≤ 0 selects the default of 600). p itself
+// is never mutated.
+func Shrink(p *Prog, cc CheckConfig, budget int) *ShrinkResult {
+	if budget <= 0 {
+		budget = 600
+	}
+	cur := clone(p)
+	res := &ShrinkResult{}
+
+	diverges := func(q *Prog) bool {
+		if res.Checks >= budget {
+			return false
+		}
+		res.Checks++
+		return Check(q, cc).Diverged()
+	}
+	if !diverges(cur) {
+		// Nothing to do: the input does not diverge (or budget = 0).
+		res.Prog = cur
+		res.Verdict = Check(cur, cc)
+		fillSizes(res)
+		return res
+	}
+
+	for pass := 0; pass < 64; pass++ {
+		improved := false
+		for _, edit := range edits(cur) {
+			if res.Checks >= budget {
+				break
+			}
+			cand := clone(cur)
+			if !edit(cand) {
+				continue
+			}
+			if diverges(cand) {
+				cur = cand
+				res.Steps++
+				improved = true
+			}
+		}
+		if !improved || res.Checks >= budget {
+			break
+		}
+	}
+
+	res.Prog = cur
+	res.Verdict = Check(cur, cc)
+	fillSizes(res)
+	return res
+}
+
+func fillSizes(res *ShrinkResult) {
+	if _, bp, err := Lower(res.Prog); err == nil {
+		res.Total, res.Kernel = Instructions(bp)
+	}
+}
+
+// edit applies one candidate mutation to a cloned tree, returning false if
+// it does not apply (out of range after earlier edits, no-op, …).
+type edit func(*Prog) bool
+
+// edits enumerates the candidate edits for the current tree. The
+// enumeration is recomputed each pass, addressed by deterministic walk
+// position so the same index edits the same node in any identical clone.
+func edits(p *Prog) []edit {
+	var out []edit
+
+	// Halve long statement lists first (big deletions first = ddmin).
+	for li, l := range stmtLists(p) {
+		n := len(*l)
+		if n >= 3 {
+			li := li
+			out = append(out,
+				func(q *Prog) bool { return cutRange(q, li, 0, n/2) },
+				func(q *Prog) bool { return cutRange(q, li, n/2, n) })
+		}
+	}
+	// Then single statements, then hoists.
+	for li, l := range stmtLists(p) {
+		for si := range *l {
+			li, si := li, si
+			out = append(out, func(q *Prog) bool { return cutRange(q, li, si, si+1) })
+			if s := (*l)[si]; len(s.Body) > 0 {
+				out = append(out, func(q *Prog) bool { return hoist(q, li, si) })
+			}
+		}
+	}
+	// Loop iteration reduction.
+	for li, l := range stmtLists(p) {
+		for si, s := range *l {
+			if s.Kind == SLoop && s.Iters > 1 {
+				for _, n := range []int64{1, 2, 4, s.Iters / 2} {
+					if n >= s.Iters {
+						continue
+					}
+					li, si, n := li, si, n
+					out = append(out, func(q *Prog) bool { return setIters(q, li, si, n) })
+				}
+			}
+		}
+	}
+	// Expression simplification: node → operand, node → loop var, node → 0.
+	for ei, h := range exprHolders(p) {
+		ei := ei
+		if (*h) != nil && (*h).A != nil {
+			out = append(out, func(q *Prog) bool { return replaceExpr(q, ei, opA) })
+		}
+		if (*h) != nil && (*h).B != nil {
+			out = append(out, func(q *Prog) bool { return replaceExpr(q, ei, opB) })
+		}
+		if (*h) != nil && (*h).Kind != ELoopVar && (*h).Kind != EConst {
+			out = append(out, func(q *Prog) bool { return replaceExpr(q, ei, loopVarExpr) })
+		}
+		if (*h) != nil && ((*h).Kind != EConst || (*h).K != 0) {
+			out = append(out, func(q *Prog) bool { return replaceExpr(q, ei, zeroExpr) })
+		}
+	}
+	// Probe reduction.
+	for pi := range p.Probes {
+		pi := pi
+		out = append(out, func(q *Prog) bool { return dropProbe(q, pi) })
+		if p.Probes[pi].Kind == PArrSum {
+			lim := p.ArrayLen
+			if lim > 8 {
+				lim = 8
+			}
+			for e := int64(0); e < lim; e++ {
+				pi, e := pi, e
+				out = append(out, func(q *Prog) bool { return narrowProbe(q, pi, e) })
+			}
+		}
+	}
+	// Scalar and layout reductions.
+	for i, v := range p.LocalInit {
+		if v != 0 {
+			i := i
+			out = append(out, func(q *Prog) bool {
+				if i >= len(q.LocalInit) || q.LocalInit[i] == 0 {
+					return false
+				}
+				q.LocalInit[i] = 0
+				return true
+			})
+		}
+	}
+	for i, v := range p.StaticInit {
+		if v != 0 {
+			i := i
+			out = append(out, func(q *Prog) bool {
+				if i >= len(q.StaticInit) || q.StaticInit[i] == 0 {
+					return false
+				}
+				q.StaticInit[i] = 0
+				return true
+			})
+		}
+	}
+	for i, on := range p.Prefill {
+		if on {
+			i := i
+			out = append(out, func(q *Prog) bool {
+				if i >= len(q.Prefill) || !q.Prefill[i] {
+					return false
+				}
+				q.Prefill[i] = false
+				return true
+			})
+		}
+	}
+	for _, n := range []int64{4, 8, p.ArrayLen / 2} {
+		if n > 0 && n < p.ArrayLen {
+			n := n
+			out = append(out, func(q *Prog) bool {
+				if n >= q.ArrayLen {
+					return false
+				}
+				q.ArrayLen = n
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// ---- walk-position addressing ----
+
+// stmtLists returns every statement list in the tree in deterministic walk
+// order: the top-level body first, then each statement's Body and Else,
+// depth-first.
+func stmtLists(p *Prog) []*[]*Stmt {
+	var out []*[]*Stmt
+	var walk func(l *[]*Stmt)
+	walk = func(l *[]*Stmt) {
+		out = append(out, l)
+		for _, s := range *l {
+			if len(s.Body) > 0 {
+				walk(&s.Body)
+			}
+			if len(s.Else) > 0 {
+				walk(&s.Else)
+			}
+		}
+	}
+	walk(&p.Body)
+	return out
+}
+
+// exprHolders returns the address of every expression slot in the tree,
+// deterministic walk order.
+func exprHolders(p *Prog) []**Expr {
+	var out []**Expr
+	var walkE func(h **Expr)
+	walkE = func(h **Expr) {
+		if *h == nil {
+			return
+		}
+		out = append(out, h)
+		walkE(&(*h).A)
+		walkE(&(*h).B)
+	}
+	var walkS func(l []*Stmt)
+	walkS = func(l []*Stmt) {
+		for _, s := range l {
+			walkE(&s.CondA)
+			walkE(&s.CondB)
+			walkE(&s.Idx)
+			walkE(&s.E)
+			walkE(&s.E2)
+			walkS(s.Body)
+			walkS(s.Else)
+		}
+	}
+	walkS(p.Body)
+	return out
+}
+
+func cutRange(q *Prog, list, from, to int) bool {
+	ls := stmtLists(q)
+	if list >= len(ls) {
+		return false
+	}
+	l := ls[list]
+	if from < 0 || to > len(*l) || from >= to {
+		return false
+	}
+	*l = append((*l)[:from:from], (*l)[to:]...)
+	return true
+}
+
+// hoist replaces a compound statement with its body.
+func hoist(q *Prog, list, idx int) bool {
+	ls := stmtLists(q)
+	if list >= len(ls) {
+		return false
+	}
+	l := ls[list]
+	if idx >= len(*l) || len((*l)[idx].Body) == 0 {
+		return false
+	}
+	body := (*l)[idx].Body
+	rest := append([]*Stmt{}, (*l)[idx+1:]...)
+	*l = append(append((*l)[:idx:idx], body...), rest...)
+	return true
+}
+
+func setIters(q *Prog, list, idx int, n int64) bool {
+	ls := stmtLists(q)
+	if list >= len(ls) {
+		return false
+	}
+	l := ls[list]
+	if idx >= len(*l) || (*l)[idx].Kind != SLoop || (*l)[idx].Iters <= n {
+		return false
+	}
+	(*l)[idx].Iters = n
+	return true
+}
+
+func opA(e *Expr) *Expr       { return e.A }
+func opB(e *Expr) *Expr       { return e.B }
+func zeroExpr(*Expr) *Expr    { return &Expr{Kind: EConst} }
+func loopVarExpr(*Expr) *Expr { return &Expr{Kind: ELoopVar} }
+
+func replaceExpr(q *Prog, idx int, f func(*Expr) *Expr) bool {
+	hs := exprHolders(q)
+	if idx >= len(hs) {
+		return false
+	}
+	n := f(*hs[idx])
+	if n == nil {
+		return false
+	}
+	*hs[idx] = n
+	return true
+}
+
+func dropProbe(q *Prog, idx int) bool {
+	if idx >= len(q.Probes) || len(q.Probes) <= 1 {
+		return false // keep at least one observable
+	}
+	q.Probes = append(q.Probes[:idx:idx], q.Probes[idx+1:]...)
+	return true
+}
+
+// narrowProbe replaces an array-checksum probe with a single-element probe.
+func narrowProbe(q *Prog, idx int, elem int64) bool {
+	if idx >= len(q.Probes) || q.Probes[idx].Kind != PArrSum {
+		return false
+	}
+	q.Probes[idx] = Probe{Kind: PArrElem, K: q.Probes[idx].K, Idx: elem}
+	return true
+}
+
+// clone deep-copies a program tree via its JSON form — the same encoding
+// reproducers use, so anything that survives a shrink also round-trips.
+func clone(p *Prog) *Prog {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		panic(fmt.Sprintf("progen: clone marshal: %v", err))
+	}
+	q := &Prog{}
+	if err := json.Unmarshal(raw, q); err != nil {
+		panic(fmt.Sprintf("progen: clone unmarshal: %v", err))
+	}
+	return q
+}

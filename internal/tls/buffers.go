@@ -98,6 +98,24 @@ func (b *storeBuffer) get(a mem.Addr) (int64, bool) {
 	}
 }
 
+// getLineOnly is get with the per-word valid bits ignored: any probe of a
+// buffered line hits, returning the raw data-array word even if it was never
+// written. This exists solely for the Config.ChaosNoWordValid conformance
+// hook — it reintroduces the line-granularity forwarding bug that the
+// differential suite must be able to detect.
+func (b *storeBuffer) getLineOnly(a mem.Addr) (int64, bool) {
+	line := mem.Line(a)
+	off := uint(a) % mem.LineWords
+	for slot := hashAddr(line) & b.mask; ; slot = (slot + 1) & b.mask {
+		if b.gen[slot] != b.curGen {
+			return 0, false
+		}
+		if b.tags[slot] == line {
+			return b.words[int(slot)*mem.LineWords+int(off)], true
+		}
+	}
+}
+
 // put buffers a write of v to word a, allocating the line on first touch.
 func (b *storeBuffer) put(a mem.Addr, v int64) {
 	line := mem.Line(a)

@@ -1,0 +1,41 @@
+package tls
+
+import (
+	"testing"
+
+	"jrpm/internal/mem"
+)
+
+// TestChaosNoWordValidBreaksWordGranularity pins the conformance hook's
+// exact failure mode: with word-valid bits disabled on the read path, a
+// thread that buffered one word of a line sees garbage for the line's other
+// words instead of the memory value, and the read is not tracked as exposed
+// (so the later RAW violation is swallowed too). With the hook off, both
+// behaviours must be correct — the differential suite relies on this
+// contrast to prove it can detect a real forwarding bug.
+func TestChaosNoWordValidBreaksWordGranularity(t *testing.T) {
+	run := func(chaos bool) (val int64, violated int) {
+		m := mem.NewMemory(1 << 16)
+		cs := mem.NewCacheSim(mem.DefaultCacheConfig(4))
+		cfg := DefaultConfig(4)
+		cfg.ChaosNoWordValid = chaos
+		u := NewUnit(cfg, m, cs)
+		// Words 96 and 97 share a 4-word line. Memory holds 5 at word 97.
+		m.Write(97, 5)
+		u.Start(1)
+		u.Store(2, 96, 42) // iter 2 buffers word 96 only
+		v, _ := u.Load(2, 97, false)
+		// An older thread now writes word 97: iter 2's read was exposed, so
+		// it and everything younger (iter 3) must restart — unless chaos
+		// swallowed the tracking.
+		_, cpus, _ := u.Store(1, 97, 7)
+		return v, len(cpus)
+	}
+
+	if v, n := run(false); v != 5 || n != 2 {
+		t.Fatalf("clean unit: load=%d violated=%d, want 5 and 2", v, n)
+	}
+	if v, n := run(true); v != 0 || n != 0 {
+		t.Fatalf("chaos unit: load=%d violated=%d, want the line-granularity bug (0 and 0)", v, n)
+	}
+}

@@ -53,6 +53,15 @@ type Config struct {
 	StoreBufferLines int // per-thread store buffer capacity (paper: 64)
 	LoadBufferLines  int // per-thread speculatively-read line limit (paper: 512)
 	Handlers         HandlerCosts
+
+	// ChaosNoWordValid is a conformance-suite hook (internal/progen): it
+	// disables the store buffer's per-word valid bits on the read path, so a
+	// probe hits on the line tag alone and returns whatever the data array
+	// holds for unwritten words — the classic line-granularity forwarding
+	// bug the Figure-2 word-valid bits exist to prevent. The differential
+	// harness must detect the resulting divergence; never set it outside
+	// tests and jrpm-fuzz -chaos.
+	ChaosNoWordValid bool
 }
 
 // DefaultConfig returns the paper's Hydra TLS configuration (Figure 2
@@ -370,7 +379,7 @@ func (u *Unit) flushAttempt(t *thread, used bool) {
 // can never cause a violation.
 func (u *Unit) Load(cpu int, a mem.Addr, noViolate bool) (int64, int64) {
 	t := u.threads[cpu]
-	if v, ok := t.buf.get(a); ok {
+	if v, ok := u.probeBuf(t.buf, a); ok {
 		return v, mem.LatL1 // own store buffer hit
 	}
 	// Track the exposed read before looking for forwarded data.
@@ -384,7 +393,7 @@ func (u *Unit) Load(cpu int, a mem.Addr, noViolate bool) (int64, int64) {
 	var bestVal int64
 	for _, ot := range u.threads {
 		if ot.iter >= 0 && ot.iter < myIter && ot.iter > bestIter {
-			if v, ok := ot.buf.get(a); ok {
+			if v, ok := u.probeBuf(ot.buf, a); ok {
 				bestIter = ot.iter
 				bestVal = v
 			}
@@ -403,11 +412,20 @@ func (u *Unit) Load(cpu int, a mem.Addr, noViolate bool) (int64, int64) {
 // exposed) so the faulting path leaves the same architectural footprint.
 func (u *Unit) TrackRead(cpu int, a mem.Addr) {
 	t := u.threads[cpu]
-	if _, ok := t.buf.get(a); ok {
+	if _, ok := u.probeBuf(t.buf, a); ok {
 		return
 	}
 	t.readWords.add(a)
 	t.readLines.add(mem.Line(a))
+}
+
+// probeBuf reads word a from a store buffer, honoring the per-word valid
+// bits unless the ChaosNoWordValid conformance hook disables them.
+func (u *Unit) probeBuf(b *storeBuffer, a mem.Addr) (int64, bool) {
+	if u.cfg.ChaosNoWordValid {
+		return b.getLineOnly(a)
+	}
+	return b.get(a)
 }
 
 // hardCapLines returns the runaway limit on buffered store lines: far above
