@@ -16,23 +16,32 @@
 //	jrpm-bench -metrics FILE    # dump suite metrics as Prometheus text ("-" = stdout)
 //	jrpm-bench -trace DIR       # write one Perfetto trace per workload into DIR and exit
 //	jrpm-bench -http ADDR       # serve net/http/pprof and expvar during the run
+//	jrpm-bench -timeout D       # wall-clock deadline for the whole invocation
+//
+// On timeout or ^C the process exits with status 3 (vs 1 for a simulation
+// error) and reports how much of the suite completed before the cut.
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sync/atomic"
+	"syscall"
 
 	"jrpm/internal/analyzer"
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
 	"jrpm/internal/faultinject"
 	fe "jrpm/internal/frontend"
+	"jrpm/internal/hydra"
 	"jrpm/internal/obs"
 	"jrpm/internal/report"
 	"jrpm/internal/tls"
@@ -41,16 +50,32 @@ import (
 )
 
 var (
-	faultsFlag = flag.String("faults", "", "fault-injection plan for speculative runs, e.g. seed=42,raw=0.01,overflow=0.005")
-	budgetFlag = flag.Int64("cyclebudget", 0, "cycle-budget watchdog for each run (0 = default 2e9)")
-	guardFlag  = flag.Bool("guard", false, "enable the STL violation-storm guard")
+	faultsFlag  = flag.String("faults", "", "fault-injection plan for speculative runs, e.g. seed=42,raw=0.01,overflow=0.005")
+	budgetFlag  = flag.Int64("cyclebudget", 0, "cycle-budget watchdog for each run (0 = default 2e9)")
+	guardFlag   = flag.Bool("guard", false, "enable the STL violation-storm guard")
+	timeoutFlag = flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation (0 = none); exceeding it exits with status 3")
 )
+
+// runCtx carries the -timeout deadline and SIGINT/SIGTERM into every run;
+// set once in main before any simulation starts.
+var runCtx = context.Background()
+
+// exitTimeout distinguishes "cut short by -timeout or a signal" from a
+// simulation error (exit 1) and a usage error (exit 2).
+const exitTimeout = 3
+
+func cutShort(err error) bool {
+	return errors.Is(err, hydra.ErrCancelled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
 
 // baseOpts is the suite configuration with the safety-net flags applied.
 // Every speculative run then carries the fault plan, budget and guard; a
 // zero-fault plan leaves cycle counts identical to the unflagged baseline.
 func baseOpts() core.Options {
 	o := core.DefaultOptions()
+	o.Ctx = runCtx
 	if *budgetFlag > 0 {
 		o.MaxCycles = *budgetFlag
 	}
@@ -79,6 +104,16 @@ func main() {
 	traceDir := flag.String("trace", "", "write one Chrome trace-event JSON per workload into DIR and exit")
 	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar on ADDR (e.g. :6060) during the run")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeoutFlag > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *timeoutFlag,
+			fmt.Errorf("%w: -timeout %v elapsed", context.DeadlineExceeded, *timeoutFlag))
+		defer cancel()
+	}
+	runCtx = ctx
 
 	if *httpAddr != "" {
 		expvar.Publish("jrpm", expvar.Func(func() any {
@@ -123,9 +158,9 @@ func main() {
 		var err error
 		// An untyped nil must stay nil through the io.Writer conversion.
 		if progressW != nil {
-			results, err = report.RunSuiteParallelProgress(baseOpts(), nil, progressW)
+			results, err = report.RunSuiteParallelContext(runCtx, baseOpts(), nil, progressW)
 		} else {
-			results, err = report.RunSuiteParallel(baseOpts(), nil)
+			results, err = report.RunSuiteParallelContext(runCtx, baseOpts(), nil, nil)
 		}
 		check(err)
 		if *metricsFlag != "" {
@@ -170,6 +205,14 @@ func main() {
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jrpm-bench:", err)
+		var se *report.SuiteError
+		if errors.As(err, &se) {
+			fmt.Fprintf(os.Stderr, "jrpm-bench: partial suite: %d/%d workloads completed, %d cancelled\n",
+				len(se.Partial), se.Total, se.Cancelled)
+		}
+		if cutShort(err) {
+			os.Exit(exitTimeout)
+		}
 		os.Exit(1)
 	}
 }
@@ -179,9 +222,11 @@ func check(err error) {
 func table1Measurement() (newCycles, oldCycles int64) {
 	w := workloads.ByName("FourierTest")
 	optsNew := core.DefaultOptions()
+	optsNew.Ctx = runCtx
 	rNew, err := core.Run(w.Build(), optsNew)
 	check(err)
 	optsOld := core.DefaultOptions()
+	optsOld.Ctx = runCtx
 	optsOld.Handlers = tls.OldHandlers
 	rOld, err := core.Run(w.Build(), optsOld)
 	check(err)
@@ -196,8 +241,10 @@ func runAblation(name string) {
 		opts  core.Options
 	}
 	base := core.DefaultOptions()
+	base.Ctx = runCtx
 	mkAnalyzer := func(mod func(*analyzer.Config)) core.Options {
 		o := core.DefaultOptions()
+		o.Ctx = runCtx
 		a := analyzer.DefaultConfig()
 		a.NCPU = o.NCPU
 		a.Handlers = o.Handlers
@@ -249,6 +296,7 @@ func runAblation(name string) {
 		benches = []string{"raytrace", "fft"}
 		for _, lines := range []int{16, 32, 64, 128} {
 			o := core.DefaultOptions()
+			o.Ctx = runCtx
 			t := tls.DefaultConfig(o.NCPU)
 			t.StoreBufferLines = lines
 			o.TLS = &t
@@ -258,6 +306,7 @@ func runAblation(name string) {
 		benches = []string{"FourierTest", "shallow", "IDEA", "mp3"}
 		for _, n := range []int{2, 4, 8} {
 			o := core.DefaultOptions()
+			o.Ctx = runCtx
 			o.NCPU = n
 			variants = append(variants, variant{fmt.Sprintf("%d CPUs", n), o})
 		}
@@ -269,6 +318,7 @@ func runAblation(name string) {
 		benches = []string{"LuFactor", "euler", "mp3"}
 		for _, n := range []int{1, 2, 8} {
 			o := core.DefaultOptions()
+			o.Ctx = runCtx
 			t := tracer.DefaultConfig()
 			t.NumBanks = n
 			o.Tracer = &t

@@ -5,13 +5,15 @@
 // Usage:
 //
 //	jrpm-run [-cpus N] [-seq] [-faults PLAN] [-cyclebudget N] [-guard]
-//	         [-trace FILE] [-metrics -|FILE] [-http ADDR] program.jasm
+//	         [-timeout D] [-trace FILE] [-metrics -|FILE] [-http ADDR] program.jasm
 //
 // With -seq only the sequential baseline runs (no speculation). A -faults
 // plan (e.g. "seed=42,raw=0.01,overflow=0.005") injects deterministic faults
 // into the speculative run and cross-checks its architectural state against
 // the sequential oracle; -cyclebudget bounds every run with the watchdog;
-// -guard enables the STL violation-storm guard.
+// -guard enables the STL violation-storm guard; -timeout bounds the whole
+// run in wall-clock time (exit status 3 on timeout or ^C, vs 1 for a
+// simulation error).
 //
 // Observability: -trace writes the speculative run's flight-recorder events
 // as Chrome trace-event JSON (Perfetto-viewable), -metrics dumps the run's
@@ -22,20 +24,40 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
 	"jrpm/internal/faultinject"
+	"jrpm/internal/hydra"
 	"jrpm/internal/obs"
 	"jrpm/internal/tls"
 )
+
+// exitTimeout distinguishes "the run was cut short" (wall-clock timeout or
+// interrupt) from a simulation error (exit 1) and a usage error (exit 2),
+// so scripts can tell a slow program from a broken one.
+const exitTimeout = 3
+
+// exitCode classifies a pipeline error for the process exit status.
+func exitCode(err error) int {
+	if errors.Is(err, hydra.ErrCancelled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) {
+		return exitTimeout
+	}
+	return 1
+}
 
 // liveMetrics backs the "jrpm" expvar: nil until the pipeline completes.
 var liveMetrics atomic.Pointer[obs.Registry]
@@ -49,10 +71,22 @@ func main() {
 	trace := flag.String("trace", "", "write the speculative run's Chrome trace-event JSON to FILE")
 	metrics := flag.String("metrics", "", "write Prometheus text metrics to FILE (\"-\" = stdout)")
 	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar on ADDR (e.g. :6060) during the run")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exceeding it exits with status 3")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] [-faults PLAN] [-cyclebudget N] [-guard] [-trace FILE] [-metrics -|FILE] [-http ADDR] program.jasm")
+		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] [-faults PLAN] [-cyclebudget N] [-guard] [-timeout D] [-trace FILE] [-metrics -|FILE] [-http ADDR] program.jasm")
 		os.Exit(2)
+	}
+	// SIGINT/SIGTERM and -timeout both flow through the same context that
+	// hydra polls on its cancellation stride, so ^C interrupts a runaway
+	// simulation cleanly instead of killing the process mid-report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *timeout,
+			fmt.Errorf("%w: -timeout %v elapsed", context.DeadlineExceeded, *timeout))
+		defer cancel()
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -65,6 +99,7 @@ func main() {
 		os.Exit(1)
 	}
 	opts := core.DefaultOptions()
+	opts.Ctx = ctx
 	opts.NCPU = *cpus
 	if *budget > 0 {
 		opts.MaxCycles = *budget
@@ -103,7 +138,7 @@ func main() {
 	res, err := core.Run(prog, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jrpm-run:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 	if !res.OutputsMatch {
 		fmt.Fprintln(os.Stderr, "jrpm-run: internal error: speculative output mismatch")

@@ -1,0 +1,112 @@
+// Command jrpm-serve runs the Jrpm simulator as a long-lived HTTP service
+// with admission control, per-job deadlines, graceful degradation and
+// graceful shutdown (see internal/serve).
+//
+// Usage:
+//
+//	jrpm-serve [-addr :8080] [-workers N] [-queue N] [-deadline D]
+//	           [-maxdeadline D] [-cyclebudget N] [-grace D] [-metrics FILE]
+//
+// Endpoints:
+//
+//	POST /jobs             submit {"workload":"FourierTest"} or {"source":"program ...jasm..."}
+//	GET  /jobs             list jobs
+//	GET  /jobs/{id}        job status; ?wait=10s blocks until terminal
+//	POST /jobs/{id}/cancel cancel a queued or running job
+//	GET  /jobs/{id}/trace  Perfetto trace (jobs submitted with "trace":true)
+//	GET  /breakers         per-workload circuit breakers
+//	GET  /healthz          liveness      GET /readyz  readiness
+//	GET  /metrics          Prometheus text metrics
+//
+// On SIGINT/SIGTERM the server stops admitting (readiness flips), drains
+// in-flight jobs for the -grace period, then cancels stragglers on hydra's
+// cancellation stride, flushes metrics and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jrpm/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth; beyond it submissions are shed with 503")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-job wall-clock deadline")
+	maxDeadline := flag.Duration("maxdeadline", 2*time.Minute, "cap on client-requested deadlines")
+	budget := flag.Int64("cyclebudget", 0, "simulated-cycle budget per run (0 = default 2e9)")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period before in-flight jobs are cancelled")
+	metricsOut := flag.String("metrics", "", "flush Prometheus metrics to FILE on shutdown (\"-\" = stderr)")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxCycles:       *budget,
+	})
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-serve:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "jrpm-serve: listening on %s (%d workers, queue %d, deadline %v)\n",
+		ln.Addr(), srv.Config().Workers, srv.Config().QueueDepth, srv.Config().DefaultDeadline)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "jrpm-serve: %v: draining (grace %v)\n", sig, *grace)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "jrpm-serve: http:", err)
+		os.Exit(1)
+	}
+
+	// Shutdown sequence: stop admissions and drain jobs first (so /readyz
+	// flips immediately and in-flight work finishes or is cancelled), then
+	// close the HTTP listener, then flush metrics.
+	dctx, dcancel := context.WithTimeout(context.Background(), *grace)
+	forced := srv.Shutdown(dctx)
+	dcancel()
+	if forced > 0 {
+		fmt.Fprintf(os.Stderr, "jrpm-serve: grace expired; cancelled %d in-flight job(s)\n", forced)
+	} else {
+		fmt.Fprintln(os.Stderr, "jrpm-serve: drained cleanly")
+	}
+	hctx, hcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	hs.Shutdown(hctx)
+	hcancel()
+
+	if *metricsOut != "" {
+		w := os.Stderr
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jrpm-serve:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := srv.Metrics().WritePrometheus(w); err != nil {
+			fmt.Fprintln(os.Stderr, "jrpm-serve:", err)
+			os.Exit(1)
+		}
+	}
+}

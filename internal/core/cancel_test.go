@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunCancelledContextPropagates: a pre-cancelled context aborts the
+// pipeline before any simulation and the error classifies as both the
+// hydra sentinel family and the stdlib context errors.
+func TestRunCancelledContextPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.Ctx = ctx
+	for name, run := range map[string]func() (*Result, error){
+		"Run":           func() (*Result, error) { return Run(vectorKernel(100), opts) },
+		"RunProfile":    func() (*Result, error) { return RunProfile(vectorKernel(100), opts) },
+		"RunSequential": func() (*Result, error) { return RunSequential(vectorKernel(100), opts) },
+	} {
+		if _, err := run(); err == nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestRunStagesAgree: the degradation rungs compute the same architectural
+// output — RunSequential and RunProfile are prefixes of the full pipeline,
+// not different semantics.
+func TestRunStagesAgree(t *testing.T) {
+	full, err := Run(vectorKernel(400), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := RunProfile(vectorKernel(400), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunSequential(vectorKernel(400), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.OutputsMatch || !seq.OutputsMatch {
+		t.Fatal("profile/sequential rungs must self-report matching outputs")
+	}
+	if len(seq.Seq.Output) == 0 {
+		t.Fatal("sequential rung produced no output")
+	}
+	for i, v := range full.Seq.Output {
+		if prof.Seq.Output[i] != v || seq.Seq.Output[i] != v {
+			t.Fatalf("output[%d] differs across rungs: full %d, profile %d, seq %d",
+				i, v, prof.Seq.Output[i], seq.Seq.Output[i])
+		}
+	}
+	// Sequential cycle counts are one deterministic simulation: identical
+	// across rungs.
+	if full.Seq.Cycles != prof.Seq.Cycles || full.Seq.Cycles != seq.Seq.Cycles {
+		t.Fatalf("sequential cycles differ across rungs: %d / %d / %d",
+			full.Seq.Cycles, prof.Seq.Cycles, seq.Seq.Cycles)
+	}
+	// The lighter rungs stop where they promise to: no TLS phase, and no
+	// profile phase for the sequential rung.
+	if prof.TLS.Cycles != 0 || seq.TLS.Cycles != 0 {
+		t.Fatalf("lighter rungs ran a TLS phase: profile %d, seq %d", prof.TLS.Cycles, seq.TLS.Cycles)
+	}
+	if seq.Profile.Cycles != 0 {
+		t.Fatalf("sequential rung ran a profile phase: %d cycles", seq.Profile.Cycles)
+	}
+	if prof.Profile.Cycles == 0 || len(prof.Analysis.Decisions) == 0 {
+		t.Fatal("profile rung must still profile and analyze")
+	}
+}
+
+// TestRunCancelMidPipeline: cancelling during the run aborts with the hydra
+// sentinel and never fabricates a result.
+func TestRunCancelMidPipeline(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	opts := DefaultOptions()
+	opts.Ctx = ctx
+	want := errors.New("operator pulled the plug")
+	cancel(want)
+	res, err := Run(vectorKernel(4000), opts)
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want the cancellation cause", err)
+	}
+}

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -85,6 +86,14 @@ type Options struct {
 	// (the baseline and profiling runs stay uninstrumented, mirroring how
 	// Faults/Guard attach). nil disables recording at zero cost.
 	Recorder obs.Recorder
+
+	// Ctx, when non-nil, bounds every run of the pipeline in wall-clock
+	// terms: each simulated phase polls cancellation on a coarse cycle
+	// stride (hydra.CancelCheckStride) and the pipeline aborts between
+	// phases. Cancellation surfaces as an error wrapping
+	// hydra.ErrCancelled and the context's cause; cycle counts of
+	// uncancelled runs are bit-identical to runs with no context.
+	Ctx context.Context
 }
 
 // DefaultOptions is the paper's configuration: 4 CPUs, new handlers, both
@@ -217,10 +226,59 @@ func (r *Result) SerialFraction() float64 {
 	return float64(r.TLS.Stats.Serial) / float64(r.TLS.Cycles)
 }
 
+// stage names how far down the pipeline a run goes. The stages are the
+// rungs of the service's graceful-degradation ladder: full speculation,
+// profiling without speculation, and the plain sequential VM.
+type stage int
+
+const (
+	stageSeq     stage = iota // plain sequential baseline only
+	stageProfile              // baseline + annotated profiling + analysis
+	stageTLS                  // the full five-step pipeline
+)
+
 // Run drives the full pipeline.
 func Run(bp *bytecode.Program, opts Options) (*Result, error) {
+	return run(bp, opts, stageTLS)
+}
+
+// RunProfile drives the pipeline through profiling and decomposition
+// analysis but never recompiles or runs speculative code: the result carries
+// the baseline, the profiled run, the analyzer's selection and the predicted
+// speedup, with a zero TLS phase. It is the middle rung of the degradation
+// ladder — cheaper than Run (no TLS recompile, no speculative machine) yet
+// still answering "what would speculation buy".
+func RunProfile(bp *bytecode.Program, opts Options) (*Result, error) {
+	return run(bp, opts, stageProfile)
+}
+
+// RunSequential runs only the plain sequential baseline — the bottom rung of
+// the degradation ladder, unconditionally safe: no annotations, no
+// speculation, no analyzer.
+func RunSequential(bp *bytecode.Program, opts Options) (*Result, error) {
+	return run(bp, opts, stageSeq)
+}
+
+// ctxErr reports pending cancellation of the pipeline context (nil context =
+// never cancelled).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cancelled: %w", context.Cause(ctx))
+	}
+	return nil
+}
+
+func run(bp *bytecode.Program, opts Options, st stage) (*Result, error) {
 	if opts.NCPU == 0 {
+		ctx := opts.Ctx
 		opts = DefaultOptions()
+		opts.Ctx = ctx
+	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	res := &Result{Name: bp.Name}
 	if !opts.NoInline {
@@ -237,6 +295,15 @@ func Run(bp *bytecode.Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: plain compile: %w", err)
 	}
+	if st == stageSeq {
+		seq, _, err := execute(bp, plainImg, opts, false, false)
+		if err != nil {
+			return nil, fmt.Errorf("core: sequential run: %w", err)
+		}
+		res.Seq = seq
+		res.OutputsMatch = true // only one run: trivially consistent
+		return res, nil
+	}
 	type seqOutcome struct {
 		ph  Phase
 		err error
@@ -250,6 +317,7 @@ func Run(bp *bytecode.Program, opts Options) (*Result, error) {
 	// Step 1-2: annotated compile, profiled sequential run.
 	annImg, annRep, err := jit.Compile(bp, info, jit.ModeAnnotated, nil)
 	if err != nil {
+		<-seqCh // never abandon the baseline leg mid-flight
 		return nil, fmt.Errorf("core: annotated compile: %w", err)
 	}
 	res.CompileCycles = annRep.Cycles
@@ -280,6 +348,13 @@ func Run(bp *bytecode.Program, opts Options) (*Result, error) {
 	// The prediction is in profiled-run cycles; normalize to baseline.
 	if prof.Cycles > 0 {
 		res.PredictedCycles = res.Analysis.PredictedCycles * seq.Cycles / prof.Cycles
+	}
+	if st == stageProfile {
+		res.OutputsMatch = equalOutputs(res.Seq.Output, res.Profile.Output)
+		return res, nil
+	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	// Step 4-5: recompile selected loops, run speculative code. The
@@ -402,6 +477,7 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec
 		Cache:    opts.Cache,
 		Tracer:   opts.Tracer,
 		Profile:  profile,
+		Ctx:      opts.Ctx,
 	}
 	if spec {
 		mopts.Faults = opts.Faults

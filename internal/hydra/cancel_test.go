@@ -1,0 +1,101 @@
+package hydra
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"jrpm/internal/isa"
+)
+
+// spinImage is an unbounded busy loop: the machine runs until the cycle
+// budget or the context stops it.
+func spinImage() *Image {
+	b := isa.NewBuilder()
+	b.Li(isa.T0, 0)
+	b.Label("spin")
+	b.OpImm(isa.ADDI, isa.T0, isa.T0, 1)
+	b.Jmp("spin")
+	return image(&Method{Name: "main", Code: b.Finish(), FrameWords: 4})
+}
+
+// TestRunCancelDeadlineLatency is the acceptance bound for the cancellation
+// stride: a run whose context deadline expires must return within 100ms of
+// that deadline, even though the machine only polls every
+// CancelCheckStride cycles.
+func TestRunCancelDeadlineLatency(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	opts := DefaultOptions()
+	opts.Ctx = ctx
+	m := NewMachine(spinImage(), newStubRuntime(), opts)
+	start := time.Now()
+	err := m.Run(1 << 60)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, must wrap context.DeadlineExceeded", err)
+	}
+	if elapsed > 130*time.Millisecond {
+		t.Fatalf("run returned %v after start; want within 100ms of the 30ms deadline", elapsed)
+	}
+}
+
+// TestRunPreCancelledContext: a context that is already cancelled stops the
+// run at the first stride check, and the error carries the cause.
+func TestRunPreCancelledContext(t *testing.T) {
+	cause := errors.New("client went away")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	opts := DefaultOptions()
+	opts.Ctx = ctx
+	m := NewMachine(spinImage(), newStubRuntime(), opts)
+	err := m.Run(1 << 60)
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping the cancel cause", err)
+	}
+	if m.Clock > 2*CancelCheckStride {
+		t.Fatalf("machine ran %d cycles before noticing a pre-cancelled context", m.Clock)
+	}
+}
+
+// TestRunUncancelledContextPreservesCycles: threading a live context through
+// a run must not change a single cycle relative to a context-free run — the
+// stride check is observation, not perturbation.
+func TestRunUncancelledContextPreservesCycles(t *testing.T) {
+	build := func(ctx context.Context) *Machine {
+		b := isa.NewBuilder()
+		b.Li(isa.T0, 0)
+		b.Li(isa.T1, 0)
+		b.Li(isa.T2, 200_000) // long enough to cross several stride checks
+		b.Label("loop")
+		b.Op3(isa.ADD, isa.T1, isa.T1, isa.T0)
+		b.OpImm(isa.ADDI, isa.T0, isa.T0, 1)
+		b.Br(isa.BLT, isa.T0, isa.T2, "loop")
+		b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.T1})
+		b.Emit(isa.Instr{Op: isa.HALT})
+		code := b.Finish()
+		opts := DefaultOptions()
+		opts.Ctx = ctx
+		m := NewMachine(image(&Method{Name: "main", Code: code, FrameWords: 8}), newStubRuntime(), opts)
+		return m
+	}
+	ma := build(nil)
+	if err := ma.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	mb := build(context.Background())
+	if err := mb.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if ma.Clock != mb.Clock || ma.Instructions != mb.Instructions {
+		t.Fatalf("context changed timing: clock %d vs %d, instrs %d vs %d",
+			ma.Clock, mb.Clock, mb.Instructions, mb.Instructions)
+	}
+	if len(ma.Output) != 1 || ma.Output[0] != mb.Output[0] {
+		t.Fatalf("outputs differ: %v vs %v", ma.Output, mb.Output)
+	}
+}

@@ -42,6 +42,12 @@ var (
 	// an error, never crash the embedding process.
 	ErrInternal = errors.New("hydra: internal fault")
 
+	// ErrCancelled reports that the run's context was cancelled (caller
+	// cancellation or deadline). The wrapped chain includes the context's
+	// cause, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) also classify it.
+	ErrCancelled = errors.New("hydra: run cancelled")
+
 	// ErrSpecViolationStorm re-exports the tls sentinel so callers can
 	// classify storms without importing tls.
 	ErrSpecViolationStorm = tls.ErrSpecViolationStorm

@@ -1,6 +1,7 @@
 package hydra
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -99,11 +100,26 @@ type Options struct {
 	// branch per site — no allocation, no timing change, bit-identical
 	// cycle counts. Must be a nil interface to disable, not a typed nil.
 	Recorder obs.Recorder
+
+	// Ctx, when non-nil, bounds the run in wall-clock terms: Run polls
+	// ctx.Done() once every CancelCheckStride simulated cycles (amortized
+	// to a couple of integer compares per scheduler step, so cycle counts
+	// stay bit-identical and the hot path stays allocation-free) and fails
+	// with ErrCancelled wrapping the context's cause. nil means the run is
+	// uninterruptible, as before.
+	Ctx context.Context
 }
 
 // defaultStormLimit bounds restarts-without-commit; generous enough that
 // no real decomposition approaches it.
 const defaultStormLimit = 1 << 20
+
+// CancelCheckStride is how many simulated cycles may elapse between polls
+// of the run context's Done channel. At typical host simulation rates
+// (tens of millions of simulated cycles per second) a 64Ki-cycle stride
+// bounds cancellation latency well under 100 ms of wall clock while
+// keeping the per-step cost to two integer compares.
+const CancelCheckStride = 1 << 16
 
 // DefaultOptions returns the paper's 4-CPU Hydra with new handlers.
 func DefaultOptions() Options {
@@ -143,6 +159,13 @@ type Machine struct {
 	// Configured latencies, cached so the recorder can classify a load's
 	// memory level from its charged latency without touching CacheSim.
 	latL2, latMem, latInter int64
+
+	// Cancellation state: ctxDone is nil when no context is attached (the
+	// hot-path check then short-circuits on one nil compare). nextCtxCheck
+	// is the simulated cycle of the next Done poll.
+	ctx          context.Context
+	ctxDone      <-chan struct{}
+	nextCtxCheck int64
 
 	curSTL        *STLDesc
 	outerSTL      *STLDesc
@@ -192,6 +215,11 @@ func NewMachine(img *Image, rt Runtime, opts Options) *Machine {
 	if m.stormLimit <= 0 {
 		m.stormLimit = defaultStormLimit
 	}
+	if opts.Ctx != nil {
+		m.ctx = opts.Ctx
+		m.ctxDone = opts.Ctx.Done() // nil for Background: no polling
+		m.nextCtxCheck = CancelCheckStride
+	}
 	if opts.Profile {
 		tcfg := tracer.DefaultConfig()
 		if opts.Tracer != nil {
@@ -237,6 +265,20 @@ func (m *Machine) Boot() {
 
 // Err returns the terminal error, if any (uncaught exception, cycle budget).
 func (m *Machine) Err() error { return m.err }
+
+// pollCancel performs one Done poll and reschedules the next check. Callers
+// gate on (ctxDone != nil && Clock >= nextCtxCheck) so the common path never
+// reaches the select. Returns true when the run must stop.
+func (m *Machine) pollCancel() bool {
+	m.nextCtxCheck = m.Clock + CancelCheckStride
+	select {
+	case <-m.ctxDone:
+		m.fail(fmt.Errorf("%w at cycle %d: %w", ErrCancelled, m.Clock, context.Cause(m.ctx)))
+		return true
+	default:
+		return false
+	}
+}
 
 // Injector returns the attached fault injector (nil when no plan is set).
 func (m *Machine) Injector() *faultinject.Injector { return m.inj }
@@ -284,6 +326,9 @@ func (m *Machine) Run(maxCycles int64) (err error) {
 			m.fail(fmt.Errorf("%w: budget %d, clock %d", ErrCycleBudgetExceeded, maxCycles, m.Clock))
 			return m.err
 		}
+		if m.ctxDone != nil && m.Clock >= m.nextCtxCheck && m.pollCancel() {
+			return m.err
+		}
 		// Serial-phase fast loop: with a single runnable CPU and speculation
 		// off, instructions dispatch back-to-back without rescanning the CPU
 		// list each cycle. Anything that can wake a second CPU (STL startup)
@@ -297,6 +342,9 @@ func (m *Machine) Run(maxCycles int64) (err error) {
 				}
 				if m.Clock > maxCycles {
 					m.fail(fmt.Errorf("%w: budget %d, clock %d", ErrCycleBudgetExceeded, maxCycles, m.Clock))
+					return m.err
+				}
+				if m.ctxDone != nil && m.Clock >= m.nextCtxCheck && m.pollCancel() {
 					return m.err
 				}
 				m.exec(c)

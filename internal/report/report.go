@@ -7,6 +7,8 @@
 package report
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -18,10 +20,76 @@ import (
 
 	"jrpm/internal/cfg"
 	"jrpm/internal/core"
+	"jrpm/internal/hydra"
 	"jrpm/internal/obs"
 	"jrpm/internal/tls"
 	"jrpm/internal/workloads"
 )
+
+// SuiteError labels an aborted suite run as partial: the completed prefix of
+// results is attached (in suite order) instead of being discarded, and the
+// counts make the abort visible in one line. Unwrap exposes the failure that
+// aborted the suite, so errors.Is/As classification still works through it.
+type SuiteError struct {
+	Partial   []*SuiteResult // workloads that completed before the abort
+	Total     int            // workloads selected for the run
+	Cancelled int            // workloads cancelled in flight or never started
+	Err       error          // the failure (or caller cancellation) that aborted the suite
+}
+
+// Error renders the abort with its partial-progress counts.
+func (e *SuiteError) Error() string {
+	return fmt.Sprintf("report: suite aborted: %v (partial: %d/%d done, %d cancelled)",
+		e.Err, len(e.Partial), e.Total, e.Cancelled)
+}
+
+// Unwrap exposes the aborting failure.
+func (e *SuiteError) Unwrap() error { return e.Err }
+
+// cancellation reports whether err is a cancellation artifact (the run was
+// killed by the suite's own fail-fast cancel or the caller's context) rather
+// than a genuine workload failure.
+func cancellation(err error) bool {
+	return errors.Is(err, hydra.ErrCancelled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// suiteOutcome folds per-workload results and errors into the public return
+// shape: a clean run returns the full slice; an aborted run returns the
+// completed prefix plus a SuiteError. The primary error is the
+// lowest-indexed genuine failure — cancellation artifacts of the fail-fast
+// propagation are only reported when nothing else failed.
+func suiteOutcome(results []*SuiteResult, errs []error, ctx context.Context) ([]*SuiteResult, error) {
+	var primary, anyErr error
+	done := make([]*SuiteResult, 0, len(results))
+	cancelled := 0
+	for i, r := range results {
+		switch {
+		case errs[i] == nil && r != nil:
+			done = append(done, r)
+		case errs[i] != nil && !cancellation(errs[i]):
+			if primary == nil {
+				primary = errs[i]
+			}
+		default:
+			cancelled++
+			if errs[i] != nil && anyErr == nil {
+				anyErr = errs[i]
+			}
+		}
+	}
+	if primary == nil && anyErr == nil && cancelled == 0 {
+		return done, nil
+	}
+	if primary == nil {
+		primary = anyErr
+	}
+	if primary == nil && ctx != nil { // caller cancelled before anything failed
+		primary = context.Cause(ctx)
+	}
+	return done, &SuiteError{Partial: done, Total: len(results), Cancelled: cancelled, Err: primary}
+}
 
 // SuiteResult bundles one workload's pipeline outcome (plus the transformed
 // variant's, when Table 4 defines one).
@@ -72,20 +140,37 @@ func (p *progress) line(idx int, name, phase string) {
 // RunSuite executes every workload (optionally filtered by name) through the
 // full pipeline.
 func RunSuite(opts core.Options, filter func(*workloads.Workload) bool) ([]*SuiteResult, error) {
-	return runSuiteSeq(opts, selectWorkloads(filter), nil)
+	return RunSuiteContext(context.Background(), opts, filter)
 }
 
-func runSuiteSeq(opts core.Options, selected []*workloads.Workload, pw *progress) ([]*SuiteResult, error) {
-	var out []*SuiteResult
+// RunSuiteContext is RunSuite bounded by ctx: cancellation aborts the
+// in-flight workload on hydra's coarse cycle stride and skips the rest. An
+// aborted run returns the completed prefix plus a *SuiteError labelling the
+// results as partial.
+func RunSuiteContext(ctx context.Context, opts core.Options, filter func(*workloads.Workload) bool) ([]*SuiteResult, error) {
+	return runSuiteSeq(ctx, opts, selectWorkloads(filter), nil)
+}
+
+func runSuiteSeq(ctx context.Context, opts core.Options, selected []*workloads.Workload, pw *progress) ([]*SuiteResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.Ctx = ctx
+	results := make([]*SuiteResult, len(selected))
+	errs := make([]error, len(selected))
 	for i, w := range selected {
-		sr, err := runOne(w, opts, func(phase string) { pw.line(i, w.Name, phase) })
-		if err != nil {
-			return nil, err
+		if ctx.Err() != nil {
+			pw.line(i, w.Name, "cancelled")
+			continue
+		}
+		results[i], errs[i] = runOne(w, opts, func(phase string) { pw.line(i, w.Name, phase) })
+		if errs[i] != nil {
+			pw.line(i, w.Name, "failed: "+errs[i].Error())
+			break // fail fast: the remaining queue is reported as cancelled
 		}
 		pw.line(i, w.Name, "done")
-		out = append(out, sr)
 	}
-	return out, nil
+	return suiteOutcome(results, errs, ctx)
 }
 
 func selectWorkloads(filter func(*workloads.Workload) bool) []*workloads.Workload {
@@ -101,9 +186,11 @@ func selectWorkloads(filter func(*workloads.Workload) bool) []*workloads.Workloa
 
 // RunSuiteParallel is RunSuite with the workloads fanned out across
 // GOMAXPROCS worker goroutines. Each workload's pipeline is an independent
-// deterministic simulation, so the fan-out changes wall-clock time only;
-// results come back in the same order RunSuite produces, and the first error
-// by that order wins (matching the sequential harness exactly).
+// deterministic simulation, so the fan-out changes wall-clock time only and
+// a clean run returns results in the same order RunSuite produces. A failure
+// aborts the suite fail-fast: in-flight workloads are cancelled on hydra's
+// coarse cycle stride, queued workloads never start, and the completed
+// prefix comes back labelled partial via *SuiteError.
 func RunSuiteParallel(opts core.Options, filter func(*workloads.Workload) bool) ([]*SuiteResult, error) {
 	return RunSuiteParallelProgress(opts, filter, nil)
 }
@@ -114,6 +201,13 @@ func RunSuiteParallel(opts core.Options, filter func(*workloads.Workload) bool) 
 // any writer (os.Stderr included) is safe. Progress output does not affect
 // results or their order.
 func RunSuiteParallelProgress(opts core.Options, filter func(*workloads.Workload) bool, progressW io.Writer) ([]*SuiteResult, error) {
+	return RunSuiteParallelContext(context.Background(), opts, filter, progressW)
+}
+
+// RunSuiteParallelContext is RunSuiteParallelProgress bounded by ctx:
+// caller cancellation — or the first workload failure — cancels every
+// in-flight pipeline and skips the unstarted remainder.
+func RunSuiteParallelContext(ctx context.Context, opts core.Options, filter func(*workloads.Workload) bool, progressW io.Writer) ([]*SuiteResult, error) {
 	selected := selectWorkloads(filter)
 	pw := newProgress(progressW, len(selected))
 	nw := runtime.GOMAXPROCS(0)
@@ -121,8 +215,14 @@ func RunSuiteParallelProgress(opts core.Options, filter func(*workloads.Workload
 		nw = len(selected)
 	}
 	if nw <= 1 {
-		return runSuiteSeq(opts, selected, pw)
+		return runSuiteSeq(ctx, opts, selected, pw)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	opts.Ctx = rctx
 	results := make([]*SuiteResult, len(selected))
 	errs := make([]error, len(selected))
 	var next atomic.Int64
@@ -137,22 +237,26 @@ func RunSuiteParallelProgress(opts core.Options, filter func(*workloads.Workload
 					return
 				}
 				w := selected[i]
+				if rctx.Err() != nil {
+					pw.line(i, w.Name, "cancelled")
+					continue
+				}
 				results[i], errs[i] = runOne(w, opts, func(phase string) { pw.line(i, w.Name, phase) })
 				status := "done"
 				if errs[i] != nil {
 					status = "failed: " + errs[i].Error()
+					if !cancellation(errs[i]) {
+						// Fail fast: stop burning capacity on a suite that
+						// already has its answer.
+						cancel(fmt.Errorf("report: %s failed: %w", w.Name, errs[i]))
+					}
 				}
 				pw.line(i, w.Name, status)
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return suiteOutcome(results, errs, rctx)
 }
 
 // RunOne executes a single workload (and its transformed variant).

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chaosProgram builds a distinct jasm source per (client, iteration): a
+// parallelizable loop summing i*k, whose only correct output is k*19900.
+// Distinct constants make cross-job state leaks visible as wrong sums.
+func chaosProgram(k int64) (source string, expected int64) {
+	source = fmt.Sprintf(`
+program chaos
+statics 1
+method main args=0 locals=2 returns=false
+    const 0
+    store 1
+    const 0
+    store 0
+  .L:
+    load 0
+    const 200
+    if_icmpge .E
+    load 1
+    load 0
+    const %d
+    imul
+    iadd
+    store 1
+    iinc 0 1
+    goto .L
+  .E:
+    load 1
+    print
+    return
+end
+`, k)
+	return source, k * 19900
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+// TestChaos is the overload acceptance test: 64 concurrent clients hammer
+// the HTTP surface with distinct programs, fault plans and random
+// cancellations while a poller asserts liveness. Every job that reports
+// done must carry its own program's exact output (cross-job corruption
+// check); the server must shed or finish everything without a panic and
+// then drain cleanly.
+func TestChaos(t *testing.T) {
+	clients := 64
+	jobsPer := 2
+	if testing.Short() {
+		clients = 8
+	}
+	s := New(Config{
+		Workers:         4,
+		QueueDepth:      2 * clients,
+		DefaultDeadline: 20 * time.Second,
+	})
+	s.Start()
+	hts := httptest.NewServer(s.Handler())
+	defer hts.Close()
+	hc := hts.Client()
+
+	// Liveness poller: /healthz must answer 200 for the whole storm.
+	stopPolling := make(chan struct{})
+	var pollerFailures atomic.Int64
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stopPolling:
+				return
+			default:
+			}
+			resp, err := hc.Get(hts.URL + "/healthz")
+			if err != nil || resp.StatusCode != http.StatusOK {
+				pollerFailures.Add(1)
+			}
+			if err == nil {
+				resp.Body.Close()
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, clients*jobsPer)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) * 7919))
+			for it := 0; it < jobsPer; it++ {
+				k := int64(c*1000 + it + 1)
+				source, expected := chaosProgram(k)
+				spec := JobSpec{
+					Name:       fmt.Sprintf("chaos-%d-%d", c, it),
+					Source:     source,
+					NCPU:       2 + 2*rng.Intn(2),
+					DeadlineMS: 20_000,
+				}
+				switch rng.Intn(4) {
+				case 0:
+					spec.Faults = fmt.Sprintf("seed=%d,raw=0.05", c+1)
+				case 1:
+					spec.Mode = "seq"
+				case 2:
+					spec.Trace = true
+				}
+				var id int64
+				submitted := false
+				for try := 0; try < 50; try++ {
+					status, body := postJSON(t, hc, hts.URL+"/jobs", spec)
+					if status == http.StatusAccepted {
+						var v JobView
+						if err := json.Unmarshal(body, &v); err != nil {
+							errc <- fmt.Errorf("client %d: bad submit response: %v", c, err)
+							return
+						}
+						id = v.ID
+						submitted = true
+						break
+					}
+					if status != http.StatusServiceUnavailable {
+						errc <- fmt.Errorf("client %d: submit status %d: %s", c, status, body)
+						return
+					}
+					time.Sleep(time.Duration(1+rng.Intn(5)) * time.Millisecond) // shed: back off and retry
+				}
+				if !submitted {
+					continue // persistent overload is legal behaviour, not corruption
+				}
+				cancelledByUs := false
+				if rng.Intn(4) == 0 {
+					time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+					st, _ := postJSON(t, hc, hts.URL+fmt.Sprintf("/jobs/%d/cancel", id), struct{}{})
+					if st != http.StatusOK {
+						errc <- fmt.Errorf("client %d: cancel status %d", c, st)
+						return
+					}
+					cancelledByUs = true
+				}
+				resp, err := hc.Get(hts.URL + fmt.Sprintf("/jobs/%d?wait=20s", id))
+				if err != nil {
+					errc <- fmt.Errorf("client %d: wait: %v", c, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var v JobView
+				if err := json.Unmarshal(body, &v); err != nil {
+					errc <- fmt.Errorf("client %d: bad wait response: %v (%s)", c, err, body)
+					return
+				}
+				switch v.Status {
+				case StatusDone:
+					if len(v.Output) != 1 || v.Output[0] != expected {
+						errc <- fmt.Errorf("client %d job %d: output %v, want [%d] — cross-job corruption",
+							c, id, v.Output, expected)
+						return
+					}
+				case StatusCancelled:
+					if !cancelledByUs {
+						errc <- fmt.Errorf("client %d job %d: cancelled but nobody asked: %s", c, id, v.Error)
+						return
+					}
+				case StatusFailed:
+					if !cancelledByUs && !strings.Contains(v.Error, "deadline") {
+						errc <- fmt.Errorf("client %d job %d: failed: %s (attempts %+v)", c, id, v.Error, v.Attempts)
+						return
+					}
+				default:
+					errc <- fmt.Errorf("client %d job %d: not terminal after wait: %s", c, id, v.Status)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Graceful shutdown under the tail of the storm: readiness flips,
+	// in-flight work drains, liveness never blips.
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	forced := s.Shutdown(sctx)
+	scancel()
+	if forced != 0 {
+		t.Errorf("shutdown force-cancelled %d jobs; want a clean drain", forced)
+	}
+	if resp, err := hc.Get(hts.URL + "/readyz"); err != nil {
+		t.Error(err)
+	} else {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("/readyz after shutdown = %d, want 503", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	close(stopPolling)
+	pollWG.Wait()
+	if n := pollerFailures.Load(); n != 0 {
+		t.Errorf("/healthz failed %d probes during the storm", n)
+	}
+	if snap := s.Metrics().Snapshot(); snap["jrpm_serve_panics_recovered_total"] != nil {
+		t.Errorf("server recovered %v panics during chaos; want none", snap["jrpm_serve_panics_recovered_total"])
+	}
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"jrpm/internal/obs"
+)
+
+// Handler exposes the server over HTTP:
+//
+//	POST /jobs             submit a JobSpec; 202 + JobView, or 503 + Retry-After when shed
+//	GET  /jobs             list known jobs (bounded by retention)
+//	GET  /jobs/{id}        job snapshot; ?wait=<duration> blocks until terminal or the wait expires
+//	POST /jobs/{id}/cancel request cancellation
+//	GET  /jobs/{id}/trace  Perfetto/Chrome trace JSON (jobs submitted with trace=true)
+//	GET  /breakers         per-workload circuit-breaker states
+//	GET  /healthz          liveness: 200 as long as the process serves
+//	GET  /readyz           readiness: 503 once draining or before Start
+//	GET  /metrics          Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /breakers", s.handleBreakers)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.reg.WritePrometheus(w)
+	})
+	return mux
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	view, err := s.Submit(spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+		case errors.Is(err, ErrCircuitOpen):
+			// The breaker counts in submissions, not seconds; hint a coarse
+			// wall-clock equivalent so naive clients still back off.
+			w.Header().Set("Retry-After", "5")
+			writeJSON(w, http.StatusServiceUnavailable, httpError{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func jobID(r *http.Request) (int64, error) {
+	return strconv.ParseInt(r.PathValue("id"), 10, 64)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job id"})
+		return
+	}
+	if waitSpec := r.URL.Query().Get("wait"); waitSpec != "" {
+		d, derr := time.ParseDuration(waitSpec)
+		if derr != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: "bad wait duration: " + derr.Error()})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		view, werr := s.Wait(ctx, id)
+		if werr != nil {
+			writeJSON(w, http.StatusNotFound, httpError{Error: werr.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	view, err := s.Job(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job id"})
+		return
+	}
+	if _, err := s.Job(id); err != nil {
+		writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+		return
+	}
+	cancelled := s.Cancel(id)
+	view, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, map[string]any{"cancelled": cancelled, "job": view})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job id"})
+		return
+	}
+	events, terr := s.Trace(id)
+	if terr != nil {
+		status := http.StatusNotFound
+		if !errors.Is(terr, ErrUnknownJob) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, httpError{Error: terr.Error()})
+		return
+	}
+	view, _ := s.Job(id)
+	ncpu := view.Spec.NCPU
+	if ncpu <= 0 {
+		ncpu = 4
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("jrpm-job-%d.trace.json", id)))
+	obs.WriteChromeTrace(w, events, ncpu, view.Name)
+}
+
+func (s *Server) handleBreakers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Breakers())
+}

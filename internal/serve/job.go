@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"jrpm/internal/bytecode"
+	"jrpm/internal/core"
+	"jrpm/internal/hydra"
+	"jrpm/internal/obs"
+	"jrpm/internal/tls"
+	"jrpm/internal/workloads"
+)
+
+// Rung is one level of the graceful-degradation ladder. Jobs in auto mode
+// start at RungTLS and fall one rung at a time when the attempt blows its
+// deadline slice, storms, panics, or diverges; RungSeq is unconditionally
+// safe (plain sequential VM, no speculation, no analyzer).
+type Rung string
+
+// Ladder rungs, strongest first.
+const (
+	RungTLS     Rung = "tls"     // full five-step speculative pipeline
+	RungProfile Rung = "profile" // baseline + profiling + analysis, no speculation
+	RungSeq     Rung = "seq"     // plain sequential VM only
+)
+
+// ladder is the rung order for auto mode.
+var ladder = []Rung{RungTLS, RungProfile, RungSeq}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job statuses.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// JobSpec is a submission: exactly one of Workload (a built-in benchmark
+// name) or Source (a textual Jrpm-IR assembly program) must be set.
+type JobSpec struct {
+	Name     string `json:"name,omitempty"`     // display name (defaults to the workload name or "program")
+	Workload string `json:"workload,omitempty"` // built-in workload to run
+	Source   string `json:"source,omitempty"`   // jasm program text to assemble and run
+
+	NCPU       int    `json:"ncpu,omitempty"`        // simulated CPUs (default 4, max 8)
+	DeadlineMS int64  `json:"deadline_ms,omitempty"` // wall-clock deadline from submission (default/cap from Config)
+	MaxCycles  int64  `json:"max_cycles,omitempty"`  // simulated-cycle budget per run (default from Config)
+	Faults     string `json:"faults,omitempty"`      // faultinject plan spec for the speculative phase
+	Mode       string `json:"mode,omitempty"`        // "auto" (ladder, default) or a pinned rung: "tls", "profile", "seq"
+	Trace      bool   `json:"trace,omitempty"`       // keep a flight-recorder ring for GET /jobs/{id}/trace
+
+	// testAttempt, when non-nil, replaces the real pipeline attempt —
+	// in-package tests use it to script deterministic ladder outcomes
+	// (including panics) without constructing pathological programs.
+	testAttempt func(rung Rung) (*core.Result, error)
+}
+
+// Attempt records one rung attempt of a job, successful or not.
+type Attempt struct {
+	Rung  Rung   `json:"rung"`
+	Err   string `json:"err,omitempty"`
+	Panic string `json:"panic,omitempty"` // recovered panic stack, if the attempt panicked
+}
+
+// JobView is the externally visible snapshot of a job. All fields are
+// copies; mutating a view never races with the running job.
+type JobView struct {
+	ID     int64   `json:"id"`
+	Name   string  `json:"name"`
+	Spec   JobSpec `json:"spec"`
+	Status Status  `json:"status"`
+
+	Rung     Rung      `json:"rung,omitempty"`     // rung that produced the result
+	Degraded bool      `json:"degraded,omitempty"` // result came from below the requested rung
+	Attempts []Attempt `json:"attempts,omitempty"` // failed attempts that preceded the result
+	Error    string    `json:"error,omitempty"`
+
+	SeqCycles        int64            `json:"seq_cycles,omitempty"`
+	TLSCycles        int64            `json:"tls_cycles,omitempty"`
+	PredictedCycles  int64            `json:"predicted_cycles,omitempty"`
+	Speedup          float64          `json:"speedup,omitempty"`
+	Output           []int64          `json:"output,omitempty"`
+	FaultsFired      map[string]int64 `json:"faults_fired,omitempty"`
+	DecertifiedLoops []int64          `json:"decertified_loops,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// job is the server-side state. The view is the single mutable surface,
+// guarded by mu; done closes exactly once when the job reaches a terminal
+// status.
+type job struct {
+	mu   sync.Mutex
+	view JobView
+
+	deadline time.Time
+	cancel   context.CancelCauseFunc
+	done     chan struct{}
+	ring     *obs.Ring // non-nil when the spec asked for a trace
+	bkey     string    // circuit-breaker key
+}
+
+// snapshot copies the view for external consumption (deep enough that the
+// caller cannot race the worker: slices and maps are cloned).
+func (j *job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := j.view
+	v.Attempts = append([]Attempt(nil), j.view.Attempts...)
+	v.Output = append([]int64(nil), j.view.Output...)
+	v.DecertifiedLoops = append([]int64(nil), j.view.DecertifiedLoops...)
+	if j.view.FaultsFired != nil {
+		v.FaultsFired = make(map[string]int64, len(j.view.FaultsFired))
+		for k, n := range j.view.FaultsFired {
+			v.FaultsFired[k] = n
+		}
+	}
+	return v
+}
+
+func (j *job) snapshotSpec() JobSpec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view.Spec
+}
+
+func (j *job) status() (Status, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view.Status, j.view.Error
+}
+
+// terminal reports whether the job already reached a final status.
+func (j *job) terminal() bool {
+	st, _ := j.status()
+	return st == StatusDone || st == StatusFailed || st == StatusCancelled
+}
+
+// setCancel installs the running job's cancel function; if a client cancel
+// arrived while the job was still queued, it fires immediately.
+func (j *job) setCancel(cancel context.CancelCauseFunc) {
+	j.mu.Lock()
+	already := j.view.Status == StatusCancelled
+	j.cancel = cancel
+	j.mu.Unlock()
+	if already {
+		cancel(ErrJobCancelled)
+	}
+}
+
+func (j *job) markRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.view.Status == StatusQueued {
+		j.view.Status = StatusRunning
+		now := time.Now()
+		j.view.StartedAt = &now
+	}
+}
+
+// finish transitions to a terminal status exactly once; later transitions
+// are ignored (first terminal status wins).
+func (j *job) finish(mutate func(v *JobView)) {
+	j.mu.Lock()
+	if j.view.Status != StatusQueued && j.view.Status != StatusRunning {
+		j.mu.Unlock()
+		return
+	}
+	mutate(&j.view)
+	now := time.Now()
+	j.view.FinishedAt = &now
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *job) recordAttempt(rung Rung, err error) {
+	a := Attempt{Rung: rung, Err: err.Error()}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		a.Panic = pe.Stack
+	}
+	j.mu.Lock()
+	j.view.Attempts = append(j.view.Attempts, a)
+	j.mu.Unlock()
+}
+
+func (j *job) fail(err error) {
+	j.finish(func(v *JobView) {
+		v.Status = StatusFailed
+		v.Error = err.Error()
+	})
+}
+
+func (j *job) cancelled(cause error) {
+	j.finish(func(v *JobView) {
+		v.Status = StatusCancelled
+		if v.Error == "" {
+			v.Error = cause.Error()
+		}
+	})
+}
+
+func (j *job) succeed(rung Rung, degraded bool, res *core.Result) {
+	j.finish(func(v *JobView) {
+		v.Status = StatusDone
+		v.Rung = rung
+		v.Degraded = degraded
+		v.SeqCycles = res.Seq.Cycles
+		v.TLSCycles = res.TLS.Cycles
+		v.PredictedCycles = res.PredictedCycles
+		v.Speedup = res.SpeedupActual()
+		v.FaultsFired = res.TLS.FaultsFired
+		v.DecertifiedLoops = res.TLS.DecertifiedLoops
+		switch rung {
+		case RungTLS:
+			v.Output = res.TLS.Output
+		case RungProfile:
+			v.Output = res.Profile.Output
+		default:
+			v.Output = res.Seq.Output
+		}
+	})
+}
+
+// PanicError is a recovered per-job panic: the job fails (or degrades) with
+// the stack attached to its result, and the server keeps running.
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+// Error renders the panic value; the stack travels in the Attempt record.
+func (e *PanicError) Error() string { return "serve: job attempt panicked: " + e.Value }
+
+// Cancellation and degradation causes.
+var (
+	// ErrJobCancelled is the context cause of an explicit client cancel.
+	ErrJobCancelled = errors.New("serve: job cancelled by client")
+	// ErrShutdown is the context cause when the grace period expires and
+	// the server force-cancels in-flight jobs.
+	ErrShutdown = errors.New("serve: server shutting down")
+	// ErrDeadline reports that the job's overall wall-clock deadline
+	// expired before any rung produced a result.
+	ErrDeadline = errors.New("serve: job deadline exceeded")
+	// errSliceExpired is the internal cause of a per-rung deadline slice:
+	// it triggers degradation, not job failure.
+	errSliceExpired = errors.New("serve: rung deadline slice expired")
+)
+
+// startRung maps a spec mode to the first rung and whether the ladder may
+// degrade below it.
+func startRung(mode string) (first Rung, pinned bool, err error) {
+	switch mode {
+	case "", "auto":
+		return RungTLS, false, nil
+	case string(RungTLS), string(RungProfile), string(RungSeq):
+		return Rung(mode), true, nil
+	default:
+		return "", false, fmt.Errorf("serve: unknown mode %q (want auto, tls, profile or seq)", mode)
+	}
+}
+
+// rungsFrom returns the ladder starting at first (just first when pinned).
+func rungsFrom(first Rung, pinned bool) []Rung {
+	if pinned {
+		return []Rung{first}
+	}
+	for i, r := range ladder {
+		if r == first {
+			return ladder[i:]
+		}
+	}
+	return []Rung{RungSeq}
+}
+
+// degradable classifies an attempt error: true means the next rung down may
+// still succeed (speculation-side trouble, panics, slice timeouts); false
+// means the failure is deterministic program behaviour that every rung would
+// reproduce (bad program, uncaught exception, OOM) or a terminal
+// cancellation.
+func degradable(err error) bool {
+	switch {
+	case errors.Is(err, errSliceExpired):
+		return true // deadline pressure: drop a rung with the time left
+	case errors.Is(err, tls.ErrSpecViolationStorm):
+		return true
+	case errors.Is(err, hydra.ErrCycleBudgetExceeded):
+		return true // a storm can burn the budget before the limit trips
+	case errors.Is(err, hydra.ErrInternal):
+		return true // simulator bug: retry without speculation
+	case errors.Is(err, core.ErrOracleMismatch):
+		return true // speculation diverged: the sequential rung is the oracle
+	case errors.Is(err, errOutputMismatch):
+		return true
+	default:
+		var pe *PanicError
+		return errors.As(err, &pe)
+	}
+}
+
+// errOutputMismatch reports a pipeline whose speculative output diverged
+// from the sequential run without an active fault plan.
+var errOutputMismatch = errors.New("serve: speculative output diverged from sequential run")
+
+// buildProgram resolves the spec to a fresh bytecode program. A fresh build
+// per attempt keeps attempts independent — no compiled state leaks from a
+// failed speculative attempt into the sequential retry.
+func buildProgram(spec JobSpec) (*bytecode.Program, int, error) {
+	if spec.Workload != "" {
+		w := workloads.ByName(spec.Workload)
+		if w == nil {
+			return nil, 0, fmt.Errorf("serve: unknown workload %q", spec.Workload)
+		}
+		return w.Build(), w.HeapWords, nil
+	}
+	bp, err := bytecode.Parse(spec.Source)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: parse: %w", err)
+	}
+	return bp, 0, nil
+}
+
+// attempt runs one rung of the ladder with a panic backstop: a panic
+// anywhere inside the pipeline is converted to a *PanicError carrying the
+// stack, never propagated to the worker goroutine.
+func (s *Server) attempt(ctx context.Context, rung Rung, spec JobSpec, ring *obs.Ring) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.reg.Counter("jrpm_serve_panics_recovered_total").Inc()
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	if spec.testAttempt != nil {
+		return spec.testAttempt(rung)
+	}
+	bp, heapWords, err := buildProgram(spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.Ctx = ctx
+	if spec.NCPU > 0 {
+		opts.NCPU = spec.NCPU
+	}
+	if heapWords > 0 {
+		opts.VM.HeapWords = heapWords
+	}
+	opts.MaxCycles = s.cfg.MaxCycles
+	if spec.MaxCycles > 0 && spec.MaxCycles < opts.MaxCycles {
+		opts.MaxCycles = spec.MaxCycles
+	}
+	switch rung {
+	case RungTLS:
+		if spec.Faults != "" {
+			plan, perr := parseFaults(spec.Faults)
+			if perr != nil {
+				return nil, perr
+			}
+			opts.Faults = &plan
+		}
+		// The in-run safety net: thrashing loops demote to solo instead of
+		// storming the whole job.
+		gcfg := tls.DefaultGuardConfig()
+		opts.Guard = &gcfg
+		if ring != nil {
+			ring.Reset()
+			opts.Recorder = ring
+		}
+		res, err = core.Run(bp, opts)
+	case RungProfile:
+		res, err = core.RunProfile(bp, opts)
+	default:
+		res, err = core.RunSequential(bp, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !res.OutputsMatch {
+		return nil, errOutputMismatch
+	}
+	return res, nil
+}
+
+// runJob drives one dequeued job down the degradation ladder until a rung
+// succeeds, the deadline expires, or the job is cancelled.
+func (s *Server) runJob(j *job) {
+	spec := j.snapshotSpec()
+	jctx, jcancel := context.WithCancelCause(context.Background())
+	j.setCancel(jcancel)
+	defer jcancel(nil)
+	if j.terminal() {
+		// Cancelled while queued. Still publish the outcome so a breaker
+		// probe abandoned in the queue is released.
+		s.finishJob(j)
+		return
+	}
+	j.markRunning()
+	s.reg.Gauge("jrpm_serve_jobs_running").Set(float64(s.running.Add(1)))
+	defer func() {
+		s.reg.Gauge("jrpm_serve_jobs_running").Set(float64(s.running.Add(-1)))
+		s.finishJob(j)
+	}()
+
+	first, pinned, err := startRung(spec.Mode)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	rungs := rungsFrom(first, pinned)
+	for i, rung := range rungs {
+		remaining := time.Until(j.deadline)
+		if remaining <= 0 {
+			j.fail(fmt.Errorf("%w (after %d attempt(s))", ErrDeadline, i))
+			return
+		}
+		// A rung that still has fallbacks below it gets half the remaining
+		// budget; the last rung gets everything left. Blowing the slice is
+		// deadline pressure — degrade, don't fail.
+		slice := remaining
+		last := i == len(rungs)-1
+		if !last {
+			slice = remaining / 2
+		}
+		actx, acancel := context.WithTimeoutCause(jctx, slice, errSliceExpired)
+		res, err := s.attempt(actx, rung, spec, j.ring)
+		acancel()
+		if err == nil {
+			s.reg.Counter("jrpm_serve_jobs_completed_total{status=\"done\"}").Inc()
+			if rung != first {
+				s.reg.Counter(fmt.Sprintf("jrpm_serve_jobs_degraded_total{rung=%q}", rung)).Inc()
+			}
+			j.succeed(rung, rung != first, res)
+			return
+		}
+		j.recordAttempt(rung, err)
+		// Terminal cancellation (client cancel, shutdown, overall deadline)
+		// is never retried on a lower rung.
+		if cause := context.Cause(jctx); cause != nil && !errors.Is(cause, errSliceExpired) {
+			if errors.Is(cause, ErrJobCancelled) || errors.Is(cause, ErrShutdown) {
+				j.cancelled(cause)
+			} else {
+				j.fail(fmt.Errorf("%w: %v", ErrDeadline, cause))
+			}
+			return
+		}
+		if time.Until(j.deadline) <= 0 && !errors.Is(err, errSliceExpired) {
+			j.fail(fmt.Errorf("%w: %v", ErrDeadline, err))
+			return
+		}
+		if last || !degradable(err) {
+			j.fail(err)
+			return
+		}
+		s.reg.Counter("jrpm_serve_degradations_total").Inc()
+	}
+}
+
+// finishJob publishes the terminal status to the breaker, metrics and the
+// retention list. Every enqueued job passes through here exactly once (the
+// worker dequeue is the single exit point, even for jobs cancelled while
+// queued).
+func (s *Server) finishJob(j *job) {
+	v := j.snapshot()
+	switch v.Status {
+	case StatusDone:
+		s.breakerFor(j.bkey).onResult(true, false)
+	case StatusFailed:
+		s.reg.Counter("jrpm_serve_jobs_completed_total{status=\"failed\"}").Inc()
+		s.breakerFor(j.bkey).onResult(false, false)
+	case StatusCancelled:
+		s.reg.Counter("jrpm_serve_jobs_completed_total{status=\"cancelled\"}").Inc()
+		s.breakerFor(j.bkey).onResult(false, true)
+	}
+	s.noteFinished(v.ID)
+}

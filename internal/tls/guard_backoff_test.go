@@ -1,0 +1,180 @@
+package tls
+
+import "testing"
+
+// Edge cases of the guard's re-probe backoff schedule. The scenarios here
+// complement guard_test.go: they pin down the exact entry counts at the
+// schedule boundaries so the serve-layer circuit breaker (which mirrors this
+// schedule) has a precise contract to copy.
+
+// backoffCfg is a small schedule that reaches saturation quickly: windows
+// of 4 events, one bad window decertifies, backoff 2 doubling to cap 8.
+func backoffCfg() GuardConfig {
+	return GuardConfig{
+		Window:            4,
+		BadViolationRatio: 0.5,
+		BadOverflowRatio:  0.5,
+		Decertify:         1,
+		Backoff:           2,
+		MaxBackoff:        8,
+	}
+}
+
+// feedBadWindow fills one window with a 50% violation ratio.
+func feedBadWindow(g *Guard, id int64) {
+	g.OnCommit(id)
+	g.OnCommit(id)
+	g.OnViolation(id)
+	g.OnViolation(id)
+}
+
+// feedGoodWindow fills one window with commits only.
+func feedGoodWindow(g *Guard, id int64) {
+	for i := 0; i < 4; i++ {
+		g.OnCommit(id)
+	}
+}
+
+// deniedUntilProbe counts Allow refusals until the guard grants an entry,
+// bounded so a wedged schedule fails the test instead of hanging it.
+func deniedUntilProbe(t *testing.T, g *Guard, id int64) int {
+	t.Helper()
+	for denied := 0; denied <= 1024; denied++ {
+		if g.Allow(id) {
+			return denied
+		}
+	}
+	t.Fatalf("loop %d: no probe granted within 1024 entries", id)
+	return -1
+}
+
+// TestGuardBackoffSaturation walks the whole schedule: every failed probe
+// doubles the sequential backoff until it pins at MaxBackoff and stays
+// there, no matter how many more probes fail.
+func TestGuardBackoffSaturation(t *testing.T) {
+	g := NewGuard(backoffCfg())
+	const id = 7
+	feedBadWindow(g, id) // Decertify=1: one bad window opens solo mode
+	if !g.Decertified(id) {
+		t.Fatal("loop not decertified after a bad window")
+	}
+	// Expected denials before each successive probe: 2, 4, 8, then pinned.
+	for probe, want := range []int{2, 4, 8, 8, 8} {
+		got := deniedUntilProbe(t, g, id)
+		if got != want {
+			t.Fatalf("probe %d: %d sequential entries before the probe, want %d", probe+1, got, want)
+		}
+		feedBadWindow(g, id) // the probe fails: double (or hold) the backoff
+		if !g.Decertified(id) {
+			t.Fatalf("probe %d: loop recertified by a bad window", probe+1)
+		}
+	}
+	st := g.Stats()[id]
+	if st.Probes != 5 || st.Recerts != 0 {
+		t.Fatalf("stats = %+v, want 5 probes and 0 recerts", st)
+	}
+}
+
+// TestGuardDemoteDuringProbe pins the mid-probe demotion path: when the
+// probe's own window goes bad before the loop exits, the guard demotes back
+// to solo immediately (no OnExit needed), doubles the backoff, and the very
+// next entry is sequential again.
+func TestGuardDemoteDuringProbe(t *testing.T) {
+	g := NewGuard(backoffCfg())
+	const id = 3
+	feedBadWindow(g, id)
+	if n := deniedUntilProbe(t, g, id); n != 2 {
+		t.Fatalf("first probe after %d denials, want 2", n)
+	}
+	// The probe is live. Its window fills bad mid-run.
+	feedBadWindow(g, id)
+	if !g.Decertified(id) {
+		t.Fatal("bad probe window must leave the loop decertified")
+	}
+	if g.Allow(id) {
+		t.Fatal("entry immediately after a failed probe must be sequential")
+	}
+	// OnExit after the mid-probe demotion is a no-op: the probe was already
+	// judged; exiting must not double-judge or grant anything.
+	g.OnExit(id)
+	st := g.Stats()[id]
+	if st.Probes != 1 || st.Recerts != 0 || st.Decerts != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 probe, 0 recerts, 1 decert", st)
+	}
+	// 1 denial already consumed above; the doubled backoff of 4 leaves 3.
+	if n := deniedUntilProbe(t, g, id); n != 3 {
+		t.Fatalf("second probe after %d more denials, want 3 (backoff doubled to 4)", n)
+	}
+}
+
+// TestGuardSoloExitAtProbeBoundary pins the exact boundary behaviour of
+// solo mode: Allow refuses exactly Backoff entries, grants the next entry
+// as the probe, and a loop that exits at that boundary is judged on
+// whatever the probe saw — nothing at all counts as a clean probe and
+// recertifies.
+func TestGuardSoloExitAtProbeBoundary(t *testing.T) {
+	cases := []struct {
+		name        string
+		probeEvents func(g *Guard, id int64)
+		recertified bool
+		// denials before the probe after this probe resolves (0 when the
+		// loop recertified and the next entry is speculative again)
+		nextDenials int
+	}{
+		{
+			name:        "empty probe window counts good",
+			probeEvents: func(g *Guard, id int64) {},
+			recertified: true,
+			nextDenials: 0,
+		},
+		{
+			name: "partial good window recertifies at exit",
+			probeEvents: func(g *Guard, id int64) {
+				g.OnCommit(id)
+				g.OnCommit(id)
+			},
+			recertified: true,
+			nextDenials: 0,
+		},
+		{
+			name: "partial bad window demotes at exit",
+			probeEvents: func(g *Guard, id int64) {
+				g.OnCommit(id)
+				g.OnViolation(id) // 1/2 events violated >= ratio 0.5
+			},
+			recertified: false,
+			nextDenials: 4, // backoff doubled from 2
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGuard(backoffCfg())
+			const id = 11
+			feedBadWindow(g, id)
+			// Exactly Backoff=2 sequential entries, then the probe: the
+			// boundary is exact, not off-by-one in either direction.
+			if g.Allow(id) || g.Allow(id) {
+				t.Fatal("entries inside the backoff must be sequential")
+			}
+			if !g.Allow(id) {
+				t.Fatal("entry just past the backoff must be the probe")
+			}
+			tc.probeEvents(g, id)
+			g.OnExit(id) // the loop leaves its STL exactly at the boundary
+			if got := !g.Decertified(id); got != tc.recertified {
+				t.Fatalf("recertified = %v, want %v", got, tc.recertified)
+			}
+			if n := deniedUntilProbe(t, g, id); n != tc.nextDenials {
+				t.Fatalf("next speculative entry after %d denials, want %d", n, tc.nextDenials)
+			}
+			if tc.recertified {
+				// A recertified loop is fully back: a good window keeps it
+				// speculative with no residual probe state.
+				feedGoodWindow(g, id)
+				if g.Decertified(id) {
+					t.Fatal("good window after recertification must not demote")
+				}
+			}
+		})
+	}
+}
