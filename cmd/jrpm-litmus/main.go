@@ -1,0 +1,239 @@
+// Command jrpm-litmus model-checks the TLS coherence protocol
+// (internal/litmus): exhaustive enumeration of small litmus configurations,
+// a seeded random deep mode for larger ones, and replay/minimize for
+// persisted counterexamples.
+//
+// Modes:
+//
+//	enumerate  exhaustively explore every test of one enumeration family
+//	deep       random tests × random schedules, seeded
+//	replay     re-run a persisted counterexample (or testdata pin)
+//	minimize   shrink a persisted counterexample
+//
+// Exit codes: 0 clean, 1 divergence found (counterexample written),
+// 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"jrpm/internal/litmus"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "enumerate", "enumerate | deep | replay | minimize")
+		threads   = flag.Int("threads", 2, "scripted iterations (= NCPU), 2-4")
+		addrs     = flag.Int("addrs", 2, "footprint size, 1-4 shared words")
+		length    = flag.Int("len", 2, "ops per script")
+		vocab     = flag.String("vocab", "basic", "op vocabulary: basic | tracked")
+		specials  = flag.Bool("specials", false, "cross with protocol ops (Partial/Drain/VioY/Demote/Switch/Stop/Track)")
+		sameline  = flag.Bool("sameline", false, "pack the footprint into one cache line")
+		tinyStore = flag.Int("tinystore", 0, "store buffer lines (0 = paper 64)")
+		tinyLoad  = flag.Int("tinyload", 0, "load buffer lines (0 = paper 512)")
+		chaos     = flag.Bool("chaos", false, "enable ChaosNoWordValid (oracle self-test: divergence expected)")
+		noprune   = flag.Bool("noprune", false, "disable abstract-state revisit pruning")
+		deadline  = flag.Duration("deadline", 0, "overall time bound (0 = none)")
+		out       = flag.String("out", ".", "directory for counterexample JSON")
+		caseFile  = flag.String("case", "", "counterexample file (replay/minimize modes)")
+		seed      = flag.Uint64("seed", 1, "deep mode PRNG seed")
+		tests     = flag.Int("tests", 256, "deep mode: number of random tests")
+		schedules = flag.Int("schedules", 64, "deep mode: random schedules per test")
+		budget    = flag.Int("budget", 400, "minimize mode: exploration budget")
+		verbose   = flag.Bool("v", false, "per-test progress")
+	)
+	flag.Parse()
+
+	opt := litmus.Options{NoPrune: *noprune}
+	if *deadline > 0 {
+		opt.Deadline = time.Now().Add(*deadline)
+	}
+	spec := litmus.EnumSpec{
+		Threads:    *threads,
+		Addrs:      *addrs,
+		Len:        *length,
+		SameLine:   *sameline,
+		StoreLines: *tinyStore,
+		LoadLines:  *tinyLoad,
+		Chaos:      *chaos,
+		Specials:   *specials,
+	}
+	switch *vocab {
+	case "basic":
+		spec.Vocab = litmus.VocabBasic
+	case "tracked":
+		spec.Vocab = litmus.VocabTracked
+	default:
+		fmt.Fprintf(os.Stderr, "jrpm-litmus: unknown vocab %q\n", *vocab)
+		os.Exit(2)
+	}
+
+	switch *mode {
+	case "enumerate":
+		os.Exit(runEnumerate(spec, opt, *out, *budget, *verbose))
+	case "deep":
+		os.Exit(runDeep(spec, opt, *out, *seed, *tests, *schedules, *budget, *verbose))
+	case "replay":
+		os.Exit(runReplay(*caseFile, opt))
+	case "minimize":
+		os.Exit(runMinimize(*caseFile, opt, *out, *budget))
+	default:
+		fmt.Fprintf(os.Stderr, "jrpm-litmus: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// report minimizes a divergence, prints its timeline, and persists it.
+func report(div *litmus.Counterexample, opt litmus.Options, out string, budget int) {
+	fmt.Printf("DIVERGENCE %s in %s: %s\n", div.Check, div.Test.Name, div.Detail)
+	minTest, minCE := litmus.Minimize(&div.Test, div.Check, opt, budget)
+	if minCE != nil {
+		div = minCE
+		div.Test = *minTest
+	}
+	fmt.Println(div.Timeline)
+	path := filepath.Join(out, fmt.Sprintf("litmus-%s-%d.json", div.Check, time.Now().Unix()))
+	if err := litmus.WriteCounterexample(path, div); err != nil {
+		fmt.Fprintf(os.Stderr, "jrpm-litmus: writing counterexample: %v\n", err)
+		return
+	}
+	fmt.Printf("counterexample written to %s\n", path)
+}
+
+func runEnumerate(spec litmus.EnumSpec, opt litmus.Options, out string, budget int, verbose bool) int {
+	start := time.Now()
+	var nTests, nSchedules, nPruned int
+	var nSteps int64
+	var div *litmus.Counterexample
+	timedOut := false
+	spec.Enumerate(func(t *litmus.Test) bool {
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+			timedOut = true
+			return false
+		}
+		res, err := litmus.Explore(t, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jrpm-litmus: %s: %v\n", t.Name, err)
+			div = &litmus.Counterexample{Check: "invalid-test", Detail: err.Error(), Test: *t}
+			return false
+		}
+		nTests++
+		nSchedules += res.Schedules
+		nPruned += res.Pruned
+		nSteps += res.Steps
+		if verbose && nTests%500 == 0 {
+			fmt.Printf("  %d tests, %d schedules, %d pruned, %d steps (%.1fs)\n",
+				nTests, nSchedules, nPruned, nSteps, time.Since(start).Seconds())
+		}
+		if res.Div != nil {
+			div = res.Div
+			return false
+		}
+		return true
+	})
+	fmt.Printf("enumerate %dt/%da/len%d: %d/%d tests, %d schedules (+%d pruned), %d steps in %v\n",
+		spec.Threads, spec.Addrs, spec.Len, nTests, spec.Count(), nSchedules, nPruned, nSteps,
+		time.Since(start).Round(time.Millisecond))
+	if div != nil {
+		report(div, opt, out, budget)
+		return 1
+	}
+	if timedOut {
+		fmt.Printf("deadline reached: covered %d of %d tests, no divergence in the covered set\n", nTests, spec.Count())
+	}
+	return 0
+}
+
+// runDeep samples random tests from the spec's vocabulary (plus optionally
+// one random special per test) and runs random schedules over each.
+func runDeep(spec litmus.EnumSpec, opt litmus.Options, out string, seed uint64, tests, schedules, budget int, verbose bool) int {
+	start := time.Now()
+	var nSteps int64
+	rng := seed
+	for i := 0; i < tests; i++ {
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+			fmt.Printf("deadline reached after %d of %d tests\n", i, tests)
+			break
+		}
+		t := litmus.RandomTest(spec, &rng, i)
+		res, err := litmus.Deep(t, rng, schedules, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jrpm-litmus: %s: %v\n", t.Name, err)
+			return 2
+		}
+		nSteps += res.Steps
+		if verbose && (i+1)%100 == 0 {
+			fmt.Printf("  %d tests, %d steps (%.1fs)\n", i+1, nSteps, time.Since(start).Seconds())
+		}
+		if res.Div != nil {
+			fmt.Printf("deep sweep: %d tests, %d steps in %v\n", i+1, nSteps, time.Since(start).Round(time.Millisecond))
+			report(res.Div, opt, out, budget)
+			return 1
+		}
+	}
+	fmt.Printf("deep sweep: %d tests x %d schedules, %d steps in %v, no divergence\n",
+		tests, schedules, nSteps, time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+func runReplay(caseFile string, opt litmus.Options) int {
+	if caseFile == "" {
+		fmt.Fprintln(os.Stderr, "jrpm-litmus: replay requires -case FILE")
+		return 2
+	}
+	pc, err := litmus.ReadPinnedCase(caseFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jrpm-litmus: %v\n", err)
+		return 2
+	}
+	ok, msg := litmus.CheckPinnedCase(pc, opt)
+	if ok {
+		if pc.ExpectDiverge {
+			fmt.Printf("replay %s: diverged with %s as expected (oracle self-test)\n", caseFile, pc.Check)
+		} else {
+			fmt.Printf("replay %s: clean\n", caseFile)
+		}
+		return 0
+	}
+	fmt.Printf("replay %s: %s\n", caseFile, msg)
+	return 1
+}
+
+func runMinimize(caseFile string, opt litmus.Options, out string, budget int) int {
+	if caseFile == "" {
+		fmt.Fprintln(os.Stderr, "jrpm-litmus: minimize requires -case FILE")
+		return 2
+	}
+	pc, err := litmus.ReadPinnedCase(caseFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jrpm-litmus: %v\n", err)
+		return 2
+	}
+	res, err := litmus.Explore(&pc.Test, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jrpm-litmus: %v\n", err)
+		return 2
+	}
+	if res.Div == nil {
+		fmt.Printf("minimize %s: test no longer diverges; nothing to shrink\n", caseFile)
+		return 0
+	}
+	minTest, minCE := litmus.Minimize(&pc.Test, res.Div.Check, opt, budget)
+	if minCE == nil {
+		fmt.Printf("minimize %s: could not reproduce %s within budget\n", caseFile, res.Div.Check)
+		return 2
+	}
+	minCE.Test = *minTest
+	fmt.Println(minCE.Timeline)
+	path := filepath.Join(out, "minimized-"+filepath.Base(caseFile))
+	if err := litmus.WriteCounterexample(path, minCE); err != nil {
+		fmt.Fprintf(os.Stderr, "jrpm-litmus: %v\n", err)
+		return 2
+	}
+	fmt.Printf("minimized counterexample written to %s\n", path)
+	return 1
+}

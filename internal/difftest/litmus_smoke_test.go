@@ -1,0 +1,50 @@
+package difftest
+
+// The litmus machine (internal/litmus) is the third leg of the conformance
+// stack: the random-program fuzzer here covers large behaviours, the golden
+// cycles pin exact numbers, and litmus exhausts every interleaving of tiny
+// protocol scenarios. This smoke keeps a representative exhaustive slice in
+// tier-1 so a protocol regression fails plain `go test`, not just the
+// scheduled deep sweeps.
+
+import (
+	"testing"
+
+	"jrpm/internal/litmus"
+)
+
+// litmusSmokeFamilies are small enough to exhaust in well under a second
+// each while still crossing the interesting protocol axes: basic loads and
+// stores, tiny buffers forcing overflow-park/drain, and the special ops
+// (CommitPartial, DrainOverflow, ViolateFrom, DemoteSolo, SwitchSTL,
+// Shutdown, TrackRead) injected at every script position.
+var litmusSmokeFamilies = []litmus.EnumSpec{
+	{Threads: 2, Addrs: 2, Len: 2, Vocab: litmus.VocabBasic},
+	{Threads: 2, Addrs: 2, Len: 2, Vocab: litmus.VocabBasic, SameLine: true},
+	{Threads: 2, Addrs: 2, Len: 2, Vocab: litmus.VocabBasic, StoreLines: 1, LoadLines: 1},
+	{Threads: 2, Addrs: 2, Len: 1, Vocab: litmus.VocabTracked, Specials: true},
+}
+
+func TestLitmusSmoke(t *testing.T) {
+	for _, spec := range litmusSmokeFamilies {
+		spec := spec
+		ran := int64(0)
+		spec.Enumerate(func(tt *litmus.Test) bool {
+			res, err := litmus.Explore(tt, litmus.Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", tt.Name, err)
+			}
+			if res.Div != nil {
+				t.Fatalf("%s diverged %s: %s\n%s", tt.Name, res.Div.Check, res.Div.Detail, res.Div.Timeline)
+			}
+			if !res.Exhausted {
+				t.Fatalf("%s: exploration not exhausted", tt.Name)
+			}
+			ran++
+			return true
+		})
+		if ran != spec.Count() {
+			t.Fatalf("family %+v: ran %d of %d tests", spec, ran, spec.Count())
+		}
+	}
+}

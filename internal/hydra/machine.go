@@ -751,8 +751,7 @@ func (m *Machine) redirectRestart(c *CPU) {
 	}
 	m.stormCount++
 	if m.stormCount > m.stormLimit {
-		m.fail(fmt.Errorf("%w: %d restarts without a commit (loop %d)",
-			ErrSpecViolationStorm, m.stormCount, m.curSTL.LoopID))
+		m.fail(&tls.ViolationStormError{Restarts: m.stormCount, LoopID: m.curSTL.LoopID})
 		return
 	}
 	if m.Guard != nil {

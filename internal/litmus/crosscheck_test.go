@@ -1,0 +1,36 @@
+package litmus
+
+import "testing"
+
+// TestCrossCheckPruneFamily verifies over a whole (small, overflow-forcing)
+// enumeration family that abstract-state pruning never changes a verdict:
+// pruned and full exploration agree on every test. The larger families run
+// the same cross-check in the CI litmus step.
+func TestCrossCheckPruneFamily(t *testing.T) {
+	spec := EnumSpec{Threads: 2, Addrs: 2, Len: 2, StoreLines: 1, LoadLines: 1}
+	n := 0
+	spec.Enumerate(func(tt *Test) bool {
+		p, err := Explore(tt, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Explore(tt.clone(), Options{NoPrune: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (p.Div == nil) != (f.Div == nil) {
+			t.Fatalf("%s: prune verdict mismatch: pruned %+v vs full %+v", tt.Name, p.Div, f.Div)
+		}
+		if !p.Exhausted || !f.Exhausted {
+			t.Fatalf("%s: not exhausted", tt.Name)
+		}
+		if f.Schedules < p.Schedules {
+			t.Fatalf("%s: full walk ran fewer schedules (%d) than pruned (%d)", tt.Name, f.Schedules, p.Schedules)
+		}
+		n++
+		return true
+	})
+	if n != 256 {
+		t.Fatalf("cross-checked %d tests, want 256", n)
+	}
+}

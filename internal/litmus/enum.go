@@ -1,0 +1,141 @@
+package litmus
+
+import "fmt"
+
+// Vocab selects the operation vocabulary the enumerator draws from.
+type Vocab int
+
+const (
+	// VocabBasic is loads and stores over every footprint address — the
+	// classic litmus alphabet (2·Addrs ops).
+	VocabBasic Vocab = iota
+	// VocabTracked adds TrackRead and the untracked lwnv load (4·Addrs ops).
+	VocabTracked
+)
+
+// EnumSpec describes one exhaustive enumeration family: every assignment of
+// Len vocabulary ops to each of Threads scripted iterations, optionally
+// crossed with one special (head-only/protocol) op inserted at every
+// position of iteration 0's script.
+type EnumSpec struct {
+	Threads    int  // scripted iterations (= NCPU; threads run them round-robin)
+	Addrs      int  // footprint size
+	Len        int  // ops per script
+	SameLine   bool // pack the footprint into one line
+	StoreLines int  // 0 = paper capacity
+	LoadLines  int  // 0 = paper capacity
+	Chaos      bool
+	Vocab      Vocab
+	Specials   bool // cross with one inserted special op per position
+}
+
+// vocabulary returns the scripted-op alphabet.
+func (s EnumSpec) vocabulary() []Op {
+	var ops []Op
+	for a := 0; a < s.Addrs; a++ {
+		ops = append(ops, Op{K: KLoad, A: a}, Op{K: KStore, A: a})
+	}
+	if s.Vocab == VocabTracked {
+		for a := 0; a < s.Addrs; a++ {
+			ops = append(ops, Op{K: KTrack, A: a}, Op{K: KLoadNV, A: a})
+		}
+	}
+	return ops
+}
+
+// specials returns the protocol ops the Specials cross inserts: one exposed
+// read per address plus every head-only/control op. Bare KillYounger is
+// deliberately absent — without the reassignment that Demote/Switch/Shutdown
+// pair it with, the head token would land on an unowned iteration.
+func (s EnumSpec) specials() []Op {
+	ops := []Op{{K: KPartial}, {K: KDrain}, {K: KVioY}, {K: KDemote}, {K: KSwitch}, {K: KStop}}
+	for a := 0; a < s.Addrs; a++ {
+		ops = append(ops, Op{K: KTrack, A: a})
+	}
+	return ops
+}
+
+// Count returns the number of tests the spec enumerates.
+func (s EnumSpec) Count() int64 {
+	v := int64(len(s.vocabulary()))
+	base := int64(1)
+	for i := 0; i < s.Threads*s.Len; i++ {
+		base *= v
+	}
+	if !s.Specials {
+		return base
+	}
+	return base * int64(len(s.specials())) * int64(s.Len+1)
+}
+
+// Enumerate yields every test of the family in odometer order, stopping
+// early if yield returns false. The yielded *Test is reused across calls;
+// clone it to retain.
+func (s EnumSpec) Enumerate(yield func(*Test) bool) {
+	vocab := s.vocabulary()
+	slots := s.Threads * s.Len
+	idx := make([]int, slots)
+	t := &Test{
+		NCPU:       s.Threads,
+		Addrs:      s.Addrs,
+		SameLine:   s.SameLine,
+		StoreLines: s.StoreLines,
+		LoadLines:  s.LoadLines,
+		Chaos:      s.Chaos,
+	}
+	seq := 0
+	for {
+		scripts := make([][]Op, s.Threads)
+		for i := 0; i < s.Threads; i++ {
+			script := make([]Op, s.Len)
+			for j := 0; j < s.Len; j++ {
+				script[j] = vocab[idx[i*s.Len+j]]
+			}
+			scripts[i] = script
+		}
+		if s.Specials {
+			for _, sp := range s.specials() {
+				for pos := 0; pos <= s.Len; pos++ {
+					t.Scripts = insertOp(scripts, 0, pos, sp)
+					t.Name = fmt.Sprintf("e%dt%da-%d-%s@%d", s.Threads, s.Addrs, seq, sp.K, pos)
+					if !yield(t) {
+						return
+					}
+				}
+			}
+		} else {
+			t.Scripts = scripts
+			t.Name = fmt.Sprintf("e%dt%da-%d", s.Threads, s.Addrs, seq)
+			if !yield(t) {
+				return
+			}
+		}
+		seq++
+		// Odometer increment.
+		k := 0
+		for ; k < slots; k++ {
+			idx[k]++
+			if idx[k] < len(vocab) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == slots {
+			return
+		}
+	}
+}
+
+// insertOp returns scripts with op inserted at position pos of script i
+// (scripts themselves are not mutated).
+func insertOp(scripts [][]Op, i, pos int, op Op) [][]Op {
+	out := make([][]Op, len(scripts))
+	copy(out, scripts)
+	s := scripts[i]
+	ns := make([]Op, 0, len(s)+1)
+	ns = append(ns, s[:pos]...)
+	ns = append(ns, op)
+	ns = append(ns, s[pos:]...)
+	out[i] = ns
+	return out
+}

@@ -1,0 +1,232 @@
+package litmus
+
+import (
+	"fmt"
+	"time"
+)
+
+// Options bounds an exploration.
+type Options struct {
+	// MaxSteps caps one schedule's length; exceeding it is itself a
+	// divergence (a runaway protocol never reaching shutdown). 0 = 4096.
+	MaxSteps int
+	// MaxSchedules stops after this many completed schedules (0 = no cap);
+	// the result then reports Exhausted=false.
+	MaxSchedules int
+	// NoPrune disables abstract-state revisit pruning (the zero value prunes).
+	NoPrune bool
+	// Deadline stops the exploration when passed (zero = none).
+	Deadline time.Time
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps > 0 {
+		return o.MaxSteps
+	}
+	return 4096
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	Schedules int             // complete schedules executed to termination
+	Pruned    int             // schedules cut at a revisited abstract state
+	Steps     int64           // total steps executed across all replays
+	Exhausted bool            // every interleaving was covered (or pruned as revisited)
+	Div       *Counterexample // first divergence found, nil if none
+}
+
+// frame is one DFS decision point: which runnable CPU was chosen, out of how
+// many. The recorded count doubles as a replay-determinism check.
+type frame struct {
+	chosen, n int
+}
+
+// Explore enumerates every interleaving of t's scripts by stateless DFS:
+// each schedule is replayed from a fresh machine following the decision
+// stack, then extended first-choice-first until the run terminates, diverges,
+// or reaches an abstract state already fully explored (the prune). Soundness
+// of the prune rests on the driver re-checking every unit-versus-shadow
+// observable each step before the hash is taken — two states with equal
+// hashes are equal in everything that can influence any future check.
+func Explore(t *Test, opt Options) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	var stack []frame
+	visited := make(map[uint64]struct{})
+	r := &rig{}
+	schedule := make([]int, 0, 64)
+	freshFrom := 1 // depth from which states were not visited by a previous replay
+	for {
+		if opt.MaxSchedules > 0 && res.Schedules+res.Pruned >= opt.MaxSchedules {
+			return res, nil
+		}
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+			return res, nil
+		}
+		m := newMachine(t, r)
+		schedule = schedule[:0]
+		depth := 0
+		pruned := false
+		for m.div == nil && !m.done {
+			rn := m.runnable()
+			if len(rn) == 0 {
+				m.diverge(CheckDeadlock, "no runnable CPU but the STL never shut down", -1)
+				break
+			}
+			var f frame
+			if depth < len(stack) {
+				f = stack[depth]
+				if f.n != len(rn) {
+					m.diverge(CheckNondet,
+						fmt.Sprintf("replay depth %d: runnable count %d, recorded %d", depth, len(rn), f.n), -1)
+					break
+				}
+			} else {
+				f = frame{chosen: 0, n: len(rn)}
+				stack = append(stack, f)
+			}
+			cpu := rn[f.chosen]
+			m.step(cpu)
+			schedule = append(schedule, cpu)
+			depth++
+			res.Steps++
+			if m.div != nil {
+				break
+			}
+			if depth >= opt.maxSteps() && !m.done {
+				m.diverge(CheckStepBound, fmt.Sprintf("schedule exceeded %d steps without shutdown", opt.maxSteps()), -1)
+				break
+			}
+			if !opt.NoPrune && depth >= freshFrom {
+				h := m.hash()
+				if _, seen := visited[h]; seen {
+					pruned = true
+					break
+				}
+				visited[h] = struct{}{}
+			}
+		}
+		if m.done && m.div == nil {
+			m.finish()
+		}
+		if m.div != nil {
+			res.Div = m.counterexample(schedule)
+			return res, nil
+		}
+		if pruned {
+			res.Pruned++
+		} else {
+			res.Schedules++
+			r.dirty = false // clean shutdown: the rig is reusable as-is
+		}
+		// Backtrack: pop exhausted decision points, advance the deepest
+		// still-open one. States at or past the new stack depth are fresh.
+		for len(stack) > 0 && stack[len(stack)-1].chosen == stack[len(stack)-1].n-1 {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			res.Exhausted = true
+			return res, nil
+		}
+		stack[len(stack)-1].chosen++
+		freshFrom = len(stack)
+	}
+}
+
+// Deep runs random schedules: at every step a splitmix64-seeded pick among
+// the runnable CPUs. No pruning, no exhaustion — a sampling sweep for
+// configurations too large to enumerate.
+func Deep(t *Test, seed uint64, schedules int, opt Options) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	r := &rig{}
+	rng := seed
+	schedule := make([]int, 0, 64)
+	for s := 0; s < schedules; s++ {
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+			return res, nil
+		}
+		m := newMachine(t, r)
+		schedule = schedule[:0]
+		for m.div == nil && !m.done {
+			rn := m.runnable()
+			if len(rn) == 0 {
+				m.diverge(CheckDeadlock, "no runnable CPU but the STL never shut down", -1)
+				break
+			}
+			cpu := rn[int(splitmix64(&rng)%uint64(len(rn)))]
+			m.step(cpu)
+			schedule = append(schedule, cpu)
+			res.Steps++
+			if len(schedule) >= opt.maxSteps() && !m.done {
+				m.diverge(CheckStepBound, fmt.Sprintf("schedule exceeded %d steps without shutdown", opt.maxSteps()), -1)
+				break
+			}
+		}
+		if m.done && m.div == nil {
+			m.finish()
+		}
+		if m.div != nil {
+			res.Div = m.counterexample(schedule)
+			return res, nil
+		}
+		res.Schedules++
+		r.dirty = false
+	}
+	return res, nil
+}
+
+// Replay re-executes a persisted schedule against the live unit. Each
+// scheduled CPU must be runnable at its step (a stale schedule after a
+// protocol change reports as nondeterminism); once the schedule is consumed,
+// the run continues first-runnable-first to termination so the terminal
+// oracles still apply. Returns the divergence found, or nil for a clean run.
+func Replay(t *Test, schedule []int, opt Options) (*Counterexample, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	r := &rig{}
+	m := newMachine(t, r)
+	executed := make([]int, 0, len(schedule))
+	steps := 0
+	for i := 0; m.div == nil && !m.done; i++ {
+		rn := m.runnable()
+		if len(rn) == 0 {
+			m.diverge(CheckDeadlock, "no runnable CPU but the STL never shut down", -1)
+			break
+		}
+		var cpu int
+		if i < len(schedule) {
+			cpu = schedule[i]
+			ok := false
+			for _, c := range rn {
+				if c == cpu {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				m.diverge(CheckNondet,
+					fmt.Sprintf("replay step %d: scheduled cpu %d not runnable (runnable %v)", i, cpu, rn), -1)
+				break
+			}
+		} else {
+			cpu = rn[0]
+		}
+		m.step(cpu)
+		executed = append(executed, cpu)
+		steps++
+		if steps >= opt.maxSteps() && !m.done {
+			m.diverge(CheckStepBound, fmt.Sprintf("replay exceeded %d steps without shutdown", opt.maxSteps()), -1)
+			break
+		}
+	}
+	if m.done && m.div == nil {
+		m.finish()
+	}
+	return m.counterexample(executed), nil
+}

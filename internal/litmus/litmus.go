@@ -1,0 +1,217 @@
+// Package litmus is an exhaustive small-state model checker for the TLS
+// coherence protocol (internal/tls). It drives a real tls.Unit with short
+// scripted operation sequences on 2–4 speculative threads over a handful of
+// shared addresses, enumerating every thread interleaving by depth-first
+// search over schedules, and checks each step and each terminal state against
+// two independent oracles:
+//
+//   - a shadow protocol model (shadow.go): naive maps instead of
+//     generation-stamped CAMs, re-deriving forwarding, violation sets,
+//     overflow predicates, and Figure-10 cycle accounting from first
+//     principles, compared after every step;
+//   - a sequential-consistency executor (seq.go): the scripts run one
+//     iteration at a time in program order, defining the required final
+//     memory, committed-iteration set, and per-committed-iteration observed
+//     load values.
+//
+// The state space is pruned by hashing abstract states (unit structural
+// snapshot + shadow + driver state) and cutting revisited subtrees; because
+// every unit-versus-shadow observable is re-checked each step before the
+// pruning decision, the pruning is sound (see explore.go). Divergences are
+// minimized by greedy delta debugging (minimize.go), rendered as aligned
+// per-CPU timelines (render.go), and persisted as replayable JSON
+// counterexamples (counterexample.go, pinned under
+// internal/tls/testdata/litmus/).
+package litmus
+
+import (
+	"fmt"
+
+	"jrpm/internal/mem"
+)
+
+// Kind names one scripted litmus operation. The string values are the JSON
+// encoding used in persisted counterexamples.
+type Kind string
+
+// Scripted operation kinds. Ld/LdNV/St/Track take an address operand (an
+// index into the test's footprint). Partial, Drain, Demote, Switch and Stop
+// are head-only: the driver parks the issuing thread until it holds the head
+// token, exactly as the hydra machine serializes those handlers.
+const (
+	KLoad    Kind = "Ld"      // tracked speculative load (exposed read)
+	KLoadNV  Kind = "LdNV"    // lwnv: untracked load, can never violate
+	KStore   Kind = "St"      // speculative store (write-bus broadcast)
+	KTrack   Kind = "Track"   // TrackRead: expose a read without data transfer
+	KPartial Kind = "Partial" // CommitPartial: head drains mid-iteration
+	KDrain   Kind = "Drain"   // DrainOverflow: head drains an overflow episode
+	KVioY    Kind = "VioY"    // ViolateFrom(iter+1): kill all younger threads
+	KDemote  Kind = "Demote"  // DemoteSolo: fall back to sequential mode
+	KSwitch  Kind = "Switch"  // CommitPartial + KillYounger + SwitchSTL composite
+	KStop    Kind = "Stop"    // Shutdown mid-iteration (early STL exit)
+)
+
+// headOnly reports whether the kind may only execute on the head thread.
+func headOnly(k Kind) bool {
+	switch k {
+	case KPartial, KDrain, KDemote, KSwitch, KStop:
+		return true
+	}
+	return false
+}
+
+// usesAddr reports whether the kind takes an address operand.
+func usesAddr(k Kind) bool {
+	switch k {
+	case KLoad, KLoadNV, KStore, KTrack:
+		return true
+	}
+	return false
+}
+
+// validKind reports whether k is a known operation kind.
+func validKind(k Kind) bool {
+	switch k {
+	case KLoad, KLoadNV, KStore, KTrack, KPartial, KDrain, KVioY, KDemote, KSwitch, KStop:
+		return true
+	}
+	return false
+}
+
+// Op is one scripted operation. A is the footprint address index for kinds
+// that take one; V overrides the stored value when nonzero (zero means the
+// deterministic default derived from iteration and pc).
+type Op struct {
+	K Kind  `json:"k"`
+	A int   `json:"a,omitempty"`
+	V int64 `json:"v,omitempty"`
+}
+
+func (o Op) value(iter int64, pc int) int64 {
+	if o.V != 0 {
+		return o.V
+	}
+	return (iter+1)*100 + int64(pc) + 1
+}
+
+// Test is one litmus test: scripted operation sequences per loop iteration,
+// executed by NCPU speculative threads round-robin (iteration i may run on
+// any CPU after restarts and switches; the scripts are indexed by iteration,
+// not by CPU). The zero buffer capacities mean the paper's Figure-2 values;
+// tiny explicit capacities force the overflow-park/drain paths.
+type Test struct {
+	Name       string `json:"name,omitempty"`
+	NCPU       int    `json:"ncpu"`
+	Addrs      int    `json:"addrs"`                 // footprint size (1–4 shared words)
+	SameLine   bool   `json:"same_line,omitempty"`   // pack the footprint into one cache line
+	StoreLines int    `json:"store_lines,omitempty"` // store buffer lines; 0 = paper (64)
+	LoadLines  int    `json:"load_lines,omitempty"`  // load buffer lines; 0 = paper (512)
+	Chaos      bool   `json:"chaos,omitempty"`       // ChaosNoWordValid (oracle self-test)
+	Scripts    [][]Op `json:"scripts"`               // Scripts[i] = iteration i's ops
+}
+
+// footprintBase is the first footprint word address. Line 0 is the memory
+// model's null page (never cached) and line 1 is left as a guard, so the
+// footprint starts at line 2.
+const footprintBase = 2 * mem.LineWords
+
+// memWords sizes the backing memory; the footprint never exceeds a few lines.
+const memWords = 1024
+
+// Iters returns the number of scripted iterations.
+func (t *Test) Iters() int { return len(t.Scripts) }
+
+// AddrOf maps a footprint index to its word address: consecutive words of
+// one line when SameLine, else the first word of consecutive lines.
+func (t *Test) AddrOf(i int) mem.Addr {
+	if t.SameLine {
+		return footprintBase + mem.Addr(i)
+	}
+	return footprintBase + mem.Addr(i)*mem.LineWords
+}
+
+// InitialValue is the pre-test memory value of footprint index i; negative so
+// it can never collide with a stored value.
+func (t *Test) InitialValue(i int) int64 { return -int64(i) - 1 }
+
+func (t *Test) storeLines() int {
+	if t.StoreLines > 0 {
+		return t.StoreLines
+	}
+	return 64
+}
+
+func (t *Test) loadLines() int {
+	if t.LoadLines > 0 {
+		return t.LoadLines
+	}
+	return 512
+}
+
+// Validate checks the test's structural constraints.
+func (t *Test) Validate() error {
+	if t.NCPU < 2 || t.NCPU > 4 {
+		return fmt.Errorf("litmus: NCPU %d out of range [2,4]", t.NCPU)
+	}
+	if t.Addrs < 1 || t.Addrs > 4 {
+		return fmt.Errorf("litmus: Addrs %d out of range [1,4]", t.Addrs)
+	}
+	if t.SameLine && t.Addrs > mem.LineWords {
+		return fmt.Errorf("litmus: %d same-line addrs exceed the %d-word line", t.Addrs, mem.LineWords)
+	}
+	if len(t.Scripts) < 1 {
+		return fmt.Errorf("litmus: no scripted iterations")
+	}
+	if t.StoreLines < 0 || t.LoadLines < 0 {
+		return fmt.Errorf("litmus: negative buffer capacity")
+	}
+	for i, script := range t.Scripts {
+		for pc, op := range script {
+			if !validKind(op.K) {
+				return fmt.Errorf("litmus: iteration %d pc %d: unknown op kind %q", i, pc, op.K)
+			}
+			if usesAddr(op.K) && (op.A < 0 || op.A >= t.Addrs) {
+				return fmt.Errorf("litmus: iteration %d pc %d: addr index %d out of footprint [0,%d)", i, pc, op.A, t.Addrs)
+			}
+		}
+	}
+	return nil
+}
+
+// obsRec is one observed tracked-load value: iteration-relative program
+// counter, footprint address index, and the value the load returned.
+type obsRec struct {
+	PC      int   `json:"pc"`
+	AddrIdx int   `json:"a"`
+	Val     int64 `json:"v"`
+}
+
+// clone returns a deep copy of the test (scripts included), for minimization.
+func (t *Test) clone() *Test {
+	c := *t
+	c.Scripts = make([][]Op, len(t.Scripts))
+	for i, s := range t.Scripts {
+		c.Scripts[i] = append([]Op(nil), s...)
+	}
+	return &c
+}
+
+// fnv64 hashes b with FNV-1a.
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 advances x and returns the next value of the splitmix64
+// sequence (the seeding PRNG used across the repo's deterministic tools).
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,252 @@
+package litmus
+
+import (
+	"testing"
+)
+
+// mpTest is the classic message-passing litmus shape: iteration 0 writes
+// data then flag, iteration 1 reads flag then data.
+func mpTest() *Test {
+	return &Test{
+		Name:  "mp",
+		NCPU:  2,
+		Addrs: 2,
+		Scripts: [][]Op{
+			{{K: KStore, A: 0}, {K: KStore, A: 1}},
+			{{K: KLoad, A: 1}, {K: KLoad, A: 0}},
+		},
+	}
+}
+
+func TestExploreMessagePassing(t *testing.T) {
+	res, err := Explore(mpTest(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Div != nil {
+		t.Fatalf("unexpected divergence %s: %s\n%s", res.Div.Check, res.Div.Detail, res.Div.Timeline)
+	}
+	if !res.Exhausted {
+		t.Fatalf("exploration not exhausted: %+v", res)
+	}
+	if res.Schedules == 0 {
+		t.Fatalf("no schedules ran: %+v", res)
+	}
+}
+
+// TestExploreNoPruneAgrees cross-checks that pruning changes only the work
+// done, never the verdict, on a config small enough to exhaust both ways.
+func TestExploreNoPruneAgrees(t *testing.T) {
+	pruned, err := Explore(mpTest(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Explore(mpTest(), Options{NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (pruned.Div == nil) != (full.Div == nil) || !pruned.Exhausted || !full.Exhausted {
+		t.Fatalf("prune changed the verdict: pruned %+v, full %+v", pruned, full)
+	}
+	if full.Schedules < pruned.Schedules {
+		t.Fatalf("pruning ran more complete schedules (%d) than the full walk (%d)", pruned.Schedules, full.Schedules)
+	}
+}
+
+// TestViolationCascade pins the three-thread violation cascade: an older
+// store must kill the exposed reader and, transitively, everything younger.
+func TestViolationCascade(t *testing.T) {
+	tt := &Test{
+		Name:  "cascade",
+		NCPU:  3,
+		Addrs: 2,
+		Scripts: [][]Op{
+			{{K: KStore, A: 0}},
+			{{K: KLoad, A: 0}, {K: KStore, A: 1}},
+			{{K: KLoad, A: 1}},
+		},
+	}
+	res, err := Explore(tt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Div != nil {
+		t.Fatalf("unexpected divergence %s: %s\n%s", res.Div.Check, res.Div.Detail, res.Div.Timeline)
+	}
+	if !res.Exhausted {
+		t.Fatalf("exploration not exhausted: %+v", res)
+	}
+}
+
+// TestTinyBuffersOverflowPark forces the overflow-park/drain protocol with
+// one-line buffers and a multi-line footprint.
+func TestTinyBuffersOverflowPark(t *testing.T) {
+	tt := &Test{
+		Name:       "tiny-overflow",
+		NCPU:       2,
+		Addrs:      3,
+		StoreLines: 1,
+		LoadLines:  1,
+		Scripts: [][]Op{
+			{{K: KStore, A: 0}, {K: KStore, A: 1}, {K: KStore, A: 2}},
+			{{K: KLoad, A: 0}, {K: KLoad, A: 2}},
+		},
+	}
+	res, err := Explore(tt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Div != nil {
+		t.Fatalf("unexpected divergence %s: %s\n%s", res.Div.Check, res.Div.Detail, res.Div.Timeline)
+	}
+	if !res.Exhausted {
+		t.Fatalf("exploration not exhausted: %+v", res)
+	}
+}
+
+// TestSpecialsExplore exercises every protocol special op under exhaustive
+// interleaving on a small base.
+func TestSpecialsExplore(t *testing.T) {
+	spec := EnumSpec{Threads: 2, Addrs: 2, Len: 1, Specials: true}
+	n := 0
+	spec.Enumerate(func(tt *Test) bool {
+		res, err := Explore(tt, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tt.Name, err)
+		}
+		if res.Div != nil {
+			t.Fatalf("%s diverged %s: %s\n%s", tt.Name, res.Div.Check, res.Div.Detail, res.Div.Timeline)
+		}
+		if !res.Exhausted {
+			t.Fatalf("%s not exhausted", tt.Name)
+		}
+		n++
+		return true
+	})
+	if int64(n) != spec.Count() {
+		t.Fatalf("enumerated %d tests, Count says %d", n, spec.Count())
+	}
+}
+
+// TestChaosSelfTest proves the oracle can catch a real forwarding bug: with
+// the word-valid bits chaos-disabled, a load of an unwritten word in a
+// buffered line returns data-array garbage instead of memory, and the
+// checker must diverge with load-value.
+func TestChaosSelfTest(t *testing.T) {
+	tt := &Test{
+		Name:     "chaos-word-valid",
+		NCPU:     2,
+		Addrs:    2,
+		SameLine: true,
+		Chaos:    true,
+		Scripts: [][]Op{
+			{{K: KStore, A: 0}, {K: KLoad, A: 1}},
+			{},
+		},
+	}
+	res, err := Explore(tt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Div == nil {
+		t.Fatal("chaos config did not diverge; the oracle is blind to the word-valid bug")
+	}
+	if res.Div.Check != CheckLoadValue {
+		t.Fatalf("expected %s, got %s: %s", CheckLoadValue, res.Div.Check, res.Div.Detail)
+	}
+}
+
+// TestMinimizeChaos shrinks a padded chaos test back to its two-op core.
+func TestMinimizeChaos(t *testing.T) {
+	tt := &Test{
+		Name:     "chaos-padded",
+		NCPU:     2,
+		Addrs:    2,
+		SameLine: true,
+		Chaos:    true,
+		Scripts: [][]Op{
+			{{K: KLoad, A: 0}, {K: KStore, A: 0}, {K: KLoad, A: 1}, {K: KTrack, A: 1}},
+			{{K: KLoad, A: 0}, {K: KLoad, A: 1}},
+		},
+	}
+	res, err := Explore(tt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Div == nil {
+		t.Fatal("padded chaos test did not diverge")
+	}
+	min, ce := Minimize(tt, res.Div.Check, Options{}, 200)
+	if ce == nil {
+		t.Fatal("minimization lost the divergence")
+	}
+	if ce.Check != res.Div.Check {
+		t.Fatalf("minimization changed the check: %s -> %s", res.Div.Check, ce.Check)
+	}
+	ops := 0
+	for _, s := range min.Scripts {
+		ops += len(s)
+	}
+	if ops > 2 {
+		t.Fatalf("minimized test still has %d ops:\n%+v", ops, min.Scripts)
+	}
+}
+
+// TestDeepSeeded runs the random-schedule mode and checks determinism of the
+// seed.
+func TestDeepSeeded(t *testing.T) {
+	a, err := Deep(mpTest(), 42, 50, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Deep(mpTest(), 42, 50, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Div != nil {
+		t.Fatalf("unexpected divergence: %s", a.Div.Detail)
+	}
+	if a.Steps != b.Steps || a.Schedules != b.Schedules {
+		t.Fatalf("deep mode not deterministic per seed: %+v vs %+v", a, b)
+	}
+}
+
+// TestReplayRoundTrip replays the exact schedule of a found divergence and
+// expects the same check to fire.
+func TestReplayRoundTrip(t *testing.T) {
+	tt := &Test{
+		Name:     "chaos-roundtrip",
+		NCPU:     2,
+		Addrs:    2,
+		SameLine: true,
+		Chaos:    true,
+		Scripts: [][]Op{
+			{{K: KStore, A: 0}, {K: KLoad, A: 1}},
+			{},
+		},
+	}
+	res, err := Explore(tt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Div == nil {
+		t.Fatal("no divergence to round-trip")
+	}
+	ce, err := Replay(&res.Div.Test, res.Div.Schedule, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil || ce.Check != res.Div.Check {
+		t.Fatalf("replay did not reproduce %s: got %+v", res.Div.Check, ce)
+	}
+}
+
+// TestEnumerateCount sanity-checks the odometer.
+func TestEnumerateCount(t *testing.T) {
+	spec := EnumSpec{Threads: 2, Addrs: 2, Len: 2}
+	n := int64(0)
+	spec.Enumerate(func(*Test) bool { n++; return true })
+	if n != spec.Count() || n != 256 { // (2*2 ops)^(2*2 slots)
+		t.Fatalf("enumerated %d, Count %d, want 256", n, spec.Count())
+	}
+}

@@ -1,0 +1,65 @@
+package litmus
+
+// Minimize shrinks a diverging test by greedy delta debugging: repeatedly
+// try dropping a whole scripted iteration, dropping a single op, or removing
+// a CPU, accepting any candidate whose re-exploration still finds a
+// divergence of the same check category. budget caps the number of Explore
+// calls (each is itself a bounded exhaustive search). Returns the smallest
+// accepted test and its counterexample.
+func Minimize(t *Test, check string, opt Options, budget int) (*Test, *Counterexample) {
+	cur := t.clone()
+	var curCE *Counterexample
+	improved := true
+	for improved && budget > 0 {
+		improved = false
+		for _, cand := range shrinkCandidates(cur) {
+			if budget <= 0 {
+				break
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			budget--
+			res, err := Explore(cand, opt)
+			if err != nil || res.Div == nil || res.Div.Check != check {
+				continue
+			}
+			cur = cand
+			curCE = res.Div
+			improved = true
+			break
+		}
+	}
+	if curCE == nil {
+		// Nothing shrank (or budget ran dry before the first accept):
+		// re-derive the counterexample for the original.
+		if res, err := Explore(cur, opt); err == nil && res.Div != nil && res.Div.Check == check {
+			curCE = res.Div
+		}
+	}
+	return cur, curCE
+}
+
+// shrinkCandidates generates the one-step shrinks of t, smallest-first:
+// iteration drops, then op drops, then a CPU drop.
+func shrinkCandidates(t *Test) []*Test {
+	var out []*Test
+	for i := range t.Scripts {
+		c := t.clone()
+		c.Scripts = append(c.Scripts[:i], c.Scripts[i+1:]...)
+		out = append(out, c)
+	}
+	for i, script := range t.Scripts {
+		for j := range script {
+			c := t.clone()
+			c.Scripts[i] = append(c.Scripts[i][:j], c.Scripts[i][j+1:]...)
+			out = append(out, c)
+		}
+	}
+	if t.NCPU > 2 {
+		c := t.clone()
+		c.NCPU--
+		out = append(out, c)
+	}
+	return out
+}

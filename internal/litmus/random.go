@@ -1,0 +1,36 @@
+package litmus
+
+import "fmt"
+
+// RandomTest samples one test of the spec's shape with splitmix64: every
+// script slot drawn uniformly from the vocabulary, plus (when Specials) one
+// uniformly chosen protocol op inserted at a uniform position of iteration
+// 0's script. Deterministic per rng state; idx only names the test.
+func RandomTest(spec EnumSpec, rng *uint64, idx int) *Test {
+	vocab := spec.vocabulary()
+	t := &Test{
+		Name:       fmt.Sprintf("d%dt%da-%d", spec.Threads, spec.Addrs, idx),
+		NCPU:       spec.Threads,
+		Addrs:      spec.Addrs,
+		SameLine:   spec.SameLine,
+		StoreLines: spec.StoreLines,
+		LoadLines:  spec.LoadLines,
+		Chaos:      spec.Chaos,
+		Scripts:    make([][]Op, spec.Threads),
+	}
+	for i := range t.Scripts {
+		script := make([]Op, spec.Len)
+		for j := range script {
+			script[j] = vocab[splitmix64(rng)%uint64(len(vocab))]
+		}
+		t.Scripts[i] = script
+	}
+	if spec.Specials {
+		sp := spec.specials()
+		op := sp[splitmix64(rng)%uint64(len(sp))]
+		pos := int(splitmix64(rng) % uint64(spec.Len+1))
+		t.Scripts = insertOp(t.Scripts, 0, pos, op)
+		t.Name = fmt.Sprintf("%s-%s@%d", t.Name, op.K, pos)
+	}
+	return t
+}

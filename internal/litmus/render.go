@@ -1,0 +1,59 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// renderTimeline pretty-prints a trace as aligned per-CPU columns: one row
+// per schedule step, each op in its CPU's column with the executing
+// iteration, the divergence step marked ">>" and its related (conflicting)
+// step marked " +".
+func renderTimeline(t *Test, trace []stepRec, div *Divergence) string {
+	if len(trace) == 0 {
+		if div != nil {
+			return fmt.Sprintf("(no steps) %s: %s\n", div.Check, div.Detail)
+		}
+		return "(no steps)\n"
+	}
+	cols := make([]int, t.NCPU)
+	cells := make([]string, len(trace))
+	for i, s := range trace {
+		cells[i] = fmt.Sprintf("i%d %s", s.Iter, s.Text)
+		if s.CPU >= 0 && s.CPU < t.NCPU && len(cells[i]) > cols[s.CPU] {
+			cols[s.CPU] = len(cells[i])
+		}
+	}
+	for c := range cols {
+		if w := len(fmt.Sprintf("cpu%d", c)); w > cols[c] {
+			cols[c] = w
+		}
+	}
+	var b strings.Builder
+	b.WriteString("     ")
+	for c := 0; c < t.NCPU; c++ {
+		fmt.Fprintf(&b, " %-*s", cols[c], fmt.Sprintf("cpu%d", c))
+	}
+	b.WriteByte('\n')
+	for i, s := range trace {
+		mark := "  "
+		if div != nil && i == div.Step {
+			mark = ">>"
+		} else if div != nil && i == div.Related {
+			mark = " +"
+		}
+		fmt.Fprintf(&b, "%s%3d", mark, i)
+		for c := 0; c < t.NCPU; c++ {
+			cell := ""
+			if c == s.CPU {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, " %-*s", cols[c], cell)
+		}
+		b.WriteByte('\n')
+	}
+	if div != nil {
+		fmt.Fprintf(&b, "%s: %s\n", div.Check, div.Detail)
+	}
+	return b.String()
+}

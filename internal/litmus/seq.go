@@ -1,0 +1,51 @@
+package litmus
+
+// seqResult is the sequential-consistency oracle's verdict: what the scripts
+// must produce when executed one iteration at a time, in iteration order,
+// with no speculation at all.
+type seqResult struct {
+	mem       []int64            // final memory by footprint index
+	committed []int64            // iterations whose effects reach memory, in order
+	obs       map[int64][]obsRec // tracked-load observations per committed iteration
+}
+
+// runSeq executes the test sequentially. Only memory-semantic kinds have an
+// effect: Ld observes, St writes, Stop ends the whole loop mid-iteration
+// (the iteration still commits its prefix, exactly as Shutdown drains the
+// head's partial buffer). LdNV is deliberately not recorded — an untracked
+// load is allowed to observe non-sequential values under speculation, which
+// is the point of the lwnv instruction. All other kinds are protocol
+// plumbing with no sequential meaning.
+func runSeq(t *Test) *seqResult {
+	r := &seqResult{
+		mem: make([]int64, t.Addrs),
+		obs: make(map[int64][]obsRec),
+	}
+	for i := 0; i < t.Addrs; i++ {
+		r.mem[i] = t.InitialValue(i)
+	}
+	for i := 0; i < t.Iters(); i++ {
+		iter := int64(i)
+		var log []obsRec
+		stopped := false
+		for pc, op := range t.Scripts[i] {
+			switch op.K {
+			case KLoad:
+				log = append(log, obsRec{PC: pc, AddrIdx: op.A, Val: r.mem[op.A]})
+			case KStore:
+				r.mem[op.A] = op.value(iter, pc)
+			case KStop:
+				stopped = true
+			}
+			if stopped {
+				break
+			}
+		}
+		r.committed = append(r.committed, iter)
+		r.obs[iter] = log
+		if stopped {
+			break
+		}
+	}
+	return r
+}

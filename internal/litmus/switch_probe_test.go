@@ -1,0 +1,33 @@
+package litmus
+
+import "testing"
+
+// TestSwitchAccountingExhaustive exhaustively explores the multilevel-switch
+// scenario whose cycle accounting the litmus machine originally caught
+// broken: SwitchSTL used to zero the head's tentative attempt cycles without
+// flushing them, so every partial outer iteration's work vanished from the
+// Figure-10 buckets (divergence category "stats" at the Switch step). The
+// fix flushes the head's attempt to the used buckets before reassignment;
+// this test — and the pinned replay case switch_stl_accounting.json — keep
+// it that way.
+func TestSwitchAccountingExhaustive(t *testing.T) {
+	tt := &Test{
+		Name:  "switch-accounting",
+		NCPU:  2,
+		Addrs: 2,
+		Scripts: [][]Op{
+			{{K: KStore, A: 0}, {K: KSwitch}, {K: KStore, A: 1}},
+			{{K: KLoad, A: 0}},
+		},
+	}
+	res, err := Explore(tt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Div != nil {
+		t.Fatalf("diverged %s: %s\n%s", res.Div.Check, res.Div.Detail, res.Div.Timeline)
+	}
+	if !res.Exhausted {
+		t.Fatal("not exhausted")
+	}
+}

@@ -148,6 +148,12 @@ type addrSet struct {
 	gen    []uint32
 	n      int
 	curGen uint32
+
+	// order lists the live keys in insertion order. It exists for the
+	// deterministic state digests the litmus model checker hashes
+	// (DebugAppendState); maintaining it costs one bounds-checked append per
+	// newly tracked address and never allocates after construction.
+	order []mem.Addr
 }
 
 func newAddrSet(capacity int) *addrSet {
@@ -160,11 +166,13 @@ func newAddrSet(capacity int) *addrSet {
 		keys:   make([]mem.Addr, size),
 		gen:    make([]uint32, size),
 		curGen: 1,
+		order:  make([]mem.Addr, 0, capacity),
 	}
 }
 
 func (s *addrSet) reset() {
 	s.n = 0
+	s.order = s.order[:0]
 	s.curGen++
 	if s.curGen == 0 {
 		clear(s.gen)
@@ -191,6 +199,7 @@ func (s *addrSet) add(a mem.Addr) {
 			s.gen[slot] = s.curGen
 			s.keys[slot] = a
 			s.n++
+			s.order = append(s.order, a)
 			if uint32(s.n)*2 > s.mask {
 				s.grow()
 			}
@@ -202,18 +211,18 @@ func (s *addrSet) add(a mem.Addr) {
 	}
 }
 
-// grow doubles the table, reinserting live keys.
+// grow doubles the table, reinserting live keys in insertion order (which
+// preserves the order slice's meaning across growth).
 func (s *addrSet) grow() {
-	oldKeys, oldGen, oldCur := s.keys, s.gen, s.curGen
-	size := 2 * len(oldKeys)
+	oldOrder := s.order
+	size := 2 * len(s.keys)
 	s.mask = uint32(size - 1)
 	s.keys = make([]mem.Addr, size)
 	s.gen = make([]uint32, size)
 	s.curGen = 1
 	s.n = 0
-	for i, g := range oldGen {
-		if g == oldCur {
-			s.add(oldKeys[i])
-		}
+	s.order = make([]mem.Addr, 0, 2*cap(oldOrder))
+	for _, a := range oldOrder {
+		s.add(a)
 	}
 }

@@ -1,0 +1,251 @@
+package tls
+
+// Edge tests for the hardware-shaped speculative buffers: capacity-exact
+// overflow at the runaway hard cap, generation-stamp reuse across reset()
+// (including the uint32 wrap), hashAddr collision chains under a small
+// probe table, and exact lines() bookkeeping throughout. These pin the
+// invariants the litmus model checker's tiny-capacity configurations rely
+// on (see internal/litmus and testdata/litmus/).
+
+import (
+	"errors"
+	"testing"
+
+	"jrpm/internal/mem"
+)
+
+// lineAddr returns the first word address of line index i.
+func lineAddr(i int) mem.Addr { return mem.Addr(i) * mem.LineWords }
+
+// TestStoreHardCapExactBoundary pins the overflow boundary exactly: a
+// thread may buffer hardCap distinct lines without error, and the typed
+// OverflowError trips on the allocation of line hardCap+1 — not one line
+// early — with Lines reporting the post-put occupancy.
+func TestStoreHardCapExactBoundary(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.StoreBufferLines = 1 // hard cap clamps to 1024 lines
+	m := mem.NewMemory(1 << 18)
+	u := NewUnit(cfg, m, mem.NewCacheSim(mem.DefaultCacheConfig(2)))
+	u.Start(1)
+	if u.hardCap != 1024 {
+		t.Fatalf("hardCap = %d, want the 1024 clamp", u.hardCap)
+	}
+	for i := 0; i < u.hardCap; i++ {
+		if _, _, err := u.Store(1, lineAddr(i+100), int64(i)); err != nil {
+			t.Fatalf("store of line %d (cap %d): %v", i+1, u.hardCap, err)
+		}
+	}
+	if got := u.threads[1].buf.lines(); got != u.hardCap {
+		t.Fatalf("lines() = %d after exactly hardCap distinct lines, want %d", got, u.hardCap)
+	}
+	// Re-writing an already-buffered line allocates nothing and must stay ok.
+	if _, _, err := u.Store(1, lineAddr(100)+1, 7); err != nil {
+		t.Fatalf("same-line store at capacity: %v", err)
+	}
+	_, _, err := u.Store(1, lineAddr(u.hardCap+100), 1)
+	var oe *OverflowError
+	if !errors.As(err, &oe) {
+		t.Fatalf("store of line hardCap+1 = %v, want *OverflowError", err)
+	}
+	if !errors.Is(err, ErrStoreBufferOverflow) {
+		t.Fatalf("OverflowError must unwrap to ErrStoreBufferOverflow, got %v", err)
+	}
+	if oe.Lines != u.hardCap+1 || oe.HardCap != u.hardCap || oe.CPU != 1 {
+		t.Fatalf("OverflowError fields = %+v, want Lines=%d HardCap=%d CPU=1", oe, u.hardCap+1, u.hardCap)
+	}
+}
+
+// TestStoreBufferGenerationReuse checks that reset() invalidates in O(1) by
+// generation bump — old entries unreachable, lines() back to zero — and that
+// slots are correctly re-stamped on reuse, including when curGen wraps
+// around zero (the stale-stamp aliasing hazard).
+func TestStoreBufferGenerationReuse(t *testing.T) {
+	b := newStoreBuffer(4)
+	for i := 0; i < 3; i++ {
+		b.put(lineAddr(i), int64(10+i))
+	}
+	if b.lines() != 3 {
+		t.Fatalf("lines() = %d, want 3", b.lines())
+	}
+	b.reset()
+	if b.lines() != 0 {
+		t.Fatalf("lines() = %d after reset, want 0", b.lines())
+	}
+	for i := 0; i < 3; i++ {
+		if v, ok := b.get(lineAddr(i)); ok {
+			t.Fatalf("get(line %d) = %d after reset, want miss", i, v)
+		}
+	}
+	// Reuse the same slots under the new generation; word-valid bits must
+	// start clean (no leakage of pre-reset valid bits or data).
+	b.put(lineAddr(0), 99)
+	if v, ok := b.get(lineAddr(0)); !ok || v != 99 {
+		t.Fatalf("get after reuse = %d,%v, want 99,true", v, ok)
+	}
+	if v, ok := b.get(lineAddr(0) + 1); ok {
+		t.Fatalf("unwritten word in reused line forwarded %d; valid bits leaked across reset", v)
+	}
+	if b.lines() != 1 {
+		t.Fatalf("lines() = %d after reuse, want 1", b.lines())
+	}
+
+	// Force the generation counter to wrap. Entries stamped at the maximum
+	// generation must not resurrect when curGen lands back on small values.
+	b.reset()
+	b.curGen = ^uint32(0)
+	b.put(lineAddr(5), 55)
+	b.reset() // wraps: clears stamps physically, curGen = 1
+	if b.curGen != 1 {
+		t.Fatalf("curGen = %d after wrap, want 1", b.curGen)
+	}
+	if v, ok := b.get(lineAddr(5)); ok {
+		t.Fatalf("entry stamped pre-wrap resurrected with %d", v)
+	}
+	if b.lines() != 0 {
+		t.Fatalf("lines() = %d after wrap reset, want 0", b.lines())
+	}
+	b.put(lineAddr(5), 56)
+	if v, ok := b.get(lineAddr(5)); !ok || v != 56 {
+		t.Fatalf("get after wrap reuse = %d,%v, want 56,true", v, ok)
+	}
+}
+
+// collidingLines brute-forces n distinct line indices that all hash to the
+// same initial probe slot under mask.
+func collidingLines(t *testing.T, mask uint32, n int) []mem.Addr {
+	t.Helper()
+	want := hashAddr(0) & mask
+	lines := []mem.Addr{0}
+	for line := mem.Addr(1); len(lines) < n && line < 1<<20; line++ {
+		if hashAddr(line)&mask == want {
+			lines = append(lines, line)
+		}
+	}
+	if len(lines) < n {
+		t.Fatalf("found only %d/%d colliding lines under mask %#x", len(lines), n, mask)
+	}
+	return lines
+}
+
+// TestStoreBufferCollisionChain fills one probe chain with lines that all
+// hash to the same slot and checks every line stays individually
+// addressable with exact lines() accounting, through updates and reset.
+func TestStoreBufferCollisionChain(t *testing.T) {
+	b := newStoreBuffer(4) // table size 16
+	lines := collidingLines(t, b.mask, 5)
+	for i, line := range lines {
+		b.put(line*mem.LineWords, int64(100+i))
+		if b.lines() != i+1 {
+			t.Fatalf("lines() = %d after %d colliding inserts, want %d", b.lines(), i+1, i+1)
+		}
+	}
+	for i, line := range lines {
+		if v, ok := b.get(line * mem.LineWords); !ok || v != int64(100+i) {
+			t.Fatalf("chain entry %d: get = %d,%v, want %d,true", i, v, ok, 100+i)
+		}
+	}
+	// Updating a mid-chain line must not extend the chain or the count.
+	b.put(lines[2]*mem.LineWords+2, 777)
+	if b.lines() != len(lines) {
+		t.Fatalf("lines() = %d after mid-chain update, want %d", b.lines(), len(lines))
+	}
+	if v, ok := b.get(lines[2]*mem.LineWords + 2); !ok || v != 777 {
+		t.Fatalf("mid-chain word = %d,%v, want 777,true", v, ok)
+	}
+	if v, ok := b.get(lines[2]*mem.LineWords + 3); ok {
+		t.Fatalf("unwritten mid-chain word forwarded %d", v)
+	}
+	b.reset()
+	for i, line := range lines {
+		if _, ok := b.get(line * mem.LineWords); ok {
+			t.Fatalf("chain entry %d survived reset", i)
+		}
+	}
+}
+
+// TestStoreBufferLinesExactness checks lines() counts distinct lines, not
+// puts: multiple words of a line, rewrites, and interleavings across lines
+// must all keep the count exact (the drain/park protocol and the litmus
+// shadow both key off this number).
+func TestStoreBufferLinesExactness(t *testing.T) {
+	b := newStoreBuffer(8)
+	for w := 0; w < mem.LineWords; w++ {
+		b.put(lineAddr(3)+mem.Addr(w), int64(w))
+		if b.lines() != 1 {
+			t.Fatalf("lines() = %d after %d words of one line, want 1", b.lines(), w+1)
+		}
+	}
+	b.put(lineAddr(4), 1)
+	b.put(lineAddr(3)+1, 42) // rewrite
+	b.put(lineAddr(5), 2)
+	b.put(lineAddr(4)+3, 3) // second word of an existing line
+	if b.lines() != 3 {
+		t.Fatalf("lines() = %d, want 3 distinct lines", b.lines())
+	}
+	if v, ok := b.get(lineAddr(3) + 1); !ok || v != 42 {
+		t.Fatalf("rewritten word = %d,%v, want 42,true", v, ok)
+	}
+}
+
+// TestAddrSetCollisionAndGrowth drives an addrSet through a collision chain
+// and past its growth threshold, checking membership, len(), insertion-order
+// stability (the litmus digest depends on it), and reset behaviour.
+func TestAddrSetCollisionAndGrowth(t *testing.T) {
+	s := newAddrSet(2) // table size 4: third insert triggers growth
+	lines := collidingLines(t, s.mask, 2)
+	var inserted []mem.Addr
+	add := func(a mem.Addr) {
+		s.add(a)
+		inserted = append(inserted, a)
+	}
+	add(lines[0])
+	add(lines[1])
+	add(lines[0]) // duplicate: no count or order change
+	if s.len() != 2 {
+		t.Fatalf("len() = %d, want 2", s.len())
+	}
+	for i := 0; i < 40; i++ { // force repeated growth
+		add(mem.Addr(1000 + i))
+	}
+	if s.len() != 42 {
+		t.Fatalf("len() = %d after growth, want 42", s.len())
+	}
+	for _, a := range inserted {
+		if !s.contains(a) {
+			t.Fatalf("addr %d lost across growth", a)
+		}
+	}
+	if s.contains(mem.Addr(4242)) {
+		t.Fatal("contains() hit for a never-added address")
+	}
+	want := []mem.Addr{lines[0], lines[1]}
+	for i := 0; i < 40; i++ {
+		want = append(want, mem.Addr(1000+i))
+	}
+	if len(s.order) != len(want) {
+		t.Fatalf("order has %d entries, want %d", len(s.order), len(want))
+	}
+	for i, a := range want {
+		if s.order[i] != a {
+			t.Fatalf("order[%d] = %d, want %d (insertion order broken by growth)", i, s.order[i], a)
+		}
+	}
+	s.reset()
+	if s.len() != 0 || len(s.order) != 0 {
+		t.Fatalf("reset left len=%d order=%d", s.len(), len(s.order))
+	}
+	if s.contains(lines[0]) {
+		t.Fatal("membership survived reset")
+	}
+	// Generation wrap for the set, same hazard as the store buffer.
+	s.curGen = ^uint32(0)
+	s.add(7)
+	s.reset()
+	if s.contains(7) || s.curGen != 1 {
+		t.Fatalf("addrSet wrap reset broken: contains=%v curGen=%d", s.contains(7), s.curGen)
+	}
+	s.add(7)
+	if !s.contains(7) || s.len() != 1 {
+		t.Fatalf("addrSet reuse after wrap broken: len=%d", s.len())
+	}
+}

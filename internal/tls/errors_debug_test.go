@@ -1,0 +1,196 @@
+package tls
+
+// In-package coverage of the structured protocol errors and the litmus
+// debug digest. The litmus machine (internal/litmus) exercises these paths
+// heavily from outside; these tests pin their contracts where the coverage
+// ratchet can see them: error rendering and unwrapping, head/state misuse
+// returns on every head-only operation, and DebugAppendState determinism
+// and sensitivity.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"jrpm/internal/mem"
+)
+
+func TestProtocolErrorRendering(t *testing.T) {
+	cases := []struct {
+		err  error
+		is   error
+		want []string
+	}{
+		{
+			&ProtocolError{Op: "CommitEOI", CPU: 2, Iter: 5, Head: 3, Reason: "requires the non-speculative head"},
+			ErrProtocol,
+			[]string{"CommitEOI", "cpu 2", "iter 5", "head 3", "requires the non-speculative head"},
+		},
+		{
+			&ProtocolError{Op: "StartAt", CPU: -1, Iter: -1, Head: -1, Reason: "nested STL start"},
+			ErrProtocol,
+			[]string{"StartAt", "nested STL start"},
+		},
+		{
+			&OverflowError{CPU: 1, Iter: 7, Addr: 4096, Lines: 1025, HardCap: 1024},
+			ErrStoreBufferOverflow,
+			[]string{"cpu 1", "iter 7", "1025 lines", "4096", "hard cap 1024"},
+		},
+		{
+			&ViolationStormError{Restarts: 33, LoopID: 4},
+			ErrSpecViolationStorm,
+			[]string{"33 restarts", "loop 4"},
+		},
+	}
+	for _, c := range cases {
+		msg := c.err.Error()
+		for _, frag := range c.want {
+			if !strings.Contains(msg, frag) {
+				t.Errorf("%T message %q missing %q", c.err, msg, frag)
+			}
+		}
+		if !errors.Is(c.err, c.is) {
+			t.Errorf("%T does not unwrap to its sentinel %v", c.err, c.is)
+		}
+	}
+	// Coordinates marked not-applicable must stay out of the message.
+	if msg := stateErr("SwitchSTL", "while inactive").Error(); strings.Contains(msg, "cpu") {
+		t.Errorf("state-level error leaked cpu coordinates: %q", msg)
+	}
+}
+
+// TestHeadOnlyOpsRefuseNonHead sweeps every head-gated operation with a
+// speculative (non-head) CPU and checks each refuses with a ProtocolError
+// carrying the right coordinates, without perturbing unit state.
+func TestHeadOnlyOpsRefuseNonHead(t *testing.T) {
+	u, _ := newTestUnit(4)
+	if err := u.Start(1); err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]func() error{
+		"CommitEOI":     func() error { return u.CommitEOI(2) },
+		"CommitPartial": func() error { return u.CommitPartial(2) },
+		"DrainOverflow": func() error { _, err := u.DrainOverflow(2); return err },
+		"Shutdown":      func() error { _, err := u.Shutdown(2); return err },
+		"DemoteSolo":    func() error { _, err := u.DemoteSolo(2); return err },
+		"SwitchSTL":     func() error { return u.SwitchSTL(2, 2, 0) },
+	}
+	for op, call := range ops {
+		err := call()
+		var pe *ProtocolError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s by non-head = %v, want *ProtocolError", op, err)
+		}
+		if pe.Op != op || pe.CPU != 2 || pe.Iter != 2 || pe.Head != 0 {
+			t.Errorf("%s coordinates = %+v, want Op=%s CPU=2 Iter=2 Head=0", op, pe, op)
+		}
+		if !u.Active() || u.Iteration(2) != 2 {
+			t.Fatalf("%s misuse perturbed unit state", op)
+		}
+	}
+	// Inactive-unit breaches are state-level, with no offending cpu.
+	if _, err := u.Shutdown(0); err != nil {
+		t.Fatal(err)
+	}
+	for op, call := range map[string]func() error{
+		"SwitchSTL":  func() error { return u.SwitchSTL(3, 0, 0) },
+		"DemoteSolo": func() error { _, err := u.DemoteSolo(0); return err },
+	} {
+		err := call()
+		var pe *ProtocolError
+		if !errors.As(err, &pe) || pe.CPU != -1 {
+			t.Errorf("%s while inactive = %v, want state-level *ProtocolError", op, err)
+		}
+	}
+}
+
+// TestDebugAppendStateDigest pins the litmus hashing contract: the digest is
+// deterministic, reflects buffered stores, tracked reads and commits, and
+// reset state after identical histories is digest-identical.
+func TestDebugAppendStateDigest(t *testing.T) {
+	run := func() (*Unit, []byte) {
+		u, _ := newTestUnit(2)
+		if err := u.Start(7); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := u.Store(0, 400, 11); err != nil {
+			t.Fatal(err)
+		}
+		u.TrackRead(1, 404)
+		u.ChargeAttempt(1, ChargeRun, 3)
+		return u, u.DebugAppendState(nil)
+	}
+	u, d1 := run()
+	_, d2 := run()
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("identical histories produced different digests")
+	}
+	if len(d1) == 0 {
+		t.Fatal("empty digest")
+	}
+
+	// Each observable must move the digest.
+	u.TrackRead(1, 408)
+	d3 := u.DebugAppendState(nil)
+	if bytes.Equal(d1, d3) {
+		t.Fatal("digest blind to a tracked read")
+	}
+	if _, _, err := u.Store(0, 500, 5); err != nil {
+		t.Fatal(err)
+	}
+	d4 := u.DebugAppendState(nil)
+	if bytes.Equal(d3, d4) {
+		t.Fatal("digest blind to a buffered store")
+	}
+	if err := u.CommitEOI(0); err != nil {
+		t.Fatal(err)
+	}
+	d5 := u.DebugAppendState(nil)
+	if bytes.Equal(d4, d5) {
+		t.Fatal("digest blind to a commit")
+	}
+
+	// Appending to a prefix must leave the prefix intact (hash-buffer reuse).
+	prefix := []byte{0xAA, 0xBB}
+	out := u.DebugAppendState(prefix)
+	if !bytes.Equal(out[:2], prefix) || !bytes.Equal(out[2:], d5) {
+		t.Fatal("DebugAppendState does not append cleanly to an existing buffer")
+	}
+}
+
+// TestTrackReadAndLoadOverflow covers the read-tracking path directly: a
+// tracked read registers for violation, a read covered by the thread's own
+// store buffer does not, and LoadOverflow flips exactly when distinct read
+// lines exceed the configured load buffer.
+func TestTrackReadAndLoadOverflow(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.LoadBufferLines = 2
+	m := mem.NewMemory(1 << 16)
+	u := NewUnit(cfg, m, mem.NewCacheSim(mem.DefaultCacheConfig(2)))
+	if err := u.Start(1); err != nil {
+		t.Fatal(err)
+	}
+	u.TrackRead(1, 400)
+	if _, violated, err := u.Store(0, 400, 9); err != nil || len(violated) != 1 || violated[0] != 1 {
+		t.Fatalf("store over tracked read violated %v (%v), want [1]", violated, err)
+	}
+	// After the restart the read set is clear; a read satisfied by the
+	// thread's own buffer must not register as exposed.
+	if _, _, err := u.Store(1, 404, 3); err != nil {
+		t.Fatal(err)
+	}
+	u.TrackRead(1, 404)
+	if _, violated, err := u.Store(0, 404, 4); err != nil || len(violated) != 0 {
+		t.Fatalf("store over buffered read violated %v (%v), want none", violated, err)
+	}
+	if u.LoadOverflow(1) {
+		t.Fatal("LoadOverflow before exceeding the line budget")
+	}
+	for i := 0; i < 3; i++ { // 3 distinct lines > LoadBufferLines=2
+		u.TrackRead(1, mem.Addr(1000+i*mem.LineWords))
+	}
+	if !u.LoadOverflow(1) {
+		t.Fatal("LoadOverflow did not trip past the configured load buffer lines")
+	}
+}

@@ -26,8 +26,6 @@
 package tls
 
 import (
-	"fmt"
-
 	"jrpm/internal/faultinject"
 	"jrpm/internal/mem"
 )
@@ -217,7 +215,7 @@ func (u *Unit) Start(stlID int64) error { return u.StartAt(stlID, 0, 0) }
 // base 0) and to resume an outer STL after a multilevel switch.
 func (u *Unit) StartAt(stlID int64, headCPU int, baseIter int64) error {
 	if u.active {
-		return protocolErr("nested STL start (only one STL may be active)")
+		return stateErr("StartAt", "nested STL start (only one STL may be active)")
 	}
 	u.active = true
 	u.solo = false
@@ -234,7 +232,7 @@ func (u *Unit) StartAt(stlID int64, headCPU int, baseIter int64) error {
 // iteration register and the frame home slots).
 func (u *Unit) StartSolo(stlID int64, headCPU int) error {
 	if u.active {
-		return protocolErr("nested STL start (only one STL may be active)")
+		return stateErr("StartSolo", "nested STL start (only one STL may be active)")
 	}
 	u.active = true
 	u.solo = true
@@ -279,8 +277,18 @@ func (u *Unit) assign(stlID int64, headCPU int, baseIter int64) {
 // preserved across the switch.
 func (u *Unit) SwitchSTL(stlID int64, headCPU int, baseIter int64) error {
 	if !u.active {
-		return protocolErr("SwitchSTL while inactive")
+		return stateErr("SwitchSTL", "while inactive")
 	}
+	if !u.IsHead(headCPU) {
+		return u.headErr("SwitchSTL", headCPU)
+	}
+	// The head's tentative cycles are non-speculative work whose stores the
+	// mandatory CommitPartial already published; flush them to the used
+	// buckets before assign zeroes the attempt counters. Without this the
+	// cycles of every partial outer iteration silently vanished from the
+	// Figure 10 accounting (found by the litmus machine's cycle-conservation
+	// check; pinned in testdata/litmus/switch_stl_accounting.json).
+	u.flushAttempt(u.threads[headCPU], true)
 	u.assign(stlID, headCPU, baseIter)
 	return nil
 }
@@ -292,10 +300,10 @@ func (u *Unit) SwitchSTL(stlID int64, headCPU int, baseIter int64) error {
 // them.
 func (u *Unit) DemoteSolo(cpu int) ([]int, error) {
 	if !u.active {
-		return nil, protocolErr("DemoteSolo while inactive")
+		return nil, stateErr("DemoteSolo", "while inactive")
 	}
 	if !u.IsHead(cpu) {
-		return nil, protocolErr("DemoteSolo by non-head cpu %d", cpu)
+		return nil, u.headErr("DemoteSolo", cpu)
 	}
 	killed := u.KillYounger(cpu)
 	u.solo = true
@@ -309,7 +317,7 @@ func (u *Unit) DemoteSolo(cpu int) ([]int, error) {
 func (u *Unit) CommitPartial(cpu int) error {
 	t := u.threads[cpu]
 	if !u.IsHead(cpu) {
-		return protocolErr("CommitPartial by non-head cpu %d", cpu)
+		return u.headErr("CommitPartial", cpu)
 	}
 	u.drainBuffer(cpu, t)
 	t.readWords.reset()
@@ -450,8 +458,9 @@ func (u *Unit) Store(cpu int, a mem.Addr, v int64) (int64, []int, error) {
 	t := u.threads[cpu]
 	t.buf.put(a, v)
 	if t.buf.lines() > u.hardCap {
-		return 0, nil, fmt.Errorf("%w: cpu %d buffered %d lines (hard cap %d)",
-			ErrStoreBufferOverflow, cpu, t.buf.lines(), u.hardCap)
+		return 0, nil, &OverflowError{
+			CPU: cpu, Iter: t.iter, Addr: a, Lines: t.buf.lines(), HardCap: u.hardCap,
+		}
 	}
 	violated := u.broadcast(cpu, a)
 	return mem.LatL1 + u.inj.BusDelayCycles(), violated, nil
@@ -525,7 +534,7 @@ func (u *Unit) LoadOverflow(cpu int) bool {
 func (u *Unit) DrainOverflow(cpu int) (bool, error) {
 	t := u.threads[cpu]
 	if t.iter != u.nextCommit {
-		return false, protocolErr("DrainOverflow on non-head cpu %d", cpu)
+		return false, u.headErr("DrainOverflow", cpu)
 	}
 	newEpisode := !t.overflowed
 	t.overflowed = true
@@ -566,7 +575,7 @@ func (u *Unit) drainBuffer(cpu int, t *thread) {
 func (u *Unit) CommitEOI(cpu int) error {
 	t := u.threads[cpu]
 	if !u.IsHead(cpu) {
-		return protocolErr("CommitEOI by non-head cpu %d (iter %d, head %d)", cpu, t.iter, u.nextCommit)
+		return u.headErr("CommitEOI", cpu)
 	}
 	u.noteBufferUsage(t)
 	u.flushAttempt(t, true)
@@ -614,7 +623,7 @@ func (u *Unit) AvgBufferLines() (store, load float64) {
 func (u *Unit) Shutdown(cpu int) ([]int, error) {
 	t := u.threads[cpu]
 	if !u.IsHead(cpu) {
-		return nil, protocolErr("Shutdown by non-head cpu %d", cpu)
+		return nil, u.headErr("Shutdown", cpu)
 	}
 	u.noteBufferUsage(t)
 	u.flushAttempt(t, true)
