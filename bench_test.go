@@ -109,6 +109,24 @@ func BenchmarkTable3Suite(b *testing.B) {
 	}
 }
 
+// BenchmarkTierCompare pairs tier-on and tier-off pipeline runs on two
+// Table 3 workloads so `benchstat` (or the CI smoke step's ns/op ratio) can
+// quantify the tier-2 block engine's host-time win. Results are bit-identical
+// between the legs — only wall time differs. EXPERIMENTS.md has the recipe.
+func BenchmarkTierCompare(b *testing.B) {
+	off := core.DefaultOptions()
+	off.Tier2Off = true
+	for _, name := range []string{"BitOps", "FourierTest"} {
+		w := workloads.ByName(name)
+		b.Run(name+"/tier=on", func(b *testing.B) {
+			pipeline(b, w, false, core.DefaultOptions())
+		})
+		b.Run(name+"/tier=off", func(b *testing.B) {
+			pipeline(b, w, false, off)
+		})
+	}
+}
+
 func BenchmarkTable4Transforms(b *testing.B) {
 	for _, w := range workloads.All() {
 		if w.BuildTransformed == nil {
@@ -347,13 +365,20 @@ func BenchmarkTLSFastPath(b *testing.B) {
 // "on" attaches a default-mask event ring, reset each iteration. The PR
 // budget is <5%% wall-clock overhead with tracing on and 0%% (plus 0
 // allocs/op, pinned by TestRecorderHotPathZeroAlloc) when disabled.
+//
+// Both legs pin Tier2Off: attaching a recorder self-disables the tier-2
+// block engine on the speculative phase, so an unpinned "off" leg would run
+// a faster tier there and the comparison would conflate recorder cost with
+// tier choice.
 func BenchmarkTraceOverhead(b *testing.B) {
 	w := workloads.ByName("BitOps")
 	bp := w.Build()
 	b.Run("off", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, err := core.Run(bp, core.DefaultOptions())
+			o := core.DefaultOptions()
+			o.Tier2Off = true
+			res, err := core.Run(bp, o)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -370,6 +395,7 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ring.Reset()
 			o := core.DefaultOptions()
+			o.Tier2Off = true
 			o.Recorder = ring
 			res, err := core.Run(bp, o)
 			if err != nil {

@@ -54,6 +54,7 @@ var (
 	budgetFlag  = flag.Int64("cyclebudget", 0, "cycle-budget watchdog for each run (0 = default 2e9)")
 	guardFlag   = flag.Bool("guard", false, "enable the STL violation-storm guard")
 	timeoutFlag = flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation (0 = none); exceeding it exits with status 3")
+	tierFlag    = flag.String("tier", "on", "tier-2 block engine, on or off (results are bit-identical; off forces pure interpretation)")
 )
 
 // runCtx carries the -timeout deadline and SIGINT/SIGTERM into every run;
@@ -76,6 +77,9 @@ func cutShort(err error) bool {
 func baseOpts() core.Options {
 	o := core.DefaultOptions()
 	o.Ctx = runCtx
+	tierOff, err := core.ParseTierFlag(*tierFlag)
+	check(err)
+	o.Tier2Off = tierOff
 	if *budgetFlag > 0 {
 		o.MaxCycles = *budgetFlag
 	}

@@ -1,15 +1,18 @@
 // Command jrpm-dis disassembles a workload: the bytecode the frontend
 // produced and the native code microJIT emits in each compilation mode.
+// With -blocks it additionally prints the tier-2 block layout — how the
+// block engine would carve each method into fused superinstruction blocks.
 //
 // Usage:
 //
-//	jrpm-dis [-mode plain|annotated|tls] [-method NAME] WORKLOAD
+//	jrpm-dis [-mode plain|annotated|tls] [-method NAME] [-blocks] WORKLOAD
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"jrpm/internal/analyzer"
 	"jrpm/internal/bytecode"
@@ -24,9 +27,10 @@ import (
 func main() {
 	mode := flag.String("mode", "plain", "compilation mode: plain, annotated or tls")
 	method := flag.String("method", "", "only this method")
+	blocks := flag.Bool("blocks", false, "print the tier-2 block layout of each method")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: jrpm-dis [-mode plain|annotated|tls] [-method NAME] WORKLOAD")
+		fmt.Fprintln(os.Stderr, "usage: jrpm-dis [-mode plain|annotated|tls] [-method NAME] [-blocks] WORKLOAD")
 		os.Exit(2)
 	}
 	w := workloads.ByName(flag.Arg(0))
@@ -80,6 +84,31 @@ func main() {
 		for id, d := range img.STLs {
 			fmt.Printf("STL %d: loop %d, method %d, init pc %d, body [%d,%d), inner=%v hoisted=%v\n",
 				id, d.LoopID, d.Method, d.InitPC, d.BodyStart, d.BodyEnd, d.Inner, d.Hoisted)
+		}
+	}
+	if *blocks {
+		printBlocks(img, *method)
+	}
+}
+
+// printBlocks renders the tier-2 block layout: one line per block with its
+// entry pc, instruction span, fused dispatch units, and summed static cost.
+// Boundary pcs (scheduler/runtime ops the engine never fuses) are listed
+// with the demotion bucket they charge.
+func printBlocks(img *hydra.Image, method string) {
+	fmt.Printf("== %s: tier-2 block layout ==\n", img.Name)
+	for id, m := range img.Methods {
+		if method != "" && m.Name != method {
+			continue
+		}
+		fmt.Printf("method %q\n", m.Name)
+		for _, b := range hydra.BlockLayout(img, id) {
+			if b.Boundary != "" {
+				fmt.Printf("  pc %4d  boundary (%s)\n", b.EntryPC, b.Boundary)
+				continue
+			}
+			fmt.Printf("  pc %4d  len %2d  ops %2d  cost %3d  mem %d  %s\n",
+				b.EntryPC, b.Len, b.Ops, b.Cost, b.MemOps, strings.Join(b.Fused, " "))
 		}
 	}
 }

@@ -72,9 +72,10 @@ func main() {
 	metrics := flag.String("metrics", "", "write Prometheus text metrics to FILE (\"-\" = stdout)")
 	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar on ADDR (e.g. :6060) during the run")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exceeding it exits with status 3")
+	tier := flag.String("tier", "on", "tier-2 block engine, on or off: compile hot straight-line runs into fused superinstructions (results are bit-identical; off forces pure interpretation)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] [-faults PLAN] [-cyclebudget N] [-guard] [-timeout D] [-trace FILE] [-metrics -|FILE] [-http ADDR] program.jasm")
+		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] [-tier=off] [-faults PLAN] [-cyclebudget N] [-guard] [-timeout D] [-trace FILE] [-metrics -|FILE] [-http ADDR] program.jasm")
 		os.Exit(2)
 	}
 	// SIGINT/SIGTERM and -timeout both flow through the same context that
@@ -98,9 +99,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jrpm-run:", err)
 		os.Exit(1)
 	}
+	tierOff, err := core.ParseTierFlag(*tier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-run:", err)
+		os.Exit(2)
+	}
 	opts := core.DefaultOptions()
 	opts.Ctx = ctx
 	opts.NCPU = *cpus
+	opts.Tier2Off = tierOff
 	if *budget > 0 {
 		opts.MaxCycles = *budget
 	}

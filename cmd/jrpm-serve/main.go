@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"jrpm/internal/core"
 	"jrpm/internal/serve"
 )
 
@@ -46,14 +47,21 @@ func main() {
 	budget := flag.Int64("cyclebudget", 0, "simulated-cycle budget per run (0 = default 2e9)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period before in-flight jobs are cancelled")
 	metricsOut := flag.String("metrics", "", "flush Prometheus metrics to FILE on shutdown (\"-\" = stderr)")
+	tier := flag.String("tier", "on", "tier-2 block engine for all jobs, on or off (results are bit-identical; off forces pure interpretation)")
 	flag.Parse()
 
+	tierOff, err := core.ParseTierFlag(*tier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-serve:", err)
+		os.Exit(2)
+	}
 	srv := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		MaxCycles:       *budget,
+		Tier2Off:        tierOff,
 	})
 	srv.Start()
 

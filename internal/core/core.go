@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 
 	"jrpm/internal/analyzer"
@@ -87,6 +88,12 @@ type Options struct {
 	// Faults/Guard attach). nil disables recording at zero cost.
 	Recorder obs.Recorder
 
+	// Tier2Off disables the tier-2 block engine on every phase, forcing
+	// pure switch-dispatch interpretation (the `-tier=off` ablation). The
+	// zero value — tier on — is right for everything else: results are
+	// bit-identical either way, only host-time changes.
+	Tier2Off bool
+
 	// Ctx, when non-nil, bounds every run of the pipeline in wall-clock
 	// terms: each simulated phase polls cancellation on a coarse cycle
 	// stride (hydra.CancelCheckStride) and the pipeline aborts between
@@ -99,12 +106,34 @@ type Options struct {
 // DefaultOptions is the paper's configuration: 4 CPUs, new handlers, both
 // VM modifications enabled.
 func DefaultOptions() Options {
-	return Options{
+	o := Options{
 		NCPU:      4,
 		Handlers:  tls.NewHandlers,
 		VM:        vm.DefaultConfig(),
 		MaxCycles: 2_000_000_000,
 	}
+	// JRPM_TIER=off forces pure interpretation for every default-options
+	// caller. CI uses it to re-run the golden/litmus/oracle conformance
+	// suites with the tier-2 block engine ablated, proving the engine is
+	// invisible to simulated behaviour without threading a flag through
+	// each test.
+	if os.Getenv("JRPM_TIER") == "off" {
+		o.Tier2Off = true
+	}
+	return o
+}
+
+// ParseTierFlag maps a -tier flag value to Options.Tier2Off. The natural
+// spellings are "on" and "off" (bool flags would reject "off"); the usual
+// boolean spellings are accepted too so scripts can pass true/false.
+func ParseTierFlag(v string) (off bool, err error) {
+	switch v {
+	case "on", "true", "1":
+		return false, nil
+	case "off", "false", "0":
+		return true, nil
+	}
+	return false, fmt.Errorf("invalid -tier value %q (want on or off)", v)
 }
 
 // Phase captures one execution of the program.
@@ -125,6 +154,10 @@ type Phase struct {
 	// Cache-hierarchy counters for the phase's machine.
 	L1Hits, L1Misses int64
 	L2Hits, L2Misses int64
+
+	// Tier counts tier-2 block-engine activity (all zero when the engine
+	// was disabled for the phase).
+	Tier hydra.TierStats
 
 	// Statics snapshots the final static field words — part of the
 	// architectural state the fault-injection oracle compares.
@@ -477,6 +510,7 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec
 		Cache:    opts.Cache,
 		Tracer:   opts.Tracer,
 		Profile:  profile,
+		Tier2Off: opts.Tier2Off,
 		Ctx:      opts.Ctx,
 	}
 	if spec {
@@ -504,6 +538,7 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec
 		Violations:    m.TLS.Violations,
 		Overflows:     m.TLS.Overflows,
 		OverflowBySTL: m.OverflowBySTL,
+		Tier:          m.Tier,
 	}
 	ph.AvgStoreBuf, ph.AvgLoadBuf = m.TLS.AvgBufferLines()
 	ph.L1Hits, ph.L1Misses = m.Caches.L1Hits, m.Caches.L1Misses

@@ -101,6 +101,15 @@ type Options struct {
 	// cycle counts. Must be a nil interface to disable, not a typed nil.
 	Recorder obs.Recorder
 
+	// Tier2Off disables the tier-2 block engine, forcing every instruction
+	// through the cycle-accurate interpreter. The engine changes host ns/op
+	// only — cycles, traces, and outputs are bit-identical either way — so
+	// the zero value (enabled) is right for everything except equivalence
+	// testing and benchmarking the interpreter itself. The engine also
+	// self-disables while a Recorder or fault Plan is attached, since both
+	// observe or perturb per-instruction events.
+	Tier2Off bool
+
 	// Ctx, when non-nil, bounds the run in wall-clock terms: Run polls
 	// ctx.Done() once every CancelCheckStride simulated cycles (amortized
 	// to a couple of integer compares per scheduler step, so cycle counts
@@ -149,6 +158,9 @@ type Machine struct {
 
 	halted bool
 	err    error
+	// heapLazy: the runtime implements HeapZeroer, so Release can return
+	// the simulated memory with the heap span left stale.
+	heapLazy bool
 
 	inj        *faultinject.Injector
 	Guard      *tls.Guard
@@ -159,6 +171,17 @@ type Machine struct {
 	// Configured latencies, cached so the recorder can classify a load's
 	// memory level from its charged latency without touching CacheSim.
 	latL2, latMem, latInter int64
+
+	// Tier-2 block engine state: t2 is nil when the engine is disabled
+	// (Options.Tier2Off, or a recorder/fault plan is attached). latMax is
+	// the slowest configured memory latency, for worst-case block spans.
+	// t2sub/t2cyc are the divert scratch registers (see runBlock). Tier
+	// counts engine activity for metrics.
+	t2     *tier2
+	latMax int64
+	t2sub  int32
+	t2cyc  int64
+	Tier   TierStats
 
 	// Cancellation state: ctxDone is nil when no context is attached (the
 	// hot-path check then short-circuits on one nil compare). nextCtxCheck
@@ -192,16 +215,37 @@ func NewMachine(img *Image, rt Runtime, opts Options) *Machine {
 		tlsCfg = *opts.TLS
 		tlsCfg.NCPU = opts.NCPU
 	}
+	// A runtime that zeroes every allocated block lets the pooled memory
+	// skip re-zeroing the heap span on release/reuse (the dominant memclr
+	// cost of a pipeline run); everyone else gets the all-zero guarantee.
+	simMem := mem.NewPooledMemory
+	heapLazy := false
+	if hz, ok := rt.(HeapZeroer); ok && hz.ZeroesHeap() {
+		heapLazy = true
+		simMem = func(size int, split mem.Addr) *mem.Memory {
+			return mem.NewPooledMemoryStale(size, split, HeapBase)
+		}
+	}
 	m := &Machine{
 		Image:         img,
-		Mem:           mem.NewPooledMemory(MemWords, StackRegionBase),
+		Mem:           simMem(MemWords, StackRegionBase),
 		Caches:        mem.NewCacheSim(cacheCfg),
 		Runtime:       rt,
 		OverflowBySTL: map[int64]int64{},
 		rec:           opts.Recorder,
+		heapLazy:      heapLazy,
 		latL2:         cacheCfg.LatL2,
 		latMem:        cacheCfg.LatMem,
 		latInter:      cacheCfg.LatInter,
+	}
+	m.latMax = cacheCfg.LatL1
+	for _, lat := range []int64{cacheCfg.LatL2, cacheCfg.LatMem, cacheCfg.LatInter} {
+		if lat > m.latMax {
+			m.latMax = lat
+		}
+	}
+	if !opts.Tier2Off && opts.Recorder == nil && opts.Faults == nil {
+		m.t2 = t2acquire()
 	}
 	m.TLS = tls.NewUnit(tlsCfg, m.Mem, m.Caches)
 	if opts.Faults != nil {
@@ -245,8 +289,16 @@ func (m *Machine) Release() {
 		m.Tracer.Release()
 	}
 	if m.Mem != nil {
-		m.Mem.Release()
+		if m.heapLazy {
+			m.Mem.ReleaseKeepStale(HeapBase)
+		} else {
+			m.Mem.Release()
+		}
 		m.Mem = nil
+	}
+	if m.t2 != nil {
+		m.t2.release()
+		m.t2 = nil
 	}
 }
 
@@ -335,6 +387,13 @@ func (m *Machine) Run(maxCycles int64) (err error) {
 		// flips TLS.Active and falls back to the general scheduler; clock
 		// advance and budget semantics are identical to the outer loop.
 		if active == 1 && solo.state == stateRunning && !m.TLS.Active() {
+			if m.t2 != nil {
+				// Tier-2 promotion: the block engine owns the serial phase
+				// until something demotes it (see tier2.go). Budget and
+				// cancellation failures halt the machine from inside.
+				m.runTier2(solo, maxCycles)
+				continue
+			}
 			c := solo
 			for !m.halted && c.state == stateRunning && !m.TLS.Active() {
 				if c.readyAt > m.Clock {

@@ -1,0 +1,943 @@
+package hydra
+
+import (
+	"math"
+
+	"jrpm/internal/isa"
+	"jrpm/internal/mem"
+)
+
+// Fused op handlers. Each handler is a top-level function (no captured
+// state), so the compiled blocks hold plain code pointers and dispatch is a
+// single indirect call — no closure allocation, ever.
+//
+// Handler contract:
+//   - m.Clock holds the instruction's start cycle (runBlock publishes it
+//     before the call), so tracer hooks and trap paths see exact clocks.
+//   - Return the op's total cycle cost, or a negative divert code before any
+//     architectural side effect (t2DivertBounds is the one exception, taken
+//     after the length load exactly as the interpreter orders it).
+//   - Never write register 0: the compiler specializes rd==0 forms instead,
+//     preserving the hardwired-zero invariant without a per-op clear.
+//   - Memory handlers run the same loadWord/storeWord as the interpreter
+//     and fold the charged latency (c.extra) into the returned cost.
+
+// t2Single selects the handler for one unfused instruction.
+func t2Single(in *isa.Instr, pc int) t2op {
+	o := t2op{
+		imm:    in.Imm,
+		imm2:   in.Imm2,
+		cost:   isa.Cost(in.Op),
+		pc:     int32(pc),
+		target: int32(in.Target),
+		rd:     uint8(in.Rd),
+		rs:     uint8(in.Rs),
+		rt:     uint8(in.Rt),
+		n:      1,
+		op:     in.Op,
+	}
+	// rd==0 specialization: the interpreter writes r[0] and re-zeroes it
+	// after every instruction; tier-2 instead skips the dead write but keeps
+	// every side effect (trap checks, memory traffic).
+	if in.Rd == isa.Zero && isa.Traits(in.Op).Has(isa.TraitWritesRd) {
+		switch in.Op {
+		case isa.DIV, isa.REM:
+			o.fn = t2DIVz
+		case isa.LW:
+			o.fn = t2LWz
+		case isa.LWNV:
+			o.fn = t2LWNVz
+		default:
+			// Pure ALU/LI/MFC2 into r0: architectural no-op, cost only.
+			o.fn = t2CostOnly
+		}
+		return o
+	}
+	switch in.Op {
+	case isa.NOP:
+		o.fn = t2CostOnly
+	case isa.ADD:
+		if in.Rt == isa.Zero {
+			o.fn = t2MOV // the codegen's register move idiom
+		} else {
+			o.fn = t2ADD
+		}
+	case isa.SUB:
+		o.fn = t2SUB
+	case isa.MUL:
+		o.fn = t2MUL
+	case isa.DIV:
+		o.fn = t2DIV
+	case isa.REM:
+		o.fn = t2REM
+	case isa.AND:
+		o.fn = t2AND
+	case isa.OR:
+		o.fn = t2OR
+	case isa.XOR:
+		o.fn = t2XOR
+	case isa.NOR:
+		o.fn = t2NOR
+	case isa.SLL:
+		o.fn = t2SLL
+	case isa.SRL:
+		o.fn = t2SRL
+	case isa.SRA:
+		o.fn = t2SRA
+	case isa.SLT:
+		o.fn = t2SLT
+	case isa.SLE:
+		o.fn = t2SLE
+	case isa.SEQ:
+		o.fn = t2SEQ
+	case isa.SNE:
+		o.fn = t2SNE
+	case isa.MIN:
+		o.fn = t2MIN
+	case isa.MAX:
+		o.fn = t2MAX
+	case isa.ADDI:
+		o.fn = t2ADDI
+	case isa.ANDI:
+		o.fn = t2ANDI
+	case isa.ORI:
+		o.fn = t2ORI
+	case isa.XORI:
+		o.fn = t2XORI
+	case isa.SLLI:
+		o.fn = t2SLLI
+	case isa.SRLI:
+		o.fn = t2SRLI
+	case isa.SRAI:
+		o.fn = t2SRAI
+	case isa.SLTI:
+		o.fn = t2SLTI
+	case isa.LI:
+		o.fn = t2LI
+	case isa.FADD:
+		o.fn = t2FADD
+	case isa.FSUB:
+		o.fn = t2FSUB
+	case isa.FMUL:
+		o.fn = t2FMUL
+	case isa.FDIV:
+		o.fn = t2FDIV
+	case isa.FNEG:
+		o.fn = t2FNEG
+	case isa.FABS:
+		o.fn = t2FABS
+	case isa.FMIN:
+		o.fn = t2FMIN
+	case isa.FMAX:
+		o.fn = t2FMAX
+	case isa.FSLT:
+		o.fn = t2FSLT
+	case isa.FSLE:
+		o.fn = t2FSLE
+	case isa.FSEQ:
+		o.fn = t2FSEQ
+	case isa.CVTIF:
+		o.fn = t2CVTIF
+	case isa.CVTFI:
+		o.fn = t2CVTFI
+	case isa.FSQRT:
+		o.fn = t2FSQRT
+	case isa.FSIN:
+		o.fn = t2FSIN
+	case isa.FCOS:
+		o.fn = t2FCOS
+	case isa.FEXP:
+		o.fn = t2FEXP
+	case isa.FLOG:
+		o.fn = t2FLOG
+	case isa.LW:
+		o.fn = t2LW
+	case isa.LWNV:
+		o.fn = t2LWNV
+	case isa.SW:
+		o.fn = t2SW
+	case isa.BEQ:
+		o.fn = t2BEQ
+	case isa.BNE:
+		o.fn = t2BNE
+	case isa.BLT:
+		o.fn = t2BLT
+	case isa.BGE:
+		o.fn = t2BGE
+	case isa.BLE:
+		o.fn = t2BLE
+	case isa.BGT:
+		o.fn = t2BGT
+	case isa.J:
+		o.fn = t2J
+	case isa.LWL:
+		o.fn = t2LWL
+	case isa.SWL:
+		o.fn = t2SWL
+	case isa.SLOOP:
+		o.fn = t2SLOOP
+	case isa.EOI:
+		o.fn = t2EOIA
+	case isa.ELOOP:
+		o.fn = t2ELOOP
+	case isa.MFC2:
+		if in.Imm == isa.CP2Iteration {
+			o.fn = t2MFC2Iter
+		} else {
+			o.fn = t2MFC2CPU
+		}
+	case isa.CHKNULL:
+		o.fn = t2CHKNULL
+	case isa.CHKIDX:
+		o.fn = t2CHKIDX
+	default:
+		// Unreachable: t2Fusable filtered everything else.
+		o.fn = t2CostOnly
+	}
+	return o
+}
+
+// t2Fuse tries to fold in and next into one superinstruction. Returns 2 and
+// fills o on success, 1 otherwise. Patterns follow what the microJIT
+// actually emits (compare-immediate-and-branch, address-compute-then-access,
+// bounds-check-then-address): both sub-instructions keep their architectural
+// order, and a divert from the second sub-op reports the completed prefix
+// via m.t2sub/m.t2cyc so runBlock can settle exact per-instruction state.
+func t2Fuse(in, next *isa.Instr, o *t2op) int {
+	if !t2Fusable(next) {
+		return 1
+	}
+	switch in.Op {
+	case isa.LI:
+		// li rd, C ; bcc rs, rd  →  compare rs against the immediate.
+		// rs must differ from rd (the branch would otherwise read the new
+		// value from its own left operand, which the fused compare skips).
+		if next.Op.IsBranch() && next.Rt == in.Rd && next.Rs != in.Rd && in.Rd != isa.Zero {
+			*o = t2op{
+				imm: in.Imm, cost: 2, target: int32(next.Target),
+				rd: uint8(in.Rd), rs: uint8(next.Rs),
+				n: 2, op: in.Op, op2: next.Op,
+			}
+			switch next.Op {
+			case isa.BEQ:
+				o.fn = t2LIBEQ
+			case isa.BNE:
+				o.fn = t2LIBNE
+			case isa.BLT:
+				o.fn = t2LIBLT
+			case isa.BGE:
+				o.fn = t2LIBGE
+			case isa.BLE:
+				o.fn = t2LIBLE
+			case isa.BGT:
+				o.fn = t2LIBGT
+			}
+			return 2
+		}
+	case isa.ADD, isa.ADDI:
+		// add/addi rd, … ; lw rd2, off(rd)  and the sw form: the address
+		// compute feeds the access base. rd2==rd is fine (the load
+		// overwrites after the address was used, same as sequentially).
+		if in.Rd == isa.Zero {
+			return 1
+		}
+		isAddi := in.Op == isa.ADDI
+		if next.Op == isa.LW && next.Rs == in.Rd && next.Rd != isa.Zero {
+			*o = t2op{
+				imm: in.Imm, imm2: next.Imm, cost: 2,
+				rd: uint8(in.Rd), rs: uint8(in.Rs), rt: uint8(in.Rt),
+				rd2: uint8(next.Rd),
+				n:   2, op: in.Op, op2: next.Op,
+			}
+			if isAddi {
+				o.fn = t2ADDILW
+			} else {
+				o.fn = t2ADDLW
+			}
+			return 2
+		}
+		if next.Op == isa.SW && next.Rs == in.Rd {
+			*o = t2op{
+				imm: in.Imm, imm2: next.Imm, cost: 2,
+				rd: uint8(in.Rd), rs: uint8(in.Rs), rt: uint8(in.Rt),
+				rd2: uint8(next.Rt),
+				n:   2, op: in.Op, op2: next.Op,
+			}
+			if isAddi {
+				o.fn = t2ADDISW
+			} else {
+				o.fn = t2ADDSW
+			}
+			return 2
+		}
+	case isa.CHKIDX:
+		// chkidx rs[rt] ; add rd2, rs2, rd  →  the bounds check feeding the
+		// element address compute. The add's Rt rides in o.rd (unused by
+		// the check). The check's traps divert with an empty prefix, so
+		// exact re-execution or in-place trap both see the chkidx pc.
+		if next.Op == isa.ADD && next.Rd != isa.Zero {
+			*o = t2op{
+				cost: 2,
+				rs:   uint8(in.Rs), rt: uint8(in.Rt),
+				rd2: uint8(next.Rd), rs2: uint8(next.Rs), rd: uint8(next.Rt),
+				n: 2, op: in.Op, op2: next.Op,
+			}
+			o.fn = t2CHKIDXADD
+			return 2
+		}
+	}
+	return 1
+}
+
+// --- single-op handlers ---
+
+// t2CostOnly covers NOP and any rd==0 form with no other side effect.
+func t2CostOnly(m *Machine, c *CPU, o *t2op) int64 { return o.cost }
+
+func t2MOV(m *Machine, c *CPU, o *t2op) int64 {
+	c.Regs[o.rd] = c.Regs[o.rs]
+	return o.cost
+}
+
+func t2ADD(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] + r[o.rt]
+	return o.cost
+}
+
+func t2SUB(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] - r[o.rt]
+	return o.cost
+}
+
+func t2MUL(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] * r[o.rt]
+	return o.cost
+}
+
+func t2DIV(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	if r[o.rt] == 0 {
+		return t2DivertTrap
+	}
+	r[o.rd] = r[o.rs] / r[o.rt]
+	return o.cost
+}
+
+func t2REM(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	if r[o.rt] == 0 {
+		return t2DivertTrap
+	}
+	r[o.rd] = r[o.rs] % r[o.rt]
+	return o.cost
+}
+
+// t2DIVz: DIV/REM into r0 — the quotient is discarded but the zero-divisor
+// trap still fires.
+func t2DIVz(m *Machine, c *CPU, o *t2op) int64 {
+	if c.Regs[o.rt] == 0 {
+		return t2DivertTrap
+	}
+	return o.cost
+}
+
+func t2AND(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] & r[o.rt]
+	return o.cost
+}
+
+func t2OR(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] | r[o.rt]
+	return o.cost
+}
+
+func t2XOR(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] ^ r[o.rt]
+	return o.cost
+}
+
+func t2NOR(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = ^(r[o.rs] | r[o.rt])
+	return o.cost
+}
+
+func t2SLL(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] << uint64(r[o.rt]&63)
+	return o.cost
+}
+
+func t2SRL(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = int64(uint64(r[o.rs]) >> uint64(r[o.rt]&63))
+	return o.cost
+}
+
+func t2SRA(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] >> uint64(r[o.rt]&63)
+	return o.cost
+}
+
+func t2SLT(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = b2i(r[o.rs] < r[o.rt])
+	return o.cost
+}
+
+func t2SLE(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = b2i(r[o.rs] <= r[o.rt])
+	return o.cost
+}
+
+func t2SEQ(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = b2i(r[o.rs] == r[o.rt])
+	return o.cost
+}
+
+func t2SNE(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = b2i(r[o.rs] != r[o.rt])
+	return o.cost
+}
+
+func t2MIN(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	if r[o.rs] < r[o.rt] {
+		r[o.rd] = r[o.rs]
+	} else {
+		r[o.rd] = r[o.rt]
+	}
+	return o.cost
+}
+
+func t2MAX(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	if r[o.rs] > r[o.rt] {
+		r[o.rd] = r[o.rs]
+	} else {
+		r[o.rd] = r[o.rt]
+	}
+	return o.cost
+}
+
+func t2ADDI(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] + o.imm
+	return o.cost
+}
+
+func t2ANDI(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] & o.imm
+	return o.cost
+}
+
+func t2ORI(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] | o.imm
+	return o.cost
+}
+
+func t2XORI(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] ^ o.imm
+	return o.cost
+}
+
+func t2SLLI(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] << uint64(o.imm&63)
+	return o.cost
+}
+
+func t2SRLI(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = int64(uint64(r[o.rs]) >> uint64(o.imm&63))
+	return o.cost
+}
+
+func t2SRAI(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] >> uint64(o.imm&63)
+	return o.cost
+}
+
+func t2SLTI(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = b2i(r[o.rs] < o.imm)
+	return o.cost
+}
+
+func t2LI(m *Machine, c *CPU, o *t2op) int64 {
+	c.Regs[o.rd] = o.imm
+	return o.cost
+}
+
+func t2FADD(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(f64(r[o.rs]) + f64(r[o.rt]))
+	return o.cost
+}
+
+func t2FSUB(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(f64(r[o.rs]) - f64(r[o.rt]))
+	return o.cost
+}
+
+func t2FMUL(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(f64(r[o.rs]) * f64(r[o.rt]))
+	return o.cost
+}
+
+func t2FDIV(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(f64(r[o.rs]) / f64(r[o.rt]))
+	return o.cost
+}
+
+func t2FNEG(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(-f64(r[o.rs]))
+	return o.cost
+}
+
+func t2FABS(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(math.Abs(f64(r[o.rs])))
+	return o.cost
+}
+
+func t2FMIN(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(math.Min(f64(r[o.rs]), f64(r[o.rt])))
+	return o.cost
+}
+
+func t2FMAX(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(math.Max(f64(r[o.rs]), f64(r[o.rt])))
+	return o.cost
+}
+
+func t2FSLT(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = b2i(f64(r[o.rs]) < f64(r[o.rt]))
+	return o.cost
+}
+
+func t2FSLE(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = b2i(f64(r[o.rs]) <= f64(r[o.rt]))
+	return o.cost
+}
+
+func t2FSEQ(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = b2i(f64(r[o.rs]) == f64(r[o.rt]))
+	return o.cost
+}
+
+func t2CVTIF(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(float64(r[o.rs]))
+	return o.cost
+}
+
+func t2CVTFI(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = int64(f64(r[o.rs]))
+	return o.cost
+}
+
+func t2FSQRT(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(math.Sqrt(f64(r[o.rs])))
+	return o.cost
+}
+
+func t2FSIN(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(math.Sin(f64(r[o.rs])))
+	return o.cost
+}
+
+func t2FCOS(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(math.Cos(f64(r[o.rs])))
+	return o.cost
+}
+
+func t2FEXP(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(math.Exp(f64(r[o.rs])))
+	return o.cost
+}
+
+func t2FLOG(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = bits(math.Log(f64(r[o.rs])))
+	return o.cost
+}
+
+func t2LW(m *Machine, c *CPU, o *t2op) int64 {
+	a := mem.Addr(c.Regs[o.rs] + o.imm)
+	if !m.Mem.InRange(a) {
+		return t2DivertFault
+	}
+	c.extra = 0
+	c.Regs[o.rd] = m.loadWord(c, a, false, ClassHeap)
+	n := o.cost + c.extra
+	c.extra = 0
+	return n
+}
+
+// t2LWz: load into r0 — the value is discarded but the cache access and
+// tracer observation still happen.
+func t2LWz(m *Machine, c *CPU, o *t2op) int64 {
+	a := mem.Addr(c.Regs[o.rs] + o.imm)
+	if !m.Mem.InRange(a) {
+		return t2DivertFault
+	}
+	c.extra = 0
+	m.loadWord(c, a, false, ClassHeap)
+	n := o.cost + c.extra
+	c.extra = 0
+	return n
+}
+
+func t2LWNV(m *Machine, c *CPU, o *t2op) int64 {
+	a := mem.Addr(c.Regs[o.rs] + o.imm)
+	if !m.Mem.InRange(a) {
+		return t2DivertFault
+	}
+	c.extra = 0
+	c.Regs[o.rd] = m.loadWord(c, a, true, ClassHeap)
+	n := o.cost + c.extra
+	c.extra = 0
+	return n
+}
+
+func t2LWNVz(m *Machine, c *CPU, o *t2op) int64 {
+	a := mem.Addr(c.Regs[o.rs] + o.imm)
+	if !m.Mem.InRange(a) {
+		return t2DivertFault
+	}
+	c.extra = 0
+	m.loadWord(c, a, true, ClassHeap)
+	n := o.cost + c.extra
+	c.extra = 0
+	return n
+}
+
+func t2SW(m *Machine, c *CPU, o *t2op) int64 {
+	a := mem.Addr(c.Regs[o.rs] + o.imm)
+	if !m.Mem.InRange(a) {
+		return t2DivertFault
+	}
+	c.extra = 0
+	m.storeWord(c, a, c.Regs[o.rt], ClassHeap)
+	n := o.cost + c.extra
+	c.extra = 0
+	return n
+}
+
+func t2BEQ(m *Machine, c *CPU, o *t2op) int64 {
+	if c.Regs[o.rs] == c.Regs[o.rt] {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 1
+	}
+	return o.cost
+}
+
+func t2BNE(m *Machine, c *CPU, o *t2op) int64 {
+	if c.Regs[o.rs] != c.Regs[o.rt] {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 1
+	}
+	return o.cost
+}
+
+func t2BLT(m *Machine, c *CPU, o *t2op) int64 {
+	if c.Regs[o.rs] < c.Regs[o.rt] {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 1
+	}
+	return o.cost
+}
+
+func t2BGE(m *Machine, c *CPU, o *t2op) int64 {
+	if c.Regs[o.rs] >= c.Regs[o.rt] {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 1
+	}
+	return o.cost
+}
+
+func t2BLE(m *Machine, c *CPU, o *t2op) int64 {
+	if c.Regs[o.rs] <= c.Regs[o.rt] {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 1
+	}
+	return o.cost
+}
+
+func t2BGT(m *Machine, c *CPU, o *t2op) int64 {
+	if c.Regs[o.rs] > c.Regs[o.rt] {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 1
+	}
+	return o.cost
+}
+
+func t2J(m *Machine, c *CPU, o *t2op) int64 {
+	c.PC = int(o.target)
+	return o.cost
+}
+
+func t2LWL(m *Machine, c *CPU, o *t2op) int64 {
+	if m.Tracer != nil {
+		gslot := uint32(c.MethodID)*256 + uint32(o.imm)
+		key := uint64(c.Regs[isa.FP])<<16 | uint64(gslot)
+		m.Tracer.OnLocalLoad(key, gslot, m.Clock)
+	}
+	return o.cost
+}
+
+func t2SWL(m *Machine, c *CPU, o *t2op) int64 {
+	if m.Tracer != nil {
+		gslot := uint32(c.MethodID)*256 + uint32(o.imm)
+		key := uint64(c.Regs[isa.FP])<<16 | uint64(gslot)
+		m.Tracer.OnLocalStore(key, gslot, m.Clock)
+	}
+	return o.cost
+}
+
+func t2SLOOP(m *Machine, c *CPU, o *t2op) int64 {
+	if m.Tracer != nil {
+		m.Tracer.OnSloop(o.imm, m.Clock)
+	}
+	return o.cost
+}
+
+// t2EOIA is the EOI annotation (distinct from the STLEOI marker, which is a
+// block boundary).
+func t2EOIA(m *Machine, c *CPU, o *t2op) int64 {
+	if m.Tracer != nil {
+		m.Tracer.OnEOI(o.imm, m.Clock)
+	}
+	return o.cost
+}
+
+func t2ELOOP(m *Machine, c *CPU, o *t2op) int64 {
+	if m.Tracer != nil {
+		m.Tracer.OnEloop(o.imm, m.Clock)
+	}
+	return o.cost
+}
+
+func t2MFC2Iter(m *Machine, c *CPU, o *t2op) int64 {
+	c.Regs[o.rd] = m.TLS.Iteration(c.ID)
+	return o.cost
+}
+
+func t2MFC2CPU(m *Machine, c *CPU, o *t2op) int64 {
+	c.Regs[o.rd] = int64(c.ID)
+	return o.cost
+}
+
+func t2CHKNULL(m *Machine, c *CPU, o *t2op) int64 {
+	if c.Regs[o.rs] == 0 {
+		return t2DivertTrap
+	}
+	return o.cost
+}
+
+func t2CHKIDX(m *Machine, c *CPU, o *t2op) int64 {
+	ref := c.Regs[o.rs]
+	if ref == 0 {
+		return t2DivertTrap
+	}
+	a := mem.Addr(ref + 2)
+	if !m.Mem.InRange(a) {
+		return t2DivertFault
+	}
+	c.extra = 0
+	length := m.loadWord(c, a, false, ClassHeap)
+	lat := c.extra
+	c.extra = 0
+	if idx := c.Regs[o.rt]; idx < 0 || idx >= length {
+		// The length load's side effects (cache fill, tracer event) have
+		// happened, exactly as the interpreter orders them; its latency is
+		// not charged because the interpreter's trap path never charges the
+		// trapping instruction either.
+		return t2DivertBounds
+	}
+	return o.cost + lat
+}
+
+// --- fused superinstruction handlers ---
+
+func t2LIBEQ(m *Machine, c *CPU, o *t2op) int64 {
+	c.Regs[o.rd] = o.imm
+	if c.Regs[o.rs] == o.imm {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 2
+	}
+	return o.cost
+}
+
+func t2LIBNE(m *Machine, c *CPU, o *t2op) int64 {
+	c.Regs[o.rd] = o.imm
+	if c.Regs[o.rs] != o.imm {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 2
+	}
+	return o.cost
+}
+
+func t2LIBLT(m *Machine, c *CPU, o *t2op) int64 {
+	c.Regs[o.rd] = o.imm
+	if c.Regs[o.rs] < o.imm {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 2
+	}
+	return o.cost
+}
+
+func t2LIBGE(m *Machine, c *CPU, o *t2op) int64 {
+	c.Regs[o.rd] = o.imm
+	if c.Regs[o.rs] >= o.imm {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 2
+	}
+	return o.cost
+}
+
+func t2LIBLE(m *Machine, c *CPU, o *t2op) int64 {
+	c.Regs[o.rd] = o.imm
+	if c.Regs[o.rs] <= o.imm {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 2
+	}
+	return o.cost
+}
+
+func t2LIBGT(m *Machine, c *CPU, o *t2op) int64 {
+	c.Regs[o.rd] = o.imm
+	if c.Regs[o.rs] > o.imm {
+		c.PC = int(o.target)
+	} else {
+		c.PC = int(o.pc) + 2
+	}
+	return o.cost
+}
+
+// t2ADDLW: add rd, rs, rt ; lw rd2, imm2(rd). A fault in the load diverts
+// with the add already committed (m.t2sub=1), matching the interpreter
+// having executed and charged the add before the load instruction began.
+func t2ADDLW(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] + r[o.rt]
+	a := mem.Addr(r[o.rd] + o.imm2)
+	if !m.Mem.InRange(a) {
+		m.t2sub, m.t2cyc = 1, 1
+		return t2DivertFault
+	}
+	c.extra = 0
+	r[o.rd2] = m.loadWord(c, a, false, ClassHeap)
+	n := o.cost + c.extra
+	c.extra = 0
+	return n
+}
+
+func t2ADDILW(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] + o.imm
+	a := mem.Addr(r[o.rd] + o.imm2)
+	if !m.Mem.InRange(a) {
+		m.t2sub, m.t2cyc = 1, 1
+		return t2DivertFault
+	}
+	c.extra = 0
+	r[o.rd2] = m.loadWord(c, a, false, ClassHeap)
+	n := o.cost + c.extra
+	c.extra = 0
+	return n
+}
+
+func t2ADDSW(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] + r[o.rt]
+	a := mem.Addr(r[o.rd] + o.imm2)
+	if !m.Mem.InRange(a) {
+		m.t2sub, m.t2cyc = 1, 1
+		return t2DivertFault
+	}
+	c.extra = 0
+	m.storeWord(c, a, r[o.rd2], ClassHeap)
+	n := o.cost + c.extra
+	c.extra = 0
+	return n
+}
+
+func t2ADDISW(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	r[o.rd] = r[o.rs] + o.imm
+	a := mem.Addr(r[o.rd] + o.imm2)
+	if !m.Mem.InRange(a) {
+		m.t2sub, m.t2cyc = 1, 1
+		return t2DivertFault
+	}
+	c.extra = 0
+	m.storeWord(c, a, r[o.rd2], ClassHeap)
+	n := o.cost + c.extra
+	c.extra = 0
+	return n
+}
+
+// t2CHKIDXADD: chkidx rs[rt] ; add rd2, rs2, rd (the add's Rt rides in
+// o.rd). Both chkidx traps divert with an empty prefix — null/fault before
+// any side effect (re-executed), bounds after the length load (in place).
+func t2CHKIDXADD(m *Machine, c *CPU, o *t2op) int64 {
+	r := &c.Regs
+	ref := r[o.rs]
+	if ref == 0 {
+		return t2DivertTrap
+	}
+	a := mem.Addr(ref + 2)
+	if !m.Mem.InRange(a) {
+		return t2DivertFault
+	}
+	c.extra = 0
+	length := m.loadWord(c, a, false, ClassHeap)
+	lat := c.extra
+	c.extra = 0
+	if idx := r[o.rt]; idx < 0 || idx >= length {
+		return t2DivertBounds
+	}
+	r[o.rd2] = r[o.rs2] + r[o.rd]
+	return o.cost + lat
+}

@@ -1,0 +1,77 @@
+package isa
+
+// OpTraits classifies an opcode for the tier-2 block engine: which
+// instructions may be folded into a straight-line superinstruction block, and
+// which side channels (memory traffic, traps, data faults) each one can
+// touch. The table is the single source of truth for block-boundary
+// decisions — an opcode not marked TraitFusable always executes in the
+// cycle-accurate interpreter, so scheduler transitions (STL markers, calls,
+// allocation, monitors, I/O) can never happen mid-block.
+type OpTraits uint8
+
+const (
+	// TraitFusable marks an op the block compiler may fold into a tier-2
+	// block. Everything else is a block boundary and always interprets.
+	TraitFusable OpTraits = 1 << iota
+	// TraitWritesRd marks an op that writes the Rd register.
+	TraitWritesRd
+	// TraitMem marks an op that issues data-memory traffic through
+	// loadWord/storeWord (and therefore charges cache latency).
+	TraitMem
+	// TraitTrap marks an op that can raise a software exception
+	// (divide-by-zero, null check, bounds check).
+	TraitTrap
+	// TraitFault marks an op that can data-fault on a wild effective
+	// address.
+	TraitFault
+	// TraitBranch marks a conditional branch (a block terminator with two
+	// successors). J is the one-successor terminator and is detected by
+	// opcode, not by trait.
+	TraitBranch
+)
+
+// Has reports whether t contains every flag in f.
+func (t OpTraits) Has(f OpTraits) bool { return t&f == f }
+
+var traitTable = func() [numOps]OpTraits {
+	var t [numOps]OpTraits
+	set := func(tr OpTraits, ops ...Op) {
+		for _, op := range ops {
+			t[op] = tr
+		}
+	}
+	set(TraitFusable, NOP)
+	// Pure integer and FP ALU: fusable register writes, no side channels.
+	set(TraitFusable|TraitWritesRd,
+		ADD, SUB, MUL, AND, OR, XOR, NOR, SLL, SRL, SRA,
+		SLT, SLE, SEQ, SNE, MIN, MAX,
+		ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LI,
+		FADD, FSUB, FMUL, FDIV, FNEG, FABS, FMIN, FMAX,
+		FSLT, FSLE, FSEQ, CVTIF, CVTFI, FSQRT, FSIN, FCOS, FEXP, FLOG)
+	// Integer division traps on a zero divisor.
+	set(TraitFusable|TraitWritesRd|TraitTrap, DIV, REM)
+	// Loads and stores go through loadWord/storeWord and may fault.
+	set(TraitFusable|TraitWritesRd|TraitMem|TraitFault, LW, LWNV)
+	set(TraitFusable|TraitMem|TraitFault, SW)
+	// Conditional branches terminate a block.
+	set(TraitFusable|TraitBranch, BEQ, BNE, BLT, BGE, BLE, BGT)
+	set(TraitFusable, J)
+	// TEST annotations are architectural no-ops observed by the profiler;
+	// the fused handlers replay the same Tracer hooks at the same clocks.
+	set(TraitFusable, LWL, SWL, SLOOP, EOI, ELOOP)
+	// Coprocessor reads are pure given a valid register index (the block
+	// compiler rejects unknown indices so badProgram stays interpreted).
+	set(TraitFusable|TraitWritesRd, MFC2)
+	// Null and bounds checks trap; the bounds check also loads the array
+	// length word through the cache model.
+	set(TraitFusable|TraitTrap, CHKNULL)
+	set(TraitFusable|TraitTrap|TraitMem|TraitFault, CHKIDX)
+	// Everything else — calls, returns, STL markers, allocation, monitors,
+	// throw, I/O, halt — stays interpreted: each one can reschedule CPUs,
+	// enter the runtime, or flip TLS.Active, and the demotion matrix in
+	// internal/hydra relies on the interpreter owning those transitions.
+	return t
+}()
+
+// Traits returns the tier-2 classification of op.
+func Traits(op Op) OpTraits { return traitTable[op] }

@@ -1,0 +1,70 @@
+package isa
+
+import "testing"
+
+// Every opcode must be classified: either fusable (block-compiled by the
+// tier-2 engine) or an explicit boundary. This test pins the boundary set so
+// a new opcode cannot silently join tier-2 blocks without a deliberate edit
+// here.
+func TestTraitsBoundarySet(t *testing.T) {
+	boundary := map[Op]bool{
+		CALL: true, RET: true,
+		STLSTART: true, STLEOI: true, STLSHUTDOWN: true,
+		STLSWSTART: true, STLSWEND: true,
+		ALLOC: true, ALLOCARR: true,
+		MONENTER: true, MONEXIT: true,
+		THROW: true, IOPUT: true, HALT: true,
+	}
+	for op := Op(0); op < Op(numOps); op++ {
+		fusable := Traits(op).Has(TraitFusable)
+		if boundary[op] && fusable {
+			t.Errorf("%s: scheduler/runtime op must not be fusable", op.Name())
+		}
+		if !boundary[op] && !fusable {
+			t.Errorf("%s: expected fusable (not in the boundary set)", op.Name())
+		}
+	}
+}
+
+// Side-channel flags must agree with the interpreter's semantics in
+// internal/hydra/exec.go: ops that trap, touch memory, or fault carry the
+// matching trait so the block compiler and the demotion accounting stay
+// honest.
+func TestTraitsSideChannels(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want OpTraits
+	}{
+		{ADD, TraitFusable | TraitWritesRd},
+		{LI, TraitFusable | TraitWritesRd},
+		{FDIV, TraitFusable | TraitWritesRd},
+		{DIV, TraitFusable | TraitWritesRd | TraitTrap},
+		{REM, TraitFusable | TraitWritesRd | TraitTrap},
+		{LW, TraitFusable | TraitWritesRd | TraitMem | TraitFault},
+		{LWNV, TraitFusable | TraitWritesRd | TraitMem | TraitFault},
+		{SW, TraitFusable | TraitMem | TraitFault},
+		{BEQ, TraitFusable | TraitBranch},
+		{BGT, TraitFusable | TraitBranch},
+		{J, TraitFusable},
+		{LWL, TraitFusable},
+		{SLOOP, TraitFusable},
+		{MFC2, TraitFusable | TraitWritesRd},
+		{CHKNULL, TraitFusable | TraitTrap},
+		{CHKIDX, TraitFusable | TraitTrap | TraitMem | TraitFault},
+		{NOP, TraitFusable},
+		{CALL, 0},
+		{STLEOI, 0},
+		{HALT, 0},
+	}
+	for _, c := range cases {
+		if got := Traits(c.op); got != c.want {
+			t.Errorf("Traits(%s) = %b, want %b", c.op.Name(), got, c.want)
+		}
+	}
+	// Conditional branches are exactly the IsBranch set.
+	for op := Op(0); op < Op(numOps); op++ {
+		if Traits(op).Has(TraitBranch) != op.IsBranch() {
+			t.Errorf("%s: TraitBranch disagrees with IsBranch", op.Name())
+		}
+	}
+}

@@ -17,7 +17,6 @@ package mem
 import (
 	"errors"
 	"fmt"
-	"sync"
 )
 
 // Addr is a word address.
@@ -71,42 +70,120 @@ type Memory struct {
 	split Addr // boundary between the low and high dirty regions
 	loMax Addr // exclusive top of the dirty low region
 	hiMin Addr // inclusive bottom of the dirty high region
+
+	// staleLo marks the bottom of a region released without re-zeroing
+	// (see ReleaseKeepStale): words in [staleLo, loMax) may hold data from
+	// a previous owner. Addr(len(words)) — the usual case — means none.
+	staleLo Addr
 }
 
 // NewMemory returns a memory of size words.
 func NewMemory(size int) *Memory {
-	return &Memory{words: make([]int64, size), split: Addr(size), hiMin: Addr(size)}
+	return &Memory{words: make([]int64, size), split: Addr(size), hiMin: Addr(size), staleLo: Addr(size)}
 }
 
-// memPool recycles simulated memories between machine instances; a zeroed
+// memFree recycles simulated memories between machine instances; a zeroed
 // 33 MB array is the single largest allocation-and-memclr cost of a pipeline
 // run, and the dirty watermarks make re-zeroing proportional to actual use.
-var memPool sync.Pool
+// A bounded channel rather than a sync.Pool: the garbage collector empties a
+// sync.Pool at every cycle, and with multi-megabyte arrays the refill cost
+// (a fresh zeroed allocation per machine) dominated pipeline profiles.
+var memFree = make(chan *Memory, 4)
 
 // NewPooledMemory returns a zeroed memory of size words, reusing a released
 // one when the geometry matches. split is the low/high dirty-region boundary
 // (typically the base of the stack region).
 func NewPooledMemory(size int, split Addr) *Memory {
-	if v := memPool.Get(); v != nil {
-		m := v.(*Memory)
-		if len(m.words) == size {
-			m.split = split
-			return m
+	if m := reclaim(size, split); m != nil {
+		// A lazily released memory may carry a stale span; this entry
+		// point guarantees all-zero contents.
+		if m.staleLo < m.loMax {
+			clear(m.words[m.staleLo:m.loMax])
 		}
+		m.loMax = 0
+		m.staleLo = Addr(size)
+		return m
 	}
 	m := NewMemory(size)
 	m.split = split
 	return m
 }
 
-// Release re-zeroes the dirty ranges and returns the memory to the pool. The
-// caller must not touch it afterwards.
+// NewPooledMemoryStale is NewPooledMemory for an owner that re-initializes
+// every word of [staleLo, split) before reading it (a VM whose allocator
+// zeroes each block it hands out). Words in that window may hold data from a
+// previous owner; everything outside it is zero.
+func NewPooledMemoryStale(size int, split, staleLo Addr) *Memory {
+	if m := reclaim(size, split); m != nil {
+		if m.staleLo < staleLo {
+			// The previous owner's stale span starts below what this
+			// owner tolerates: scrub the difference.
+			top := m.loMax
+			if staleLo < top {
+				top = staleLo
+			}
+			clear(m.words[m.staleLo:top])
+		}
+		m.staleLo = staleLo
+		return m
+	}
+	m := NewMemory(size)
+	m.split = split
+	m.staleLo = staleLo
+	return m
+}
+
+// reclaim pops a recycled memory with matching geometry, or returns nil.
+func reclaim(size int, split Addr) *Memory {
+	select {
+	case m := <-memFree:
+		if len(m.words) == size && m.split == split {
+			return m
+		}
+		// Geometry mismatch (custom-size test memories): drop it and let
+		// the collector take it.
+	default:
+	}
+	return nil
+}
+
+// Release re-zeroes the dirty ranges and returns the memory to the free
+// list. The caller must not touch it afterwards.
 func (m *Memory) Release() {
-	clear(m.words[:m.loMax])
+	m.ReleaseKeepStale(Addr(len(m.words)))
+}
+
+// ReleaseKeepStale is Release except that dirty words at or above keep in
+// the low region are returned to the free list as-is, not re-zeroed. The
+// skipped span is recorded so a later strict NewPooledMemory can scrub it;
+// NewPooledMemoryStale hands it out untouched. A VM whose allocator zeroes
+// every block before use never reads a heap word it did not initialize, so
+// skipping the heap span turns the release-time memclr bill — megawords per
+// pipeline leg — into the few kilowords of globals and stack that actually
+// need it.
+func (m *Memory) ReleaseKeepStale(keep Addr) {
+	// The possibly-nonzero low span is [0, loMax): loMax bounds this
+	// owner's writes, and any stale span inherited at acquisition sits
+	// below it too.
+	lo := m.loMax
+	if keep < lo {
+		lo = keep
+	}
+	clear(m.words[:lo])
 	clear(m.words[m.hiMin:])
-	m.loMax = 0
 	m.hiMin = Addr(len(m.words))
-	memPool.Put(m)
+	if keep >= m.loMax {
+		m.loMax = 0
+		m.staleLo = Addr(len(m.words))
+	} else {
+		// loMax keeps bounding the possibly-nonzero span for the next
+		// owner; only [keep, loMax) survives unzeroed.
+		m.staleLo = keep
+	}
+	select {
+	case memFree <- m:
+	default: // free list full; let the collector take it
+	}
 }
 
 // Size returns the memory size in words.

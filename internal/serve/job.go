@@ -350,6 +350,7 @@ func (s *Server) attempt(ctx context.Context, rung Rung, spec JobSpec, ring *obs
 	}
 	opts := core.DefaultOptions()
 	opts.Ctx = ctx
+	opts.Tier2Off = s.cfg.Tier2Off
 	if spec.NCPU > 0 {
 		opts.NCPU = spec.NCPU
 	}
@@ -440,6 +441,7 @@ func (s *Server) runJob(j *job) {
 			if rung != first {
 				s.reg.Counter(fmt.Sprintf("jrpm_serve_jobs_degraded_total{rung=%q}", rung)).Inc()
 			}
+			s.addTierMetrics(res)
 			j.succeed(rung, rung != first, res)
 			return
 		}
@@ -463,6 +465,36 @@ func (s *Server) runJob(j *job) {
 			return
 		}
 		s.reg.Counter("jrpm_serve_degradations_total").Inc()
+	}
+}
+
+// addTierMetrics folds a finished job's tier-2 block-engine counters into
+// the server registry, summed over the pipeline phases, so /metrics exposes
+// fleet-wide engine activity (and, via the demotion reasons, why workloads
+// leave the fast tier).
+func (s *Server) addTierMetrics(res *core.Result) {
+	var t hydra.TierStats
+	for _, p := range []*core.Phase{&res.Seq, &res.Profile, &res.TLS} {
+		t.Promotions += p.Tier.Promotions
+		t.BlocksCompiled += p.Tier.BlocksCompiled
+		t.CacheHits += p.Tier.CacheHits
+		t.CacheMisses += p.Tier.CacheMisses
+		t.Linked += p.Tier.Linked
+		t.InterpSteps += p.Tier.InterpSteps
+		for r := range t.Demote {
+			t.Demote[r] += p.Tier.Demote[r]
+		}
+	}
+	s.reg.Counter("jrpm_tier_promotions_total").Add(t.Promotions)
+	s.reg.Counter("jrpm_tier_blocks_compiled_total").Add(t.BlocksCompiled)
+	s.reg.Counter("jrpm_tier_cache_hits_total").Add(t.CacheHits)
+	s.reg.Counter("jrpm_tier_cache_misses_total").Add(t.CacheMisses)
+	s.reg.Counter("jrpm_tier_links_total").Add(t.Linked)
+	s.reg.Counter("jrpm_tier_interp_steps_total").Add(t.InterpSteps)
+	for r := hydra.DemoteReason(0); r < hydra.NumDemoteReasons; r++ {
+		if v := t.Demote[r]; v != 0 {
+			s.reg.Counter(fmt.Sprintf("jrpm_tier_demotions_total{reason=%q}", r)).Add(v)
+		}
 	}
 }
 

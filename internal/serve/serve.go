@@ -64,6 +64,9 @@ type Config struct {
 	// MaxFinished bounds how many terminal jobs are retained for
 	// inspection; the oldest are evicted first (default 1024).
 	MaxFinished int
+	// Tier2Off disables the tier-2 block engine on every job (results are
+	// bit-identical either way; the flag exists for equivalence audits).
+	Tier2Off bool
 }
 
 func (c Config) withDefaults() Config {

@@ -125,11 +125,12 @@ func (v *VM) Alloc(m *hydra.Machine, cpu int, classID int64) (int64, bool) {
 	v.blocks[mem.Addr(ref)] = got
 	m.RuntimeStore(cpu, mem.Addr(ref), classID, hydra.ClassAlloc)
 	m.RuntimeStore(cpu, mem.Addr(ref)+1, 0, hydra.ClassAlloc) // lock word
-	// Zero the fields: freed memory may hold stale data. The bulk zeroing
-	// cost is folded into the ALLOC instruction latency rather than charged
-	// per word.
-	for i := 0; i < v.classes[classID].NumFields; i++ {
-		m.RawWrite(mem.Addr(ref)+mem.Addr(bytecode.ObjectHeaderWords+i), 0)
+	// Zero the fields and any carve slack: freed memory may hold stale
+	// data, and the collector scans the whole registered block. The bulk
+	// zeroing cost is folded into the ALLOC instruction latency rather
+	// than charged per word.
+	for i := int64(bytecode.ObjectHeaderWords); i < got; i++ {
+		m.RawWrite(mem.Addr(ref)+mem.Addr(i), 0)
 	}
 	v.Allocs++
 	v.AllocWords += words
@@ -147,8 +148,9 @@ func (v *VM) AllocArray(m *hydra.Machine, cpu int, length int64) (int64, bool) {
 	m.RuntimeStore(cpu, mem.Addr(ref), ArrayClassID, hydra.ClassAlloc)
 	m.RuntimeStore(cpu, mem.Addr(ref)+1, 0, hydra.ClassAlloc)
 	m.RuntimeStore(cpu, mem.Addr(ref)+2, length, hydra.ClassAlloc)
-	for i := int64(0); i < length; i++ {
-		m.RawWrite(mem.Addr(ref+bytecode.ArrayHeaderWords+i), 0)
+	// Elements plus carve slack, as in Alloc.
+	for i := int64(bytecode.ArrayHeaderWords); i < got; i++ {
+		m.RawWrite(mem.Addr(ref)+mem.Addr(i), 0)
 	}
 	v.Allocs++
 	v.AllocWords += words
@@ -259,6 +261,13 @@ func (v *VM) carveBlock(m *hydra.Machine, cpu int, headAddr mem.Addr, want int64
 	}
 	return 0, false
 }
+
+// ZeroesHeap implements hydra.HeapZeroer: Alloc and AllocArray zero every
+// word of every block they register (fields, elements, and carve slack), and
+// the collector reads heap words only inside registered blocks or through
+// the free-list headers it maintains. The machine may therefore recycle its
+// simulated memory without re-zeroing the heap span.
+func (v *VM) ZeroesHeap() bool { return true }
 
 // MonitorEnter implements the synchronized lock (hydra.Runtime). The
 // speculation-aware version elides lock-word traffic during speculation:

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Runs the host-performance benchmark suite and records per-workload ns/op,
-# B/op and allocs/op as JSON (BENCH_pr3.json at the repo root by default).
+# B/op and allocs/op as JSON. The output path is required so successive PRs
+# produce distinct, comparable snapshots (BENCH_pr3.json, BENCH_pr7.json,
+# ...) instead of silently overwriting the previous baseline.
 #
 # Usage:
-#   scripts/bench.sh               # full suite, BENCH_pr3.json
-#   scripts/bench.sh out.json 3x   # custom output path and -benchtime
+#   scripts/bench.sh BENCH_pr7.json      # full suite at -benchtime=1x
+#   scripts/bench.sh out.json 3x         # custom -benchtime
 #
 # Compare two snapshots with benchstat (see EXPERIMENTS.md):
 #   go test -run='^$' -bench=BenchmarkTable3Suite -count=10 . > new.txt
@@ -12,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr3.json}"
+OUT="${1:?usage: scripts/bench.sh OUT.json [benchtime]}"
 BENCHTIME="${2:-1x}"
 
 RAW="$(mktemp)"
