@@ -410,6 +410,38 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkDiagnoseOverhead quantifies the speculation doctor's cost on a
+// full pipeline run: "off" is the baseline (no ledger — the per-instruction
+// charge path keeps its undiagnosed shape and inlining, pinned bit-identical
+// and allocation-free by TestDiagnoseConservesAndIsInvisible and
+// TestLedgerHotPathZeroAlloc), "on" attaches the cycle-conservation ledger
+// to every phase. The PR budget is <5% wall-clock overhead with diagnosis
+// on and 0% when disabled.
+func BenchmarkDiagnoseOverhead(b *testing.B) {
+	w := workloads.ByName("BitOps")
+	bp := w.Build()
+	for _, diag := range []bool{false, true} {
+		name := "off"
+		if diag {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				o := core.DefaultOptions()
+				o.Diagnose = diag
+				res, err := core.Run(bp, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OutputsMatch {
+					b.Fatal("output mismatch")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTracerFastPath measures the per-access cost of the TEST
 // timestamp-memory record path (heap store/load + local store/load). It must
 // report 0 allocs/op.

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"jrpm/internal/core"
+	"jrpm/internal/workloads"
+)
+
+// benchEntry mirrors one record of a scripts/bench.sh snapshot
+// (BENCH_pr*.json): per-benchmark host performance as ns/op, B/op and
+// allocs/op.
+type benchEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// runCompare re-measures the host wall time of every Table3Suite workload
+// present in the baseline snapshot and gates on the geometric-mean ratio:
+// above 1+tolerance the process exits nonzero, so CI can fail a PR that
+// regresses simulator throughput. One pipeline run per workload matches the
+// snapshot's -benchtime=1x convention; the geomean over the whole suite
+// damps per-workload host noise.
+func runCompare(path string, tolerance float64) {
+	raw, err := os.ReadFile(path)
+	check(err)
+	var base map[string]benchEntry
+	check(json.Unmarshal(raw, &base))
+
+	var names []string
+	for key := range base {
+		name, ok := strings.CutPrefix(key, "Table3Suite/")
+		if !ok || workloads.ByName(name) == nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		check(fmt.Errorf("compare: %s has no Table3Suite/<workload> entries", path))
+	}
+	sort.Strings(names)
+
+	fmt.Printf("Host-performance comparison vs %s (tolerance %.0f%%)\n", path, 100*tolerance)
+	fmt.Printf("%-16s %14s %14s %8s\n", "benchmark", "baseline ns", "measured ns", "ratio")
+	logSum := 0.0
+	for _, name := range names {
+		w := workloads.ByName(name)
+		opts := baseOpts()
+		if w.HeapWords > 0 {
+			opts.VM.HeapWords = w.HeapWords
+		}
+		bp := w.Build() // program construction is off the clock, as in bench.sh
+		start := time.Now()
+		res, err := core.Run(bp, opts)
+		elapsed := float64(time.Since(start).Nanoseconds())
+		check(err)
+		if !res.OutputsMatch {
+			check(fmt.Errorf("compare: %s: speculative output mismatch", name))
+		}
+		ratio := elapsed / base["Table3Suite/"+name].NsPerOp
+		logSum += math.Log(ratio)
+		fmt.Printf("%-16s %14.0f %14.0f %7.2fx\n",
+			name, base["Table3Suite/"+name].NsPerOp, elapsed, ratio)
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	fmt.Printf("%-16s %14s %14s %7.2fx\n", "geomean", "", "", geomean)
+	if geomean > 1+tolerance {
+		fmt.Fprintf(os.Stderr, "jrpm-bench: host-performance regression: geomean %.2fx exceeds %.2fx\n",
+			geomean, 1+tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("within tolerance\n")
+}

@@ -17,6 +17,8 @@
 //	jrpm-bench -trace DIR       # write one Perfetto trace per workload into DIR and exit
 //	jrpm-bench -http ADDR       # serve net/http/pprof and expvar during the run
 //	jrpm-bench -timeout D       # wall-clock deadline for the whole invocation
+//	jrpm-bench -doctor          # attach the speculation doctor; print the suite digest
+//	jrpm-bench -compare B.json  # host-perf gate vs a scripts/bench.sh snapshot
 //
 // On timeout or ^C the process exits with status 3 (vs 1 for a simulation
 // error) and reports how much of the suite completed before the cut.
@@ -55,6 +57,7 @@ var (
 	guardFlag   = flag.Bool("guard", false, "enable the STL violation-storm guard")
 	timeoutFlag = flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation (0 = none); exceeding it exits with status 3")
 	tierFlag    = flag.String("tier", "on", "tier-2 block engine, on or off (results are bit-identical; off forces pure interpretation)")
+	doctorFlag  = flag.Bool("doctor", false, "attach the speculation doctor's cycle ledger to every run (bit-identical timing) and print the suite digest")
 )
 
 // runCtx carries the -timeout deadline and SIGINT/SIGTERM into every run;
@@ -92,6 +95,7 @@ func baseOpts() core.Options {
 		cfg := tls.DefaultGuardConfig()
 		o.Guard = &cfg
 	}
+	o.Diagnose = *doctorFlag
 	return o
 }
 
@@ -107,6 +111,8 @@ func main() {
 	metricsFlag := flag.String("metrics", "", "dump suite metrics as Prometheus text to FILE (\"-\" = stdout)")
 	traceDir := flag.String("trace", "", "write one Chrome trace-event JSON per workload into DIR and exit")
 	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar on ADDR (e.g. :6060) during the run")
+	compare := flag.String("compare", "", "re-measure the Table 3 suite's host wall time against a scripts/bench.sh snapshot (BENCH_pr*.json) and exit nonzero on regression")
+	compareTol := flag.Float64("compare-tolerance", 0.10, "geomean regression tolerance for -compare (0.10 = 10%)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -132,6 +138,10 @@ func main() {
 			}
 		}()
 		fmt.Fprintf(os.Stderr, "serving pprof/expvar on %s\n", *httpAddr)
+	}
+	if *compare != "" {
+		runCompare(*compare, *compareTol)
+		return
 	}
 	if *traceDir != "" {
 		traceSuite(*traceDir)
@@ -203,6 +213,9 @@ func main() {
 	}
 	if all {
 		fmt.Println(report.CategorySummary(results))
+	}
+	if *doctorFlag && needSuite {
+		fmt.Println(report.DoctorSummary(results))
 	}
 }
 

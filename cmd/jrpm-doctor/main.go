@@ -1,0 +1,115 @@
+// Command jrpm-doctor runs one workload (or a .jasm program) through the
+// full Jrpm pipeline with the speculation doctor attached and prints the
+// diagnosis: a per-loop cycle-conservation ledger (every simulated cycle of
+// every CPU attributed to exactly one bucket), violation sites symbolized
+// back to bytecode locals and statics and ranked by discarded cycles, the
+// §4.2 transformation hint for each site, and the analyzer's per-loop
+// selection reasoning.
+//
+// Usage:
+//
+//	jrpm-doctor -w compress
+//	jrpm-doctor [-cpus N] [-guard] [-faults PLAN] [-json] [-o FILE] program.jasm
+//
+// The ledger is passive: attaching it does not change a single simulated
+// cycle, so the doctor's numbers describe exactly the run you would get
+// without it. -json emits the machine-readable report instead of text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"jrpm/internal/bytecode"
+	"jrpm/internal/core"
+	"jrpm/internal/diagnose"
+	"jrpm/internal/faultinject"
+	"jrpm/internal/tls"
+	"jrpm/internal/workloads"
+)
+
+func main() {
+	wname := flag.String("w", "", "workload name from the benchmark suite (see -list)")
+	out := flag.String("o", "-", "report output path (\"-\" = stdout)")
+	asJSON := flag.Bool("json", false, "emit the machine-readable JSON report instead of text")
+	cpus := flag.Int("cpus", 4, "number of CPUs")
+	guard := flag.Bool("guard", false, "enable the STL violation-storm guard")
+	faults := flag.String("faults", "", "fault-injection plan, e.g. seed=42,raw=0.01")
+	list := flag.Bool("list", false, "list workload names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Println(w.Name)
+		}
+		return
+	}
+
+	opts := core.DefaultOptions()
+	opts.NCPU = *cpus
+	opts.Diagnose = true
+	if *guard {
+		cfg := tls.DefaultGuardConfig()
+		opts.Guard = &cfg
+	}
+	if *faults != "" {
+		plan, err := faultinject.Parse(*faults)
+		fail(err)
+		opts.Faults = &plan
+	}
+
+	var prog *bytecode.Program
+	var name string
+	switch {
+	case *wname != "":
+		w := workloads.ByName(*wname)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "jrpm-doctor: unknown workload %q (try -list)\n", *wname)
+			os.Exit(2)
+		}
+		if w.HeapWords > 0 {
+			opts.VM.HeapWords = w.HeapWords
+		}
+		prog = w.Build()
+		name = w.Name
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		fail(err)
+		prog, err = bytecode.Parse(string(src))
+		fail(err)
+		name = strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".jasm")
+	default:
+		fmt.Fprintln(os.Stderr, "usage: jrpm-doctor [-w NAME | program.jasm] [-cpus N] [-guard] [-faults PLAN] [-json] [-o FILE]")
+		os.Exit(2)
+	}
+
+	res, err := core.Run(prog, opts)
+	fail(err)
+	res.Name = name
+	rep, err := diagnose.Build(res)
+	fail(err)
+
+	w := os.Stdout
+	if *out != "-" && *out != "" {
+		f, err := os.Create(*out)
+		fail(err)
+		defer f.Close()
+		w = f
+	}
+	if *asJSON {
+		_, err = w.Write(rep.JSON())
+		fail(err)
+	} else {
+		rep.WriteText(w)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-doctor:", err)
+		os.Exit(1)
+	}
+}

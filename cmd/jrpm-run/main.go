@@ -5,7 +5,8 @@
 // Usage:
 //
 //	jrpm-run [-cpus N] [-seq] [-faults PLAN] [-cyclebudget N] [-guard]
-//	         [-timeout D] [-trace FILE] [-metrics -|FILE] [-http ADDR] program.jasm
+//	         [-timeout D] [-trace FILE] [-metrics -|FILE] [-http ADDR]
+//	         [-explain] program.jasm
 //
 // With -seq only the sequential baseline runs (no speculation). A -faults
 // plan (e.g. "seed=42,raw=0.01,overflow=0.005") injects deterministic faults
@@ -20,7 +21,9 @@
 // typed metrics in Prometheus text format ("-" = stdout), and -http serves
 // net/http/pprof and expvar (including the metrics snapshot under the
 // "jrpm" expvar once the run finishes) on the given address, e.g. :6060,
-// for live profiling while the simulation runs.
+// for live profiling while the simulation runs. -explain attaches the
+// speculation doctor's per-loop cycle ledger (timing is bit-identical with
+// or without it) and prints the diagnosis report after the run.
 package main
 
 import (
@@ -38,6 +41,7 @@ import (
 
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
+	"jrpm/internal/diagnose"
 	"jrpm/internal/faultinject"
 	"jrpm/internal/hydra"
 	"jrpm/internal/obs"
@@ -73,9 +77,10 @@ func main() {
 	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar on ADDR (e.g. :6060) during the run")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exceeding it exits with status 3")
 	tier := flag.String("tier", "on", "tier-2 block engine, on or off: compile hot straight-line runs into fused superinstructions (results are bit-identical; off forces pure interpretation)")
+	explain := flag.Bool("explain", false, "attach the speculation doctor's cycle-conservation ledger and print its diagnosis (per-loop verdicts, ranked violation sites, decomposition reasoning) to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] [-tier=off] [-faults PLAN] [-cyclebudget N] [-guard] [-timeout D] [-trace FILE] [-metrics -|FILE] [-http ADDR] program.jasm")
+		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] [-tier=off] [-faults PLAN] [-cyclebudget N] [-guard] [-timeout D] [-trace FILE] [-metrics -|FILE] [-http ADDR] [-explain] program.jasm")
 		os.Exit(2)
 	}
 	// SIGINT/SIGTERM and -timeout both flow through the same context that
@@ -123,6 +128,7 @@ func main() {
 		cfg := tls.DefaultGuardConfig()
 		opts.Guard = &cfg
 	}
+	opts.Diagnose = *explain
 	if *httpAddr != "" {
 		expvar.Publish("jrpm", expvar.Func(func() any {
 			if reg := liveMetrics.Load(); reg != nil {
@@ -204,5 +210,14 @@ func main() {
 	}
 	for _, id := range res.TLS.DecertifiedLoops {
 		fmt.Fprintf(os.Stderr, "guard: loop %d decertified (running sequentially)\n", id)
+	}
+	if *explain {
+		rep, err := diagnose.Build(res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jrpm-run:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr)
+		rep.WriteText(os.Stderr)
 	}
 }

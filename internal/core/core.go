@@ -88,6 +88,13 @@ type Options struct {
 	// Faults/Guard attach). nil disables recording at zero cost.
 	Recorder obs.Recorder
 
+	// Diagnose attaches the speculation doctor's cycle-conservation ledger
+	// to every phase: each Phase then carries a LedgerSnapshot attributing
+	// all simulated cycles to per-loop and machine buckets, with the
+	// conservation invariant (Σ buckets == wall cycles × CPUs) enforced as a
+	// hard error. Cycle counts are bit-identical with or without it.
+	Diagnose bool
+
 	// Tier2Off disables the tier-2 block engine on every phase, forcing
 	// pure switch-dispatch interpretation (the `-tier=off` ablation). The
 	// zero value — tier on — is right for everything else: results are
@@ -169,6 +176,11 @@ type Phase struct {
 	GuardStats map[int64]tls.GuardLoopStats
 	// DecertifiedLoops lists loops still decertified at the end of the run.
 	DecertifiedLoops []int64
+
+	// Ledger is the doctor's cycle-conservation snapshot for this phase
+	// (nil unless Options.Diagnose was set). Symbols are already resolved
+	// against the phase's image.
+	Ledger *obs.LedgerSnapshot
 }
 
 // Result is the full pipeline outcome for one program.
@@ -519,6 +531,15 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec
 		mopts.StormLimit = opts.StormLimit
 		mopts.Recorder = opts.Recorder
 	}
+	var led *obs.Ledger
+	if opts.Diagnose {
+		n := mopts.NCPU
+		if n == 0 {
+			n = 4 // hydra's own default
+		}
+		led = obs.NewLedger(n)
+		mopts.Ledger = led
+	}
 	m := hydra.NewMachine(img, rt, mopts)
 	m.Boot()
 	rt.Install(m)
@@ -550,6 +571,20 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec
 	if m.Guard != nil {
 		ph.GuardStats = m.Guard.Stats()
 		ph.DecertifiedLoops = m.Guard.DecertifiedLoops()
+	}
+	if led != nil {
+		led.Close(m.Clock)
+		snap := led.Snapshot()
+		// Symbolize while the image is alive; the snapshot must outlive it.
+		hydra.AnnotateLedger(img, snap)
+		ph.Ledger = snap
+		// Conservation is a hard invariant of the ledger implementation. Only
+		// enforce it on runs that finished cleanly: a cancelled or
+		// budget-stopped run legitimately carries in-flight cycles, which the
+		// invariant already accounts for, but its primary error must win.
+		if cerr := snap.CheckConservation(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	// Everything the caller needs is extracted; recycle the machine's big
 	// pooled allocations (simulated memory, tracer timestamp slabs). The

@@ -1,0 +1,347 @@
+// Package diagnose is the speculation doctor: it turns the raw telemetry of
+// a pipeline run — the cycle-conservation ledger, the tracer's dependence
+// profile, and the analyzer's selection reasoning — into verdicts a user can
+// act on. The paper's §4.2 catalogue of manual feedback-driven
+// transformations (code motion, resetable inductors, reduction expansion,
+// explicit sync) becomes a deterministic hint engine keyed by the
+// symbolized violation sites.
+//
+// The doctor is a pure consumer: it reads core.Result and never touches the
+// machine, so building a report cannot perturb timing.
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+
+	"jrpm/internal/analyzer"
+	"jrpm/internal/core"
+	"jrpm/internal/obs"
+	"jrpm/internal/tracer"
+)
+
+// Report is the doctor's full diagnosis for one program run.
+type Report struct {
+	Name string `json:"name"`
+	NCPU int    `json:"ncpu"`
+
+	SeqCycles     int64   `json:"seq_cycles"`
+	ProfileCycles int64   `json:"profile_cycles"`
+	TLSCycles     int64   `json:"tls_cycles"`
+	WallCycles    int64   `json:"wall_cycles"` // TLS phase wall clock (== TLSCycles)
+	Speedup       float64 `json:"speedup"`     // actual, Seq/TLS
+	Predicted     float64 `json:"predicted"`   // analyzer's estimate
+
+	// Machine is the TLS phase's non-STL attribution; Conserved records
+	// that the snapshot passed the hard conservation check.
+	Machine   obs.MachineBuckets `json:"machine"`
+	Conserved bool               `json:"conserved"`
+
+	Loops     []LoopReport `json:"loops"`
+	Decisions []Decision   `json:"decisions"`
+}
+
+// LoopReport is the diagnosis of one speculatively executed STL.
+type LoopReport struct {
+	LoopID  int64  `json:"loop_id"`
+	Where   string `json:"where"` // method/loop position from the analyzer
+	Entries int64  `json:"entries"`
+
+	Cycles    int64           `json:"cycles"` // sum over all buckets
+	Buckets   obs.LoopBuckets `json:"buckets"`
+	UsefulPct float64         `json:"useful_pct"` // committed run work share
+
+	Verdict string       `json:"verdict"`
+	Sites   []SiteReport `json:"sites,omitempty"`
+}
+
+// SiteReport is one ranked violation site with its §4.2 hint and, when the
+// profile saw the same dependence source, the arc-distance evidence.
+type SiteReport struct {
+	Symbol        string `json:"symbol"`
+	Kind          string `json:"kind"`
+	Count         int64  `json:"count"`
+	DiscardedRun  int64  `json:"discarded_run"`
+	DiscardedWait int64  `json:"discarded_wait"`
+	Hint          string `json:"hint"`
+
+	// Profile evidence (zero when the tracer never saw this source).
+	AvgDist  float64 `json:"avg_dist,omitempty"`
+	MinDist  int64   `json:"min_dist,omitempty"`
+	DistHist []int64 `json:"dist_hist,omitempty"`
+}
+
+// Decision is the analyzer's per-loop selection reasoning, exported in a
+// machine-readable form so "why was my loop not parallelized" has a direct
+// answer.
+type Decision struct {
+	LoopID   int64  `json:"loop_id"`
+	Where    string `json:"where"`
+	Depth    int    `json:"depth"`
+	Selected bool   `json:"selected"`
+	Inner    bool   `json:"inner,omitempty"`
+	Reason   string `json:"reason"`
+
+	Coverage float64 `json:"coverage"`
+	Speedup  float64 `json:"predicted_speedup"`
+	SeqCyc   int64   `json:"seq_cycles"`
+	ParCyc   int64   `json:"par_cycles"`
+	DepBound float64 `json:"dep_bound"`
+	CPUBound float64 `json:"cpu_bound"`
+	Overflow float64 `json:"overflow"`
+
+	Inductors  int  `json:"inductors,omitempty"`
+	Resetable  int  `json:"resetable,omitempty"`
+	Reductions int  `json:"reductions,omitempty"`
+	SyncLocks  int  `json:"sync_locks,omitempty"`
+	Comm       int  `json:"comm,omitempty"`
+	Hoisted    bool `json:"hoisted,omitempty"`
+	Multilevel bool `json:"multilevel,omitempty"`
+}
+
+// Build assembles the doctor's report from a completed pipeline run. The
+// run must have executed with core.Options.Diagnose set; Build returns an
+// error otherwise, since there is no ledger to diagnose.
+func Build(res *core.Result) (*Report, error) {
+	if res == nil {
+		return nil, fmt.Errorf("diagnose: nil result")
+	}
+	led := res.TLS.Ledger
+	if led == nil {
+		return nil, fmt.Errorf("diagnose: run has no ledger (set Options.Diagnose)")
+	}
+	r := &Report{
+		Name:          res.Name,
+		NCPU:          led.NCPU,
+		SeqCycles:     res.Seq.Cycles,
+		ProfileCycles: res.Profile.Cycles,
+		TLSCycles:     res.TLS.Cycles,
+		WallCycles:    led.WallCycles,
+		Speedup:       res.SpeedupActual(),
+		Machine:       led.Machine,
+		Conserved:     led.CheckConservation() == nil,
+	}
+	if res.Analysis != nil {
+		r.Predicted = float64(res.Analysis.ProfiledCycles) / float64(max64(res.Analysis.PredictedCycles, 1))
+	}
+
+	where := map[int64]string{}
+	if res.Analysis != nil {
+		for _, d := range res.Analysis.Decisions {
+			where[d.LoopID] = fmt.Sprintf("method#%d loop#%d", d.MethodID, d.LoopIndex)
+			r.Decisions = append(r.Decisions, buildDecision(d))
+		}
+		sort.Slice(r.Decisions, func(i, j int) bool { return r.Decisions[i].LoopID < r.Decisions[j].LoopID })
+	}
+
+	for _, ll := range led.Loops {
+		r.Loops = append(r.Loops, buildLoop(&ll, where[ll.LoopID], res.Loops))
+	}
+	return r, nil
+}
+
+func buildDecision(d *analyzer.LoopDecision) Decision {
+	return Decision{
+		LoopID:     d.LoopID,
+		Where:      fmt.Sprintf("method#%d loop#%d", d.MethodID, d.LoopIndex),
+		Depth:      d.Depth,
+		Selected:   d.Selected,
+		Inner:      d.Inner,
+		Reason:     d.Reason,
+		Coverage:   d.Coverage,
+		Speedup:    d.Prediction.Speedup,
+		SeqCyc:     d.Prediction.SeqCycles,
+		ParCyc:     d.Prediction.ParCycles,
+		DepBound:   d.Prediction.DepBound,
+		CPUBound:   d.Prediction.CPUBound,
+		Overflow:   d.Prediction.Overflow,
+		Inductors:  d.Inductors,
+		Resetable:  d.Resetable,
+		Reductions: d.Reductions,
+		SyncLocks:  d.SyncLocks,
+		Comm:       d.Comm,
+		Hoisted:    d.Hoisted,
+		Multilevel: d.Multilevel,
+	}
+}
+
+func buildLoop(ll *obs.LoopLedger, where string, loops map[int64]*tracer.LoopStats) LoopReport {
+	lr := LoopReport{
+		LoopID:  ll.LoopID,
+		Where:   where,
+		Entries: ll.Entries,
+		Cycles:  ll.Buckets.Total(),
+		Buckets: ll.Buckets,
+	}
+	if lr.Cycles > 0 {
+		lr.UsefulPct = 100 * float64(ll.Buckets.RunUsed) / float64(lr.Cycles)
+	}
+	var ls *tracer.LoopStats
+	if loops != nil {
+		ls = loops[ll.LoopID]
+	}
+	for i := range ll.Sites {
+		lr.Sites = append(lr.Sites, buildSite(&ll.Sites[i], ls))
+	}
+	lr.Verdict = verdict(&ll.Buckets, lr.Cycles)
+	return lr
+}
+
+// depFor finds the tracer dependence record that matches a symbolized
+// violation site: bytecode-local slots (and the STL bookkeeping words the
+// JIT derives from them) key by gslot = method*256 + slot, exactly as the
+// machine composed them when feeding the tracer; memory sites collapse to
+// the tracer's whole-heap source.
+func depFor(s *obs.SiteStats, ls *tracer.LoopStats) *tracer.DepStats {
+	if ls == nil {
+		return nil
+	}
+	switch s.Key.Kind {
+	case obs.SiteHeap, obs.SiteStatic:
+		return ls.Deps[tracer.HeapDepKey]
+	case obs.SiteFrame:
+		switch s.Slot {
+		case obs.SlotLocal, obs.SlotResetBase, obs.SlotLock, obs.SlotRed:
+			return ls.Deps[uint32(s.Key.Method)*256+uint32(s.SlotIndex)]
+		}
+	}
+	return nil
+}
+
+func buildSite(s *obs.SiteStats, ls *tracer.LoopStats) SiteReport {
+	sr := SiteReport{
+		Symbol:        s.Symbol,
+		Kind:          kindName(s),
+		Count:         s.Count,
+		DiscardedRun:  s.DiscardedRun,
+		DiscardedWait: s.DiscardedWait,
+	}
+	dep := depFor(s, ls)
+	if dep != nil && dep.Iters > 0 {
+		sr.AvgDist = float64(dep.SumDist) / float64(dep.Iters)
+		sr.MinDist = dep.MinDist
+		sr.DistHist = make([]int64, len(dep.DistHist))
+		copy(sr.DistHist, dep.DistHist[:])
+	}
+	var avgThread float64
+	if ls != nil {
+		avgThread = ls.AvgThreadSize()
+	}
+	sr.Hint = hint(s, dep, avgThread)
+	return sr
+}
+
+func kindName(s *obs.SiteStats) string {
+	switch s.Key.Kind {
+	case obs.SiteStatic:
+		return "static"
+	case obs.SiteFrame:
+		return "frame"
+	case obs.SiteHeap:
+		return "heap"
+	case obs.SiteGC:
+		return "gc"
+	case obs.SiteInjected:
+		return "injected"
+	case obs.SiteOther:
+		return "other"
+	}
+	return "none"
+}
+
+// hint maps a violation site to the paper's §4.2 transformation menu. The
+// rules are deliberately simple and deterministic: slot class first, then
+// the profiled arc shape when the tracer saw the same source.
+func hint(s *obs.SiteStats, dep *tracer.DepStats, avgThread float64) string {
+	switch s.Key.Kind {
+	case obs.SiteGC:
+		return "GC quiesce killed speculative threads — reduce allocation inside the loop body"
+	case obs.SiteInjected:
+		return "synthetic violation from the fault-injection plan (test harness)"
+	case obs.SiteOther:
+		return "aggregate of cold sites past the per-loop tracking limit"
+	case obs.SiteStatic:
+		return "static field written across iterations — reduction expansion (§4.2.4) or privatization candidate"
+	case obs.SiteHeap:
+		return "shared heap word — privatize per CPU or guard with explicit synchronization (§4.2.5)"
+	case obs.SiteFrame:
+		switch s.Slot {
+		case obs.SlotLock:
+			return "explicit-sync lock word — critical section is still contended; shrink the synchronized span (§4.2.5)"
+		case obs.SlotRed:
+			return "per-CPU reduction partial collided — reduction expansion layout is being defeated (§4.2.4)"
+		case obs.SlotResetBase:
+			return "resetable-inductor base raced — loop body rewrites the inductor outside the reset protocol (§4.2.3)"
+		case obs.SlotSaved, obs.SlotSpill:
+			return "compiler temporary — the arc is a register-allocation artifact, not program data"
+		case obs.SlotLocal:
+			return localHint(dep, avgThread)
+		}
+		return "frame word outside the compiled method's slot map"
+	}
+	return ""
+}
+
+func localHint(dep *tracer.DepStats, avgThread float64) string {
+	if dep == nil || dep.Iters == 0 {
+		return "loop-carried local (arc unseen by the profile) — inspect the producing store"
+	}
+	if dep.MinDist >= 2 {
+		return "loop-carried local with arc distance ≥ 2 — resetable inductor candidate (§4.2.3)"
+	}
+	avgStore := float64(dep.SumStoreOff) / float64(dep.Iters)
+	avgLoad := float64(dep.SumLoadOff) / float64(dep.Iters)
+	if avgThread > 0 && avgStore > avgLoad {
+		return "value produced late and consumed early — hoist the store or sink the load (code motion, §4.2.2)"
+	}
+	return "serializing scalar updated every iteration — reduction expansion candidate (§4.2.4)"
+}
+
+// verdict condenses a loop's bucket profile into one sentence: healthy when
+// committed work dominates, otherwise named after the dominant loss.
+func verdict(b *obs.LoopBuckets, total int64) string {
+	if total == 0 {
+		return "no cycles attributed"
+	}
+	pct := func(v int64) float64 { return 100 * float64(v) / float64(total) }
+	useful := b.RunUsed
+	guard := b.GuardSolo + b.GuardProbe
+	violated := b.RunViolated + b.WaitViolated + b.HandlerRestart
+	overflow := b.WaitOverflow + b.OverflowDrain
+	handler := b.HandlerStartup + b.HandlerShutdown + b.HandlerEOI + b.SwitchCost
+	imbalance := b.WaitCommit
+
+	if guard > total/2 {
+		return fmt.Sprintf("decertified: guard demoted the loop to sequential execution for %.1f%% of its cycles", pct(guard))
+	}
+	if float64(useful) >= 0.75*float64(total) {
+		return fmt.Sprintf("healthy: %.1f%% of cycles committed useful work", pct(useful))
+	}
+	type loss struct {
+		v    int64
+		text string
+	}
+	losses := []loss{
+		{violated, fmt.Sprintf("violation-bound: %.1f%% of cycles discarded — see the ranked sites", pct(violated))},
+		{imbalance, fmt.Sprintf("imbalance-bound: %.1f%% of cycles spent waiting to commit", pct(imbalance))},
+		{overflow, fmt.Sprintf("overflow-bound: %.1f%% of cycles stalled on speculative buffers", pct(overflow))},
+		{handler, fmt.Sprintf("overhead-bound: %.1f%% of cycles in STL handlers (threads too small)", pct(handler))},
+	}
+	best := losses[0]
+	for _, l := range losses[1:] {
+		if l.v > best.v {
+			best = l
+		}
+	}
+	if best.v == 0 {
+		return fmt.Sprintf("mixed: %.1f%% useful work with no dominant loss", pct(useful))
+	}
+	return best.text
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package difftest
+
+// Golden doctor-report suite: the speculation doctor's full text report for
+// two Table 3 workloads is pinned byte-for-byte. The report is a pure
+// function of the simulated run (which the golden cycle suite already pins),
+// so any diff here is either a simulated-behaviour change or a report-format
+// change — both deserve review. Regenerate with
+//
+//	go test ./internal/difftest -run TestDoctorGolden -update-golden
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jrpm/internal/core"
+	"jrpm/internal/diagnose"
+	"jrpm/internal/workloads"
+)
+
+// doctorGoldenWorkloads: one violation-free numeric kernel and one
+// violation-heavy workload so the golden output exercises both the healthy
+// verdict path and site attribution with hints.
+var doctorGoldenWorkloads = []string{"FourierTest", "db"}
+
+func doctorReport(t *testing.T, name string) []byte {
+	t.Helper()
+	w := workloads.ByName(name)
+	if w == nil {
+		t.Fatalf("unknown workload %s", name)
+	}
+	opts := core.DefaultOptions()
+	opts.Diagnose = true
+	if w.HeapWords > 0 {
+		opts.VM.HeapWords = w.HeapWords
+	}
+	res, err := core.Run(w.Build(), opts)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	res.Name = name
+	rep, err := diagnose.Build(res)
+	if err != nil {
+		t.Fatalf("%s: diagnose: %v", name, err)
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	return buf.Bytes()
+}
+
+func TestDoctorGolden(t *testing.T) {
+	for _, name := range doctorGoldenWorkloads {
+		t.Run(name, func(t *testing.T) {
+			got := doctorReport(t, name)
+			path := filepath.Join("testdata", "doctor_"+name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("doctor report for %s diverged from %s\n--- got ---\n%s",
+					name, path, got)
+			}
+		})
+	}
+}
+
+// TestDoctorReportDeterministic: two identical diagnosed runs must render
+// byte-identical reports — both text and JSON forms feed golden tests and
+// CI artifacts, so ordering must never depend on map iteration.
+func TestDoctorReportDeterministic(t *testing.T) {
+	a := doctorReport(t, "db")
+	b := doctorReport(t, "db")
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical runs rendered different doctor reports")
+	}
+}

@@ -1,0 +1,98 @@
+package hydra
+
+import (
+	"fmt"
+
+	"jrpm/internal/isa"
+	"jrpm/internal/mem"
+	"jrpm/internal/obs"
+)
+
+// symbolizeAddr classifies a violating store address for the doctor's
+// ledger, resolving against the writing CPU's live frame pointer at
+// broadcast time (the frame is gone by the time reports render, so the
+// resolution must happen here). It allocates nothing; the string form is
+// produced later by AnnotateLedger.
+func (m *Machine) symbolizeAddr(cpu int, addr int64) obs.SiteKey {
+	a := mem.Addr(addr)
+	switch {
+	case a < HeapBase:
+		if a >= GlobalBase {
+			return obs.SiteKey{Kind: obs.SiteStatic, Off: addr - int64(GlobalBase)}
+		}
+		return obs.SiteKey{Kind: obs.SiteHeap, Off: addr}
+	case a >= StackRegionBase:
+		c := m.CPUs[cpu]
+		return obs.SiteKey{
+			Kind:   obs.SiteFrame,
+			Method: int32(c.MethodID),
+			Off:    addr - c.Regs[isa.FP],
+		}
+	default:
+		return obs.SiteKey{Kind: obs.SiteHeap, Off: addr}
+	}
+}
+
+// AnnotateLedger resolves the symbol strings of a ledger snapshot against
+// the compiled image's debug tables: static indices, method names, and the
+// JIT frame-slot classification for stack-region sites. Must run while the
+// image is still in scope (core calls it right after the run).
+func AnnotateLedger(img *Image, snap *obs.LedgerSnapshot) {
+	if snap == nil {
+		return
+	}
+	for i := range snap.Loops {
+		sites := snap.Loops[i].Sites
+		for j := range sites {
+			annotateSite(img, &sites[j])
+		}
+	}
+}
+
+func annotateSite(img *Image, s *obs.SiteStats) {
+	switch s.Key.Kind {
+	case obs.SiteStatic:
+		s.Symbol = fmt.Sprintf("static[%d]", s.Key.Off)
+	case obs.SiteHeap:
+		s.Symbol = fmt.Sprintf("heap@%d", s.Key.Off)
+	case obs.SiteGC:
+		s.Symbol = "(gc quiesce)"
+	case obs.SiteInjected:
+		s.Symbol = "(injected fault)"
+	case obs.SiteOther:
+		s.Symbol = "(other sites)"
+	case obs.SiteFrame:
+		mi := int(s.Key.Method)
+		if mi < 0 || mi >= len(img.Methods) {
+			s.Symbol = fmt.Sprintf("frame+%d", s.Key.Off)
+			return
+		}
+		meth := img.Methods[mi]
+		off := s.Key.Off
+		if off < 0 || off >= int64(len(meth.Frame)) {
+			// The store targeted another frame on the same stack (a callee's
+			// or caller's word) — report the raw offset.
+			s.Symbol = fmt.Sprintf("%s frame%+d", meth.Name, off)
+			return
+		}
+		slot := meth.Frame[off]
+		s.Slot = slot.Kind
+		s.SlotIndex = slot.Index
+		switch slot.Kind {
+		case obs.SlotLocal:
+			s.Symbol = fmt.Sprintf("%s local#%d", meth.Name, slot.Index)
+		case obs.SlotSaved:
+			s.Symbol = fmt.Sprintf("%s saved-reg[%d]", meth.Name, slot.Index)
+		case obs.SlotResetBase:
+			s.Symbol = fmt.Sprintf("%s reset-base(local#%d)", meth.Name, slot.Index)
+		case obs.SlotLock:
+			s.Symbol = fmt.Sprintf("%s lock-word(local#%d)", meth.Name, slot.Index)
+		case obs.SlotRed:
+			s.Symbol = fmt.Sprintf("%s reduction-partial(local#%d)", meth.Name, slot.Index)
+		case obs.SlotSpill:
+			s.Symbol = fmt.Sprintf("%s spill+%d", meth.Name, off)
+		default:
+			s.Symbol = fmt.Sprintf("%s frame+%d", meth.Name, off)
+		}
+	}
+}

@@ -45,11 +45,17 @@ func (m *Machine) exec(c *CPU) {
 	// speculative thread as if an older store had touched one of its exposed
 	// reads (the thread and everything younger restart).
 	if m.TLS.Active() && !m.TLS.IsHead(c.ID) && m.inj.SpuriousRAW() {
+		if m.led != nil {
+			m.led.BeginSyntheticViolation(obs.SiteInjected)
+		}
 		for _, vc := range m.TLS.ViolateFrom(m.TLS.Iteration(c.ID)) {
 			if m.rec != nil {
 				m.record(obs.EvViolation, vc, -1, int64(c.ID))
 			}
 			m.redirectRestart(m.CPUs[vc])
+		}
+		if m.led != nil {
+			m.led.EndViolation()
 		}
 		return
 	}
@@ -432,7 +438,11 @@ func (m *Machine) exec(c *CPU) {
 	total := cost + c.extra
 	c.extra = 0
 	c.readyAt = m.Clock + total
-	m.TLS.ChargeAttempt(c.ID, tls.ChargeRun, total)
+	if m.led == nil {
+		m.TLS.ChargeAttempt(c.ID, tls.ChargeRun, total)
+	} else {
+		m.TLS.ChargeAttemptDiag(c.ID, tls.ChargeRun, total)
+	}
 	if c.overflowPending && m.TLS.Active() {
 		if m.rec != nil {
 			kind := obs.EvLoadOverflow
@@ -514,11 +524,24 @@ func (m *Machine) doSTLStart(c *CPU, stlID int64) {
 		m.record(obs.EvHandlerStartup, c.ID, startup, desc.LoopID)
 		m.record(obs.EvThreadSpawn, c.ID, m.TLS.Iteration(c.ID), desc.LoopID)
 	}
+	if m.led != nil {
+		mode := obs.LoopParallel
+		switch {
+		case solo:
+			mode = obs.LoopSolo
+		case wasDecert:
+			mode = obs.LoopProbe
+		}
+		m.led.BeginSTL(desc.LoopID, mode)
+	}
 	if !solo {
-		m.deploySlaves(c, c.PC+1, startup)
+		m.deploySlaves(c, c.PC+1, startup, false)
 	}
 	c.PC++
 	c.readyAt = m.Clock + startup
+	if m.led != nil {
+		m.led.SpanStartup(c.ID, m.Clock, c.readyAt)
+	}
 	m.snapshotAll()
 }
 
@@ -547,6 +570,9 @@ func (m *Machine) requestGC(c *CPU) {
 	// PC unchanged: re-execute the allocation.
 	c.readyAt = m.Clock + 1 + c.extra
 	c.extra = 0
+	if m.led != nil {
+		m.led.SpanGC(c.ID, m.Clock, c.readyAt)
+	}
 }
 
 // trap raises a hardware or software exception at the current pc. A
@@ -619,6 +645,9 @@ func (m *Machine) resolveHandler(c *CPU, depth int, methodID int, target int, re
 			m.stormCount = 0
 			m.curSTL = nil
 			m.outerSTL = nil
+			if m.led != nil {
+				m.led.EndSTL()
+			}
 		}
 	}
 	unwound := len(c.frames) - depth
@@ -640,4 +669,7 @@ func (m *Machine) resolveHandler(c *CPU, depth int, methodID int, target int, re
 	c.Regs[isa.V0] = ref
 	c.state = stateRunning
 	c.readyAt = m.Clock + int64(10+5*unwound)
+	if m.led != nil {
+		m.led.SpanException(c.ID, m.Clock, c.readyAt)
+	}
 }

@@ -16,6 +16,7 @@ package hydra
 import (
 	"jrpm/internal/isa"
 	"jrpm/internal/mem"
+	"jrpm/internal/obs"
 	"jrpm/internal/tracer"
 )
 
@@ -40,6 +41,11 @@ type Method struct {
 	// (the epilogue restores them on normal return).
 	SavedRegs []isa.Reg
 	SaveBase  int64
+	// Frame is the JIT's debug table: one entry per frame word, classifying
+	// it as a bytecode local home, callee-save slot, STL bookkeeping word
+	// (resetable-inductor base, lock word, reduction partial) or spill. The
+	// doctor symbolizes violation addresses in the stack region through it.
+	Frame []obs.FrameSlot
 }
 
 // STLDesc describes one compiled speculative thread loop region.

@@ -101,6 +101,15 @@ type Options struct {
 	// cycle counts. Must be a nil interface to disable, not a typed nil.
 	Recorder obs.Recorder
 
+	// Ledger attaches the speculation doctor's per-loop cycle-conservation
+	// ledger (nil disables). Like the recorder it is pure observation: one
+	// predicted nil-check per hook site, no allocation, no timing change,
+	// bit-identical cycle counts whether attached or not. Unlike the
+	// recorder it does NOT demote the tier-2 block engine — the ledger's
+	// charges mirror the same batched accounting the engine already feeds
+	// the tls unit.
+	Ledger *obs.Ledger
+
 	// Tier2Off disables the tier-2 block engine, forcing every instruction
 	// through the cycle-accurate interpreter. The engine changes host ns/op
 	// only — cycles, traces, and outputs are bit-identical either way — so
@@ -168,6 +177,7 @@ type Machine struct {
 	stormCount int64 // violations since the last commit (storm backstop)
 
 	rec obs.Recorder
+	led *obs.Ledger
 	// Configured latencies, cached so the recorder can classify a load's
 	// memory level from its charged latency without touching CacheSim.
 	latL2, latMem, latInter int64
@@ -248,6 +258,11 @@ func NewMachine(img *Image, rt Runtime, opts Options) *Machine {
 		m.t2 = t2acquire()
 	}
 	m.TLS = tls.NewUnit(tlsCfg, m.Mem, m.Caches)
+	if opts.Ledger != nil {
+		m.led = opts.Ledger
+		m.led.SetSymbolizer(m.symbolizeAddr)
+		m.TLS.SetLedger(m.led)
+	}
 	if opts.Faults != nil {
 		m.inj = faultinject.New(*opts.Faults)
 	}
@@ -450,11 +465,14 @@ func (m *Machine) step(c *CPU) {
 			c.overflowPending = false
 			c.state = stateRunning
 			c.readyAt = m.Clock + 1
+			if m.led != nil {
+				m.led.SpanDrain(c.ID, m.Clock, c.readyAt)
+			}
 			if m.rec != nil {
 				m.record(obs.EvOverflowDrain, c.ID, m.TLS.Iteration(c.ID), m.stlLoopID())
 			}
 		} else {
-			m.wait(c)
+			m.waitAs(c, tls.ChargeWaitOverflow)
 		}
 	case stateWaitException:
 		if m.TLS.IsHead(c.ID) {
@@ -477,6 +495,9 @@ func (m *Machine) step(c *CPU) {
 			c.PC++
 			c.state = stateRunning
 			c.readyAt = m.Clock + isa.Cost(isa.IOPUT)
+			if m.led != nil {
+				m.led.SpanIO(c.ID, m.Clock, c.readyAt)
+			}
 		} else {
 			m.wait(c)
 		}
@@ -491,6 +512,9 @@ func (m *Machine) step(c *CPU) {
 			c.state = stateRunning // PC unchanged: the alloc re-executes
 			c.readyAt = m.Clock + 1 + c.extra
 			c.extra = 0
+			if m.led != nil {
+				m.led.SpanGC(c.ID, m.Clock, c.readyAt)
+			}
 		} else {
 			m.wait(c)
 		}
@@ -536,6 +560,11 @@ func (m *Machine) commitEOI(c *CPU) {
 			for _, k := range killed {
 				m.record(obs.EvKill, k, loopID, 0)
 			}
+		}
+		// The killed attempts flushed as violated under the old mode (they
+		// were speculative work); only cycles from here on are solo.
+		if m.led != nil {
+			m.led.SetMode(obs.LoopSolo)
 		}
 	}
 	iter := m.TLS.Iteration(c.ID)
@@ -643,8 +672,17 @@ func (m *Machine) wildLoad(c *CPU, a mem.Addr, noViolate bool) {
 }
 
 // wait charges one cycle of head-wait time and re-polls next cycle.
-func (m *Machine) wait(c *CPU) {
-	m.TLS.ChargeAttempt(c.ID, tls.ChargeWait, 1)
+func (m *Machine) wait(c *CPU) { m.waitAs(c, tls.ChargeWait) }
+
+// waitAs is wait with an explicit charge kind, so overflow-stall parking is
+// distinguishable from ordinary commit waiting in the doctor's ledger (both
+// land in the same StateStats wait counter).
+func (m *Machine) waitAs(c *CPU, kind tls.ChargeKind) {
+	if m.led == nil {
+		m.TLS.ChargeAttempt(c.ID, kind, 1)
+	} else {
+		m.TLS.ChargeAttemptDiag(c.ID, kind, 1)
+	}
 	c.readyAt = m.Clock + 1
 }
 
@@ -791,11 +829,19 @@ func (m *Machine) quiesceForGC(c *CPU) {
 		m.fail(err)
 		return
 	}
+	// These discards have no violating store address: attribute them to the
+	// synthetic GC-quiesce site.
+	if m.led != nil {
+		m.led.BeginSyntheticViolation(obs.SiteGC)
+	}
 	for _, vc := range m.TLS.ViolateFrom(m.TLS.Iteration(c.ID) + 1) {
 		if m.rec != nil {
 			m.record(obs.EvViolation, vc, -2, int64(c.ID))
 		}
 		m.redirectRestart(m.CPUs[vc])
+	}
+	if m.led != nil {
+		m.led.EndViolation()
 	}
 }
 
@@ -876,6 +922,10 @@ func (m *Machine) doShutdown(c *CPU) {
 	c.PC++
 	c.state = stateRunning
 	c.readyAt = m.Clock + shutdown
+	if m.led != nil {
+		m.led.SpanShutdown(c.ID, m.Clock, c.readyAt)
+		m.led.EndSTL()
+	}
 }
 
 // doSwitchIn performs the multilevel decomposition switch (§4.2.6): the
@@ -903,12 +953,18 @@ func (m *Machine) doSwitchIn(c *CPU) {
 		m.record(obs.EvSTLSwitch, c.ID, inner.LoopID, 0)
 		m.record(obs.EvThreadSpawn, c.ID, m.TLS.Iteration(c.ID), inner.LoopID)
 	}
+	if m.led != nil {
+		m.led.SwitchTo(inner.LoopID)
+	}
 	if !m.TLS.Solo() {
-		m.deploySlaves(c, c.PC+1, SwitchStartupCost)
+		m.deploySlaves(c, c.PC+1, SwitchStartupCost, true)
 	}
 	c.PC++
 	c.state = stateRunning
 	c.readyAt = m.Clock + SwitchStartupCost
+	if m.led != nil {
+		m.led.SpanSwitch(c.ID, m.Clock, c.readyAt)
+	}
 	m.snapshotAll()
 }
 
@@ -937,12 +993,18 @@ func (m *Machine) doSwitchOut(c *CPU) {
 		m.record(obs.EvSTLSwitch, c.ID, outer.LoopID, 1)
 		m.record(obs.EvThreadSpawn, c.ID, m.TLS.Iteration(c.ID), outer.LoopID)
 	}
+	if m.led != nil {
+		m.led.SwitchTo(outer.LoopID)
+	}
 	if !m.TLS.Solo() {
-		m.deploySlaves(c, outer.InitPC, SwitchShutdownCost)
+		m.deploySlaves(c, outer.InitPC, SwitchShutdownCost, true)
 	}
 	c.PC++
 	c.state = stateRunning
 	c.readyAt = m.Clock + SwitchShutdownCost
+	if m.led != nil {
+		m.led.SpanSwitch(c.ID, m.Clock, c.readyAt)
+	}
 	m.snapshotAll()
 }
 
@@ -953,8 +1015,9 @@ func (m *Machine) pendingSwitchID(c *CPU) int64 {
 }
 
 // deploySlaves copies the leader's context to every other CPU and starts
-// them at pc.
-func (m *Machine) deploySlaves(c *CPU, pc int, cost int64) {
+// them at pc. sw marks a multilevel-switch redeploy, which the ledger
+// attributes to the switch bucket rather than startup.
+func (m *Machine) deploySlaves(c *CPU, pc int, cost int64, sw bool) {
 	for _, sc := range m.CPUs {
 		if sc.ID == c.ID {
 			continue
@@ -968,6 +1031,13 @@ func (m *Machine) deploySlaves(c *CPU, pc int, cost int64) {
 		sc.pendingExKind, sc.pendingExRef = 0, 0
 		sc.pendingFault = nil
 		sc.overflowPending = false
+		if m.led != nil {
+			if sw {
+				m.led.SpanSwitch(sc.ID, m.Clock, sc.readyAt)
+			} else {
+				m.led.SpanStartup(sc.ID, m.Clock, sc.readyAt)
+			}
+		}
 		if m.rec != nil {
 			m.record(obs.EvThreadSpawn, sc.ID, m.TLS.Iteration(sc.ID), m.stlLoopID())
 		}

@@ -514,6 +514,15 @@ func (m *Machine) runBlock(c *CPU, b *t2block) bool {
 // speculation is inactive.
 func (m *Machine) chargeSerial(c *CPU, cycles int64) {
 	if cycles > 0 {
+		if m.led != nil {
+			// Bracket the batched charge so the ledger splits serial cycles
+			// into block-engine vs interpreter dispatch; demoted single steps
+			// go through exec's ordinary charge path and stay interpreter.
+			m.led.SetTier2Window(true)
+			m.TLS.ChargeAttemptDiag(c.ID, tls.ChargeRun, cycles)
+			m.led.SetTier2Window(false)
+			return
+		}
 		m.TLS.ChargeAttempt(c.ID, tls.ChargeRun, cycles)
 	}
 }

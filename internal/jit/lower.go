@@ -8,6 +8,7 @@ import (
 	"jrpm/internal/cfg"
 	"jrpm/internal/hydra"
 	"jrpm/internal/isa"
+	"jrpm/internal/obs"
 )
 
 // vKind classifies symbolic operand-stack entries.
@@ -154,6 +155,7 @@ func (lw *lowerer) compile() (*hydra.Method, error) {
 		FrameWords: lw.spillBase + lw.spillMax + 2,
 		SavedRegs:  lw.place.saved,
 		SaveBase:   lw.saveBase,
+		Frame:      lw.frameTable(),
 	}
 	for _, h := range lw.m.Handlers {
 		hm.Handlers = append(hm.Handlers, hydra.Handler{
@@ -173,6 +175,38 @@ func (lw *lowerer) compile() (*hydra.Method, error) {
 }
 
 func (lw *lowerer) lbl(kind string, loop int) string { return fmt.Sprintf("%s_%d", kind, loop) }
+
+// frameTable builds the per-word debug classification of the frame layout
+// just allocated — local homes, callee-save area, per-STL bookkeeping words,
+// spill area — so the speculation doctor can symbolize stack-region
+// violation addresses back to bytecode slots. Each offset is written exactly
+// once, so the stls map iteration order does not matter.
+func (lw *lowerer) frameTable() []obs.FrameSlot {
+	frame := make([]obs.FrameSlot, lw.spillBase+lw.spillMax+2)
+	for i := int64(0); i < lw.nHomes; i++ {
+		frame[i] = obs.FrameSlot{Kind: obs.SlotLocal, Index: int32(i)}
+	}
+	for i := range lw.place.saved {
+		frame[lw.saveBase+int64(i)] = obs.FrameSlot{Kind: obs.SlotSaved, Index: int32(i)}
+	}
+	for _, ctx := range lw.stls {
+		for s, off := range ctx.resetAt {
+			frame[off] = obs.FrameSlot{Kind: obs.SlotResetBase, Index: int32(s)}
+		}
+		for s, off := range ctx.lockOf {
+			frame[off] = obs.FrameSlot{Kind: obs.SlotLock, Index: int32(s)}
+		}
+		for s, base := range ctx.redBase {
+			for i := 0; i < lw.ncpu; i++ {
+				frame[base+int64(i)] = obs.FrameSlot{Kind: obs.SlotRed, Index: int32(s)}
+			}
+		}
+	}
+	for i := int64(0); i < lw.spillMax; i++ {
+		frame[lw.spillBase+i] = obs.FrameSlot{Kind: obs.SlotSpill}
+	}
+	return frame
+}
 
 // prepareSTL allocates frame slots and builds the codegen context for one
 // selected loop.

@@ -81,8 +81,9 @@ func BucketUpper(i int) int64 {
 
 // Registry is a flat namespace of typed metrics. Names follow Prometheus
 // conventions and may carry a label suffix, e.g.
-// `jrpm_tls_commits_total{workload="BitOps"}`. Histogram names must be
-// plain (no labels) so the bucket `le` label can be appended.
+// `jrpm_tls_commits_total{workload="BitOps"}`. Histograms may be labeled
+// too: the exposition writer folds the `le` bucket label into the
+// existing label set (`h_bucket{workload="BitOps",le="15"}`).
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -163,6 +164,18 @@ func baseName(name string) string {
 	return name
 }
 
+// splitName separates a metric name into base and comma-form labels:
+// `a{x="y"}` -> ("a", `x="y"`); a bare name returns ("a", "").
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	labels = name[i+1:]
+	labels = strings.TrimSuffix(labels, "}")
+	return name[:i], labels
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
 // format, sorted by metric name so output is deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -207,6 +220,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			continue
 		}
 		h := r.hists[name]
+		// A labeled histogram must fold `le` into its label set and attach
+		// the labels to the _bucket/_sum/_count series, not the bare name:
+		// `h{w="x"}_sum` is not parseable exposition format.
+		hbase, labels := splitName(name)
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
 		var cum int64
 		for i := 0; i < HistogramBuckets; i++ {
 			cum += h.Bucket(i)
@@ -219,11 +240,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if h.Bucket(i) == 0 && i < HistogramBuckets-1 {
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			series := Name(hbase+"_bucket", JoinLabels(labels, fmt.Sprintf("le=%q", le)))
+			if _, err := fmt.Fprintf(w, "%s %d\n", series, cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+			hbase, suffix, h.Sum(), hbase, suffix, h.Count()); err != nil {
 			return err
 		}
 	}

@@ -145,6 +145,41 @@ func TestRegistryPrometheusOutput(t *testing.T) {
 	}
 }
 
+func TestRegistryPrometheusLabeledHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram(Name("lat", `w="db"`))
+	h.Observe(1)
+	h.Observe(5)
+	reg.Histogram("plain").Observe(3)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The le label must fold into the existing label set and the
+	// _bucket/_sum/_count suffixes must attach to the base name, not the
+	// labeled one.
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{w="db",le="1"} 1`,
+		`lat_bucket{w="db",le="7"} 2`,
+		`lat_bucket{w="db",le="+Inf"} 2`,
+		`lat_sum{w="db"} 6`,
+		`lat_count{w="db"} 2`,
+		`plain_bucket{le="3"} 1`,
+		"plain_sum 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	for _, bad := range []string{`}_bucket`, `}_sum`, `}_count`} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("Prometheus output contains malformed series %q:\n%s", bad, out)
+		}
+	}
+}
+
 func TestRegistrySnapshot(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("c").Add(7)

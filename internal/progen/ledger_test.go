@@ -1,0 +1,63 @@
+package progen
+
+import (
+	"testing"
+
+	"jrpm/internal/core"
+)
+
+// TestLedgerConservationProperty is the doctor's property test: over a range
+// of generated programs and pipeline configurations, every phase's cycle
+// ledger must conserve exactly — Σ buckets == wall cycles × CPUs — with
+// nothing left in flight on a cleanly completed run. Legs cover the plain
+// speculative pipeline, a hair-trigger guard that demotes STLs to solo
+// execution, and the interpreter-only tier (no tier-2 block engine).
+// Cancelled and budget-stopped runs are covered at the hydra level
+// (internal/hydra ledger tests), since core discards phases on error.
+func TestLedgerConservationProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	legs := []struct {
+		name string
+		mod  func(*core.Options)
+	}{
+		{"tls", func(*core.Options) {}},
+		{"solo-guard", func(o *core.Options) { o.Guard = SoloGuardConfig() }},
+		{"tier-off", func(o *core.Options) { o.Tier2Off = true }},
+	}
+	for seed := int64(1); seed <= 15; seed++ {
+		p := Generate(seed, cfg)
+		_, bp, err := Lower(p)
+		if err != nil {
+			t.Fatalf("seed %d: lowering failed: %v", seed, err)
+		}
+		for _, leg := range legs {
+			opts := core.DefaultOptions()
+			opts.NCPU = 4
+			opts.Diagnose = true
+			leg.mod(&opts)
+			res, err := core.Run(bp, opts)
+			if err != nil {
+				t.Fatalf("seed %d/%s: core.Run failed: %v", seed, leg.name, err)
+			}
+			for phase, ph := range map[string]*core.Phase{
+				"seq": &res.Seq, "profile": &res.Profile, "tls": &res.TLS,
+			} {
+				led := ph.Ledger
+				if led == nil {
+					t.Fatalf("seed %d/%s/%s: no ledger snapshot", seed, leg.name, phase)
+				}
+				if cerr := led.CheckConservation(); cerr != nil {
+					t.Errorf("seed %d/%s/%s: %v", seed, leg.name, phase, cerr)
+				}
+				if led.Machine.InFlight != 0 {
+					t.Errorf("seed %d/%s/%s: clean run left %d cycles in flight",
+						seed, leg.name, phase, led.Machine.InFlight)
+				}
+				if led.WallCycles != ph.Cycles {
+					t.Errorf("seed %d/%s/%s: ledger wall %d != phase cycles %d",
+						seed, leg.name, phase, led.WallCycles, ph.Cycles)
+				}
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"jrpm/internal/cfg"
 	"jrpm/internal/core"
+	"jrpm/internal/diagnose"
 	"jrpm/internal/hydra"
 	"jrpm/internal/obs"
 	"jrpm/internal/tls"
@@ -519,6 +520,53 @@ func CategorySummary(results []*SuiteResult) string {
 		a := byCat[c]
 		fmt.Fprintf(&b, "  %-15s %d benchmarks: %.2fx .. %.2fx (mean %.2fx)\n",
 			c.String(), a.n, a.min, a.max, a.sum/float64(a.n))
+	}
+	return b.String()
+}
+
+// DoctorSummary renders the speculation doctor's suite digest: per workload,
+// whether the cycle ledger conserved exactly, the committed-work share of
+// all STL cycles, and the verdict of the hottest loop. Results from runs
+// without core.Options.Diagnose are skipped (no ledger to diagnose); when
+// none carried a ledger the section says so instead of vanishing silently.
+func DoctorSummary(results []*SuiteResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Speculation doctor - cycle-conservation ledger digest\n")
+	fmt.Fprintf(&b, "%-14s %9s %7s %6s  %s\n",
+		"benchmark", "conserve", "useful", "loops", "hottest loop verdict")
+	diagnosed := 0
+	for _, sr := range results {
+		rep, err := diagnose.Build(sr.Result)
+		if err != nil {
+			continue
+		}
+		diagnosed++
+		cons := "exact"
+		if !rep.Conserved {
+			cons = "BROKEN"
+		}
+		var useful, total int64
+		hot := -1
+		for i := range rep.Loops {
+			useful += rep.Loops[i].Buckets.RunUsed
+			total += rep.Loops[i].Cycles
+			if hot < 0 || rep.Loops[i].Cycles > rep.Loops[hot].Cycles {
+				hot = i
+			}
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(useful) / float64(total)
+		}
+		verdict := "(no speculative loops)"
+		if hot >= 0 {
+			verdict = fmt.Sprintf("loop %d: %s", rep.Loops[hot].LoopID, rep.Loops[hot].Verdict)
+		}
+		fmt.Fprintf(&b, "%-14s %9s %6.1f%% %6d  %s\n",
+			sr.Workload.Name, cons, pct, len(rep.Loops), verdict)
+	}
+	if diagnosed == 0 {
+		return "Speculation doctor: no diagnosed results (run the suite with Options.Diagnose / -doctor)\n"
 	}
 	return b.String()
 }

@@ -19,6 +19,8 @@ import (
 //	GET  /jobs/{id}        job snapshot; ?wait=<duration> blocks until terminal or the wait expires
 //	POST /jobs/{id}/cancel request cancellation
 //	GET  /jobs/{id}/trace  Perfetto/Chrome trace JSON (jobs submitted with trace=true)
+//	GET  /jobs/{id}/doctor speculation-doctor report (jobs submitted with diagnose=true);
+//	                       JSON by default, ?format=text for the human rendering
 //	GET  /breakers         per-workload circuit-breaker states
 //	GET  /healthz          liveness: 200 as long as the process serves
 //	GET  /readyz           readiness: 503 once draining or before Start
@@ -30,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /jobs/{id}/doctor", s.handleDoctor)
 	mux.HandleFunc("GET /breakers", s.handleBreakers)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -162,6 +165,30 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("jrpm-job-%d.trace.json", id)))
 	obs.WriteChromeTrace(w, events, ncpu, view.Name)
+}
+
+func (s *Server) handleDoctor(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job id"})
+		return
+	}
+	rep, derr := s.Doctor(id)
+	if derr != nil {
+		status := http.StatusNotFound
+		if !errors.Is(derr, ErrUnknownJob) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, httpError{Error: derr.Error()})
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(rep.JSON())
 }
 
 func (s *Server) handleBreakers(w http.ResponseWriter, r *http.Request) {

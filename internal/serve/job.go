@@ -10,6 +10,7 @@ import (
 
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
+	"jrpm/internal/diagnose"
 	"jrpm/internal/hydra"
 	"jrpm/internal/obs"
 	"jrpm/internal/tls"
@@ -57,6 +58,7 @@ type JobSpec struct {
 	Faults     string `json:"faults,omitempty"`      // faultinject plan spec for the speculative phase
 	Mode       string `json:"mode,omitempty"`        // "auto" (ladder, default) or a pinned rung: "tls", "profile", "seq"
 	Trace      bool   `json:"trace,omitempty"`       // keep a flight-recorder ring for GET /jobs/{id}/trace
+	Diagnose   bool   `json:"diagnose,omitempty"`    // attach the speculation doctor for GET /jobs/{id}/doctor
 
 	// testAttempt, when non-nil, replaces the real pipeline attempt —
 	// in-package tests use it to script deterministic ladder outcomes
@@ -107,8 +109,26 @@ type job struct {
 	deadline time.Time
 	cancel   context.CancelCauseFunc
 	done     chan struct{}
-	ring     *obs.Ring // non-nil when the spec asked for a trace
-	bkey     string    // circuit-breaker key
+	ring     *obs.Ring        // non-nil when the spec asked for a trace
+	doctor   *diagnose.Report // non-nil once a diagnosed TLS rung succeeds
+	bkey     string           // circuit-breaker key
+}
+
+// setDoctor publishes the doctor report; the report is immutable after
+// Build, so sharing the pointer with readers is safe.
+func (j *job) setDoctor(rep *diagnose.Report) {
+	j.mu.Lock()
+	if rep.Name == "" {
+		rep.Name = j.view.Name
+	}
+	j.doctor = rep
+	j.mu.Unlock()
+}
+
+func (j *job) doctorReport() *diagnose.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.doctor
 }
 
 // snapshot copies the view for external consumption (deep enough that the
@@ -374,6 +394,9 @@ func (s *Server) attempt(ctx context.Context, rung Rung, spec JobSpec, ring *obs
 		// storming the whole job.
 		gcfg := tls.DefaultGuardConfig()
 		opts.Guard = &gcfg
+		// The ledger is passive — cycles are bit-identical with it attached —
+		// so diagnosis never perturbs what the job measures.
+		opts.Diagnose = spec.Diagnose
 		if ring != nil {
 			ring.Reset()
 			opts.Recorder = ring
@@ -442,6 +465,12 @@ func (s *Server) runJob(j *job) {
 				s.reg.Counter(fmt.Sprintf("jrpm_serve_jobs_degraded_total{rung=%q}", rung)).Inc()
 			}
 			s.addTierMetrics(res)
+			if spec.Diagnose && rung == RungTLS {
+				if rep, derr := diagnose.Build(res); derr == nil {
+					j.setDoctor(rep)
+					s.addDoctorMetrics(rep)
+				}
+			}
 			j.succeed(rung, rung != first, res)
 			return
 		}
@@ -496,6 +525,30 @@ func (s *Server) addTierMetrics(res *core.Result) {
 			s.reg.Counter(fmt.Sprintf("jrpm_tier_demotions_total{reason=%q}", r)).Add(v)
 		}
 	}
+}
+
+// addDoctorMetrics exposes the latest diagnosed job's ledger totals as
+// jrpm_doctor_* gauges: conservation health, attributed wall cycles, and
+// the committed/discarded split summed over the run's STLs.
+func (s *Server) addDoctorMetrics(rep *diagnose.Report) {
+	s.reg.Counter("jrpm_doctor_reports_total").Inc()
+	conserved := 0.0
+	if rep.Conserved {
+		conserved = 1
+	}
+	s.reg.Gauge("jrpm_doctor_conserved").Set(conserved)
+	s.reg.Gauge("jrpm_doctor_wall_cycles").Set(float64(rep.WallCycles))
+	s.reg.Gauge("jrpm_doctor_loops").Set(float64(len(rep.Loops)))
+	var useful, discarded, total int64
+	for i := range rep.Loops {
+		b := &rep.Loops[i].Buckets
+		useful += b.RunUsed
+		discarded += b.RunViolated + b.WaitViolated
+		total += rep.Loops[i].Cycles
+	}
+	s.reg.Gauge("jrpm_doctor_loop_cycles").Set(float64(total))
+	s.reg.Gauge("jrpm_doctor_useful_cycles").Set(float64(useful))
+	s.reg.Gauge("jrpm_doctor_discarded_cycles").Set(float64(discarded))
 }
 
 // finishJob publishes the terminal status to the breaker, metrics and the

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jrpm/internal/diagnose"
 	"jrpm/internal/faultinject"
 	"jrpm/internal/obs"
 )
@@ -411,6 +412,28 @@ func (s *Server) Trace(id int64) ([]obs.Event, error) {
 		return nil, fmt.Errorf("serve: job %d still running; trace available at completion", id)
 	}
 	return j.ring.Events(), nil
+}
+
+// Doctor returns the job's speculation-doctor report (jobs submitted with
+// diagnose=true whose speculative rung succeeded).
+func (s *Server) Doctor(id int64) (*diagnose.Report, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, ErrUnknownJob
+	}
+	if !j.snapshotSpec().Diagnose {
+		return nil, fmt.Errorf("serve: job %d was not submitted with diagnose=true", id)
+	}
+	if !j.terminal() {
+		return nil, fmt.Errorf("serve: job %d still running; diagnosis available at completion", id)
+	}
+	rep := j.doctorReport()
+	if rep == nil {
+		return nil, fmt.Errorf("serve: job %d produced no diagnosis (speculative rung did not complete)", id)
+	}
+	return rep, nil
 }
 
 // Ready reports whether the server accepts submissions.

@@ -28,6 +28,7 @@ package tls
 import (
 	"jrpm/internal/faultinject"
 	"jrpm/internal/mem"
+	"jrpm/internal/obs"
 )
 
 // HandlerCosts gives the fixed cycle cost of each TLS software handler
@@ -83,6 +84,11 @@ const (
 	ChargeRun ChargeKind = iota
 	ChargeWait
 	ChargeOverhead
+	// ChargeWaitOverflow is ChargeWait refined for the doctor's ledger: the
+	// thread is stalled on speculative-buffer overflow rather than ordinary
+	// head-commit ordering. StateStats makes no distinction (both land in the
+	// attempt's wait counter); only the attached obs.Ledger does.
+	ChargeWaitOverflow
 )
 
 // StateStats aggregates machine cycles by the execution states of the
@@ -167,6 +173,11 @@ type Unit struct {
 	sumLoadLines    int64
 	committedLoads  int64
 	committedStores int64
+
+	// led mirrors the attempt accounting into the doctor's per-loop cycle
+	// ledger when attached (nil in ordinary runs; pure observation, never
+	// feeds back into Stats or scheduling).
+	led *obs.Ledger
 }
 
 // NewUnit builds a TLS unit over the given memory and caches.
@@ -193,6 +204,9 @@ func (u *Unit) Config() Config { return u.cfg }
 
 // SetInjector attaches a fault injector (nil disables injection).
 func (u *Unit) SetInjector(inj *faultinject.Injector) { u.inj = inj }
+
+// SetLedger attaches the doctor's cycle-conservation ledger (nil detaches).
+func (u *Unit) SetLedger(led *obs.Ledger) { u.led = led }
 
 // Active reports whether an STL is executing speculatively.
 func (u *Unit) Active() bool { return u.active }
@@ -288,7 +302,7 @@ func (u *Unit) SwitchSTL(stlID int64, headCPU int, baseIter int64) error {
 	// cycles of every partial outer iteration silently vanished from the
 	// Figure 10 accounting (found by the litmus machine's cycle-conservation
 	// check; pinned in testdata/litmus/switch_stl_accounting.json).
-	u.flushAttempt(u.threads[headCPU], true)
+	u.flushAttempt(headCPU, u.threads[headCPU], true)
 	u.assign(stlID, headCPU, baseIter)
 	return nil
 }
@@ -332,7 +346,7 @@ func (u *Unit) KillYounger(cpu int) []int {
 	var killed []int
 	for c, t := range u.threads {
 		if t.iter > my {
-			u.flushAttempt(t, false)
+			u.flushAttempt(c, t, false)
 			t.resetSpecState()
 			t.iter = -1
 			killed = append(killed, c)
@@ -360,15 +374,38 @@ func (u *Unit) ChargeAttempt(cpu int, kind ChargeKind, cycles int64) {
 	switch kind {
 	case ChargeRun:
 		t.run += cycles
-	case ChargeWait:
+	case ChargeWait, ChargeWaitOverflow:
 		t.wait += cycles
 	case ChargeOverhead:
 		t.overhead += cycles
 	}
 }
 
+// ChargeAttemptDiag is ChargeAttempt with the charge mirrored into the
+// doctor's ledger. It is a separate entry point — not a branch inside
+// ChargeAttempt — so the undiagnosed per-instruction path keeps its
+// inlining; hydra selects it once per charge site when a ledger is
+// attached. Callers must only use it when a ledger is attached.
+func (u *Unit) ChargeAttemptDiag(cpu int, kind ChargeKind, cycles int64) {
+	u.ChargeAttempt(cpu, kind, cycles)
+	if !u.active {
+		u.led.ChargeSerial(cpu, cycles)
+		return
+	}
+	switch kind {
+	case ChargeRun:
+		u.led.ChargeRun(cpu, cycles)
+	case ChargeWait, ChargeWaitOverflow:
+		u.led.ChargeWait(cpu, cycles, kind == ChargeWaitOverflow)
+	case ChargeOverhead:
+		// No ledger mirror: nothing in hydra charges ChargeOverhead today
+		// (handler costs flow through the dedicated hooks; the ledger would
+		// have no bucket to refine it into).
+	}
+}
+
 // flushAttempt moves tentative cycles into the used or violated buckets.
-func (u *Unit) flushAttempt(t *thread, used bool) {
+func (u *Unit) flushAttempt(cpu int, t *thread, used bool) {
 	if used {
 		u.Stats.RunUsed += t.run
 		u.Stats.WaitUsed += t.wait
@@ -378,6 +415,9 @@ func (u *Unit) flushAttempt(t *thread, used bool) {
 	}
 	u.Stats.Overhead += t.overhead
 	t.run, t.wait, t.overhead = 0, 0, 0
+	if u.led != nil {
+		u.led.FlushAttempt(cpu, used)
+	}
 }
 
 // Load performs a speculative load by cpu. It returns the value, the charged
@@ -481,6 +521,14 @@ func (u *Unit) broadcast(cpu int, a mem.Addr) []int {
 	if oldest < 0 {
 		return nil
 	}
+	if u.led != nil {
+		// Attribute every attempt this broadcast discards to the violating
+		// store's address (symbolized against the writer's frame).
+		u.led.BeginViolation(cpu, int64(a))
+		cpus := u.ViolateFrom(oldest)
+		u.led.EndViolation()
+		return cpus
+	}
 	return u.ViolateFrom(oldest)
 }
 
@@ -493,9 +541,12 @@ func (u *Unit) ViolateFrom(fromIter int64) []int {
 	for c, t := range u.threads {
 		if t.iter >= fromIter {
 			u.Violations++
-			u.flushAttempt(t, false)
+			u.flushAttempt(c, t, false)
 			t.resetSpecState()
 			t.overhead += u.cfg.Handlers.Restart
+			if u.led != nil {
+				u.led.ChargeRestart(c, u.cfg.Handlers.Restart)
+			}
 			cpus = append(cpus, c)
 		}
 	}
@@ -578,7 +629,7 @@ func (u *Unit) CommitEOI(cpu int) error {
 		return u.headErr("CommitEOI", cpu)
 	}
 	u.noteBufferUsage(t)
-	u.flushAttempt(t, true)
+	u.flushAttempt(cpu, t, true)
 	u.drainBuffer(cpu, t)
 	t.readWords.reset()
 	t.readLines.reset()
@@ -588,6 +639,9 @@ func (u *Unit) CommitEOI(cpu int) error {
 	t.iter = u.nextSpawn
 	u.nextSpawn++
 	t.overhead += u.cfg.Handlers.EOI
+	if u.led != nil {
+		u.led.ChargeEOI(cpu, u.cfg.Handlers.EOI)
+	}
 	return nil
 }
 
@@ -626,7 +680,7 @@ func (u *Unit) Shutdown(cpu int) ([]int, error) {
 		return nil, u.headErr("Shutdown", cpu)
 	}
 	u.noteBufferUsage(t)
-	u.flushAttempt(t, true)
+	u.flushAttempt(cpu, t, true)
 	u.drainBuffer(cpu, t)
 	u.Stats.Overhead += u.cfg.Handlers.Shutdown
 	var killed []int
@@ -636,7 +690,7 @@ func (u *Unit) Shutdown(cpu int) ([]int, error) {
 			continue
 		}
 		if ot.iter >= 0 {
-			u.flushAttempt(ot, false)
+			u.flushAttempt(c, ot, false)
 			ot.resetSpecState()
 			ot.iter = -1
 			killed = append(killed, c)

@@ -96,6 +96,12 @@ func (c AddrClass) depKey() uint32 {
 	return HeapDepKey
 }
 
+// DepDistBuckets is the size of the DepStats dependence-distance histogram:
+// bucket i counts arcs with distance in [2^i, 2^(i+1)) iterations (bucket 0
+// is distance 1, the tightest possible loop-carried arc). 16 buckets cover
+// distances past 32 Ki iterations, far beyond any speculation window.
+const DepDistBuckets = 16
+
 // DepStats accumulates inter-thread dependency observations for one
 // dependency source (a local-variable slot, or the heap as a whole).
 type DepStats struct {
@@ -105,6 +111,11 @@ type DepStats struct {
 	SumStoreOff int64 // sum of store offsets from the storing thread's start
 	MaxStoreOff int64 // latest store offset seen (violation risk estimate)
 	SumLoadOff  int64 // sum of load offsets from the loading thread's start
+
+	// DistHist is the log₂ histogram of observed arc distances (see
+	// DepDistBuckets); the doctor reports it so a user can tell a uniformly
+	// tight dependence from an occasional long-range one with the same mean.
+	DistHist [DepDistBuckets]int64
 }
 
 func (d *DepStats) note(dist, storeOff, loadOff int64) {
@@ -118,6 +129,11 @@ func (d *DepStats) note(dist, storeOff, loadOff int64) {
 	if storeOff > d.MaxStoreOff {
 		d.MaxStoreOff = storeOff
 	}
+	b := 0
+	for v := dist; v > 1 && b < DepDistBuckets-1; v >>= 1 {
+		b++
+	}
+	d.DistHist[b]++
 }
 
 // AvgDist returns the mean critical arc distance.

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Compares two scripts/bench.sh snapshots and fails on a host-performance
+# regression: the geometric mean of per-benchmark ns/op ratios (NEW/OLD over
+# the benchmarks present in both files) must stay within the tolerance.
+#
+# Usage:
+#   scripts/bench_compare.sh OLD.json NEW.json          # default 10% gate
+#   scripts/bench_compare.sh OLD.json NEW.json 0.25     # custom tolerance
+#
+# Exit status: 0 within tolerance, 1 regression, 2 usage/parse error.
+#
+# For a live gate without a second snapshot, `jrpm-bench -compare OLD.json`
+# re-measures the Table 3 suite directly.
+set -euo pipefail
+
+OLD="${1:?usage: scripts/bench_compare.sh OLD.json NEW.json [tolerance]}"
+NEW="${2:?usage: scripts/bench_compare.sh OLD.json NEW.json [tolerance]}"
+TOL="${3:-0.10}"
+
+# The snapshots are the flat one-entry-per-line JSON bench.sh emits; pull
+# "name": {... "ns_per_op": N ...} pairs with awk so the gate needs nothing
+# beyond POSIX tools.
+extract() {
+    awk '
+    match($0, /^[[:space:]]*"[^"]+": \{/) {
+        name = $0
+        sub(/^[[:space:]]*"/, "", name); sub(/": \{.*/, "", name)
+        if (match($0, /"ns_per_op": [0-9.eE+-]+/)) {
+            v = substr($0, RSTART + 13, RLENGTH - 13)
+            print name, v
+        }
+    }' "$1"
+}
+
+OLD_TSV="$(extract "$OLD")"
+NEW_TSV="$(extract "$NEW")"
+if [ -z "$OLD_TSV" ] || [ -z "$NEW_TSV" ]; then
+    echo "bench_compare: no ns_per_op entries parsed" >&2
+    exit 2
+fi
+
+printf '%s\n---\n%s\n' "$OLD_TSV" "$NEW_TSV" | awk -v tol="$TOL" '
+BEGIN { phase = 0 }
+/^---$/ { phase = 1; next }
+phase == 0 { old[$1] = $2; next }
+$1 in old && old[$1] > 0 && $2 > 0 {
+    ratio = $2 / old[$1]
+    printf "%-40s %12.0f -> %12.0f  %6.2fx\n", $1, old[$1], $2, ratio
+    logsum += log(ratio); n++
+}
+END {
+    if (n == 0) { print "bench_compare: no common benchmarks" > "/dev/stderr"; exit 2 }
+    g = exp(logsum / n)
+    printf "%-40s %12s    %12s  %6.2fx (over %d benchmarks)\n", "geomean", "", "", g, n
+    if (g > 1 + tol) {
+        printf "bench_compare: regression: geomean %.2fx exceeds %.2fx\n", g, 1 + tol > "/dev/stderr"
+        exit 1
+    }
+    print "within tolerance"
+}'
