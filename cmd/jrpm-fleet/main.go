@@ -1,0 +1,137 @@
+// Command jrpm-fleet fronts N jrpm-serve replicas with a sharded,
+// cache-backed router (see internal/fleet): consistent hashing spreads
+// submissions over the replicas, a byte-budgeted LRU memoizes results by
+// content address, singleflight coalescing collapses identical in-flight
+// jobs, per-shard circuit breakers shed dead replicas, and hedged retries
+// bound tail latency.
+//
+// Usage:
+//
+//	jrpm-fleet -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+//	           [-addr :9090] [-cache-bytes N] [-vnodes N]
+//	           [-hedge-after D] [-timeout D] [-cyclebudget N] [-tier on|off]
+//	           [-metrics FILE]
+//
+// Endpoints:
+//
+//	POST /run       run a job spec through the fleet (octet-stream result;
+//	                ?format=json for a summary)
+//	GET  /replicas  shard + breaker states
+//	GET  /healthz   GET /readyz   GET /metrics
+//
+// The -cyclebudget and -tier flags must mirror the replicas' settings: the
+// router derives each submission's cache key from the options a replica
+// would run with, so a mismatch would memoize under the wrong address.
+//
+// On SIGINT/SIGTERM the router stops accepting, drains in-flight requests,
+// optionally flushes metrics, and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"jrpm/internal/core"
+	"jrpm/internal/fleet"
+	"jrpm/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "HTTP listen address")
+	replicas := flag.String("replicas", "", "comma-separated jrpm-serve base URLs (required)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache budget in bytes (0 = default 64 MiB, <0 disables)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default 64)")
+	hedgeAfter := flag.Duration("hedge-after", 2*time.Second, "hedge to the next shard when an attempt exceeds this (0 disables)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request routing timeout")
+	budget := flag.Int64("cyclebudget", 0, "replicas' simulated-cycle budget, for cache keying (0 = default 2e9)")
+	tier := flag.String("tier", "on", "replicas' tier-2 engine setting, for cache keying")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	metricsOut := flag.String("metrics", "", "flush Prometheus metrics to FILE on shutdown (\"-\" = stderr)")
+	flag.Parse()
+
+	tierOff, err := core.ParseTierFlag(*tier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-fleet:", err)
+		os.Exit(2)
+	}
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "jrpm-fleet: -replicas is required (comma-separated jrpm-serve URLs)")
+		os.Exit(2)
+	}
+	backends := make([]fleet.Backend, len(urls))
+	for i, u := range urls {
+		backends[i] = &fleet.HTTPBackend{ReplicaName: u, BaseURL: u}
+	}
+	rt := fleet.New(fleet.Config{
+		CacheBytes: *cacheBytes,
+		VNodes:     *vnodes,
+		HedgeAfter: *hedgeAfter,
+		Serve: serve.Config{
+			MaxCycles: *budget,
+			Tier2Off:  tierOff,
+		},
+	}, backends)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-fleet:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{
+		Handler: http.TimeoutHandler(rt.Handler(), *timeout, "fleet: routing timeout\n"),
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "jrpm-fleet: listening on %s, %d replica(s), hedge after %v\n",
+		ln.Addr(), len(urls), *hedgeAfter)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "jrpm-fleet: %v: draining (grace %v)\n", sig, *grace)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "jrpm-fleet: http:", err)
+		os.Exit(1)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), *grace)
+	err = hs.Shutdown(dctx)
+	dcancel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jrpm-fleet: grace expired: %v\n", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "jrpm-fleet: drained cleanly")
+	}
+
+	if *metricsOut != "" {
+		w := os.Stderr
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jrpm-fleet:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rt.Metrics().WritePrometheus(w); err != nil {
+			fmt.Fprintln(os.Stderr, "jrpm-fleet:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package cache is the fleet layer's result memoization: a byte-budgeted
+// LRU over canonical codec encodings, plus singleflight coalescing so
+// identical in-flight requests run the pipeline once.
+//
+// The cache stores opaque byte slices under opaque string keys. The fleet
+// router keys it by codec.CacheKey(programHash, optionsWire) — two entries
+// collide exactly when the simulations they memoize are bit-identical, which
+// the Jrpm pipeline's determinism (enforced by the golden-cycle and litmus
+// suites) makes safe.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"jrpm/internal/obs"
+)
+
+// DefaultMaxBytes is the default cache budget: 64 MiB of encoded results.
+const DefaultMaxBytes = 64 << 20
+
+// LRU is a byte-budgeted least-recently-used cache. Values are treated as
+// immutable: Put keeps the slice and Get returns it uncopied, so callers
+// must never mutate a value after inserting or reading it. All methods are
+// safe for concurrent use.
+type LRU struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	ll    *list.List // front = most recent
+	index map[string]*list.Element
+
+	hits, misses, evictions, rejected *obs.Counter
+	bytes, entries                    *obs.Gauge
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// NewLRU builds a cache with the given byte budget (<=0 selects
+// DefaultMaxBytes), registering jrpm_fleet_cache_* metrics on reg.
+func NewLRU(maxBytes int64, reg *obs.Registry) *LRU {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &LRU{
+		max:       maxBytes,
+		ll:        list.New(),
+		index:     make(map[string]*list.Element),
+		hits:      reg.Counter("jrpm_fleet_cache_hits_total"),
+		misses:    reg.Counter("jrpm_fleet_cache_misses_total"),
+		evictions: reg.Counter("jrpm_fleet_cache_evictions_total"),
+		rejected:  reg.Counter("jrpm_fleet_cache_rejected_total"),
+		bytes:     reg.Gauge("jrpm_fleet_cache_bytes"),
+		entries:   reg.Gauge("jrpm_fleet_cache_entries"),
+	}
+}
+
+// Get returns the cached value and whether it was present, promoting the
+// entry to most-recently-used on a hit.
+func (c *LRU) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*entry).val, true
+}
+
+// Put inserts or refreshes a value, evicting least-recently-used entries
+// until the budget holds. A value larger than the whole budget is rejected
+// rather than evicting everything for an entry that cannot fit.
+func (c *LRU) Put(key string, val []byte) {
+	n := int64(len(val))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > c.max {
+		c.rejected.Inc()
+		return
+	}
+	if el, ok := c.index[key]; ok {
+		e := el.Value.(*entry)
+		c.size += n - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.index[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.size += n
+	}
+	for c.size > c.max {
+		c.evictOldestLocked()
+	}
+	c.publishLocked()
+}
+
+// evictOldestLocked drops the least-recently-used entry. Caller holds mu.
+func (c *LRU) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.index, e.key)
+	c.size -= int64(len(e.val))
+	c.evictions.Inc()
+}
+
+func (c *LRU) publishLocked() {
+	c.bytes.Set(float64(c.size))
+	c.entries.Set(float64(c.ll.Len()))
+}
+
+// Len reports the number of cached entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Size reports the cached bytes.
+func (c *LRU) Size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

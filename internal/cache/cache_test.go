@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"jrpm/internal/obs"
+)
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	return reg.Counter(name).Value()
+}
+
+func TestLRUHitMiss(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewLRU(1024, reg)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("got %q, %v", v, ok)
+	}
+	if h := counterValue(t, reg, "jrpm_fleet_cache_hits_total"); h != 1 {
+		t.Fatalf("hits = %d, want 1", h)
+	}
+	if m := counterValue(t, reg, "jrpm_fleet_cache_misses_total"); m != 1 {
+		t.Fatalf("misses = %d, want 1", m)
+	}
+}
+
+func TestLRUByteBudgetEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewLRU(100, reg)
+	val := make([]byte, 40)
+	c.Put("a", val)
+	c.Put("b", val)
+	c.Put("c", val) // 120 bytes > 100: evict the LRU entry, "a"
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("LRU entry survived the budget")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("recent entry %q evicted", k)
+		}
+	}
+	if e := counterValue(t, reg, "jrpm_fleet_cache_evictions_total"); e != 1 {
+		t.Fatalf("evictions = %d, want 1", e)
+	}
+	if c.Size() != 80 {
+		t.Fatalf("size = %d, want 80", c.Size())
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := NewLRU(100, nil)
+	val := make([]byte, 40)
+	c.Put("a", val)
+	c.Put("b", val)
+	c.Get("a")      // promote "a": now "b" is LRU
+	c.Put("c", val) // evicts "b"
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("promoted entry evicted instead of the cold one")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+func TestLRUOversizedRejected(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewLRU(64, reg)
+	c.Put("small", make([]byte, 10))
+	c.Put("huge", make([]byte, 65))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized value cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("oversized insert evicted existing entries")
+	}
+	if rej := counterValue(t, reg, "jrpm_fleet_cache_rejected_total"); rej != 1 {
+		t.Fatalf("rejected = %d, want 1", rej)
+	}
+}
+
+func TestLRUUpdateExistingKey(t *testing.T) {
+	c := NewLRU(100, nil)
+	c.Put("a", make([]byte, 30))
+	c.Put("a", make([]byte, 50))
+	if c.Size() != 50 || c.Len() != 1 {
+		t.Fatalf("size=%d len=%d after refresh, want 50/1", c.Size(), c.Len())
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU(1<<16, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%32)
+				c.Put(k, []byte(k))
+				if v, ok := c.Get(k); ok && string(v) != k {
+					t.Errorf("key %q returned %q", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"context"
+	"sync"
+
+	"jrpm/internal/obs"
+)
+
+// Group coalesces concurrent calls for the same key into one execution:
+// while a call for key k is in flight, every other Do(k) waits for its
+// outcome instead of running fn again.
+//
+// The execution is detached from any single caller: fn runs on its own
+// goroutine under context.WithoutCancel of the initiating caller's context,
+// so one caller abandoning its wait (its ctx expiring) never cancels the
+// run the other callers share. A caller that stops waiting gets its own
+// ctx.Err(); the flight completes and the remaining waiters get the result.
+type Group struct {
+	mu     sync.Mutex
+	flight map[string]*flight
+
+	executions, coalesced *obs.Counter
+}
+
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// NewGroup builds a coalescing group, registering jrpm_fleet_coalesce_*
+// metrics on reg.
+func NewGroup(reg *obs.Registry) *Group {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Group{
+		flight:     make(map[string]*flight),
+		executions: reg.Counter("jrpm_fleet_coalesce_executions_total"),
+		coalesced:  reg.Counter("jrpm_fleet_coalesce_joined_total"),
+	}
+}
+
+// Do returns the result of fn for key, executing fn at most once per flight
+// of concurrent callers. shared reports whether this caller joined a flight
+// another caller initiated. The value is shared by every caller in the
+// flight and must be treated as immutable.
+//
+// ctx bounds only this caller's wait. The execution itself runs detached;
+// see the type comment.
+func (g *Group) Do(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.flight[key]; ok {
+		g.mu.Unlock()
+		g.coalesced.Inc()
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, true, context.Cause(ctx)
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flight[key] = f
+	g.mu.Unlock()
+
+	g.executions.Inc()
+	go func() {
+		f.val, f.err = fn(context.WithoutCancel(ctx))
+		g.mu.Lock()
+		delete(g.flight, key) // later callers start a fresh flight
+		g.mu.Unlock()
+		close(f.done)
+	}()
+
+	select {
+	case <-f.done:
+		return f.val, false, f.err
+	case <-ctx.Done():
+		return nil, false, context.Cause(ctx)
+	}
+}

@@ -1,0 +1,317 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"jrpm/internal/analyzer"
+	"jrpm/internal/bytecode"
+	"jrpm/internal/core"
+	"jrpm/internal/faultinject"
+	"jrpm/internal/mem"
+	"jrpm/internal/obs"
+	"jrpm/internal/progen"
+	"jrpm/internal/tls"
+	"jrpm/internal/tracer"
+)
+
+// testProgram lowers a deterministic progen program.
+func testProgram(t testing.TB, seed int64) *bytecode.Program {
+	t.Helper()
+	_, bp, err := progen.Lower(progen.Generate(seed, progen.QuickConfig()))
+	if err != nil {
+		t.Fatalf("seed %d: lower: %v", seed, err)
+	}
+	return bp
+}
+
+// fullOptions populates every options field the codec carries, including
+// all six optional sub-configurations.
+func fullOptions() core.Options {
+	o := core.DefaultOptions()
+	o.NCPU = 8
+	o.MaxCycles = 123_456_789
+	o.AdaptiveReprofile = true
+	o.NoInline = true
+	o.StormLimit = 77
+	o.Diagnose = true
+	o.Tier2Off = true
+	o.VM.ParallelAlloc = true
+	o.VM.HeapWords = 1 << 14
+
+	ac := analyzer.DefaultConfig()
+	ac.ExcludeLoops = map[int64]bool{9: true, 3: true, 27: true}
+	o.Analyzer = &ac
+	tc := tls.DefaultConfig(8)
+	o.TLS = &tc
+	cc := mem.DefaultCacheConfig(8)
+	o.Cache = &cc
+	trc := tracer.DefaultConfig()
+	o.Tracer = &trc
+	o.Faults = &faultinject.Plan{Seed: 42, RAW: 0.25, Overflow: 0.5, Bus: 0.125, BusDelay: 9, Heap: 0.0625, JIT: 0.03125}
+	gc := tls.DefaultGuardConfig()
+	o.Guard = &gc
+	return o
+}
+
+// runResult produces a real pipeline result with the diagnosis ledger
+// attached, so the encoding exercises the full metric payload.
+func runResult(t testing.TB, seed int64) *core.Result {
+	t.Helper()
+	bp := testProgram(t, seed)
+	opts := core.DefaultOptions()
+	gc := tls.DefaultGuardConfig()
+	opts.Guard = &gc
+	opts.Diagnose = true
+	res, err := core.Run(bp, opts)
+	if err != nil {
+		t.Fatalf("seed %d: run: %v", seed, err)
+	}
+	return res
+}
+
+// syntheticResult fills every field the pipeline may leave empty on small
+// programs — all three per-phase maps, guard stats, analysis decisions with
+// inline loop stats, and dep histograms.
+func syntheticResult() *core.Result {
+	ds := &tracer.DepStats{Iters: 5, SumDist: 11, MinDist: 2, SumStoreOff: 3, MaxStoreOff: 7, SumLoadOff: 4}
+	for i := range ds.DistHist {
+		ds.DistHist[i] = int64(i * i)
+	}
+	ls := &tracer.LoopStats{
+		LoopID: 12, Entries: 3, Iterations: 90, TotalCycles: 4096,
+		Deps:          map[uint32]*tracer.DepStats{7: ds, 2: {Iters: 1, MinDist: 1}},
+		CriticalIters: 8, SumCritDist: 16, SumCritStore: 5, SumCritLoad: 6,
+		OverflowIters: 1, SumLoadLines: 20, SumStoreLines: 21,
+		MaxLoadLines: 4, MaxStoreLines: 5, Unprofiled: 2, AbandonedOverflow: true,
+	}
+	r := &core.Result{
+		Name:            "synthetic",
+		CompileCycles:   1000,
+		RecompileCycles: 250,
+		PredictedCycles: 5_000,
+		OutputsMatch:    true,
+		Adapted:         true,
+		ExcludedLoops:   []int64{4, 1, 9},
+		JITFallback:     true,
+		OracleChecked:   true,
+		Loops:           map[int64]*tracer.LoopStats{12: ls, 3: {LoopID: 3, Entries: 1}},
+		Analysis: &analyzer.Result{
+			PredictedCycles: 5_000,
+			ProfiledCycles:  6_000,
+			Decisions: []*analyzer.LoopDecision{
+				{
+					LoopID: 12, MethodID: 1, LoopIndex: 0, Depth: 1, Selected: true,
+					Reason: "selected", Inner: true,
+					Prediction: tracer.Prediction{SeqCycles: 6_000, ParCycles: 2_000, Speedup: 3, Interval: 0.5, DepBound: 1.5, CPUBound: 2.5, Overflow: 0.125},
+					Coverage:   0.75, Stats: ls, Inductors: 2, Resetable: 1, Reductions: 1,
+					SyncLocks: 1, Comm: 3, Hoisted: true, Multilevel: true,
+				},
+				{LoopID: 3, Reason: "too-small"},
+			},
+		},
+	}
+	for i, p := range []*core.Phase{&r.Seq, &r.Profile, &r.TLS} {
+		base := int64(i+1) * 1000
+		p.Cycles = base
+		p.GCCycles = base / 10
+		p.GCRuns = int64(i)
+		p.Instructions = base * 3
+		p.Output = []int64{base, -base, 0}
+		p.Stats = tls.StateStats{Serial: 1, RunUsed: 2, WaitUsed: 3, Overhead: 4, RunViolated: 5, WaitViolated: 6}
+		p.Commits = 7
+		p.Violations = 8
+		p.Overflows = 9
+		p.AvgStoreBuf = 1.25
+		p.AvgLoadBuf = 2.5
+		p.OverflowBySTL = map[int64]int64{12: 2, -3: 1, 44: 9}
+		p.L1Hits, p.L1Misses, p.L2Hits, p.L2Misses = 10, 11, 12, 13
+		p.Tier.Promotions = 14
+		p.Tier.InterpSteps = 15
+		for d := range p.Tier.Demote {
+			p.Tier.Demote[d] = int64(d + i)
+		}
+		p.Statics = []int64{5, -6, 7}
+		p.FaultsFired = map[string]int64{"raw": 2, "bus": 1, "overflow": 3}
+		p.GuardStats = map[int64]tls.GuardLoopStats{
+			12: {Commits: 9, Violations: 1, Overflows: 0, Decertified: true, Decerts: 1, Probes: 2, Recerts: 1},
+			3:  {Commits: 4},
+		}
+		p.DecertifiedLoops = []int64{12}
+	}
+	r.TLS.Ledger = &obs.LedgerSnapshot{NCPU: 4, WallCycles: 4096}
+	return r
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		bp := testProgram(t, seed)
+		wire := EncodeProgram(bp)
+		got, err := DecodeProgram(wire)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		again := EncodeProgram(got)
+		if !bytes.Equal(wire, again) {
+			t.Fatalf("seed %d: decode∘encode is not the identity (%d vs %d bytes)", seed, len(wire), len(again))
+		}
+		if ProgramHash(bp) != ProgramHash(got) {
+			t.Fatalf("seed %d: hash changed across round-trip", seed)
+		}
+		if got.Name != bp.Name || len(got.Methods) != len(bp.Methods) || got.Main != bp.Main || got.Statics != bp.Statics {
+			t.Fatalf("seed %d: structure changed across round-trip", seed)
+		}
+	}
+}
+
+func TestProgramHashDistinguishes(t *testing.T) {
+	if ProgramHash(testProgram(t, 1)) == ProgramHash(testProgram(t, 2)) {
+		t.Fatal("different programs hashed equal")
+	}
+}
+
+func TestOptionsRoundTrip(t *testing.T) {
+	for _, o := range []core.Options{core.DefaultOptions(), fullOptions(), {}} {
+		wire := EncodeOptions(o)
+		got, err := DecodeOptions(wire)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		again := EncodeOptions(got)
+		if !bytes.Equal(wire, again) {
+			t.Fatalf("decode∘encode is not the identity")
+		}
+		if got.NCPU != o.NCPU || got.MaxCycles != o.MaxCycles || got.Diagnose != o.Diagnose {
+			t.Fatalf("scalars changed across round-trip: %+v vs %+v", got, o)
+		}
+		if (got.Analyzer == nil) != (o.Analyzer == nil) || (got.Faults == nil) != (o.Faults == nil) {
+			t.Fatalf("presence flags changed across round-trip")
+		}
+	}
+	// The exclude-loop set must canonicalize: map order cannot leak.
+	o := fullOptions()
+	w1 := EncodeOptions(o)
+	for i := 0; i < 16; i++ {
+		if !bytes.Equal(w1, EncodeOptions(fullOptions())) {
+			t.Fatal("options encoding depends on map iteration order")
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	results := []*core.Result{syntheticResult(), runResult(t, 3)}
+	for i, res := range results {
+		wire := EncodeResult(res)
+		got, err := DecodeResult(wire)
+		if err != nil {
+			t.Fatalf("result %d: decode: %v", i, err)
+		}
+		again := EncodeResult(got)
+		if !bytes.Equal(wire, again) {
+			t.Fatalf("result %d: decode∘encode is not the identity", i)
+		}
+		if got.Name != res.Name || got.TLS.Cycles != res.TLS.Cycles || got.Seq.Cycles != res.Seq.Cycles {
+			t.Fatalf("result %d: fields changed across round-trip", i)
+		}
+		if (got.TLS.Ledger == nil) != (res.TLS.Ledger == nil) {
+			t.Fatalf("result %d: ledger presence changed", i)
+		}
+		if (got.Analysis == nil) != (res.Analysis == nil) {
+			t.Fatalf("result %d: analysis presence changed", i)
+		}
+	}
+	// Map-heavy encodings must be stable call to call.
+	w := EncodeResult(syntheticResult())
+	for i := 0; i < 16; i++ {
+		if !bytes.Equal(w, EncodeResult(syntheticResult())) {
+			t.Fatal("result encoding depends on map iteration order")
+		}
+	}
+}
+
+func TestVersionSkew(t *testing.T) {
+	for _, wire := range [][]byte{
+		EncodeProgram(testProgram(t, 1)),
+		EncodeOptions(fullOptions()),
+		EncodeResult(syntheticResult()),
+	} {
+		skewed := append([]byte(nil), wire...)
+		skewed[4] = Version + 1
+		var err error
+		switch Kind(skewed[5]) {
+		case KindProgram:
+			_, err = DecodeProgram(skewed)
+		case KindOptions:
+			_, err = DecodeOptions(skewed)
+		case KindResult:
+			_, err = DecodeResult(skewed)
+		}
+		if !errors.Is(err, ErrCodecVersion) {
+			t.Fatalf("version skew on kind %s: got %v, want ErrCodecVersion", Kind(wire[5]), err)
+		}
+	}
+}
+
+func TestWrongKindRejected(t *testing.T) {
+	if _, err := DecodeProgram(EncodeOptions(core.DefaultOptions())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("options bytes accepted as a program: %v", err)
+	}
+	if _, err := DecodeResult(EncodeProgram(testProgram(t, 1))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("program bytes accepted as a result: %v", err)
+	}
+}
+
+// typedCodecError reports whether err wraps exactly the sentinels decode is
+// allowed to return.
+func typedCodecError(err error) bool {
+	return errors.Is(err, ErrCodecVersion) || errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt)
+}
+
+func TestTruncationNeverPanics(t *testing.T) {
+	wire := EncodeResult(runResult(t, 5))
+	for n := 0; n < len(wire); n++ {
+		_, err := DecodeResult(wire[:n])
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded cleanly", n, len(wire))
+		}
+		if !typedCodecError(err) {
+			t.Fatalf("truncation to %d bytes: untyped error %v", n, err)
+		}
+	}
+}
+
+func TestCorruptionTypedOrCanonical(t *testing.T) {
+	wire := EncodeOptions(fullOptions())
+	for i := 0; i < len(wire); i++ {
+		mut := append([]byte(nil), wire...)
+		mut[i] ^= 0x41
+		got, err := DecodeOptions(mut)
+		if err != nil {
+			if !typedCodecError(err) {
+				t.Fatalf("flip at %d: untyped error %v", i, err)
+			}
+			continue
+		}
+		// A flip that still decodes must land on another canonical value.
+		if !bytes.Equal(EncodeOptions(got), mut) {
+			t.Fatalf("flip at %d: accepted a non-canonical encoding", i)
+		}
+	}
+}
+
+func TestCacheKey(t *testing.T) {
+	bp := testProgram(t, 1)
+	h := ProgramHash(bp)
+	k1 := CacheKey(h, EncodeOptions(core.DefaultOptions()))
+	k2 := CacheKey(h, EncodeOptions(fullOptions()))
+	if k1 == k2 {
+		t.Fatal("different options produced the same cache key")
+	}
+	if k1 != CacheKey(h, EncodeOptions(core.DefaultOptions())) {
+		t.Fatal("cache key is not stable")
+	}
+	if len(k1) != 64+1+64 {
+		t.Fatalf("unexpected key shape %q", k1)
+	}
+}

@@ -1,0 +1,99 @@
+package codec
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"jrpm/internal/progen"
+	"jrpm/internal/tls"
+
+	"jrpm/internal/core"
+)
+
+// The cross-process determinism test guards the codec's central promise:
+// the canonical encoding has no map-iteration-order, pointer-identity or
+// per-process dependence. It re-executes this test binary as a subprocess
+// helper (twice), has each child generate the same program, run the same
+// pipeline and print digests of the three encodings, and requires all
+// processes — both children and this one — to agree byte for byte. A
+// nondeterministic encoder would still pass in-process round-trips; it
+// cannot pass this.
+
+const crossProcEnv = "JRPM_CODEC_CROSSPROC_SEED"
+
+// crossDigests computes the three wire digests for a seed the way the
+// fleet would: program hash, options digest, digest of the encoded result
+// of a full diagnosed pipeline run.
+func crossDigests(seed int64) (string, error) {
+	_, bp, err := progen.Lower(progen.Generate(seed, progen.QuickConfig()))
+	if err != nil {
+		return "", err
+	}
+	opts := core.DefaultOptions()
+	gc := tls.DefaultGuardConfig()
+	opts.Guard = &gc
+	opts.Diagnose = true
+	res, err := core.Run(bp, opts)
+	if err != nil {
+		return "", err
+	}
+	owire := EncodeOptions(opts)
+	rwire := EncodeResult(res)
+	od := sha256.Sum256(owire)
+	rd := sha256.Sum256(rwire)
+	return fmt.Sprintf("program=%s options=%x result=%x", ProgramHash(bp), od, rd), nil
+}
+
+// TestCrossProcessHelper is the subprocess body: inert unless the env var
+// selects a seed.
+func TestCrossProcessHelper(t *testing.T) {
+	seedSpec := os.Getenv(crossProcEnv)
+	if seedSpec == "" {
+		t.Skip("subprocess helper; driven by TestCrossProcessDeterminism")
+	}
+	var seed int64
+	if _, err := fmt.Sscan(seedSpec, &seed); err != nil {
+		t.Fatalf("bad %s=%q: %v", crossProcEnv, seedSpec, err)
+	}
+	line, err := crossDigests(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("CROSSPROC %s\n", line)
+}
+
+func TestCrossProcessDeterminism(t *testing.T) {
+	if os.Getenv(crossProcEnv) != "" {
+		t.Skip("already inside the helper")
+	}
+	const seed = int64(7)
+	want, err := crossDigests(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for child := 0; child < 2; child++ {
+		cmd := exec.Command(os.Args[0], "-test.run=TestCrossProcessHelper$", "-test.v")
+		cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%d", crossProcEnv, seed))
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("child %d: %v\n%s", child, err, out)
+		}
+		var got string
+		for _, line := range strings.Split(string(out), "\n") {
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "CROSSPROC "); ok {
+				got = rest
+				break
+			}
+		}
+		if got == "" {
+			t.Fatalf("child %d printed no CROSSPROC line:\n%s", child, out)
+		}
+		if got != want {
+			t.Fatalf("child %d disagrees with parent:\nchild:  %s\nparent: %s", child, got, want)
+		}
+	}
+}

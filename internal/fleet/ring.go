@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the default virtual-node count per replica. 64 points
+// per replica keeps the maximum load imbalance across a handful of shards
+// within a few percent while the ring stays tiny.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over replica names with virtual nodes.
+// Keys map to a preference order of replicas: the owner first, then the
+// distinct successors clockwise. Adding or removing one replica moves only
+// the keys whose owning arc changed — the property the router's cache
+// affinity and the failover tests rely on.
+//
+// A Ring is immutable after New; rebuilding on membership change is cheap
+// (the ring is a few thousand points at most).
+type Ring struct {
+	vnodes int
+	names  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int // index into names
+}
+
+// NewRing builds a ring over the given replica names (vnodes <= 0 selects
+// DefaultVNodes). Order of names fixes replica indices; the hash positions
+// depend only on the names, so every process building a ring from the same
+// membership sees the same ownership.
+func NewRing(names []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		vnodes: vnodes,
+		names:  append([]string(nil), names...),
+		points: make([]ringPoint, 0, len(names)*vnodes),
+	}
+	for i, name := range r.names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", name, v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// Len reports the number of replicas.
+func (r *Ring) Len() int { return len(r.names) }
+
+// Name returns the replica name at index i.
+func (r *Ring) Name(i int) string { return r.names[i] }
+
+// Owner returns the replica index owning the key (-1 on an empty ring).
+func (r *Ring) Owner(key string) int {
+	order := r.Order(key)
+	if len(order) == 0 {
+		return -1
+	}
+	return order[0]
+}
+
+// Order returns every replica index in the key's preference order: the
+// clockwise owner first, then each further distinct replica as the walk
+// continues around the ring. The router uses the tail for hedging and
+// failover, so a key's traffic lands on stable, deterministic shards.
+func (r *Ring) Order(key string) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	order := make([]int, 0, len(r.names))
+	seen := make(map[int]bool, len(r.names))
+	for i := 0; i < len(r.points) && len(order) < len(r.names); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			order = append(order, p.idx)
+		}
+	}
+	return order
+}
+
+// ringHash is 64-bit FNV-1a pushed through a splitmix64-style finalizer.
+// Raw FNV avalanches poorly on short, similar strings (replica vnode labels
+// and sequential job keys differ in a few trailing bytes), which clusters
+// points and unbalances the ring; the multiply/xor-shift mix spreads them.
+// Both stages are fixed arithmetic — deterministic across processes, which
+// keeps shard ownership stable fleet-wide.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

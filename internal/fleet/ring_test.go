@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	names := []string{"r0", "r1", "r2"}
+	a, b := NewRing(names, 0), NewRing(names, 0)
+	for _, k := range keys(200) {
+		oa, ob := a.Order(k), b.Order(k)
+		if len(oa) != len(names) || len(ob) != len(names) {
+			t.Fatalf("order for %q missing replicas: %v %v", k, oa, ob)
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("two rings over the same membership disagree on %q: %v vs %v", k, oa, ob)
+			}
+		}
+	}
+}
+
+func TestRingOrderCoversAllReplicasOnce(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 16)
+	for _, k := range keys(100) {
+		seen := map[int]bool{}
+		for _, i := range r.Order(k) {
+			if seen[i] {
+				t.Fatalf("duplicate replica %d in order for %q", i, k)
+			}
+			seen[i] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("order for %q covers %d replicas, want 4", k, len(seen))
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyOwnedKeys pins the consistent-hashing contract:
+// dropping a replica relocates exactly the keys it owned — every other
+// key keeps its owner.
+func TestRingRemovalMovesOnlyOwnedKeys(t *testing.T) {
+	full := NewRing([]string{"r0", "r1", "r2"}, 0)
+	reduced := NewRing([]string{"r0", "r1"}, 0)
+	moved := 0
+	for _, k := range keys(2000) {
+		ownerFull := full.Name(full.Owner(k))
+		ownerReduced := reduced.Name(reduced.Owner(k))
+		if ownerFull == "r2" {
+			moved++
+			continue // these keys had to move somewhere
+		}
+		if ownerFull != ownerReduced {
+			t.Fatalf("key %q moved from %s to %s although its replica survived", k, ownerFull, ownerReduced)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys owned by the removed replica — ring badly unbalanced")
+	}
+}
+
+// TestRingAdditionBoundedMovement: adding one replica to N steals roughly
+// 1/(N+1) of the keys; everything else stays put.
+func TestRingAdditionBoundedMovement(t *testing.T) {
+	before := NewRing([]string{"r0", "r1", "r2"}, 0)
+	after := NewRing([]string{"r0", "r1", "r2", "r3"}, 0)
+	const n = 2000
+	moved := 0
+	for _, k := range keys(n) {
+		oldOwner := before.Name(before.Owner(k))
+		newOwner := after.Name(after.Owner(k))
+		if oldOwner == newOwner {
+			continue
+		}
+		if newOwner != "r3" {
+			t.Fatalf("key %q moved %s→%s: only the new replica may steal keys", k, oldOwner, newOwner)
+		}
+		moved++
+	}
+	// Expected share is n/4 = 500; allow generous slack for hash variance
+	// but fail on gross imbalance (which would break cache affinity).
+	if moved < n/10 || moved > n/2 {
+		t.Fatalf("added replica stole %d/%d keys; want roughly %d", moved, n, n/4)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	names := []string{"r0", "r1", "r2", "r3"}
+	r := NewRing(names, 0)
+	counts := make([]int, len(names))
+	const n = 4000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	for i, c := range counts {
+		// Perfect share is 1000; virtual nodes should keep every replica
+		// within a factor of two of it.
+		if c < n/8 || c > n/2 {
+			t.Fatalf("replica %s owns %d/%d keys — ring unbalanced: %v", names[i], c, n, counts)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Order("anything"); got != nil {
+		t.Fatalf("empty ring returned order %v", got)
+	}
+	if r.Owner("anything") != -1 {
+		t.Fatal("empty ring claimed an owner")
+	}
+}

@@ -1,0 +1,323 @@
+// Package fleet scales jrpm-serve from a single node to a sharded fleet
+// without touching the pipeline underneath: a consistent-hash router spreads
+// submissions over N replicas, a byte-budgeted LRU memoizes results by
+// content address (the pipeline is deterministic, so (program, options) is
+// a perfect key), singleflight coalescing collapses identical in-flight
+// jobs, per-shard circuit breakers shed traffic to dead replicas, and
+// hedged retries bound tail latency when the owning shard is slow.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"jrpm/internal/cache"
+	"jrpm/internal/codec"
+	"jrpm/internal/obs"
+	"jrpm/internal/serve"
+)
+
+// Config parameterizes a Router. Zero values select the documented
+// defaults.
+type Config struct {
+	// CacheBytes budgets the result cache (default cache.DefaultMaxBytes;
+	// negative disables caching entirely).
+	CacheBytes int64
+	// VNodes is the virtual-node count per replica on the hash ring
+	// (default DefaultVNodes).
+	VNodes int
+	// HedgeAfter launches a hedge attempt on the next preferred replica
+	// when the current attempt has not finished within this duration —
+	// deadline risk, in submissions-per-second terms. 0 disables hedging.
+	HedgeAfter time.Duration
+	// Breaker configures the per-shard circuit breakers (serve's
+	// submission-counted schedule; defaults from serve.DefaultBreakerConfig).
+	Breaker serve.BreakerConfig
+	// Serve mirrors the replicas' serve.Config. The router derives each
+	// submission's effective core.Options from it for the cache key, so it
+	// must match what the replicas run — a drift would make the key
+	// describe a different simulation than the one memoized.
+	Serve serve.Config
+}
+
+// Outcome is one routed submission's result.
+type Outcome struct {
+	// Wire is the canonical codec encoding of the full core.Result.
+	Wire []byte
+	// Key is the submission's content address (program hash + options
+	// digest).
+	Key string
+	// CacheHit reports the result came from the router cache — no replica
+	// was touched.
+	CacheHit bool
+	// Coalesced reports this caller joined another caller's in-flight run.
+	// The view and replica belong to the initiating caller and are not
+	// populated here.
+	Coalesced bool
+	// Replica names the replica that executed the job ("" for cache hits
+	// and coalesced joiners).
+	Replica string
+	// View is the terminal job view from the executing replica (zero for
+	// cache hits and coalesced joiners).
+	View serve.JobView
+}
+
+// Routing errors.
+var (
+	// ErrNoReplicas sheds a submission because every candidate shard was
+	// shed by its breaker (or the fleet is empty).
+	ErrNoReplicas = errors.New("fleet: no replica available")
+)
+
+// Router is the fleet front door. Create with New; Do routes one
+// submission.
+type Router struct {
+	cfg      Config
+	reg      *obs.Registry
+	ring     *Ring
+	backends []Backend
+	breakers []*serve.Breaker
+	cache    *cache.LRU
+	group    *cache.Group
+
+	jobs, hedges, failovers, shed, errs *obs.Counter
+}
+
+// New builds a router over the given replicas. Replica order fixes shard
+// indices; ring positions depend only on replica names.
+func New(cfg Config, backends []Backend) *Router {
+	reg := obs.NewRegistry()
+	names := make([]string, len(backends))
+	breakers := make([]*serve.Breaker, len(backends))
+	for i, b := range backends {
+		names[i] = b.Name()
+		breakers[i] = serve.NewBreaker(b.Name(), cfg.Breaker)
+	}
+	var lru *cache.LRU
+	if cfg.CacheBytes >= 0 {
+		lru = cache.NewLRU(cfg.CacheBytes, reg)
+	}
+	rt := &Router{
+		cfg:      cfg,
+		reg:      reg,
+		ring:     NewRing(names, cfg.VNodes),
+		backends: backends,
+		breakers: breakers,
+		cache:    lru,
+		group:    cache.NewGroup(reg),
+
+		jobs:      reg.Counter("jrpm_fleet_jobs_total"),
+		hedges:    reg.Counter("jrpm_fleet_hedges_total"),
+		failovers: reg.Counter("jrpm_fleet_failovers_total"),
+		shed:      reg.Counter("jrpm_fleet_breaker_shed_total"),
+		errs:      reg.Counter("jrpm_fleet_errors_total"),
+	}
+	reg.Gauge("jrpm_fleet_replicas").Set(float64(len(backends)))
+	return rt
+}
+
+// Metrics exposes the router's registry (live; safe for concurrent reads).
+func (rt *Router) Metrics() *obs.Registry { return rt.reg }
+
+// Breakers snapshots the per-shard circuit breakers in shard order.
+func (rt *Router) Breakers() []serve.BreakerStats {
+	out := make([]serve.BreakerStats, len(rt.breakers))
+	for i, b := range rt.breakers {
+		out[i] = b.Stats()
+	}
+	return out
+}
+
+// Ring exposes the hash ring (immutable).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Key computes the submission's content address: the program hash combined
+// with the digest of the exact core.Options a replica would run the spec
+// with at its starting rung. Auto-mode and pinned-tls submissions share a
+// key deliberately — both start at the TLS rung with identical options, and
+// only undegraded results (which are rung-identical) enter the cache.
+func (rt *Router) Key(spec serve.JobSpec) (string, error) {
+	key, _, err := rt.key(spec)
+	return key, err
+}
+
+func (rt *Router) key(spec serve.JobSpec) (key string, cacheable bool, err error) {
+	bp, _, err := serve.BuildProgram(spec)
+	if err != nil {
+		return "", false, err
+	}
+	first, _, err := serve.ParseMode(spec.Mode)
+	if err != nil {
+		return "", false, err
+	}
+	opts, err := rt.cfg.Serve.OptionsForSpec(spec, first)
+	if err != nil {
+		return "", false, err
+	}
+	// Trace jobs carry a flight-recorder ring that does not travel in the
+	// wire result, so a cached answer would silently lose the trace: bypass.
+	return codec.CacheKey(codec.ProgramHash(bp), codec.EncodeOptions(opts)), !spec.Trace, nil
+}
+
+// Do routes one submission: cache lookup, then singleflight coalescing,
+// then consistent-hash dispatch with per-shard breakers, hedging and
+// failover. ctx bounds this caller's wait; a coalesced run shared with
+// other callers is not cancelled when one caller gives up.
+func (rt *Router) Do(ctx context.Context, spec serve.JobSpec) (Outcome, error) {
+	rt.jobs.Inc()
+	key, cacheable, err := rt.key(spec)
+	if err != nil {
+		rt.errs.Inc()
+		return Outcome{}, err
+	}
+	cacheable = cacheable && rt.cache != nil
+	if cacheable {
+		if wire, ok := rt.cache.Get(key); ok {
+			return Outcome{Wire: wire, Key: key, CacheHit: true}, nil
+		}
+	} else {
+		// Uncacheable jobs are also not coalesced: each caller needs its own
+		// server-side job (e.g. its own trace ring).
+		wire, view, replica, derr := rt.dispatch(ctx, spec, key)
+		if derr != nil {
+			rt.errs.Inc()
+			return Outcome{Key: key, View: view}, derr
+		}
+		return Outcome{Wire: wire, Key: key, Replica: replica, View: view}, nil
+	}
+
+	// execView/execReplica are written by this call's flight function and
+	// read only when this caller was the initiator and the flight finished
+	// (err == nil && !shared), which the group's done-channel ordering makes
+	// safe.
+	var execView serve.JobView
+	var execReplica string
+	wire, shared, err := rt.group.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
+		w, view, replica, derr := rt.dispatch(fctx, spec, key)
+		if derr != nil {
+			return nil, derr
+		}
+		// Only undegraded done results are memoized: a degraded outcome is a
+		// deadline artifact of this submission, not a property of
+		// (program, options) — caching it would poison every future hit.
+		if view.Status == serve.StatusDone && !view.Degraded {
+			rt.cache.Put(key, w)
+		}
+		execView = view
+		execReplica = replica
+		return w, nil
+	})
+	if err != nil {
+		rt.errs.Inc()
+		return Outcome{Key: key, Coalesced: shared}, err
+	}
+	out := Outcome{Wire: wire, Key: key, Coalesced: shared}
+	if !shared {
+		out.View = execView
+		out.Replica = execReplica
+	}
+	return out, nil
+}
+
+// attemptResult is one replica attempt's outcome.
+type attemptResult struct {
+	wire []byte
+	view serve.JobView
+	err  error
+	idx  int
+}
+
+// dispatch runs the spec on the key's preferred shard, hedging to the next
+// shard past the deadline-risk threshold and failing over on error. It
+// returns the first successful attempt; losers are cancelled and their
+// breaker outcomes recorded neutrally.
+func (rt *Router) dispatch(ctx context.Context, spec serve.JobSpec, key string) ([]byte, serve.JobView, string, error) {
+	order := rt.ring.Order(key)
+	dctx, dcancel := context.WithCancel(ctx)
+	defer dcancel()
+
+	resCh := make(chan attemptResult, len(order))
+	inflight, next := 0, 0
+	// launch starts the next breaker-admitted candidate, skipping shed
+	// shards; it reports whether an attempt actually started.
+	launch := func() bool {
+		for next < len(order) {
+			i := order[next]
+			next++
+			if !rt.breakers[i].Admit() {
+				rt.shed.Inc()
+				continue
+			}
+			rt.reg.Counter(fmt.Sprintf("jrpm_fleet_dispatch_total{replica=%q}", rt.backends[i].Name())).Inc()
+			inflight++
+			go func(i int) {
+				w, v, err := rt.backends[i].Run(dctx, spec)
+				resCh <- attemptResult{wire: w, view: v, err: err, idx: i}
+			}(i)
+			return true
+		}
+		return false
+	}
+	// reap drains n straggler attempts in the background after dispatch
+	// returns (dcancel interrupts them), recording each as a neutral
+	// cancellation so no shard breaker wedges behind an unresolved probe.
+	reap := func(n int) {
+		if n <= 0 {
+			return
+		}
+		go func() {
+			for k := 0; k < n; k++ {
+				r := <-resCh
+				rt.breakers[r.idx].OnResult(false, true)
+			}
+		}()
+	}
+
+	if !launch() {
+		return nil, serve.JobView{}, "", fmt.Errorf("%w: %d shard(s), all shed", ErrNoReplicas, len(order))
+	}
+	var hedge <-chan time.Time
+	if rt.cfg.HedgeAfter > 0 {
+		hedge = time.After(rt.cfg.HedgeAfter)
+	}
+	var lastErr error
+	for inflight > 0 {
+		select {
+		case r := <-resCh:
+			inflight--
+			name := rt.backends[r.idx].Name()
+			if r.err == nil {
+				rt.breakers[r.idx].OnResult(true, false)
+				reap(inflight)
+				return r.wire, r.view, name, nil
+			}
+			if errors.Is(r.err, ErrJobFailed) {
+				// The shard worked; the program failed deterministically.
+				// Every replica would reproduce it, so failing over would
+				// just burn capacity — and the shard stays certified.
+				rt.breakers[r.idx].OnResult(true, false)
+				reap(inflight)
+				return nil, r.view, name, r.err
+			}
+			rt.breakers[r.idx].OnResult(false, ctx.Err() != nil)
+			lastErr = fmt.Errorf("fleet: replica %s: %w", name, r.err)
+			if ctx.Err() == nil && launch() {
+				rt.failovers.Inc()
+			}
+		case <-hedge:
+			hedge = nil
+			if launch() {
+				rt.hedges.Inc()
+			}
+		case <-ctx.Done():
+			reap(inflight)
+			return nil, serve.JobView{}, "", context.Cause(ctx)
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoReplicas
+	}
+	return nil, serve.JobView{}, "", lastErr
+}

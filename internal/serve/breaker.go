@@ -54,9 +54,11 @@ type BreakerStats struct {
 	Recloses  int64  `json:"recloses"`
 }
 
-// breaker tracks one workload key. Calls are serialized by the server's
+// Breaker tracks one key — a workload on jrpm-serve, a replica shard on the
+// fleet router. It is exported so the fleet layer reuses the same tested
+// schedule per shard. Calls are serialized by the server's
 // submit path and the worker completion path, so it carries its own lock.
-type breaker struct {
+type Breaker struct {
 	mu  sync.Mutex
 	cfg BreakerConfig
 
@@ -67,17 +69,17 @@ type breaker struct {
 	probing bool  // one probe job is in flight
 }
 
-func newBreaker(key string, cfg BreakerConfig) *breaker {
-	b := &breaker{cfg: cfg.withDefaults()}
+func NewBreaker(key string, cfg BreakerConfig) *Breaker {
+	b := &Breaker{cfg: cfg.withDefaults()}
 	b.Key = key
 	return b
 }
 
-// admit decides whether a submission for this key may enter the queue.
+// Admit decides whether a submission for this key may proceed.
 // While open, submissions are shed until the backoff expires; then exactly
 // one probe is admitted (subsequent submissions shed until the probe
 // resolves).
-func (b *breaker) admit() bool {
+func (b *Breaker) Admit() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !b.Open {
@@ -97,10 +99,10 @@ func (b *breaker) admit() bool {
 	return true
 }
 
-// onResult records a finished job for this key. Cancellations are neutral:
+// OnResult records a finished job for this key. Cancellations are neutral:
 // they resolve a probe (so the circuit does not stay wedged behind a probe
 // job the client abandoned) but neither trip nor close the circuit.
-func (b *breaker) onResult(success, cancelled bool) {
+func (b *Breaker) OnResult(success, cancelled bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if cancelled {
@@ -141,17 +143,17 @@ func (b *breaker) onResult(success, cancelled bool) {
 	}
 }
 
-// stats snapshots the breaker state.
-func (b *breaker) stats() BreakerStats {
+// Stats snapshots the breaker state.
+func (b *Breaker) Stats() BreakerStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.BreakerStats
 }
 
-// retryAfterSubmissions estimates how many more submissions will be shed
+// RetryAfterSubmissions estimates how many more submissions will be shed
 // before a probe is admitted (0 when closed or probe-ready). The HTTP layer
 // maps it to a Retry-After hint.
-func (b *breaker) retryAfterSubmissions() int64 {
+func (b *Breaker) RetryAfterSubmissions() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !b.Open {

@@ -18,6 +18,7 @@ import (
 //	GET  /jobs             list known jobs (bounded by retention)
 //	GET  /jobs/{id}        job snapshot; ?wait=<duration> blocks until terminal or the wait expires
 //	POST /jobs/{id}/cancel request cancellation
+//	GET  /jobs/{id}/result canonical codec encoding of a finished job's full result
 //	GET  /jobs/{id}/trace  Perfetto/Chrome trace JSON (jobs submitted with trace=true)
 //	GET  /jobs/{id}/doctor speculation-doctor report (jobs submitted with diagnose=true);
 //	                       JSON by default, ?format=text for the human rendering
@@ -31,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/doctor", s.handleDoctor)
 	mux.HandleFunc("GET /breakers", s.handleBreakers)
@@ -139,6 +141,28 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	cancelled := s.Cancel(id)
 	view, _ := s.Job(id)
 	writeJSON(w, http.StatusOK, map[string]any{"cancelled": cancelled, "job": view})
+}
+
+// handleResult serves the canonical codec encoding of a finished job's full
+// result (application/octet-stream). 404 for unknown jobs, 409 while the
+// job is still running or when it finished without a result.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job id"})
+		return
+	}
+	b, rerr := s.ResultBytes(id)
+	if rerr != nil {
+		status := http.StatusNotFound
+		if !errors.Is(rerr, ErrUnknownJob) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, httpError{Error: rerr.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(b)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

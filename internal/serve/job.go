@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"jrpm/internal/bytecode"
+	"jrpm/internal/codec"
 	"jrpm/internal/core"
 	"jrpm/internal/diagnose"
 	"jrpm/internal/hydra"
@@ -111,7 +112,22 @@ type job struct {
 	done     chan struct{}
 	ring     *obs.Ring        // non-nil when the spec asked for a trace
 	doctor   *diagnose.Report // non-nil once a diagnosed TLS rung succeeds
+	wire     []byte           // canonical codec encoding of the full result, set on success
 	bkey     string           // circuit-breaker key
+}
+
+// setWire publishes the canonical result encoding. The byte slice is never
+// mutated after this, so readers share it without copying.
+func (j *job) setWire(b []byte) {
+	j.mu.Lock()
+	j.wire = b
+	j.mu.Unlock()
+}
+
+func (j *job) wireBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wire
 }
 
 // setDoctor publishes the doctor report; the report is immutable after
@@ -333,6 +349,20 @@ func degradable(err error) bool {
 // from the sequential run without an active fault plan.
 var errOutputMismatch = errors.New("serve: speculative output diverged from sequential run")
 
+// BuildProgram resolves a spec to its bytecode program and heap sizing —
+// exported so the fleet router can content-address submissions with the
+// exact program a replica would run.
+func BuildProgram(spec JobSpec) (*bytecode.Program, int, error) {
+	return buildProgram(spec)
+}
+
+// ParseMode maps a spec mode string to its starting rung and whether the
+// ladder is pinned there — exported so the fleet router keys its cache by
+// the same rung a replica would start at.
+func ParseMode(mode string) (first Rung, pinned bool, err error) {
+	return startRung(mode)
+}
+
 // buildProgram resolves the spec to a fresh bytecode program. A fresh build
 // per attempt keeps attempts independent — no compiled state leaks from a
 // failed speculative attempt into the sequential retry.
@@ -349,6 +379,57 @@ func buildProgram(spec JobSpec) (*bytecode.Program, int, error) {
 		return nil, 0, fmt.Errorf("serve: parse: %w", err)
 	}
 	return bp, 0, nil
+}
+
+// optionsFor builds the exact core.Options a job attempt runs with, given
+// the heap sizing the program build resolved. Receiver must already have
+// defaults applied. The runtime-only fields (Ctx, Recorder) are left zero;
+// the attempt path attaches them.
+func (c Config) optionsFor(spec JobSpec, rung Rung, heapWords int) (core.Options, error) {
+	opts := core.DefaultOptions()
+	opts.Tier2Off = c.Tier2Off
+	if spec.NCPU > 0 {
+		opts.NCPU = spec.NCPU
+	}
+	if heapWords > 0 {
+		opts.VM.HeapWords = heapWords
+	}
+	opts.MaxCycles = c.MaxCycles
+	if spec.MaxCycles > 0 && spec.MaxCycles < opts.MaxCycles {
+		opts.MaxCycles = spec.MaxCycles
+	}
+	if rung == RungTLS {
+		if spec.Faults != "" {
+			plan, perr := parseFaults(spec.Faults)
+			if perr != nil {
+				return core.Options{}, perr
+			}
+			opts.Faults = &plan
+		}
+		// The in-run safety net: thrashing loops demote to solo instead of
+		// storming the whole job.
+		gcfg := tls.DefaultGuardConfig()
+		opts.Guard = &gcfg
+		// The ledger is passive — cycles are bit-identical with it attached —
+		// so diagnosis never perturbs what the job measures.
+		opts.Diagnose = spec.Diagnose
+	}
+	return opts, nil
+}
+
+// OptionsForSpec resolves the effective simulation options a job submitted
+// with spec would run with at the given rung. It is the single source of
+// truth shared by the attempt path, the fleet router's cache key, and the
+// conformance oracle's direct leg — a drift between "what the server runs"
+// and "what the key describes" would silently poison the fleet cache, so
+// there is exactly one derivation.
+func (c Config) OptionsForSpec(spec JobSpec, rung Rung) (core.Options, error) {
+	c = c.withDefaults()
+	_, heapWords, err := buildProgram(spec)
+	if err != nil {
+		return core.Options{}, err
+	}
+	return c.optionsFor(spec, rung, heapWords)
 }
 
 // attempt runs one rung of the ladder with a panic backstop: a panic
@@ -368,35 +449,13 @@ func (s *Server) attempt(ctx context.Context, rung Rung, spec JobSpec, ring *obs
 	if err != nil {
 		return nil, err
 	}
-	opts := core.DefaultOptions()
+	opts, err := s.cfg.optionsFor(spec, rung, heapWords)
+	if err != nil {
+		return nil, err
+	}
 	opts.Ctx = ctx
-	opts.Tier2Off = s.cfg.Tier2Off
-	if spec.NCPU > 0 {
-		opts.NCPU = spec.NCPU
-	}
-	if heapWords > 0 {
-		opts.VM.HeapWords = heapWords
-	}
-	opts.MaxCycles = s.cfg.MaxCycles
-	if spec.MaxCycles > 0 && spec.MaxCycles < opts.MaxCycles {
-		opts.MaxCycles = spec.MaxCycles
-	}
 	switch rung {
 	case RungTLS:
-		if spec.Faults != "" {
-			plan, perr := parseFaults(spec.Faults)
-			if perr != nil {
-				return nil, perr
-			}
-			opts.Faults = &plan
-		}
-		// The in-run safety net: thrashing loops demote to solo instead of
-		// storming the whole job.
-		gcfg := tls.DefaultGuardConfig()
-		opts.Guard = &gcfg
-		// The ledger is passive — cycles are bit-identical with it attached —
-		// so diagnosis never perturbs what the job measures.
-		opts.Diagnose = spec.Diagnose
 		if ring != nil {
 			ring.Reset()
 			opts.Recorder = ring
@@ -464,6 +523,10 @@ func (s *Server) runJob(j *job) {
 			if rung != first {
 				s.reg.Counter(fmt.Sprintf("jrpm_serve_jobs_degraded_total{rung=%q}", rung)).Inc()
 			}
+			// The full result travels in canonical wire form so fleet peers
+			// (and the conformance oracle) can fetch byte-exact outcomes, not
+			// just the JobView summary. Encoding is a few KB per job.
+			j.setWire(codec.EncodeResult(res))
 			s.addTierMetrics(res)
 			if spec.Diagnose && rung == RungTLS {
 				if rep, derr := diagnose.Build(res); derr == nil {
@@ -559,13 +622,13 @@ func (s *Server) finishJob(j *job) {
 	v := j.snapshot()
 	switch v.Status {
 	case StatusDone:
-		s.breakerFor(j.bkey).onResult(true, false)
+		s.breakerFor(j.bkey).OnResult(true, false)
 	case StatusFailed:
 		s.reg.Counter("jrpm_serve_jobs_completed_total{status=\"failed\"}").Inc()
-		s.breakerFor(j.bkey).onResult(false, false)
+		s.breakerFor(j.bkey).OnResult(false, false)
 	case StatusCancelled:
 		s.reg.Counter("jrpm_serve_jobs_completed_total{status=\"cancelled\"}").Inc()
-		s.breakerFor(j.bkey).onResult(false, true)
+		s.breakerFor(j.bkey).OnResult(false, true)
 	}
 	s.noteFinished(v.ID)
 }

@@ -126,7 +126,7 @@ type Server struct {
 	draining bool
 	jobs     map[int64]*job
 	finished []int64 // terminal job ids, oldest first, for bounded retention
-	breakers map[string]*breaker
+	breakers map[string]*Breaker
 	queue    chan *job
 
 	nextID  atomic.Int64
@@ -142,7 +142,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		reg:      obs.NewRegistry(),
 		jobs:     make(map[int64]*job),
-		breakers: make(map[string]*breaker),
+		breakers: make(map[string]*Breaker),
 		queue:    make(chan *job, cfg.QueueDepth),
 	}
 }
@@ -191,12 +191,12 @@ func breakerKey(spec JobSpec) string {
 }
 
 // breakerFor returns (creating on first use) the breaker for a key.
-func (s *Server) breakerFor(key string) *breaker {
+func (s *Server) breakerFor(key string) *Breaker {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b := s.breakers[key]
 	if b == nil {
-		b = newBreaker(key, s.cfg.Breaker)
+		b = NewBreaker(key, s.cfg.Breaker)
 		s.breakers[key] = b
 	}
 	return b
@@ -251,10 +251,10 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	key := breakerKey(spec)
 	b := s.breakerFor(key)
 	s.reg.Counter("jrpm_serve_jobs_submitted_total").Inc()
-	if !b.admit() {
+	if !b.Admit() {
 		s.reg.Counter("jrpm_serve_jobs_shed_total{reason=\"circuit_open\"}").Inc()
 		return JobView{}, fmt.Errorf("%w: %s (retry after ~%d submissions)",
-			ErrCircuitOpen, key, b.retryAfterSubmissions())
+			ErrCircuitOpen, key, b.RetryAfterSubmissions())
 	}
 	j := &job{
 		done: make(chan struct{}),
@@ -275,7 +275,7 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	s.mu.Lock()
 	if !s.started || s.draining {
 		s.mu.Unlock()
-		b.onResult(false, true) // release a granted probe without judging it
+		b.OnResult(false, true) // release a granted probe without judging it
 		s.reg.Counter("jrpm_serve_jobs_shed_total{reason=\"draining\"}").Inc()
 		return JobView{}, ErrDraining
 	}
@@ -284,7 +284,7 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	case s.queue <- j:
 	default:
 		s.mu.Unlock()
-		b.onResult(false, true) // ditto: queue-full is not a probe verdict
+		b.OnResult(false, true) // ditto: queue-full is not a probe verdict
 		s.reg.Counter("jrpm_serve_jobs_shed_total{reason=\"queue_full\"}").Inc()
 		return JobView{}, ErrQueueFull
 	}
@@ -344,14 +344,14 @@ func (s *Server) Jobs() []JobView {
 // Breakers lists per-workload circuit-breaker states, sorted by key.
 func (s *Server) Breakers() []BreakerStats {
 	s.mu.Lock()
-	bs := make([]*breaker, 0, len(s.breakers))
+	bs := make([]*Breaker, 0, len(s.breakers))
 	for _, b := range s.breakers {
 		bs = append(bs, b)
 	}
 	s.mu.Unlock()
 	out := make([]BreakerStats, len(bs))
 	for i, b := range bs {
-		out[i] = b.stats()
+		out[i] = b.Stats()
 	}
 	sortBreakers(out)
 	return out
@@ -394,6 +394,27 @@ func (s *Server) Cancel(id int64) bool {
 	// it sees a terminal job and just publishes the outcome.
 	j.cancelled(ErrJobCancelled)
 	return true
+}
+
+// ResultBytes returns the canonical codec encoding of a finished job's full
+// core.Result. Only jobs that reached StatusDone carry one; the fleet layer
+// uses these bytes for caching and the conformance suite for byte-exact
+// comparison.
+func (s *Server) ResultBytes(id int64) ([]byte, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, ErrUnknownJob
+	}
+	if !j.terminal() {
+		return nil, fmt.Errorf("serve: job %d still running; result available at completion", id)
+	}
+	b := j.wireBytes()
+	if b == nil {
+		return nil, fmt.Errorf("serve: job %d produced no result", id)
+	}
+	return b, nil
 }
 
 // Trace returns the job's flight-recorder events (nil ring when the job was
