@@ -39,6 +39,7 @@ import (
 	"syscall"
 
 	"jrpm/internal/analyzer"
+	"jrpm/internal/buildinfo"
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
 	"jrpm/internal/faultinject"
@@ -113,7 +114,12 @@ func main() {
 	httpAddr := flag.String("http", "", "serve net/http/pprof and expvar on ADDR (e.g. :6060) during the run")
 	compare := flag.String("compare", "", "re-measure the Table 3 suite's host wall time against a scripts/bench.sh snapshot (BENCH_pr*.json) and exit nonzero on regression")
 	compareTol := flag.Float64("compare-tolerance", 0.10, "geomean regression tolerance for -compare (0.10 = 10%)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("jrpm-bench"))
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"jrpm/internal/analyzer"
+	"jrpm/internal/buildinfo"
 	"jrpm/internal/bytecode"
 	"jrpm/internal/cfg"
 	"jrpm/internal/hydra"
@@ -28,7 +29,12 @@ func main() {
 	mode := flag.String("mode", "plain", "compilation mode: plain, annotated or tls")
 	method := flag.String("method", "", "only this method")
 	blocks := flag.Bool("blocks", false, "print the tier-2 block layout of each method")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("jrpm-dis"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: jrpm-dis [-mode plain|annotated|tls] [-method NAME] [-blocks] WORKLOAD")
 		os.Exit(2)

@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"jrpm/internal/buildinfo"
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
 	"jrpm/internal/diagnose"
@@ -39,7 +40,12 @@ func main() {
 	guard := flag.Bool("guard", false, "enable the STL violation-storm guard")
 	faults := flag.String("faults", "", "fault-injection plan, e.g. seed=42,raw=0.01")
 	list := flag.Bool("list", false, "list workload names and exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("jrpm-doctor"))
+		return
+	}
 
 	if *list {
 		for _, w := range workloads.All() {

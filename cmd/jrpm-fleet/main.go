@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"jrpm/internal/buildinfo"
 	"jrpm/internal/core"
 	"jrpm/internal/fleet"
 	"jrpm/internal/serve"
@@ -55,7 +56,12 @@ func main() {
 	tier := flag.String("tier", "on", "replicas' tier-2 engine setting, for cache keying")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	metricsOut := flag.String("metrics", "", "flush Prometheus metrics to FILE on shutdown (\"-\" = stderr)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("jrpm-fleet"))
+		return
+	}
 
 	tierOff, err := core.ParseTierFlag(*tier)
 	if err != nil {

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jrpm/internal/buildinfo"
 	"jrpm/internal/progen"
 )
 
@@ -56,7 +57,12 @@ func main() {
 	quick := flag.Bool("quick", false, "skip the rerun/faults/solo legs")
 	verbose := flag.Bool("v", false, "log every seed")
 	reproFile := flag.String("repro", "", "replay one reproducer JSON and exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("jrpm-fuzz"))
+		return
+	}
 
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "jrpm-fuzz: unexpected arguments %q\n", flag.Args())

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"jrpm/internal/buildinfo"
 	"jrpm/internal/litmus"
 )
 
@@ -46,7 +47,12 @@ func main() {
 		budget    = flag.Int("budget", 400, "minimize mode: exploration budget")
 		verbose   = flag.Bool("v", false, "per-test progress")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("jrpm-litmus"))
+		return
+	}
 
 	opt := litmus.Options{NoPrune: *noprune}
 	if *deadline > 0 {

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"syscall"
 
+	"jrpm/internal/buildinfo"
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
 	"jrpm/internal/diagnose"
@@ -78,7 +79,12 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exceeding it exits with status 3")
 	tier := flag.String("tier", "on", "tier-2 block engine, on or off: compile hot straight-line runs into fused superinstructions (results are bit-identical; off forces pure interpretation)")
 	explain := flag.Bool("explain", false, "attach the speculation doctor's cycle-conservation ledger and print its diagnosis (per-loop verdicts, ranked violation sites, decomposition reasoning) to stderr")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("jrpm-run"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: jrpm-run [-cpus N] [-seq] [-tier=off] [-faults PLAN] [-cyclebudget N] [-guard] [-timeout D] [-trace FILE] [-metrics -|FILE] [-http ADDR] [-explain] program.jasm")
 		os.Exit(2)

@@ -6,6 +6,13 @@
 //
 //	jrpm-serve [-addr :8080] [-workers N] [-queue N] [-deadline D]
 //	           [-maxdeadline D] [-cyclebudget N] [-grace D] [-metrics FILE]
+//	           [-data DIR] [-checkpoint-every D]
+//
+// With -data the server is crash-durable: accepted jobs land in an fsync'd
+// journal, running jobs write periodic safepoint checkpoints, and a restart
+// replays the journal — finished jobs (and their result bytes) reappear, and
+// interrupted ones re-enqueue, resuming mid-simulation from their latest
+// checkpoint with bit-identical results.
 //
 // Endpoints:
 //
@@ -34,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"jrpm/internal/buildinfo"
 	"jrpm/internal/core"
 	"jrpm/internal/serve"
 )
@@ -48,21 +56,38 @@ func main() {
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period before in-flight jobs are cancelled")
 	metricsOut := flag.String("metrics", "", "flush Prometheus metrics to FILE on shutdown (\"-\" = stderr)")
 	tier := flag.String("tier", "on", "tier-2 block engine for all jobs, on or off (results are bit-identical; off forces pure interpretation)")
+	dataDir := flag.String("data", "", "crash-durability directory: journal accepted jobs, checkpoint running ones, and recover both on restart (empty = in-memory only)")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "period between safepoint checkpoints on running jobs (0 = 2s when -data is set)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("jrpm-serve"))
+		return
+	}
 
 	tierOff, err := core.ParseTierFlag(*tier)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jrpm-serve:", err)
 		os.Exit(2)
 	}
-	srv := serve.New(serve.Config{
+	srv, rec, err := serve.Open(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		MaxCycles:       *budget,
 		Tier2Off:        tierOff,
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptEvery,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpm-serve:", err)
+		os.Exit(1)
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "jrpm-serve: durable in %s: recovered %d resumed, %d restarted, %d completed\n",
+			*dataDir, rec.Resumed, rec.Restarted, rec.Completed)
+	}
 	srv.Start()
 
 	ln, err := net.Listen("tcp", *addr)

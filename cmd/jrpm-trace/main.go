@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"jrpm/internal/buildinfo"
 	"jrpm/internal/bytecode"
 	"jrpm/internal/core"
 	"jrpm/internal/obs"
@@ -41,7 +42,12 @@ func main() {
 	cpus := flag.Int("cpus", 4, "number of CPUs")
 	guard := flag.Bool("guard", false, "enable the STL violation-storm guard")
 	list := flag.Bool("list", false, "list workload names and exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("jrpm-trace"))
+		return
+	}
 
 	if *list {
 		for _, w := range workloads.All() {

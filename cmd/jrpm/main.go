@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"jrpm/internal/buildinfo"
 	"jrpm/internal/core"
 	"jrpm/internal/tls"
 	"jrpm/internal/workloads"
@@ -34,7 +35,12 @@ func main() {
 	loops := flag.Bool("loops", false, "print per-loop analyzer decisions")
 	noalloc := flag.Bool("noalloc", false, "disable per-CPU speculative free lists")
 	nolocks := flag.Bool("nolocks", false, "disable speculation-aware object locks")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Banner("jrpm"))
+		return
+	}
 
 	opts := core.DefaultOptions()
 	opts.NCPU = *cpus

@@ -1,0 +1,38 @@
+// Package buildinfo renders the one-line version banner every jrpm binary
+// prints for -version: the module version (from the embedded Go build info,
+// "devel" for plain `go build` trees), the VCS revision when stamped, and the
+// codec wire version — the compatibility contract a fleet operator actually
+// cares about when mixing binaries, since replicas exchange results and
+// checkpoints in codec envelopes.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"jrpm/internal/codec"
+)
+
+// Version returns the module version string ("devel" when the binary was
+// built without module version stamping).
+func Version() string {
+	v := "devel"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		v = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			return v + "+" + s.Value[:12]
+		}
+	}
+	return v
+}
+
+// Banner renders the -version line for the named command.
+func Banner(cmd string) string {
+	return fmt.Sprintf("%s %s (codec wire v%d)", cmd, Version(), codec.Version)
+}

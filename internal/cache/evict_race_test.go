@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLRUEvictionRacesDetachedFlight drives the exact interleaving the fleet
+// router produces under churn: singleflight executions keep completing after
+// their initiating callers abandoned them (detached flights), each completion
+// Puts into a byte-budgeted LRU that is simultaneously evicting under
+// pressure from other writers and being read by cache-hit traffic. Run under
+// -race this is the memory-safety proof; the invariant checks catch logical
+// corruption (budget overshoot, index/list divergence, a Get observing bytes
+// that were never Put for that key).
+func TestLRUEvictionRacesDetachedFlight(t *testing.T) {
+	const (
+		budget  = 1 << 12 // tiny: every writer forces evictions
+		writers = 8
+		rounds  = 200
+	)
+	lru := NewLRU(budget, nil)
+	g := NewGroup(nil)
+
+	valFor := func(key string) []byte {
+		// Deterministic per-key content so readers can verify integrity.
+		return bytes.Repeat([]byte{key[len(key)-1]}, 256)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("k-%d-%d", w, i%7)
+				// Abandon the flight immediately: ctx is cancelled before the
+				// detached execution finishes, so the Put below races this
+				// caller's exit and every other goroutine's evictions.
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				g.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
+					time.Sleep(time.Microsecond)
+					v := valFor(key)
+					lru.Put(key, v)
+					return v, nil
+				})
+				// Reader leg: any hit must carry exactly the bytes the key's
+				// flight produced.
+				if v, ok := lru.Get(key); ok && !bytes.Equal(v, valFor(key)) {
+					t.Errorf("key %s: cache returned foreign bytes", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Detached flights may still be draining; wait for the group to empty so
+	// every Put has landed before the final invariant check.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		inflight := len(g.flight)
+		g.mu.Unlock()
+		if inflight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d flights still pending after writers exited", inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := lru.Size(); s > budget {
+		t.Fatalf("cache size %d exceeds budget %d after churn", s, budget)
+	}
+	lru.mu.Lock()
+	if len(lru.index) != lru.ll.Len() {
+		t.Fatalf("index/list diverged: %d vs %d entries", len(lru.index), lru.ll.Len())
+	}
+	var walked int64
+	for el := lru.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if lru.index[e.key] != el {
+			t.Fatalf("index points away from list element for %s", e.key)
+		}
+		walked += int64(len(e.val))
+	}
+	if walked != lru.size {
+		t.Fatalf("accounted size %d != walked size %d", lru.size, walked)
+	}
+	lru.mu.Unlock()
+}

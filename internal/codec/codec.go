@@ -63,6 +63,10 @@ func (k Kind) String() string {
 		return "options"
 	case KindResult:
 		return "result"
+	case KindSnapshot:
+		return "snapshot"
+	case KindCheckpoint:
+		return "checkpoint"
 	}
 	return fmt.Sprintf("kind(%d)", byte(k))
 }

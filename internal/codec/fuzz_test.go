@@ -29,6 +29,10 @@ func FuzzCodec(f *testing.F) {
 	}
 	f.Add(int64(2), EncodeOptions(fullOptions()))
 	f.Add(int64(3), EncodeResult(syntheticResult()))
+	f.Add(int64(4), EncodeSnapshot(syntheticSnapshot()))
+	f.Add(int64(5), EncodeCheckpoint(&core.Checkpoint{
+		Name: "fuzz", Stage: core.StageSeq, Machine: syntheticSnapshot(), VM: &vmStateForTest,
+	}))
 	for seed := int64(1); seed <= 4; seed++ {
 		_, bp, err := progen.Lower(progen.Generate(seed, progen.QuickConfig()))
 		if err == nil {
@@ -83,6 +87,20 @@ func FuzzCodec(f *testing.F) {
 			}
 		} else if !typedCodecError(err) {
 			t.Fatalf("result decoder returned untyped error %v", err)
+		}
+		if got, err := DecodeSnapshot(data); err == nil {
+			if !bytes.Equal(EncodeSnapshot(got), data) {
+				t.Fatalf("snapshot decoder accepted a non-canonical encoding")
+			}
+		} else if !typedCodecError(err) {
+			t.Fatalf("snapshot decoder returned untyped error %v", err)
+		}
+		if got, err := DecodeCheckpoint(data); err == nil {
+			if !bytes.Equal(EncodeCheckpoint(got), data) {
+				t.Fatalf("checkpoint decoder accepted a non-canonical encoding")
+			}
+		} else if !typedCodecError(err) {
+			t.Fatalf("checkpoint decoder returned untyped error %v", err)
 		}
 	})
 }

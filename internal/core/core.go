@@ -108,6 +108,12 @@ type Options struct {
 	// hydra.ErrCancelled and the context's cause; cycle counts of
 	// uncancelled runs are bit-identical to runs with no context.
 	Ctx context.Context
+
+	// Checkpoint, when non-nil, lets other goroutines request safepoint
+	// snapshots of the snapshotable phases (see CheckpointController).
+	// Runtime-only: it does not participate in the wire encoding of
+	// options, exactly like Ctx and Recorder. Zero cost when nil.
+	Checkpoint *CheckpointController
 }
 
 // DefaultOptions is the paper's configuration: 4 CPUs, new handlers, both
@@ -284,7 +290,7 @@ const (
 
 // Run drives the full pipeline.
 func Run(bp *bytecode.Program, opts Options) (*Result, error) {
-	return run(bp, opts, stageTLS)
+	return run(bp, opts, stageTLS, nil)
 }
 
 // RunProfile drives the pipeline through profiling and decomposition
@@ -294,14 +300,14 @@ func Run(bp *bytecode.Program, opts Options) (*Result, error) {
 // ladder — cheaper than Run (no TLS recompile, no speculative machine) yet
 // still answering "what would speculation buy".
 func RunProfile(bp *bytecode.Program, opts Options) (*Result, error) {
-	return run(bp, opts, stageProfile)
+	return run(bp, opts, stageProfile, nil)
 }
 
 // RunSequential runs only the plain sequential baseline — the bottom rung of
 // the degradation ladder, unconditionally safe: no annotations, no
 // speculation, no analyzer.
 func RunSequential(bp *bytecode.Program, opts Options) (*Result, error) {
-	return run(bp, opts, stageSeq)
+	return run(bp, opts, stageSeq, nil)
 }
 
 // ctxErr reports pending cancellation of the pipeline context (nil context =
@@ -316,11 +322,11 @@ func ctxErr(ctx context.Context) error {
 	return nil
 }
 
-func run(bp *bytecode.Program, opts Options, st stage) (*Result, error) {
+func run(bp *bytecode.Program, opts Options, st stage, cp *Checkpoint) (*Result, error) {
 	if opts.NCPU == 0 {
-		ctx := opts.Ctx
+		ctx, cc := opts.Ctx, opts.Checkpoint
 		opts = DefaultOptions()
-		opts.Ctx = ctx
+		opts.Ctx, opts.Checkpoint = ctx, cc
 	}
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -340,8 +346,18 @@ func run(bp *bytecode.Program, opts Options, st stage) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: plain compile: %w", err)
 	}
+	// The baseline leg either runs fresh or — when resuming a StageSeq
+	// checkpoint — continues from the restored safepoint; both paths yield
+	// the identical Phase.
+	runSeq := func() (Phase, error) {
+		if cp != nil && cp.Stage == StageSeq {
+			return executeResume(bp, plainImg, opts, false, cp)
+		}
+		ph, _, err := execute(bp, plainImg, opts, false, false)
+		return ph, err
+	}
 	if st == stageSeq {
-		seq, _, err := execute(bp, plainImg, opts, false, false)
+		seq, err := runSeq()
 		if err != nil {
 			return nil, fmt.Errorf("core: sequential run: %w", err)
 		}
@@ -355,7 +371,7 @@ func run(bp *bytecode.Program, opts Options, st stage) (*Result, error) {
 	}
 	seqCh := make(chan seqOutcome, 1)
 	go func() {
-		ph, _, err := execute(bp, plainImg, opts, false, false)
+		ph, err := runSeq()
 		seqCh <- seqOutcome{ph, err}
 	}()
 
@@ -416,7 +432,12 @@ func run(bp *bytecode.Program, opts Options, st stage) (*Result, error) {
 		res.JITFallback = true
 	}
 	res.RecompileCycles = tlsRep.Cycles
-	spec, _, err := execute(bp, tlsImg, opts, false, true)
+	var spec Phase
+	if cp != nil && cp.Stage == StageTLS {
+		spec, err = executeResume(bp, tlsImg, opts, true, cp)
+	} else {
+		spec, _, err = execute(bp, tlsImg, opts, false, true)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: TLS run: %w", err)
 	}
@@ -451,6 +472,10 @@ func run(bp *bytecode.Program, opts Options, st stage) (*Result, error) {
 // overflow, recompiles and reruns; the faster correct run is kept.
 func adapt(bp *bytecode.Program, info *cfg.ProgramInfo, res *Result,
 	acfg analyzer.Config, opts Options) error {
+	// The adapted rerun compiles a different image (loops excluded), so its
+	// snapshots could never restore against the primary pipeline's phases;
+	// checkpointing covers the primary phases only.
+	opts.Checkpoint = nil
 	var excluded []int64
 	threshold := res.TLS.Commits / 8
 	if threshold < 16 {
@@ -540,6 +565,12 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec
 		led = obs.NewLedger(n)
 		mopts.Ledger = led
 	}
+	if cc := opts.Checkpoint; cc != nil && checkpointable(opts, profile, spec) {
+		ckpt := &hydra.Checkpointer{Sink: checkpointSink(cc, rt, bp.Name, phaseStage(spec)), Stride: cc.Stride}
+		mopts.Checkpoint = ckpt
+		cc.attach(ckpt)
+		defer cc.detach(ckpt)
+	}
 	m := hydra.NewMachine(img, rt, mopts)
 	m.Boot()
 	rt.Install(m)
@@ -548,6 +579,32 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec
 		maxC = 2_000_000_000
 	}
 	err := m.Run(maxC)
+	ph := extractPhase(m, img)
+	if led != nil {
+		led.Close(m.Clock)
+		snap := led.Snapshot()
+		// Symbolize while the image is alive; the snapshot must outlive it.
+		hydra.AnnotateLedger(img, snap)
+		ph.Ledger = snap
+		// Conservation is a hard invariant of the ledger implementation. Only
+		// enforce it on runs that finished cleanly: a cancelled or
+		// budget-stopped run legitimately carries in-flight cycles, which the
+		// invariant already accounts for, but its primary error must win.
+		if cerr := snap.CheckConservation(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	// Everything the caller needs is extracted; recycle the machine's big
+	// pooled allocations (simulated memory, tracer timestamp slabs). The
+	// returned tracer's loop statistics remain valid after release.
+	tr := m.Tracer
+	m.Release()
+	return ph, tr, err
+}
+
+// extractPhase reads one finished machine into a Phase (everything except
+// the ledger snapshot, which only execute's diagnose path attaches).
+func extractPhase(m *hydra.Machine, img *hydra.Image) Phase {
 	ph := Phase{
 		Cycles:        m.Clock,
 		GCCycles:      m.GCCycles,
@@ -572,24 +629,5 @@ func execute(bp *bytecode.Program, img *hydra.Image, opts Options, profile, spec
 		ph.GuardStats = m.Guard.Stats()
 		ph.DecertifiedLoops = m.Guard.DecertifiedLoops()
 	}
-	if led != nil {
-		led.Close(m.Clock)
-		snap := led.Snapshot()
-		// Symbolize while the image is alive; the snapshot must outlive it.
-		hydra.AnnotateLedger(img, snap)
-		ph.Ledger = snap
-		// Conservation is a hard invariant of the ledger implementation. Only
-		// enforce it on runs that finished cleanly: a cancelled or
-		// budget-stopped run legitimately carries in-flight cycles, which the
-		// invariant already accounts for, but its primary error must win.
-		if cerr := snap.CheckConservation(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}
-	// Everything the caller needs is extracted; recycle the machine's big
-	// pooled allocations (simulated memory, tracer timestamp slabs). The
-	// returned tracer's loop statistics remain valid after release.
-	tr := m.Tracer
-	m.Release()
-	return ph, tr, err
+	return ph
 }

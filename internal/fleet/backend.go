@@ -28,6 +28,19 @@ type Backend interface {
 // than done; the view travels in the error text.
 var ErrJobFailed = errors.New("fleet: job did not complete")
 
+// ErrInterrupted reports a replica job that was cancelled by the replica —
+// typically a shutdown drain — rather than failing deterministically. Unlike
+// ErrJobFailed it is retryable: the router fetches the replica's last
+// checkpoint and migrates the job to the next shard in the ring.
+var ErrInterrupted = errors.New("fleet: job interrupted on replica")
+
+// CheckpointFetcher is the optional backend capability fleet migration needs:
+// fetch a job's latest safepoint checkpoint envelope. Both built-in backends
+// implement it; a backend without it migrates by restarting from the program.
+type CheckpointFetcher interface {
+	Checkpoint(ctx context.Context, id int64) ([]byte, error)
+}
+
 // LocalBackend adapts an in-process serve.Server — the form the
 // conformance and chaos suites drive so replica behaviour is exercised
 // without socket noise.
@@ -53,6 +66,9 @@ func (b *LocalBackend) Run(ctx context.Context, spec serve.JobSpec) ([]byte, ser
 		if ctx.Err() != nil {
 			return nil, view, context.Cause(ctx)
 		}
+		if view.Status == serve.StatusCancelled {
+			return nil, view, fmt.Errorf("%w: %s", ErrInterrupted, view.Error)
+		}
 		return nil, view, fmt.Errorf("%w: status %s: %s", ErrJobFailed, view.Status, view.Error)
 	}
 	wire, err := b.Server.ResultBytes(view.ID)
@@ -60,6 +76,12 @@ func (b *LocalBackend) Run(ctx context.Context, spec serve.JobSpec) ([]byte, ser
 		return nil, view, err
 	}
 	return wire, view, nil
+}
+
+// Checkpoint fetches the job's latest safepoint checkpoint from the embedded
+// server.
+func (b *LocalBackend) Checkpoint(_ context.Context, id int64) ([]byte, error) {
+	return b.Server.Checkpoint(id)
 }
 
 // HTTPBackend drives a remote jrpm-serve replica over its HTTP surface:
@@ -103,25 +125,38 @@ func (b *HTTPBackend) Run(ctx context.Context, spec serve.JobSpec) ([]byte, serv
 		}
 	}
 	if view.Status != serve.StatusDone {
+		if view.Status == serve.StatusCancelled {
+			return nil, view, fmt.Errorf("%w: %s", ErrInterrupted, view.Error)
+		}
 		return nil, view, fmt.Errorf("%w: status %s: %s", ErrJobFailed, view.Status, view.Error)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.BaseURL+fmt.Sprintf("/jobs/%d/result", view.ID), nil)
-	if err != nil {
-		return nil, view, err
-	}
-	resp, err := b.client().Do(req)
-	if err != nil {
-		return nil, view, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, view, fmt.Errorf("fleet: %s /jobs/%d/result: %s", b.ReplicaName, view.ID, resp.Status)
-	}
-	wire, err := io.ReadAll(resp.Body)
+	wire, err := b.fetchBytes(ctx, fmt.Sprintf("/jobs/%d/result", view.ID))
 	if err != nil {
 		return nil, view, err
 	}
 	return wire, view, nil
+}
+
+// Checkpoint fetches the job's latest safepoint checkpoint over HTTP.
+func (b *HTTPBackend) Checkpoint(ctx context.Context, id int64) ([]byte, error) {
+	return b.fetchBytes(ctx, fmt.Sprintf("/jobs/%d/checkpoint", id))
+}
+
+// fetchBytes GETs an octet-stream endpoint.
+func (b *HTTPBackend) fetchBytes(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: %s %s: %s", b.ReplicaName, path, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // doJSON issues one request and decodes the JSON response into out.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"jrpm/internal/codec"
 	"jrpm/internal/serve"
@@ -16,8 +17,11 @@ import (
 //	                bytes (application/octet-stream) plus X-Jrpm-Cache
 //	                (hit|miss), X-Jrpm-Coalesced and X-Jrpm-Replica headers;
 //	                ?format=json returns a JSON summary instead.
-//	GET  /replicas  shard list with per-shard breaker states
-//	GET  /healthz   liveness      GET /readyz  readiness
+//	GET  /replicas  shard list with per-shard breaker state and last
+//	                dispatch/result probe times
+//	GET  /healthz   liveness      GET /readyz  readiness (503 with the
+//	                per-shard breaker detail when every shard's breaker is
+//	                open, i.e. no submission would be admitted anywhere)
 //	GET  /metrics   Prometheus text exposition (jrpm_fleet_*)
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -26,9 +30,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
-	})
+	mux.HandleFunc("GET /readyz", rt.handleReady)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		rt.reg.WritePrometheus(w)
@@ -114,18 +116,62 @@ func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Write(out.Wire)
 }
 
-// replicaView is one shard's state for GET /replicas.
+// replicaView is one shard's state for GET /replicas and the degraded
+// /readyz body: breaker state plus the shard's last dispatch/result probe
+// times (zero until the shard has been touched).
 type replicaView struct {
-	Index   int                `json:"index"`
-	Name    string             `json:"name"`
-	Breaker serve.BreakerStats `json:"breaker"`
+	Index        int                `json:"index"`
+	Name         string             `json:"name"`
+	Breaker      serve.BreakerStats `json:"breaker"`
+	LastDispatch *time.Time         `json:"last_dispatch,omitempty"`
+	LastResult   *time.Time         `json:"last_result,omitempty"`
+	LastError    string             `json:"last_error,omitempty"`
 }
 
-func (rt *Router) handleReplicas(w http.ResponseWriter, r *http.Request) {
+// replicaViews snapshots every shard's health.
+func (rt *Router) replicaViews() []replicaView {
 	stats := rt.Breakers()
 	views := make([]replicaView, len(rt.backends))
 	for i, b := range rt.backends {
-		views[i] = replicaView{Index: i, Name: b.Name(), Breaker: stats[i]}
+		v := replicaView{Index: i, Name: b.Name(), Breaker: stats[i]}
+		dispatch, result, lastErr := rt.shards[i].snapshot()
+		if !dispatch.IsZero() {
+			v.LastDispatch = &dispatch
+		}
+		if !result.IsZero() {
+			v.LastResult = &result
+		}
+		v.LastError = lastErr
+		views[i] = v
 	}
-	writeJSON(w, http.StatusOK, views)
+	return views
+}
+
+func (rt *Router) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.replicaViews())
+}
+
+// handleReady reports fleet-level readiness: 200 while at least one shard's
+// breaker would admit a submission, 503 with the per-shard detail once every
+// breaker is open (an empty fleet is also unready).
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	views := rt.replicaViews()
+	admitting := 0
+	for _, v := range views {
+		if !v.Breaker.Open {
+			admitting++
+		}
+	}
+	if admitting == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "degraded",
+			"replicas": views,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ready",
+		"admitting": admitting,
+		"replicas":  len(views),
+	})
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"jrpm/internal/cache"
@@ -66,8 +67,9 @@ type Outcome struct {
 
 // Routing errors.
 var (
-	// ErrNoReplicas sheds a submission because every candidate shard was
-	// shed by its breaker (or the fleet is empty).
+	// ErrNoReplicas rejects a submission because the fleet has no candidate
+	// shards at all. Open breakers alone never produce it: an all-shed
+	// fleet fails open with a forced probe on the preferred shard instead.
 	ErrNoReplicas = errors.New("fleet: no replica available")
 )
 
@@ -79,10 +81,42 @@ type Router struct {
 	ring     *Ring
 	backends []Backend
 	breakers []*serve.Breaker
+	shards   []shardHealth
 	cache    *cache.LRU
 	group    *cache.Group
 
-	jobs, hedges, failovers, shed, errs *obs.Counter
+	jobs, hedges, failovers, migrations, shed, forced, errs *obs.Counter
+}
+
+// shardHealth tracks per-shard dispatch liveness for /replicas and /readyz.
+type shardHealth struct {
+	mu           sync.Mutex
+	lastDispatch time.Time
+	lastResult   time.Time
+	lastErr      string
+}
+
+func (h *shardHealth) noteDispatch() {
+	h.mu.Lock()
+	h.lastDispatch = time.Now()
+	h.mu.Unlock()
+}
+
+func (h *shardHealth) noteResult(err error) {
+	h.mu.Lock()
+	h.lastResult = time.Now()
+	if err != nil {
+		h.lastErr = err.Error()
+	} else {
+		h.lastErr = ""
+	}
+	h.mu.Unlock()
+}
+
+func (h *shardHealth) snapshot() (dispatch, result time.Time, lastErr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastDispatch, h.lastResult, h.lastErr
 }
 
 // New builds a router over the given replicas. Replica order fixes shard
@@ -105,14 +139,17 @@ func New(cfg Config, backends []Backend) *Router {
 		ring:     NewRing(names, cfg.VNodes),
 		backends: backends,
 		breakers: breakers,
+		shards:   make([]shardHealth, len(backends)),
 		cache:    lru,
 		group:    cache.NewGroup(reg),
 
-		jobs:      reg.Counter("jrpm_fleet_jobs_total"),
-		hedges:    reg.Counter("jrpm_fleet_hedges_total"),
-		failovers: reg.Counter("jrpm_fleet_failovers_total"),
-		shed:      reg.Counter("jrpm_fleet_breaker_shed_total"),
-		errs:      reg.Counter("jrpm_fleet_errors_total"),
+		jobs:       reg.Counter("jrpm_fleet_jobs_total"),
+		hedges:     reg.Counter("jrpm_fleet_hedges_total"),
+		failovers:  reg.Counter("jrpm_fleet_failovers_total"),
+		migrations: reg.Counter("jrpm_fleet_migrations_total"),
+		shed:       reg.Counter("jrpm_fleet_breaker_shed_total"),
+		forced:     reg.Counter("jrpm_fleet_forced_probes_total"),
+		errs:       reg.Counter("jrpm_fleet_errors_total"),
 	}
 	reg.Gauge("jrpm_fleet_replicas").Set(float64(len(backends)))
 	return rt
@@ -180,7 +217,7 @@ func (rt *Router) Do(ctx context.Context, spec serve.JobSpec) (Outcome, error) {
 	} else {
 		// Uncacheable jobs are also not coalesced: each caller needs its own
 		// server-side job (e.g. its own trace ring).
-		wire, view, replica, derr := rt.dispatch(ctx, spec, key)
+		wire, view, replica, _, derr := rt.dispatch(ctx, spec, key)
 		if derr != nil {
 			rt.errs.Inc()
 			return Outcome{Key: key, View: view}, derr
@@ -195,14 +232,16 @@ func (rt *Router) Do(ctx context.Context, spec serve.JobSpec) (Outcome, error) {
 	var execView serve.JobView
 	var execReplica string
 	wire, shared, err := rt.group.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
-		w, view, replica, derr := rt.dispatch(fctx, spec, key)
+		w, view, replica, migrated, derr := rt.dispatch(fctx, spec, key)
 		if derr != nil {
 			return nil, derr
 		}
 		// Only undegraded done results are memoized: a degraded outcome is a
 		// deadline artifact of this submission, not a property of
-		// (program, options) — caching it would poison every future hit.
-		if view.Status == serve.StatusDone && !view.Degraded {
+		// (program, options) — caching it would poison every future hit. A
+		// migrated job must additionally have resumed its checkpoint: a
+		// migrated-degraded restart is double timing-noise, never cached.
+		if view.Status == serve.StatusDone && !view.Degraded && (!migrated || view.Resumed) {
 			rt.cache.Put(key, w)
 		}
 		execView = view
@@ -230,17 +269,34 @@ type attemptResult struct {
 }
 
 // dispatch runs the spec on the key's preferred shard, hedging to the next
-// shard past the deadline-risk threshold and failing over on error. It
-// returns the first successful attempt; losers are cancelled and their
-// breaker outcomes recorded neutrally.
-func (rt *Router) dispatch(ctx context.Context, spec serve.JobSpec, key string) ([]byte, serve.JobView, string, error) {
+// shard past the deadline-risk threshold and failing over on error; when
+// every candidate is shed it fails open with forced probes in preference
+// order rather than rejecting the submission. It returns the first
+// successful attempt; losers are cancelled and their breaker outcomes
+// recorded neutrally. migrated reports that some attempt was interrupted
+// (e.g. a draining replica) and the job moved shards — possibly resuming
+// from the interrupted replica's checkpoint.
+func (rt *Router) dispatch(ctx context.Context, spec serve.JobSpec, key string) (_ []byte, _ serve.JobView, _ string, migrated bool, _ error) {
 	order := rt.ring.Order(key)
 	dctx, dcancel := context.WithCancel(ctx)
 	defer dcancel()
 
 	resCh := make(chan attemptResult, len(order))
 	inflight, next := 0, 0
-	// launch starts the next breaker-admitted candidate, skipping shed
+	var skipped []int
+	// start dispatches one attempt to shard i. The spec is passed by value:
+	// a later migration rewrites the local copy's Checkpoint without racing
+	// attempts already in flight.
+	start := func(i int) {
+		rt.reg.Counter(fmt.Sprintf("jrpm_fleet_dispatch_total{replica=%q}", rt.backends[i].Name())).Inc()
+		rt.shards[i].noteDispatch()
+		inflight++
+		go func(i int, spec serve.JobSpec) {
+			w, v, err := rt.backends[i].Run(dctx, spec)
+			resCh <- attemptResult{wire: w, view: v, err: err, idx: i}
+		}(i, spec)
+	}
+	// launch starts the next breaker-admitted candidate, remembering shed
 	// shards; it reports whether an attempt actually started.
 	launch := func() bool {
 		for next < len(order) {
@@ -248,17 +304,29 @@ func (rt *Router) dispatch(ctx context.Context, spec serve.JobSpec, key string) 
 			next++
 			if !rt.breakers[i].Admit() {
 				rt.shed.Inc()
+				skipped = append(skipped, i)
 				continue
 			}
-			rt.reg.Counter(fmt.Sprintf("jrpm_fleet_dispatch_total{replica=%q}", rt.backends[i].Name())).Inc()
-			inflight++
-			go func(i int) {
-				w, v, err := rt.backends[i].Run(dctx, spec)
-				resCh <- attemptResult{wire: w, view: v, err: err, idx: i}
-			}(i)
+			start(i)
 			return true
 		}
 		return false
+	}
+	// forceLaunch fails open when every remaining candidate was shed: the
+	// most-preferred shed shard gets a forced probe, breaker notwithstanding.
+	// A fleet whose breakers are all open is indistinguishable from one whose
+	// replicas all just recovered — brownout (one probe attempt) beats
+	// blackout (rejecting the submission outright). The attempt's outcome
+	// feeds the shard's breaker like any probe: success recloses the circuit.
+	forceLaunch := func() bool {
+		if len(skipped) == 0 {
+			return false
+		}
+		i := skipped[0]
+		skipped = skipped[1:]
+		rt.forced.Inc()
+		start(i)
+		return true
 	}
 	// reap drains n straggler attempts in the background after dispatch
 	// returns (dcancel interrupts them), recording each as a neutral
@@ -275,8 +343,8 @@ func (rt *Router) dispatch(ctx context.Context, spec serve.JobSpec, key string) 
 		}()
 	}
 
-	if !launch() {
-		return nil, serve.JobView{}, "", fmt.Errorf("%w: %d shard(s), all shed", ErrNoReplicas, len(order))
+	if !launch() && !forceLaunch() {
+		return nil, serve.JobView{}, "", false, fmt.Errorf("%w: %d shard(s)", ErrNoReplicas, len(order))
 	}
 	var hedge <-chan time.Time
 	if rt.cfg.HedgeAfter > 0 {
@@ -288,10 +356,11 @@ func (rt *Router) dispatch(ctx context.Context, spec serve.JobSpec, key string) 
 		case r := <-resCh:
 			inflight--
 			name := rt.backends[r.idx].Name()
+			rt.shards[r.idx].noteResult(r.err)
 			if r.err == nil {
 				rt.breakers[r.idx].OnResult(true, false)
 				reap(inflight)
-				return r.wire, r.view, name, nil
+				return r.wire, r.view, name, migrated, nil
 			}
 			if errors.Is(r.err, ErrJobFailed) {
 				// The shard worked; the program failed deterministically.
@@ -299,11 +368,30 @@ func (rt *Router) dispatch(ctx context.Context, spec serve.JobSpec, key string) 
 				// just burn capacity — and the shard stays certified.
 				rt.breakers[r.idx].OnResult(true, false)
 				reap(inflight)
-				return nil, r.view, name, r.err
+				return nil, r.view, name, migrated, r.err
+			}
+			if errors.Is(r.err, ErrInterrupted) {
+				// The replica drained under us (shutdown, operator cancel):
+				// neutral for its breaker — nothing is wrong with the shard's
+				// capacity to simulate. Carry its last checkpoint to the next
+				// shard so the job continues mid-simulation instead of
+				// restarting.
+				rt.breakers[r.idx].OnResult(false, true)
+				migrated = true
+				if f, ok := rt.backends[r.idx].(CheckpointFetcher); ok && r.view.ID != 0 {
+					if ckpt, cerr := f.Checkpoint(ctx, r.view.ID); cerr == nil && len(ckpt) > 0 {
+						spec.Checkpoint = ckpt
+					}
+				}
+				lastErr = fmt.Errorf("fleet: replica %s: %w", name, r.err)
+				if ctx.Err() == nil && (launch() || forceLaunch()) {
+					rt.migrations.Inc()
+				}
+				continue
 			}
 			rt.breakers[r.idx].OnResult(false, ctx.Err() != nil)
 			lastErr = fmt.Errorf("fleet: replica %s: %w", name, r.err)
-			if ctx.Err() == nil && launch() {
+			if ctx.Err() == nil && (launch() || forceLaunch()) {
 				rt.failovers.Inc()
 			}
 		case <-hedge:
@@ -313,11 +401,11 @@ func (rt *Router) dispatch(ctx context.Context, spec serve.JobSpec, key string) 
 			}
 		case <-ctx.Done():
 			reap(inflight)
-			return nil, serve.JobView{}, "", context.Cause(ctx)
+			return nil, serve.JobView{}, "", migrated, context.Cause(ctx)
 		}
 	}
 	if lastErr == nil {
 		lastErr = ErrNoReplicas
 	}
-	return nil, serve.JobView{}, "", lastErr
+	return nil, serve.JobView{}, "", migrated, lastErr
 }

@@ -298,7 +298,7 @@ func TestRouterDeterministicJobFailureDoesNotFailOver(t *testing.T) {
 	}
 }
 
-func TestRouterAllShardsShedReturnsNoReplicas(t *testing.T) {
+func TestRouterAllShardsShedFailsOpen(t *testing.T) {
 	rt, stubs := newTestRouter(t, 2, Config{
 		CacheBytes: -1,
 		Breaker:    serve.BreakerConfig{Trip: 1, Backoff: 100, MaxBackoff: 100},
@@ -311,9 +311,37 @@ func TestRouterAllShardsShedReturnsNoReplicas(t *testing.T) {
 	if _, err := rt.Do(context.Background(), spec); err == nil {
 		t.Fatal("dispatch with every replica down succeeded")
 	}
-	// Second call finds every circuit open.
-	if _, err := rt.Do(context.Background(), spec); !errors.Is(err, ErrNoReplicas) {
-		t.Fatalf("got %v, want ErrNoReplicas", err)
+	// Every circuit is open, but the fleet fails open instead of rejecting:
+	// forced probes reach the (still-down) replicas and the replica error —
+	// not ErrNoReplicas — comes back.
+	calls := stubs[0].calls.Load() + stubs[1].calls.Load()
+	_, err := rt.Do(context.Background(), spec)
+	if err == nil || errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("got %v, want the probed replica's own error", err)
+	}
+	if n := stubs[0].calls.Load() + stubs[1].calls.Load(); n <= calls {
+		t.Fatal("all-shed dispatch never probed a replica")
+	}
+	if v := rt.Metrics().Counter("jrpm_fleet_forced_probes_total").Value(); v == 0 {
+		t.Fatal("no forced probe recorded for the all-shed dispatch")
+	}
+
+	// Revive the replicas: the very next submission's forced probe must
+	// succeed and reclose the probed shard's circuit — recovery costs one
+	// request, not a backoff schedule.
+	for _, s := range stubs {
+		s.down.Store(false)
+	}
+	out, err := rt.Do(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("forced probe after revival failed: %v", err)
+	}
+	if out.Replica == "" {
+		t.Fatal("revived dispatch served from nowhere")
+	}
+	order := shardOrder(t, rt, spec)
+	if bs := rt.Breakers(); bs[order[0]].Open {
+		t.Fatalf("successful forced probe left the preferred breaker open: %+v", bs[order[0]])
 	}
 }
 

@@ -119,6 +119,12 @@ type Options struct {
 	// observe or perturb per-instruction events.
 	Tier2Off bool
 
+	// Checkpoint, when non-nil, lets another goroutine request safepoint
+	// snapshots from the running machine (see Checkpointer). Disabled the
+	// latch costs one nil compare per safepoint edge; cycle counts are
+	// bit-identical whether attached or not, armed or not.
+	Checkpoint *Checkpointer
+
 	// Ctx, when non-nil, bounds the run in wall-clock terms: Run polls
 	// ctx.Done() once every CancelCheckStride simulated cycles (amortized
 	// to a couple of integer compares per scheduler step, so cycle counts
@@ -167,6 +173,7 @@ type Machine struct {
 
 	halted bool
 	err    error
+	booted bool // Boot ran or a snapshot was restored; Run must not re-Boot
 	// heapLazy: the runtime implements HeapZeroer, so Release can return
 	// the simulated memory with the heap span left stale.
 	heapLazy bool
@@ -199,6 +206,17 @@ type Machine struct {
 	ctx          context.Context
 	ctxDone      <-chan struct{}
 	nextCtxCheck int64
+
+	// Checkpoint latch: ckpt is nil when checkpointing is disabled (the
+	// fast-loop check then short-circuits on one nil compare). ckptNext is
+	// the simulated cycle of the next armed-flag poll. t2resume/t2resumeLast
+	// carry a restored snapshot's tier-2 re-entry state into the first
+	// runTier2 call (see Restore).
+	ckpt         *Checkpointer
+	ckptNext     int64
+	ckptStride   int64
+	t2resume     bool
+	t2resumeLast *t2block
 
 	curSTL        *STLDesc
 	outerSTL      *STLDesc
@@ -279,6 +297,14 @@ func NewMachine(img *Image, rt Runtime, opts Options) *Machine {
 		m.ctxDone = opts.Ctx.Done() // nil for Background: no polling
 		m.nextCtxCheck = CancelCheckStride
 	}
+	if opts.Checkpoint != nil {
+		m.ckpt = opts.Checkpoint
+		m.ckptStride = opts.Checkpoint.Stride
+		if m.ckptStride <= 0 {
+			m.ckptStride = CancelCheckStride
+		}
+		m.ckptNext = m.ckptStride
+	}
 	if opts.Profile {
 		tcfg := tracer.DefaultConfig()
 		if opts.Tracer != nil {
@@ -319,6 +345,7 @@ func (m *Machine) Release() {
 
 // Boot prepares CPU 0 at the program entry point.
 func (m *Machine) Boot() {
+	m.booted = true
 	main := m.Image.Method(m.Image.Main)
 	c := m.CPUs[0]
 	c.MethodID = m.Image.Main
@@ -365,7 +392,10 @@ func (m *Machine) Run(maxCycles int64) (err error) {
 			err = m.err
 		}
 	}()
-	if m.CPUs[0].state == stateIdle && !m.halted {
+	// After a snapshot restore the running CPU need not be CPU 0 (any core
+	// can be master after an STL shutdown), so auto-boot keys on the
+	// explicit flag, not on CPU 0's state.
+	if !m.booted && !m.halted {
 		m.Boot()
 	}
 	for !m.halted {
@@ -420,6 +450,9 @@ func (m *Machine) Run(maxCycles int64) (err error) {
 				}
 				if m.ctxDone != nil && m.Clock >= m.nextCtxCheck && m.pollCancel() {
 					return m.err
+				}
+				if m.ckpt != nil && m.Clock >= m.ckptNext {
+					m.checkpointNow(false, nil)
 				}
 				m.exec(c)
 			}

@@ -1,0 +1,126 @@
+package hydra
+
+import (
+	"testing"
+
+	"jrpm/internal/isa"
+)
+
+// snapshotLoopImage is a serial counting loop with a PRINT at the end —
+// enough cycles for mid-run safepoints, deterministic final output.
+func snapshotLoopImage(n int64) *Image {
+	b := isa.NewBuilder()
+	b.Li(isa.T0, 0)
+	b.Li(isa.T1, 0)
+	b.Li(isa.T2, n)
+	b.Label("loop")
+	b.Op3(isa.ADD, isa.T1, isa.T1, isa.T0)
+	b.OpImm(isa.ADDI, isa.T0, isa.T0, 1)
+	b.Br(isa.BLT, isa.T0, isa.T2, "loop")
+	b.Emit(isa.Instr{Op: isa.IOPUT, Rs: isa.T1})
+	b.Emit(isa.Instr{Op: isa.HALT})
+	return image(&Method{Name: "main", Code: b.Finish(), FrameWords: 8})
+}
+
+// TestSnapshotRestoreResumesIdentically is the machine-level resume law: a
+// snapshot captured mid-run, restored into a fresh machine over the same
+// image, finishes with the same clock, instruction count and output as the
+// uninterrupted run.
+func TestSnapshotRestoreResumesIdentically(t *testing.T) {
+	const budget = 50_000_000
+	img := snapshotLoopImage(200_000)
+	opts := DefaultOptions()
+
+	ref := NewMachine(img, newStubRuntime(), opts)
+	if err := ref.Run(budget); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	var snaps []*MachineSnapshot
+	cp := &Checkpointer{Stride: 4096}
+	cp.Sink = func(s *MachineSnapshot) {
+		snaps = append(snaps, s)
+		cp.Request() // re-arm: capture at every safepoint edge
+	}
+	copts := opts
+	copts.Checkpoint = cp
+	cap := NewMachine(img, newStubRuntime(), copts)
+	cp.Request()
+	if err := cap.Run(budget); err != nil {
+		t.Fatalf("capture run: %v", err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("captured %d snapshots, want several", len(snaps))
+	}
+	if cap.Clock != ref.Clock {
+		t.Fatalf("checkpoint latch perturbed the run: clock %d vs %d", cap.Clock, ref.Clock)
+	}
+
+	for _, i := range []int{0, len(snaps) / 2, len(snaps) - 1} {
+		m := NewMachine(img, newStubRuntime(), opts)
+		if err := m.Restore(snaps[i]); err != nil {
+			t.Fatalf("snapshot %d: restore: %v", i, err)
+		}
+		if err := m.Run(budget); err != nil {
+			t.Fatalf("snapshot %d: resumed run: %v", i, err)
+		}
+		if m.Clock != ref.Clock || m.Instructions != ref.Instructions {
+			t.Fatalf("snapshot %d (clock %d): resumed to clock=%d instr=%d, want clock=%d instr=%d",
+				i, snaps[i].Clock, m.Clock, m.Instructions, ref.Clock, ref.Instructions)
+		}
+		if len(m.Output) != len(ref.Output) || (len(ref.Output) > 0 && m.Output[0] != ref.Output[0]) {
+			t.Fatalf("snapshot %d: output %v, want %v", i, m.Output, ref.Output)
+		}
+	}
+}
+
+// TestRestoreRejectsMismatchedMachine: the restore guards that keep a
+// checkpoint from silently resuming into a different simulation.
+func TestRestoreRejectsMismatchedMachine(t *testing.T) {
+	img := snapshotLoopImage(50_000)
+	m := NewMachine(img, newStubRuntime(), DefaultOptions())
+	s, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("boot snapshot: %v", err)
+	}
+
+	other := NewMachine(snapshotLoopImage(50_001), newStubRuntime(), DefaultOptions())
+	if err := other.Restore(s); err == nil {
+		t.Fatal("restore accepted a snapshot of a different image")
+	}
+	oopts := DefaultOptions()
+	oopts.NCPU = s.NCPU + 1
+	wider := NewMachine(img, newStubRuntime(), oopts)
+	if err := wider.Restore(s); err == nil {
+		t.Fatal("restore accepted an NCPU mismatch")
+	}
+}
+
+// TestCheckpointLatchZeroAlloc is the zero-overhead-when-idle guard: an
+// attached but never-armed checkpointer must not add allocations to the
+// interpreter fast loop, and growing the loop 60× must not grow allocations
+// with the latch in place.
+func TestCheckpointLatchZeroAlloc(t *testing.T) {
+	measure := func(n int64, withLatch bool) float64 {
+		img := snapshotLoopImage(n)
+		return testing.AllocsPerRun(3, func() {
+			opts := DefaultOptions()
+			if withLatch {
+				opts.Checkpoint = &Checkpointer{} // present, never armed
+			}
+			m := NewMachine(img, newStubRuntime(), opts)
+			if err := m.Run(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			m.Release()
+		})
+	}
+	small, big := measure(1_000, true), measure(61_000, true)
+	if big > small+3 {
+		t.Fatalf("idle checkpoint latch allocates: %.0f allocs at 1k iterations vs %.0f at 61k", small, big)
+	}
+	without := measure(61_000, false)
+	if big > without+3 {
+		t.Fatalf("attaching an idle checkpointer costs allocations: %.0f with vs %.0f without", big, without)
+	}
+}

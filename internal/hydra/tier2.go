@@ -385,8 +385,17 @@ func (t *tier2) compile(code isa.Code, entry int) *t2block {
 // provably cannot cross a budget or poll edge.
 func (m *Machine) runTier2(c *CPU, maxCycles int64) {
 	t := m.t2
-	m.Tier.Promotions++
 	var last *t2block
+	if m.t2resume {
+		// Resuming from a snapshot taken inside this loop: the promotion was
+		// already counted before the snapshot, and last re-links the trace
+		// predecessor so Linked counts continue exactly.
+		m.t2resume = false
+		last = m.t2resumeLast
+		m.t2resumeLast = nil
+	} else {
+		m.Tier.Promotions++
+	}
 	for !m.halted && c.state == stateRunning && !m.TLS.Active() {
 		if c.readyAt > m.Clock {
 			m.Clock = c.readyAt
@@ -397,6 +406,9 @@ func (m *Machine) runTier2(c *CPU, maxCycles int64) {
 		}
 		if m.ctxDone != nil && m.Clock >= m.nextCtxCheck && m.pollCancel() {
 			return
+		}
+		if m.ckpt != nil && m.Clock >= m.ckptNext {
+			m.checkpointNow(true, last)
 		}
 		var b *t2block
 		if last != nil {

@@ -19,6 +19,7 @@ import (
 //	GET  /jobs/{id}        job snapshot; ?wait=<duration> blocks until terminal or the wait expires
 //	POST /jobs/{id}/cancel request cancellation
 //	GET  /jobs/{id}/result canonical codec encoding of a finished job's full result
+//	GET  /jobs/{id}/checkpoint latest safepoint checkpoint envelope (fleet migration handoff)
 //	GET  /jobs/{id}/trace  Perfetto/Chrome trace JSON (jobs submitted with trace=true)
 //	GET  /jobs/{id}/doctor speculation-doctor report (jobs submitted with diagnose=true);
 //	                       JSON by default, ?format=text for the human rendering
@@ -33,6 +34,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/doctor", s.handleDoctor)
 	mux.HandleFunc("GET /breakers", s.handleBreakers)
@@ -159,6 +161,29 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusConflict
 		}
 		writeJSON(w, status, httpError{Error: rerr.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(b)
+}
+
+// handleCheckpoint serves the job's latest encoded checkpoint envelope
+// (application/octet-stream) — the bytes fleet migration feeds back in as
+// JobSpec.Checkpoint on another replica. 404 for unknown jobs, 409 when the
+// job has not delivered a checkpoint.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad job id"})
+		return
+	}
+	b, cerr := s.Checkpoint(id)
+	if cerr != nil {
+		status := http.StatusNotFound
+		if !errors.Is(cerr, ErrUnknownJob) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, httpError{Error: cerr.Error()})
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")

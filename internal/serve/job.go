@@ -61,6 +61,15 @@ type JobSpec struct {
 	Trace      bool   `json:"trace,omitempty"`       // keep a flight-recorder ring for GET /jobs/{id}/trace
 	Diagnose   bool   `json:"diagnose,omitempty"`    // attach the speculation doctor for GET /jobs/{id}/doctor
 
+	// Checkpoint, when non-empty, is an encoded codec checkpoint envelope:
+	// the job resumes mid-simulation from this safepoint instead of running
+	// from the start (crash recovery re-enqueues interrupted jobs this way,
+	// and fleet migration hands a drained replica's checkpoint to the next).
+	// A checkpoint that fails to decode or belongs to a different rung is
+	// dropped and the job restarts from the program — same bit-identical
+	// outcome, just more cycles re-simulated.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+
 	// testAttempt, when non-nil, replaces the real pipeline attempt —
 	// in-package tests use it to script deterministic ladder outcomes
 	// (including panics) without constructing pathological programs.
@@ -84,6 +93,7 @@ type JobView struct {
 
 	Rung     Rung      `json:"rung,omitempty"`     // rung that produced the result
 	Degraded bool      `json:"degraded,omitempty"` // result came from below the requested rung
+	Resumed  bool      `json:"resumed,omitempty"`  // result continued a checkpoint instead of running from the start
 	Attempts []Attempt `json:"attempts,omitempty"` // failed attempts that preceded the result
 	Error    string    `json:"error,omitempty"`
 
@@ -114,6 +124,37 @@ type job struct {
 	doctor   *diagnose.Report // non-nil once a diagnosed TLS rung succeeds
 	wire     []byte           // canonical codec encoding of the full result, set on success
 	bkey     string           // circuit-breaker key
+
+	cc      *core.CheckpointController // live while a checkpointable attempt runs
+	ckpt    []byte                     // latest encoded checkpoint envelope
+	ckptSeq int64
+}
+
+// setCheckpoint publishes the latest encoded checkpoint. The slice is never
+// mutated afterwards, so readers share it.
+func (j *job) setCheckpoint(wire []byte, seq int64) {
+	j.mu.Lock()
+	j.ckpt = wire
+	j.ckptSeq = seq
+	j.mu.Unlock()
+}
+
+func (j *job) checkpointBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ckpt
+}
+
+func (j *job) setController(cc *core.CheckpointController) {
+	j.mu.Lock()
+	j.cc = cc
+	j.mu.Unlock()
+}
+
+func (j *job) controller() *core.CheckpointController {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cc
 }
 
 // setWire publishes the canonical result encoding. The byte slice is never
@@ -247,11 +288,12 @@ func (j *job) cancelled(cause error) {
 	})
 }
 
-func (j *job) succeed(rung Rung, degraded bool, res *core.Result) {
+func (j *job) succeed(rung Rung, degraded, resumed bool, res *core.Result) {
 	j.finish(func(v *JobView) {
 		v.Status = StatusDone
 		v.Rung = rung
 		v.Degraded = degraded
+		v.Resumed = resumed
 		v.SeqCycles = res.Seq.Cycles
 		v.TLSCycles = res.TLS.Cycles
 		v.PredictedCycles = res.PredictedCycles
@@ -432,47 +474,76 @@ func (c Config) OptionsForSpec(spec JobSpec, rung Rung) (core.Options, error) {
 	return c.optionsFor(spec, rung, heapWords)
 }
 
+// checkpointEligible reports whether a job's attempts may capture (and
+// resume from) safepoint checkpoints: trace, diagnose and fault-plan jobs
+// carry observers the snapshot machinery refuses, so they re-run from the
+// start after a crash instead.
+func checkpointEligible(spec JobSpec) bool {
+	return !spec.Trace && !spec.Diagnose && spec.Faults == "" && spec.testAttempt == nil
+}
+
 // attempt runs one rung of the ladder with a panic backstop: a panic
 // anywhere inside the pipeline is converted to a *PanicError carrying the
-// stack, never propagated to the worker goroutine.
-func (s *Server) attempt(ctx context.Context, rung Rung, spec JobSpec, ring *obs.Ring) (res *core.Result, err error) {
+// stack, never propagated to the worker goroutine. cc (may be nil) captures
+// safepoint checkpoints from the attempt; cp (may be nil) resumes the
+// attempt mid-simulation — a checkpoint the resume machinery rejects falls
+// back to a clean run from the program. resumed reports which path produced
+// the result.
+func (s *Server) attempt(ctx context.Context, rung Rung, spec JobSpec, ring *obs.Ring, cc *core.CheckpointController, cp *core.Checkpoint) (res *core.Result, resumed bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.reg.Counter("jrpm_serve_panics_recovered_total").Inc()
 			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+			res, resumed = nil, false
 		}
 	}()
 	if spec.testAttempt != nil {
-		return spec.testAttempt(rung)
+		res, err = spec.testAttempt(rung)
+		return res, false, err
 	}
 	bp, heapWords, err := buildProgram(spec)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	opts, err := s.cfg.optionsFor(spec, rung, heapWords)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	opts.Ctx = ctx
+	opts.Checkpoint = cc
+	run, resume := core.Run, core.ResumeTLS
 	switch rung {
 	case RungTLS:
 		if ring != nil {
 			ring.Reset()
 			opts.Recorder = ring
 		}
-		res, err = core.Run(bp, opts)
 	case RungProfile:
-		res, err = core.RunProfile(bp, opts)
+		run, resume = core.RunProfile, core.ResumeProfile
 	default:
-		res, err = core.RunSequential(bp, opts)
+		run, resume = core.RunSequential, core.ResumeSequential
+	}
+	if cp != nil {
+		res, err = resume(bp, opts, cp)
+		if errors.Is(err, core.ErrBadCheckpoint) {
+			// Wrong stage/program/options for this rung: the checkpoint is
+			// unusable here. Degrade to a clean restart — bit-identical
+			// outcome, just more cycles re-simulated.
+			s.reg.Counter("jrpm_serve_checkpoint_fallbacks_total").Inc()
+			res, err = run(bp, opts)
+		} else {
+			resumed = err == nil
+		}
+	} else {
+		res, err = run(bp, opts)
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if !res.OutputsMatch {
-		return nil, errOutputMismatch
+		return nil, false, errOutputMismatch
 	}
-	return res, nil
+	return res, resumed, nil
 }
 
 // runJob drives one dequeued job down the degradation ladder until a rung
@@ -489,6 +560,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.markRunning()
+	s.journalAppend(journalRecord{Event: evRunning, ID: j.view.ID})
 	s.reg.Gauge("jrpm_serve_jobs_running").Set(float64(s.running.Add(1)))
 	defer func() {
 		s.reg.Gauge("jrpm_serve_jobs_running").Set(float64(s.running.Add(-1)))
@@ -501,6 +573,58 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	rungs := rungsFrom(first, pinned)
+
+	// Checkpoint wiring: one controller outlives all rung attempts, so the
+	// latest snapshot survives a degradation (it is simply labelled with the
+	// rung that captured it). Delivery re-encodes to the canonical envelope,
+	// publishes it for migration fetches, and — when durable — lands the
+	// checkpoint file before the journal record that points at it.
+	var cc *core.CheckpointController
+	var rcp *core.Checkpoint
+	if checkpointEligible(spec) {
+		id := j.view.ID
+		cc = &core.CheckpointController{}
+		cc.OnCheckpoint = func(cp *core.Checkpoint, seq int64) {
+			wire := codec.EncodeCheckpoint(cp)
+			j.setCheckpoint(wire, seq)
+			if s.journal != nil {
+				if err := s.journal.writeCheckpoint(id, wire); err != nil {
+					s.reg.Counter("jrpm_serve_journal_errors_total").Inc()
+					return
+				}
+			}
+			s.journalAppend(journalRecord{Event: evCheckpointed, ID: id, Rung: cp.Label, Seq: seq})
+			s.reg.Counter("jrpm_serve_checkpoints_total").Inc()
+		}
+		j.setController(cc)
+		defer j.setController(nil)
+		if every := s.cfg.CheckpointEvery; every > 0 {
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				tick := time.NewTicker(every)
+				defer tick.Stop()
+				for {
+					select {
+					case <-tick.C:
+						cc.Request()
+					case <-stop:
+						return
+					}
+				}
+			}()
+		}
+		if len(spec.Checkpoint) > 0 {
+			cp, derr := codec.DecodeCheckpoint(spec.Checkpoint)
+			if derr != nil {
+				// Corrupt or stale envelope: a restart from the program is the
+				// documented fallback, never a failed job.
+				s.reg.Counter("jrpm_serve_checkpoint_fallbacks_total").Inc()
+			} else {
+				rcp = cp
+			}
+		}
+	}
 	for i, rung := range rungs {
 		remaining := time.Until(j.deadline)
 		if remaining <= 0 {
@@ -515,8 +639,18 @@ func (s *Server) runJob(j *job) {
 		if !last {
 			slice = remaining / 2
 		}
+		// A recovered/migrated checkpoint only applies to the rung that
+		// captured it, and only on the first attempt — after a degradation the
+		// lower rung re-runs from the program.
+		var cp *core.Checkpoint
+		if i == 0 && rcp != nil && rcp.Label == string(rung) {
+			cp = rcp
+		}
+		if cc != nil {
+			cc.SetLabel(string(rung))
+		}
 		actx, acancel := context.WithTimeoutCause(jctx, slice, errSliceExpired)
-		res, err := s.attempt(actx, rung, spec, j.ring)
+		res, resumed, err := s.attempt(actx, rung, spec, j.ring, cc, cp)
 		acancel()
 		if err == nil {
 			s.reg.Counter("jrpm_serve_jobs_completed_total{status=\"done\"}").Inc()
@@ -534,7 +668,10 @@ func (s *Server) runJob(j *job) {
 					s.addDoctorMetrics(rep)
 				}
 			}
-			j.succeed(rung, rung != first, res)
+			if resumed {
+				s.reg.Counter("jrpm_serve_jobs_resumed_total").Inc()
+			}
+			j.succeed(rung, rung != first, resumed, res)
 			return
 		}
 		j.recordAttempt(rung, err)
@@ -630,5 +767,30 @@ func (s *Server) finishJob(j *job) {
 		s.reg.Counter("jrpm_serve_jobs_completed_total{status=\"cancelled\"}").Inc()
 		s.breakerFor(j.bkey).OnResult(false, true)
 	}
+	if s.journal != nil {
+		// Result bytes land before the done record: replay treats "done" as a
+		// promise that GET /jobs/{id}/result still works after a crash.
+		if v.Status == StatusDone {
+			if w := j.wireBytes(); w != nil {
+				if err := s.journal.writeResult(v.ID, w); err != nil {
+					s.reg.Counter("jrpm_serve_journal_errors_total").Inc()
+				}
+			}
+		}
+		view := v
+		s.journalAppend(journalRecord{Event: evDone, ID: v.ID, View: &view})
+	}
 	s.noteFinished(v.ID)
+}
+
+// journalAppend appends one WAL record when the server is durable, counting
+// (rather than propagating) write failures: a sick disk degrades durability,
+// it does not take down job execution.
+func (s *Server) journalAppend(rec journalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.append(rec); err != nil {
+		s.reg.Counter("jrpm_serve_journal_errors_total").Inc()
+	}
 }

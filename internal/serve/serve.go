@@ -68,6 +68,17 @@ type Config struct {
 	// Tier2Off disables the tier-2 block engine on every job (results are
 	// bit-identical either way; the flag exists for equivalence audits).
 	Tier2Off bool
+	// DataDir, when set, makes jobs crash-durable: every accepted job is
+	// recorded in an fsync'd journal under this directory, running jobs
+	// write periodic safepoint checkpoints, and Open replays the journal on
+	// restart — re-enqueueing interrupted jobs (resuming from their latest
+	// checkpoint) and restoring finished ones. Only Open honours it; New
+	// builds a purely in-memory server.
+	DataDir string
+	// CheckpointEvery is the wall-clock period between checkpoint requests
+	// on a running job (default 2s when DataDir is set; 0 without a data
+	// dir, leaving only the explicit shutdown/migration checkpoint sweep).
+	CheckpointEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFinished <= 0 {
 		c.MaxFinished = 1024
+	}
+	if c.DataDir != "" && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 2 * time.Second
 	}
 	return c
 }
@@ -132,10 +146,13 @@ type Server struct {
 	nextID  atomic.Int64
 	running atomic.Int64
 	wg      sync.WaitGroup
+
+	journal *journal // non-nil when the server is durable (built by Open)
 }
 
-// New builds a server; Start must be called before submissions are
-// accepted.
+// New builds a purely in-memory server; Start must be called before
+// submissions are accepted. Config.DataDir is ignored here — use Open for a
+// crash-durable server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
@@ -145,6 +162,132 @@ func New(cfg Config) *Server {
 		breakers: make(map[string]*Breaker),
 		queue:    make(chan *job, cfg.QueueDepth),
 	}
+}
+
+// Recovery summarizes what Open replayed from the journal.
+type Recovery struct {
+	// Resumed counts interrupted jobs re-enqueued with a checkpoint: they
+	// continue mid-simulation from their latest safepoint.
+	Resumed int
+	// Restarted counts interrupted jobs re-enqueued without a usable
+	// checkpoint: they re-run from the program (bit-identical outcome).
+	Restarted int
+	// Completed counts terminal jobs restored for inspection (their views
+	// and result bytes survive the crash).
+	Completed int
+}
+
+// Open builds a crash-durable server rooted at cfg.DataDir: it replays the
+// job journal, restores terminal jobs, and re-enqueues every job the
+// previous process accepted but never finished — resuming each from its
+// latest checkpoint when one landed. With an empty DataDir it degenerates
+// to New. Start must still be called; recovered jobs run as soon as workers
+// exist.
+func Open(cfg Config) (*Server, Recovery, error) {
+	s := New(cfg)
+	if s.cfg.DataDir == "" {
+		return s, Recovery{}, nil
+	}
+	jl, recovered, err := openJournal(s.cfg.DataDir)
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	s.journal = jl
+	// Size the queue so every recovered job enqueues without blocking —
+	// recovery happens before workers exist, so a blocking send would
+	// deadlock Open.
+	if pending := countPending(recovered); pending > s.cfg.QueueDepth {
+		s.queue = make(chan *job, pending+s.cfg.QueueDepth)
+	}
+	var rec Recovery
+	maxID := int64(0)
+	for _, r := range recovered {
+		if r.ID > maxID {
+			maxID = r.ID
+		}
+		if r.View != nil {
+			// A job the previous process force-cancelled while shutting down
+			// was interrupted, not concluded: re-enqueue it like a crash
+			// victim so a rolling restart finishes the work.
+			if r.View.Status == StatusCancelled && r.View.Error == ErrShutdown.Error() {
+				r.View = nil
+			} else {
+				s.restoreFinished(r)
+				rec.Completed++
+				continue
+			}
+		}
+		if s.restoreInterrupted(r) {
+			rec.Resumed++
+		} else {
+			rec.Restarted++
+		}
+	}
+	s.nextID.Store(maxID)
+	s.reg.Gauge("jrpm_serve_queue_depth").Set(float64(len(s.queue)))
+	return s, rec, nil
+}
+
+// countPending counts replayed jobs that need re-enqueueing.
+func countPending(recovered []*recoveredJob) int {
+	n := 0
+	for _, r := range recovered {
+		if r.View == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// restoreFinished rebuilds a terminal job from its done record and durable
+// result bytes.
+func (s *Server) restoreFinished(r *recoveredJob) {
+	j := &job{done: make(chan struct{}), bkey: breakerKey(r.Spec)}
+	j.view = *r.View
+	if wire, err := s.journal.readResult(r.ID); err == nil && wire != nil {
+		j.wire = wire
+	}
+	close(j.done)
+	s.mu.Lock()
+	s.jobs[r.ID] = j
+	s.finished = append(s.finished, r.ID)
+	s.mu.Unlock()
+}
+
+// restoreInterrupted re-enqueues a job the previous process never finished,
+// attaching its latest durable checkpoint when one exists. Reports whether
+// the job will resume mid-simulation (vs restart from the program).
+func (s *Server) restoreInterrupted(r *recoveredJob) (resumed bool) {
+	spec := r.Spec
+	if r.HasCkpt {
+		if wire, err := s.journal.readCheckpoint(r.ID); err == nil && len(wire) > 0 {
+			spec.Checkpoint = wire
+		}
+	}
+	j := &job{done: make(chan struct{}), bkey: breakerKey(spec)}
+	now := time.Now()
+	// The original deadline died with the process; a recovered job gets a
+	// fresh default budget.
+	deadline := time.Duration(spec.DeadlineMS) * time.Millisecond
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	j.deadline = now.Add(deadline)
+	j.view = JobView{
+		ID:          r.ID,
+		Name:        spec.Name,
+		Spec:        spec,
+		Status:      StatusQueued,
+		SubmittedAt: now,
+	}
+	s.mu.Lock()
+	s.jobs[r.ID] = j
+	s.mu.Unlock()
+	s.queue <- j // capacity guaranteed by Open
+	s.reg.Counter("jrpm_serve_jobs_recovered_total").Inc()
+	// view.Resumed is set by the attempt that actually restores the
+	// checkpoint; a corrupt one falls back to a clean restart.
+	return len(spec.Checkpoint) > 0
 }
 
 // Metrics exposes the server's registry (live; safe for concurrent reads).
@@ -292,7 +435,33 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	s.evictLocked()
 	s.mu.Unlock()
 	s.reg.Gauge("jrpm_serve_queue_depth").Set(float64(len(s.queue)))
+	if s.journal != nil {
+		// Durability point: the job exists once this record is fsync'd. A
+		// failed append is surfaced as a metric, not a shed — the job still
+		// runs, it just won't survive a crash.
+		if err := s.journal.append(journalRecord{Event: evAccepted, ID: j.view.ID, Spec: &spec}); err != nil {
+			s.reg.Counter("jrpm_serve_journal_errors_total").Inc()
+		}
+	}
 	return j.snapshot(), nil
+}
+
+// Checkpoint returns the latest encoded checkpoint of a job (codec
+// checkpoint envelope). Available while the job runs and after it reaches a
+// terminal status — a cancelled job's last checkpoint is exactly what fleet
+// migration hands to the next replica.
+func (s *Server) Checkpoint(id int64) ([]byte, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, ErrUnknownJob
+	}
+	b := j.checkpointBytes()
+	if b == nil {
+		return nil, fmt.Errorf("serve: job %d has no checkpoint", id)
+	}
+	return b, nil
 }
 
 // evictLocked drops the oldest terminal jobs beyond the retention bound.
@@ -497,11 +666,59 @@ func (s *Server) Shutdown(ctx context.Context) int {
 	select {
 	case <-drained:
 	case <-ctx.Done():
+		// Before cancelling, sweep a final checkpoint from every running job
+		// so migration (or the journal) hands off the freshest safepoint
+		// instead of one from the periodic schedule.
+		s.sweepCheckpoints(500 * time.Millisecond)
 		forced = s.forceCancelAll(ErrShutdown)
 		<-drained
 	}
+	if s.journal != nil {
+		s.journal.close()
+	}
 	s.reg.Gauge("jrpm_serve_queue_depth").Set(0)
 	return forced
+}
+
+// sweepCheckpoints requests a checkpoint-now from every running job's
+// controller and waits (bounded) for the deliveries. Best-effort: a job
+// between safepoints longer than the budget just keeps its previous
+// checkpoint.
+func (s *Server) sweepCheckpoints(budget time.Duration) {
+	s.mu.Lock()
+	pending := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		pending = append(pending, j)
+	}
+	s.mu.Unlock()
+	type wait struct {
+		j    *job
+		from int64
+	}
+	var waits []wait
+	for _, j := range pending {
+		if j.terminal() {
+			continue
+		}
+		cc := j.controller()
+		if cc == nil {
+			continue
+		}
+		_, seq := cc.Latest()
+		cc.Request()
+		waits = append(waits, wait{j: j, from: seq})
+	}
+	deadline := time.Now().Add(budget)
+	for _, w := range waits {
+		for time.Now().Before(deadline) && !w.j.terminal() {
+			if cc := w.j.controller(); cc != nil {
+				if _, seq := cc.Latest(); seq > w.from {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
 }
 
 // forceCancelAll cancels every non-terminal job and returns how many were

@@ -1,0 +1,59 @@
+package vm
+
+import (
+	"sort"
+
+	"jrpm/internal/mem"
+)
+
+// BlockSpan is one allocated heap block: its address and total words
+// (including carve slack), as registered in the VM's alloc registry.
+type BlockSpan struct {
+	Addr  mem.Addr
+	Words int64
+}
+
+// State is the VM's Go-side snapshot. The allocator's free lists and all
+// object data live entirely in simulated memory (carried by the machine's
+// memory snapshot); only the alloc registry and statistics live host-side.
+type State struct {
+	Blocks     []BlockSpan // sorted by address
+	Allocs     int64
+	AllocWords int64
+	GCs        int64
+	LastLive   int64
+	LastFreed  int64
+}
+
+// CaptureState copies the alloc registry (sorted by address for canonical
+// encoding) and statistics.
+func (v *VM) CaptureState() State {
+	st := State{
+		Allocs:     v.Allocs,
+		AllocWords: v.AllocWords,
+		GCs:        v.GCs,
+		LastLive:   v.LastLive,
+		LastFreed:  v.LastFreed,
+	}
+	st.Blocks = make([]BlockSpan, 0, len(v.blocks))
+	for a, w := range v.blocks {
+		st.Blocks = append(st.Blocks, BlockSpan{Addr: a, Words: w})
+	}
+	sort.Slice(st.Blocks, func(i, j int) bool { return st.Blocks[i].Addr < st.Blocks[j].Addr })
+	return st
+}
+
+// RestoreState replaces the alloc registry and statistics with a captured
+// State. The simulated-memory half (free lists, object data) must be
+// restored separately via the machine's memory snapshot.
+func (v *VM) RestoreState(st State) {
+	v.blocks = make(map[mem.Addr]int64, len(st.Blocks))
+	for _, b := range st.Blocks {
+		v.blocks[b.Addr] = b.Words
+	}
+	v.Allocs = st.Allocs
+	v.AllocWords = st.AllocWords
+	v.GCs = st.GCs
+	v.LastLive = st.LastLive
+	v.LastFreed = st.LastFreed
+}
